@@ -1,0 +1,27 @@
+# ClassMiner reproduction — developer entry points.
+
+.PHONY: install test bench examples report all clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; python $$ex >/dev/null && echo OK || exit 1; \
+	done
+
+report:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: install test bench examples
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,93 @@
+"""Fig. 12 — scene-detection precision for methods A, B and C.
+
+Regenerates the bar chart as a table over the whole corpus and asserts
+the paper's ordering: method A (ours) achieves the best precision,
+method C the worst.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.baselines import lin_detect_scenes, rui_detect_scenes, stg_detect_scenes
+from repro.core.groups import detect_groups
+from repro.core.scenes import detect_scenes
+from repro.evaluation import evaluate_scene_partition
+from repro.evaluation.report import render_series, render_table
+
+
+def _pooled_precision(corpus_runs, method_fn, label):
+    right = detected = 0
+    per_video = []
+    for video, run in corpus_runs:
+        scenes = method_fn(run.structure)
+        evaluation = evaluate_scene_partition(
+            video.truth, run.structure.shots, scenes, label
+        )
+        right += evaluation.rightly_detected
+        detected += evaluation.detected
+        per_video.append((video.title, evaluation.precision))
+    return right / detected, per_video
+
+
+def _method_a(structure):
+    return [scene.shot_ids for scene in structure.scenes]
+
+
+def _method_b(structure):
+    return rui_detect_scenes(structure.shots).scenes
+
+
+def _method_c(structure):
+    return lin_detect_scenes(structure.shots).scenes
+
+
+def _method_stg(structure):
+    # Extension: Yeung & Yeo's STG [15], which the paper discusses but
+    # does not benchmark.
+    return stg_detect_scenes(structure.shots).scenes
+
+
+def test_fig12_scene_precision(benchmark, corpus_runs, results_dir):
+    # Benchmark method A's scene stage (group detection + merging).
+    shots = corpus_runs[0][1].structure.shots
+
+    def scene_stage():
+        groups, _ = detect_groups(shots)
+        return detect_scenes(groups)
+
+    benchmark(scene_stage)
+
+    precision = {}
+    detail_rows = []
+    for label, fn in (
+        ("A", _method_a),
+        ("B", _method_b),
+        ("C", _method_c),
+        ("STG", _method_stg),
+    ):
+        pooled, per_video = _pooled_precision(corpus_runs, fn, label)
+        precision[label] = pooled
+        for title, value in per_video:
+            detail_rows.append([label, title, value])
+
+    table = render_table(
+        ["method", "video", "precision"],
+        detail_rows,
+        title="Fig. 12 — scene detection precision (Eq. 20)",
+    )
+    series = render_series(
+        "pooled precision P",
+        [(label, precision[label]) for label in ("A", "B", "C", "STG")],
+    )
+    paper = (
+        "paper: A=0.66 (best), B~0.61, C~0.57 (worst); "
+        f"measured: A={precision['A']:.2f}, B={precision['B']:.2f}, "
+        f"C={precision['C']:.2f}"
+    )
+    save_result(
+        results_dir, "fig12_scene_precision", table + "\n\n" + series + "\n" + paper
+    )
+
+    # The paper's shape: A wins, C loses.
+    assert precision["A"] > precision["B"] > precision["C"]
+    assert precision["A"] > 0.6

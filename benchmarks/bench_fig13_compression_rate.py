@@ -1,0 +1,58 @@
+"""Fig. 13 — compression rate factor (CRF) for methods A, B and C.
+
+Regenerates the figure's bars and asserts the paper's shape: method C
+achieves the best (smallest) compression-rate factor and method A the
+largest — the explicit trade-off against Fig. 12's precision.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.baselines import lin_detect_scenes, rui_detect_scenes
+from repro.evaluation import evaluate_scene_partition
+from repro.evaluation.report import render_series, render_table
+
+
+def _pooled_crf(corpus_runs, method_fn, label):
+    detected = shots = 0
+    for video, run in corpus_runs:
+        scenes = method_fn(run.structure)
+        evaluation = evaluate_scene_partition(
+            video.truth, run.structure.shots, scenes, label
+        )
+        detected += evaluation.detected
+        shots += evaluation.shot_count
+    return detected / shots
+
+
+def test_fig13_compression_rate(benchmark, corpus_runs, results_dir):
+    shots = corpus_runs[0][1].structure.shots
+    benchmark(lin_detect_scenes, shots)
+
+    crf = {
+        "A": _pooled_crf(
+            corpus_runs, lambda s: [scene.shot_ids for scene in s.scenes], "A"
+        ),
+        "B": _pooled_crf(corpus_runs, lambda s: rui_detect_scenes(s.shots).scenes, "B"),
+        "C": _pooled_crf(corpus_runs, lambda s: lin_detect_scenes(s.shots).scenes, "C"),
+    }
+    shots_per_scene = {label: 1.0 / value for label, value in crf.items()}
+
+    table = render_table(
+        ["method", "CRF (Eq. 21)", "shots per scene"],
+        [[label, crf[label], shots_per_scene[label]] for label in "ABC"],
+        title="Fig. 13 — compression rate factor",
+    )
+    series = render_series("CRF", [(label, crf[label]) for label in "ABC"])
+    paper = (
+        "paper: A=0.086 (~11 shots/scene, least compression), C smallest; "
+        f"measured: A={crf['A']:.3f}, B={crf['B']:.3f}, C={crf['C']:.3f}"
+    )
+    save_result(
+        results_dir, "fig13_compression_rate", table + "\n\n" + series + "\n" + paper
+    )
+
+    # Paper shape: C compresses hardest, A least.
+    assert crf["C"] < crf["B"] < crf["A"]
+    # Method A sits in the paper's ballpark (a scene is ~7-12 shots).
+    assert 0.05 < crf["A"] < 0.2

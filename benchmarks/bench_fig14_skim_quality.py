@@ -1,0 +1,58 @@
+"""Fig. 14 — scalable skimming quality scores per level.
+
+Five simulated viewers score every skim level on the paper's three
+questions (topic, scenario, conciseness), averaged across the corpus.
+Asserts the figure's shape: coverage falls toward level 4, conciseness
+falls toward level 1, and level 3 is the best overall compromise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.evaluation.report import render_table
+from repro.skimming import build_skim, evaluate_all_levels, panel_scores
+
+
+def test_fig14_skim_quality(benchmark, corpus_runs, results_dir):
+    video, run = corpus_runs[0]
+    skim = build_skim(run.structure, run.events.events)
+    benchmark(panel_scores, skim, video.truth, 3)
+
+    # Average the three questions per level over the whole corpus.
+    sums = {level: np.zeros(3) for level in (1, 2, 3, 4)}
+    for video, run in corpus_runs:
+        skim = build_skim(run.structure, run.events.events)
+        for scores in evaluate_all_levels(skim, video.truth):
+            sums[scores.level] += np.array(scores.as_tuple())
+    count = len(corpus_runs)
+    averages = {level: tuple(vec / count) for level, vec in sums.items()}
+
+    rows = [
+        [level, *averages[level], float(np.mean(averages[level]))]
+        for level in (1, 2, 3, 4)
+    ]
+    text = render_table(
+        ["level", "Q1 topic", "Q2 scenario", "Q3 concise", "overall"],
+        rows,
+        title=(
+            "Fig. 14 — skim quality, 5 simulated viewers x 5 videos "
+            "(paper: coverage rises toward level 1, conciseness toward "
+            "level 4, level 3 optimal)"
+        ),
+    )
+    save_result(results_dir, "fig14_skim_quality", text)
+
+    q1 = {level: averages[level][0] for level in averages}
+    q2 = {level: averages[level][1] for level in averages}
+    q3 = {level: averages[level][2] for level in averages}
+    overall = {level: float(np.mean(averages[level])) for level in averages}
+
+    # Coverage shrinks as the skim gets coarser...
+    assert q1[1] >= q1[4]
+    assert q2[1] > q2[4]
+    # ...while conciseness improves...
+    assert q3[4] > q3[1]
+    # ...and a middle level wins overall (the paper finds level 3).
+    assert max(overall, key=overall.get) in (2, 3)

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures: the mined five-video corpus.
+
+Mining the corpus (rendering, shot detection, cues, audio, events) is
+done once per benchmark session; every bench then measures or reports
+from the shared results.  Rendered tables land in
+``benchmarks/results/`` so each run leaves an inspectable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ClassMiner
+from repro.video.synthesis import load_corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The five generated corpus videos (with audio)."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_runs(corpus):
+    """ClassMiner output for every corpus video."""
+    miner = ClassMiner()
+    return [(video, miner.mine(video.stream)) for video in corpus]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one bench's rendered output."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

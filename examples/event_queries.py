@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's motivating query: "Show me all patient-doctor dialogs."
+
+Mines two corpus videos, answers the event query across the catalog
+(with and without access control), diarizes the speakers of one dialog
+scene, and browses down to its shots with the hierarchy browser.
+
+Usage::
+
+    python examples/event_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import ClassMiner, VideoDatabase
+from repro.audio import SpeakerAnalyzer, diarize_shots
+from repro.database import User, event_census, query_events
+from repro.skimming import HierarchyBrowser
+from repro.types import EventKind
+from repro.video.synthesis import load_video
+
+
+def main() -> None:
+    miner = ClassMiner()
+    db = VideoDatabase()
+    results = {}
+    for title in ("face_repair", "nuclear_medicine"):
+        print(f"Mining '{title}'...")
+        video = load_video(title)
+        results[title] = (video, miner.mine(video.stream))
+        db.register(results[title][1])
+
+    print('\nQuery: "Show me all patient-doctor dialogs within the video"')
+    hits = query_events(db, EventKind.DIALOG)
+    for hit in hits:
+        print(f"  {hit.video_title}: scene {hit.scene_id} ({hit.concept})")
+
+    print("\nEvent census of the catalog:")
+    for kind, count in event_census(db).items():
+        print(f"  {kind.value:20s}: {count} scene(s)")
+
+    public = User(name="med_student", clearance=0)
+    print(f"\nSame query as '{public.name}' (clearance {public.clearance}):")
+    filtered = query_events(db, EventKind.DIALOG, user=public)
+    print(f"  {len(filtered)} hits — dialogs are privacy-protected at clearance 2+")
+
+    # Diarize one dialog scene.
+    if hits:
+        hit = hits[0]
+        video, result = results[hit.video_title]
+        scene = next(
+            s for s in result.structure.scenes if s.scene_id == hit.scene_id
+        )
+        analyses = [result.audio[shot_id] for shot_id in scene.shot_ids]
+        diarization = diarize_shots(analyses, SpeakerAnalyzer())
+        print(
+            f"\nDiarizing scene {hit.scene_id} of {hit.video_title}: "
+            f"{diarization.num_speakers} speaker(s)"
+        )
+        for speaker in range(diarization.num_speakers):
+            shots = diarization.shots_of_speaker(speaker)
+            print(f"  speaker {speaker}: shots {shots}")
+
+        print("\nBrowsing down to that scene's shots:")
+        browser = HierarchyBrowser(result.structure, result.events.events)
+        # Find the cluster/scene path of the hit.
+        for i, cluster in enumerate(result.structure.clustered_scenes):
+            if hit.scene_id in cluster.scene_ids:
+                while browser.cursor < i:
+                    browser.next()
+                browser.enter()
+                for j, scene_obj in enumerate(cluster.scenes):
+                    if scene_obj.scene_id == hit.scene_id:
+                        while browser.cursor < j:
+                            browser.next()
+                        browser.enter()
+                        break
+                break
+        print(browser.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Mines the full five-video corpus and prints the Sec. 6 evaluation —
+Figs. 12/13 (scene detection), Table 1 (event mining), Fig. 14 (skim
+quality) and Fig. 15 (FCR) — next to the paper's reported values.
+
+This is the library-API version of the benchmark harness
+(``pytest benchmarks/ --benchmark-only`` adds runtime measurement).
+
+Usage::
+
+    python examples/reproduce_paper.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.paper import mine_corpus, reproduce_all
+from repro.evaluation.report import render_table
+from repro.video.synthesis import load_corpus
+
+PAPER = {
+    "scene_precision": {"A": 0.66, "B": 0.61, "C": 0.57},
+    "crf": {"A": 0.086},
+    "table1_average": (0.72, 0.71),
+    "fcr_layer4": 0.10,
+}
+
+
+def main() -> None:
+    print("Mining the five-video corpus (this takes ~20 s)...")
+    runs = mine_corpus(load_corpus())
+    results = reproduce_all(runs)
+
+    print()
+    scene = results["scene_detection"]
+    print(
+        render_table(
+            ["method", "precision (paper)", "CRF (paper A=0.086)"],
+            [
+                [
+                    m,
+                    f"{scene[m].precision:.3f} ({PAPER['scene_precision'][m]:.2f})",
+                    f"{scene[m].crf:.3f}",
+                ]
+                for m in ("A", "B", "C")
+            ],
+            title="Figs. 12-13 — scene detection",
+        )
+    )
+
+    print()
+    events = results["event_mining"]
+    rows = [
+        [name, r["selected"], r["detected"], r["true"], r["precision"], r["recall"]]
+        for name, r in events["rows"].items()
+    ]
+    avg = events["average"]
+    rows.append(
+        ["average", "", "", "", avg["precision"], avg["recall"]]
+    )
+    print(
+        render_table(
+            ["events", "SN", "DN", "TN", "PR", "RE"],
+            rows,
+            title="Table 1 — event mining (paper average PR=0.72 RE=0.71)",
+        )
+    )
+
+    print()
+    quality = results["skim_quality"]
+    print(
+        render_table(
+            ["level", "Q1 topic", "Q2 scenario", "Q3 concise"],
+            [[level, *quality[level]] for level in (1, 2, 3, 4)],
+            title="Fig. 14 — skim quality (paper: mid level optimal)",
+        )
+    )
+
+    print()
+    fcr = results["fcr"]
+    print(
+        render_table(
+            ["layer", "FCR"],
+            [[level, fcr[level]] for level in (4, 3, 2, 1)],
+            title="Fig. 15 — frame compression ratio (paper layer 4 ~ 0.10)",
+        )
+    )
+
+    # The headline shape checks.
+    assert scene["A"].precision > scene["B"].precision > scene["C"].precision
+    assert scene["C"].crf < scene["B"].crf < scene["A"].crf
+    assert fcr[4] < 0.25
+    print("\nAll paper shapes hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Bayesian Information Criterion speaker-change test (Eqs. 17-19).
+
+Given the MFCC sequences of two shots, hypothesis H0 says one Gaussian
+generated both; H1 says each shot has its own Gaussian.  The penalised
+likelihood-ratio statistic is
+
+    R(Lambda)  = N/2 log|S| - Ni/2 log|Si| - Nj/2 log|Sj|
+    dBIC       = -R(Lambda) + lambda * P
+    P          = 1/2 (p + p(p+1)/2) log N
+
+and a **speaker change is declared when dBIC < 0** (the two-Gaussian
+model wins even after paying the complexity penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AudioError
+
+#: Default penalty factor.  1.0 is the theoretical BIC value; like
+#: DISTBIC [23] we tune it upward (calibrated on the synthetic voice
+#: bank: lambda = 2 removes same-speaker false alarms while leaving a
+#: ~1500-point margin on true changes).
+DEFAULT_PENALTY = 2.0
+
+#: Ridge added to covariance diagonals for numerical stability.
+_REGULARISATION = 1e-6
+
+
+def _log_det_covariance(x: np.ndarray) -> float:
+    """log-determinant of the (regularised) covariance of row vectors."""
+    if x.shape[0] < 2:
+        raise AudioError("need at least 2 vectors to estimate a covariance")
+    centred = x - x.mean(axis=0)
+    cov = centred.T @ centred / x.shape[0]
+    cov += _REGULARISATION * np.eye(cov.shape[0])
+    sign, log_det = np.linalg.slogdet(cov)
+    if sign <= 0:
+        raise AudioError("covariance is not positive definite")
+    return float(log_det)
+
+
+@dataclass(frozen=True)
+class BicResult:
+    """Outcome of one BIC comparison.
+
+    Attributes
+    ----------
+    delta_bic:
+        The penalised statistic; negative means *speaker change*.
+    ratio:
+        The unpenalised likelihood-ratio term R(Lambda).
+    penalty:
+        The complexity penalty lambda * P.
+    is_change:
+        ``delta_bic < 0``.
+    """
+
+    delta_bic: float
+    ratio: float
+    penalty: float
+
+    @property
+    def is_change(self) -> bool:
+        """True when the test declares a speaker change."""
+        return self.delta_bic < 0.0
+
+
+def bic_speaker_change(
+    mfcc_i: np.ndarray,
+    mfcc_j: np.ndarray,
+    penalty_factor: float = DEFAULT_PENALTY,
+) -> BicResult:
+    """Run the Eq. 17-19 hypothesis test on two MFCC sequences.
+
+    Parameters
+    ----------
+    mfcc_i, mfcc_j:
+        ``(Ni, p)`` and ``(Nj, p)`` acoustic vector sequences.
+    penalty_factor:
+        The lambda in Eq. 19.
+
+    Raises
+    ------
+    AudioError
+        If either sequence is too short or dimensions disagree.
+    """
+    mfcc_i = np.atleast_2d(np.asarray(mfcc_i, dtype=np.float64))
+    mfcc_j = np.atleast_2d(np.asarray(mfcc_j, dtype=np.float64))
+    if mfcc_i.shape[1] != mfcc_j.shape[1]:
+        raise AudioError(
+            f"dimension mismatch: {mfcc_i.shape[1]} vs {mfcc_j.shape[1]}"
+        )
+    p = mfcc_i.shape[1]
+    n_i, n_j = mfcc_i.shape[0], mfcc_j.shape[0]
+    if n_i < p + 1 or n_j < p + 1:
+        raise AudioError(
+            f"need more than {p} vectors per side, got {n_i} and {n_j}"
+        )
+    n = n_i + n_j
+    pooled = np.vstack([mfcc_i, mfcc_j])
+
+    ratio = (
+        0.5 * n * _log_det_covariance(pooled)
+        - 0.5 * n_i * _log_det_covariance(mfcc_i)
+        - 0.5 * n_j * _log_det_covariance(mfcc_j)
+    )
+    penalty = penalty_factor * 0.5 * (p + 0.5 * p * (p + 1)) * np.log(n)
+    delta = -ratio + penalty
+    return BicResult(delta_bic=float(delta), ratio=float(ratio), penalty=float(penalty))

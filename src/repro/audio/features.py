@@ -1,0 +1,158 @@
+"""Fourteen clip-level audio features (Sec. 4.2, after Liu & Huang [22]).
+
+Each ~2-second clip is described by a 14-dimensional vector that the GMM
+classifier uses to separate *clean speech* from *non-speech* (music,
+ambience, silence).  Features are computed over 30 ms analysis frames
+with a 10 ms hop and then aggregated over the clip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.mfcc import frame_signal
+from repro.audio.waveform import Waveform
+from repro.errors import AudioError
+
+FEATURE_DIM = 14
+
+FEATURE_NAMES = (
+    "volume_mean",
+    "volume_std",
+    "volume_dynamic_range",
+    "non_silence_ratio",
+    "zcr_mean",
+    "zcr_std",
+    "four_hz_modulation",
+    "spectral_centroid_mean",
+    "spectral_centroid_std",
+    "spectral_rolloff_mean",
+    "spectral_flux_mean",
+    "bandwidth_mean",
+    "low_energy_ratio",
+    "pitch_strength",
+)
+
+_SILENCE_RMS = 1e-3
+
+
+def _frame_rms(frames: np.ndarray) -> np.ndarray:
+    return np.sqrt((frames**2).mean(axis=1))
+
+
+def _frame_zcr(frames: np.ndarray) -> np.ndarray:
+    signs = np.sign(frames)
+    signs[signs == 0] = 1
+    return 0.5 * np.abs(np.diff(signs, axis=1)).mean(axis=1)
+
+
+def _spectral_stats(
+    frames: np.ndarray, sample_rate: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-frame centroid, rolloff (85%), flux and bandwidth."""
+    window = np.hamming(frames.shape[1])
+    spectra = np.abs(np.fft.rfft(frames * window, axis=1))
+    freqs = np.fft.rfftfreq(frames.shape[1], d=1.0 / sample_rate)
+    power = spectra**2
+    total = power.sum(axis=1)
+    safe_total = np.where(total > 0, total, 1.0)
+
+    centroid = (power * freqs[None, :]).sum(axis=1) / safe_total
+
+    cumulative = np.cumsum(power, axis=1)
+    rolloff_idx = (cumulative >= 0.85 * total[:, None]).argmax(axis=1)
+    rolloff = freqs[rolloff_idx]
+
+    normalised = spectra / np.sqrt(safe_total)[:, None]
+    flux = np.zeros(frames.shape[0])
+    if frames.shape[0] > 1:
+        flux[1:] = np.sqrt(((normalised[1:] - normalised[:-1]) ** 2).sum(axis=1))
+
+    spread = ((freqs[None, :] - centroid[:, None]) ** 2 * power).sum(axis=1)
+    bandwidth = np.sqrt(spread / safe_total)
+    return centroid, rolloff, flux, bandwidth
+
+
+def _four_hz_modulation(rms: np.ndarray, hop_seconds: float) -> float:
+    """Energy of the RMS envelope near the 4 Hz syllable rate.
+
+    Speech has a strong amplitude modulation at ~4 Hz; music and
+    ambience do not.  Returns the fraction of envelope spectral energy
+    inside the 2–8 Hz band.
+    """
+    if rms.size < 8:
+        return 0.0
+    envelope = rms - rms.mean()
+    spectrum = np.abs(np.fft.rfft(envelope)) ** 2
+    freqs = np.fft.rfftfreq(envelope.size, d=hop_seconds)
+    band = (freqs >= 2.0) & (freqs <= 8.0)
+    total = spectrum[1:].sum()  # exclude DC
+    if total <= 0:
+        return 0.0
+    return float(spectrum[band].sum() / total)
+
+
+def _pitch_strength(
+    samples: np.ndarray, sample_rate: int, fmin: float = 60.0, fmax: float = 400.0
+) -> float:
+    """Peak normalised autocorrelation inside the speech pitch range.
+
+    Only the lags covering the pitch range are evaluated (a few dozen
+    dot products) — a full autocorrelation would be O(n^2) per clip and
+    dominated the whole pipeline.
+    """
+    if samples.size < int(sample_rate / fmin) * 2:
+        return 0.0
+    centred = samples - samples.mean()
+    energy = float((centred**2).sum())
+    if energy <= 0:
+        return 0.0
+    lag_min = int(sample_rate / fmax)
+    lag_max = min(int(sample_rate / fmin), centred.size - 1)
+    if lag_max <= lag_min:
+        return 0.0
+    best = -np.inf
+    for lag in range(lag_min, lag_max):
+        value = float(centred[: centred.size - lag] @ centred[lag:])
+        if value > best:
+            best = value
+    return best / energy
+
+
+def clip_features(clip: Waveform) -> np.ndarray:
+    """Compute the 14-dimensional feature vector for one audio clip."""
+    if len(clip) == 0:
+        raise AudioError("cannot extract features from an empty clip")
+    hop_seconds = 0.010
+    frames = frame_signal(clip.samples, clip.sample_rate, 0.030, hop_seconds)
+    if frames.shape[0] == 0:
+        raise AudioError("clip shorter than one analysis window")
+
+    rms = _frame_rms(frames)
+    zcr = _frame_zcr(frames)
+    centroid, rolloff, flux, bandwidth = _spectral_stats(frames, clip.sample_rate)
+
+    mean_rms = float(rms.mean())
+    nyquist = clip.sample_rate / 2.0
+
+    features = np.array(
+        [
+            mean_rms,
+            float(rms.std() / (mean_rms + 1e-9)),
+            float((rms.max() - rms.min()) / (rms.max() + 1e-9)),
+            float((rms > _SILENCE_RMS).mean()),
+            float(zcr.mean()),
+            float(zcr.std()),
+            _four_hz_modulation(rms, hop_seconds),
+            float(centroid.mean() / nyquist),
+            float(centroid.std() / nyquist),
+            float(rolloff.mean() / nyquist),
+            float(flux.mean()),
+            float(bandwidth.mean() / nyquist),
+            float((rms < 0.5 * mean_rms).mean()),
+            _pitch_strength(clip.samples, clip.sample_rate),
+        ]
+    )
+    if features.shape != (FEATURE_DIM,):
+        raise AudioError("internal error: wrong feature dimensionality")
+    return features

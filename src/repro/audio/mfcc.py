@@ -1,0 +1,121 @@
+"""Mel-frequency cepstral coefficients, implemented from scratch (Sec. 4.2).
+
+The paper extracts 14-dimensional MFCC vectors from 30 ms sliding windows
+with 20 ms overlap (i.e. a 10 ms hop).  The classic pipeline is used:
+pre-emphasis -> Hamming window -> power spectrum -> mel filterbank ->
+log -> DCT-II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+from repro.errors import AudioError
+
+#: Paper parameters.
+NUM_COEFFICIENTS = 14
+WINDOW_SECONDS = 0.030
+HOP_SECONDS = 0.010  # 30 ms window with 20 ms overlap
+NUM_MEL_FILTERS = 24
+PRE_EMPHASIS = 0.97
+
+
+def hz_to_mel(hz: np.ndarray | float) -> np.ndarray | float:
+    """Convert frequency in Hz to the mel scale."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
+    """Convert mel-scale values back to Hz."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int, fft_size: int, sample_rate: int, fmin: float = 80.0
+) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(num_filters, fft_size // 2 + 1)``."""
+    if num_filters < 1:
+        raise AudioError("need at least one mel filter")
+    fmax = sample_rate / 2.0
+    if fmin >= fmax:
+        raise AudioError(f"fmin {fmin} must be below Nyquist {fmax}")
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), num_filters + 2)
+    hz_points = np.asarray(mel_to_hz(mel_points))
+    bin_freqs = np.linspace(0.0, fmax, fft_size // 2 + 1)
+
+    bank = np.zeros((num_filters, bin_freqs.size))
+    for m in range(num_filters):
+        left, centre, right = hz_points[m], hz_points[m + 1], hz_points[m + 2]
+        rising = (bin_freqs - left) / max(centre - left, 1e-9)
+        falling = (right - bin_freqs) / max(right - centre, 1e-9)
+        bank[m] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def _dct_matrix(num_coefficients: int, num_filters: int) -> np.ndarray:
+    """Orthonormal DCT-II matrix of shape ``(coefficients, filters)``."""
+    n = np.arange(num_filters)
+    k = np.arange(num_coefficients)[:, None]
+    matrix = np.cos(np.pi * k * (2 * n + 1) / (2.0 * num_filters))
+    matrix *= np.sqrt(2.0 / num_filters)
+    matrix[0] /= np.sqrt(2.0)
+    return matrix
+
+
+def frame_signal(
+    samples: np.ndarray, sample_rate: int, window_seconds: float, hop_seconds: float
+) -> np.ndarray:
+    """Slice a signal into overlapping frames ``(num_frames, frame_length)``."""
+    frame_length = int(round(window_seconds * sample_rate))
+    hop_length = int(round(hop_seconds * sample_rate))
+    if frame_length < 2 or hop_length < 1:
+        raise AudioError("window/hop too small for the sample rate")
+    if samples.size < frame_length:
+        return np.zeros((0, frame_length))
+    num_frames = 1 + (samples.size - frame_length) // hop_length
+    indices = (
+        np.arange(frame_length)[None, :]
+        + hop_length * np.arange(num_frames)[:, None]
+    )
+    return samples[indices]
+
+
+def mfcc(
+    waveform: Waveform,
+    num_coefficients: int = NUM_COEFFICIENTS,
+    window_seconds: float = WINDOW_SECONDS,
+    hop_seconds: float = HOP_SECONDS,
+    num_filters: int = NUM_MEL_FILTERS,
+    pre_emphasis: float = PRE_EMPHASIS,
+) -> np.ndarray:
+    """Extract MFCC vectors: shape ``(num_frames, num_coefficients)``.
+
+    Returns an empty ``(0, num_coefficients)`` array when the waveform is
+    shorter than one analysis window.
+    """
+    if num_coefficients < 1 or num_coefficients > num_filters:
+        raise AudioError(
+            f"num_coefficients must be in [1, {num_filters}], got {num_coefficients}"
+        )
+    samples = waveform.samples
+    if samples.size == 0:
+        return np.zeros((0, num_coefficients))
+    emphasised = np.empty_like(samples)
+    emphasised[0] = samples[0]
+    emphasised[1:] = samples[1:] - pre_emphasis * samples[:-1]
+
+    frames = frame_signal(emphasised, waveform.sample_rate, window_seconds, hop_seconds)
+    if frames.shape[0] == 0:
+        return np.zeros((0, num_coefficients))
+
+    window = np.hamming(frames.shape[1])
+    spectra = np.fft.rfft(frames * window, axis=1)
+    power = (np.abs(spectra) ** 2) / frames.shape[1]
+
+    bank = mel_filterbank(num_filters, frames.shape[1], waveform.sample_rate)
+    mel_energy = power @ bank.T
+    log_energy = np.log(np.maximum(mel_energy, 1e-12))
+
+    dct = _dct_matrix(num_coefficients, num_filters)
+    return log_energy @ dct.T

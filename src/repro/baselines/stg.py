@@ -1,0 +1,160 @@
+"""Yeung & Yeo's Scene Transition Graph segmentation [15].
+
+The paper discusses this method as prior work: "a time-constrained shot
+clustering strategy is proposed to cluster temporally adjacent shots
+into clusters, and a Scene Transition Graph is constructed to detect
+the video story unit".  We implement it faithfully as an additional
+comparison method (beyond the paper's A/B/C):
+
+1. **Time-constrained clustering** — shots join an existing cluster
+   only when visually similar *and* within a temporal window of one of
+   its members.
+2. **Scene Transition Graph** — a directed graph with one node per
+   cluster and an edge ``u -> v`` whenever some shot of ``u`` is
+   immediately followed by a shot of ``v``.
+3. **Story units** — the *cut edges* of the underlying undirected graph
+   separate story units: each remaining strongly-connected cluster of
+   back-and-forth transitions (a dialog's A<->B pattern) stays one
+   scene, while one-way transitions between unrelated clusters mark
+   scene boundaries.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.rui_toc import BaselineScenes
+from repro.core.features import Shot
+from repro.core.similarity import SimilarityWeights, shot_similarity
+from repro.core.threshold import entropy_threshold
+from repro.errors import MiningError
+
+#: Maximum temporal distance (seconds) for time-constrained clustering.
+DEFAULT_TIME_WINDOW = 40.0
+
+
+def time_constrained_clusters(
+    shots: list[Shot],
+    weights: SimilarityWeights = SimilarityWeights(),
+    similarity_threshold: float | None = None,
+    time_window: float = DEFAULT_TIME_WINDOW,
+) -> list[list[Shot]]:
+    """Cluster shots under visual similarity plus a temporal constraint."""
+    if not shots:
+        raise MiningError("no shots to cluster")
+    if similarity_threshold is None:
+        pool = [
+            shot_similarity(shots[i], shots[j], weights)
+            for i in range(len(shots))
+            for j in range(i + 1, min(i + 5, len(shots)))
+        ]
+        similarity_threshold = entropy_threshold(np.array(pool)) if pool else 0.5
+
+    clusters: list[list[Shot]] = []
+    for shot in shots:
+        best_index = None
+        best_score = similarity_threshold
+        for index, cluster in enumerate(clusters):
+            gap = (shot.start - cluster[-1].stop) / shot.fps
+            if gap > time_window:
+                continue  # time constraint
+            score = max(
+                shot_similarity(shot, member, weights) for member in cluster[-4:]
+            )
+            if score >= best_score:
+                best_score = score
+                best_index = index
+        if best_index is None:
+            clusters.append([shot])
+        else:
+            clusters[best_index].append(shot)
+    return clusters
+
+
+def build_transition_graph(
+    shots: list[Shot], clusters: list[list[Shot]]
+) -> nx.DiGraph:
+    """The STG: cluster nodes, edges for consecutive-shot transitions."""
+    cluster_of: dict[int, int] = {}
+    for index, cluster in enumerate(clusters):
+        for shot in cluster:
+            cluster_of[shot.shot_id] = index
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(clusters)))
+    ordered = sorted(shots, key=lambda shot: shot.shot_id)
+    for a, b in zip(ordered, ordered[1:]):
+        u, v = cluster_of[a.shot_id], cluster_of[b.shot_id]
+        if u != v:
+            if graph.has_edge(u, v):
+                graph[u][v]["weight"] += 1
+            else:
+                graph.add_edge(u, v, weight=1)
+    return graph
+
+
+def story_units_from_graph(graph: nx.DiGraph) -> list[set[int]]:
+    """Partition the STG into story units by removing cut edges.
+
+    A *cut edge* is a bridge of the undirected projection whose
+    transitions run in **one direction only** — a one-way hand-off
+    between otherwise unconnected parts of the video, i.e. the
+    story-unit boundary of [15].  Back-and-forth structures (a dialog's
+    A <-> B transitions) are not one-way, so they survive and the
+    dialog stays one unit.
+    """
+    undirected = nx.Graph()
+    undirected.add_nodes_from(graph.nodes)
+    undirected.add_edges_from(graph.edges)
+    bridges = set(nx.bridges(undirected)) if undirected.number_of_edges() else set()
+    cut_edges = [
+        (u, v)
+        for u, v in bridges
+        if not (graph.has_edge(u, v) and graph.has_edge(v, u))
+    ]
+    pruned = undirected.copy()
+    pruned.remove_edges_from(cut_edges)
+    return [set(component) for component in nx.connected_components(pruned)]
+
+
+def stg_detect_scenes(
+    shots: list[Shot],
+    weights: SimilarityWeights = SimilarityWeights(),
+    similarity_threshold: float | None = None,
+    time_window: float = DEFAULT_TIME_WINDOW,
+) -> BaselineScenes:
+    """Full STG pipeline: cluster, build graph, cut into story units.
+
+    Story units are mapped back to *temporally contiguous* scenes: the
+    shot sequence splits wherever consecutive shots belong to different
+    story units.
+    """
+    clusters = time_constrained_clusters(
+        shots, weights, similarity_threshold, time_window
+    )
+    graph = build_transition_graph(shots, clusters)
+    units = story_units_from_graph(graph)
+
+    unit_of_cluster: dict[int, int] = {}
+    for unit_index, unit in enumerate(units):
+        for cluster_index in unit:
+            unit_of_cluster[cluster_index] = unit_index
+    cluster_of: dict[int, int] = {}
+    for index, cluster in enumerate(clusters):
+        for shot in cluster:
+            cluster_of[shot.shot_id] = index
+
+    ordered = sorted(shots, key=lambda shot: shot.shot_id)
+    scenes: list[list[int]] = [[ordered[0].shot_id]]
+    for a, b in zip(ordered, ordered[1:]):
+        unit_a = unit_of_cluster[cluster_of[a.shot_id]]
+        unit_b = unit_of_cluster[cluster_of[b.shot_id]]
+        if unit_a == unit_b:
+            scenes[-1].append(b.shot_id)
+        else:
+            scenes.append([b.shot_id])
+    return BaselineScenes(
+        method="STG",
+        scenes=scenes,
+        groups=[sorted(s.shot_id for s in cluster) for cluster in clusters],
+    )

@@ -1,0 +1,64 @@
+"""Spatial visual clustering in the style of Zhong et al. [12, 13].
+
+The oldest organisation strategy the paper discusses: cluster shots by
+visual similarity alone, ignoring time.  Temporal context is lost —
+shots of the same set shot hours apart land in one cluster — which is
+exactly why the paper argues for time-aware grouping.  Kept here as an
+additional point of comparison and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.rui_toc import BaselineScenes
+from repro.core.features import Shot
+from repro.core.similarity import SimilarityWeights, shot_similarity
+from repro.core.threshold import entropy_threshold
+from repro.errors import MiningError
+
+
+def visual_cluster_shots(
+    shots: list[Shot],
+    weights: SimilarityWeights = SimilarityWeights(),
+    threshold: float | None = None,
+) -> list[list[Shot]]:
+    """Greedy leader clustering on visual similarity only."""
+    if not shots:
+        raise MiningError("no shots to cluster")
+    if threshold is None:
+        pool = [
+            shot_similarity(shots[i], shots[j], weights)
+            for i in range(len(shots))
+            for j in range(i + 1, min(i + 6, len(shots)))
+        ]
+        threshold = entropy_threshold(np.array(pool)) if pool else 0.5
+
+    leaders: list[Shot] = []
+    clusters: list[list[Shot]] = []
+    for shot in shots:
+        scores = [
+            (shot_similarity(shot, leader, weights), index)
+            for index, leader in enumerate(leaders)
+        ]
+        if scores:
+            best_score, best_index = max(scores)
+            if best_score >= threshold:
+                clusters[best_index].append(shot)
+                continue
+        leaders.append(shot)
+        clusters.append([shot])
+    return clusters
+
+
+def visual_clustering_scenes(
+    shots: list[Shot],
+    weights: SimilarityWeights = SimilarityWeights(),
+    threshold: float | None = None,
+) -> BaselineScenes:
+    """Treat each visual cluster as one 'scene' (temporally unordered)."""
+    clusters = visual_cluster_shots(shots, weights, threshold)
+    return BaselineScenes(
+        method="visual",
+        scenes=[sorted(shot.shot_id for shot in cluster) for cluster in clusters],
+    )

@@ -1,0 +1,210 @@
+"""Command-line interface: mine, evaluate, skim and snapshot videos.
+
+Installed as the ``classminer`` console script::
+
+    classminer corpus                       # list available videos
+    classminer mine face_repair             # mine and print the hierarchy
+    classminer events face_repair           # scenes with mined events
+    classminer skim skin_examination        # colour bar + storyboard
+    classminer evaluate laparoscopy         # methods A/B/C vs ground truth
+    classminer render demo -o demo.npz      # snapshot the rendered stream
+
+The special title ``demo`` refers to the compact demo screenplay; the
+five corpus titles come from the paper's dataset description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.baselines import lin_detect_scenes, rui_detect_scenes
+from repro.core import ClassMiner
+from repro.errors import ReproError
+from repro.evaluation import evaluate_scene_partition
+from repro.evaluation.report import render_table
+from repro.skimming import build_color_bar, build_skim, render_storyboard, render_text_bar
+from repro.video.io import save_stream
+from repro.video.synthesis import (
+    CORPUS_TITLES,
+    demo_screenplay,
+    generate_video,
+    load_video,
+)
+
+
+def _load(title: str, with_audio: bool = True):
+    if title == "demo":
+        return generate_video(demo_screenplay(), seed=0, with_audio=with_audio)
+    return load_video(title, with_audio=with_audio)
+
+
+def _cmd_corpus(_args: argparse.Namespace) -> int:
+    print("Available videos (synthetic corpus, Sec. 6.1 titles):")
+    for title in ("demo",) + CORPUS_TITLES:
+        print(f"  {title}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream)
+    sizes = result.structure.level_sizes()
+    print(f"{args.title}: {len(video.stream)} frames, {video.stream.duration:.1f}s")
+    print(
+        f"  hierarchy: {sizes['clustered_scenes']} clustered scenes > "
+        f"{sizes['scenes']} scenes > {sizes['groups']} groups > "
+        f"{sizes['shots']} shots"
+    )
+    print(f"  CRF (Eq. 21): {result.structure.compression_rate_factor:.3f}")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream)
+    rows = []
+    for scene in result.structure.scenes:
+        event = result.event_of_scene(scene.scene_id)
+        start, stop = scene.frame_span
+        rows.append(
+            [
+                scene.scene_id,
+                f"{start / video.stream.fps:.1f}-{stop / video.stream.fps:.1f}s",
+                scene.shot_count,
+                event.kind.value,
+            ]
+        )
+    print(render_table(["scene", "time", "shots", "event"], rows, title=args.title))
+    return 0
+
+
+def _cmd_skim(args: argparse.Namespace) -> int:
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream)
+    skim = build_skim(result.structure, result.events.events)
+    bar = build_color_bar(result.structure, result.events.events)
+    print(render_text_bar(bar, width=args.width))
+    print()
+    print(render_storyboard(skim, level=args.level, columns=3))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream, mine_events=False)
+    structure = result.structure
+    rows = []
+    for label, scenes in (
+        ("A (ours)", [scene.shot_ids for scene in structure.scenes]),
+        ("B (Rui et al.)", rui_detect_scenes(structure.shots).scenes),
+        ("C (Lin & Zhang)", lin_detect_scenes(structure.shots).scenes),
+    ):
+        evaluation = evaluate_scene_partition(
+            video.truth, structure.shots, scenes, label
+        )
+        rows.append([label, evaluation.precision, evaluation.crf])
+    print(
+        render_table(
+            ["method", "precision (Eq.20)", "CRF (Eq.21)"],
+            rows,
+            title=f"Scene detection on '{args.title}'",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.skimming.report_html import save_report
+
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream)
+    save_report(result, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_poster(args: argparse.Namespace) -> int:
+    from repro.skimming.poster import save_poster
+
+    video = _load(args.title)
+    result = ClassMiner().mine(video.stream)
+    skim = build_skim(result.structure, result.events.events)
+    image = save_poster(skim, args.output, level=args.level, columns=args.columns)
+    print(f"wrote {args.output}: {image.shape[1]}x{image.shape[0]} PPM")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    video = _load(args.title)
+    save_stream(video.stream, args.output)
+    print(
+        f"wrote {args.output}: {len(video.stream)} frames @ {video.stream.fps} fps"
+        + (" + audio" if video.stream.audio is not None else "")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="classminer",
+        description="ClassMiner: medical video mining (ICDE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="list available videos").set_defaults(
+        func=_cmd_corpus
+    )
+
+    mine = sub.add_parser("mine", help="mine a video's content structure")
+    mine.add_argument("title")
+    mine.set_defaults(func=_cmd_mine)
+
+    events = sub.add_parser("events", help="mined scene events of a video")
+    events.add_argument("title")
+    events.set_defaults(func=_cmd_events)
+
+    skim = sub.add_parser("skim", help="colour bar and storyboard")
+    skim.add_argument("title")
+    skim.add_argument("--level", type=int, default=3, choices=(1, 2, 3, 4))
+    skim.add_argument("--width", type=int, default=72)
+    skim.set_defaults(func=_cmd_skim)
+
+    evaluate = sub.add_parser("evaluate", help="methods A/B/C vs ground truth")
+    evaluate.add_argument("title")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    report = sub.add_parser("report", help="write a standalone HTML summary")
+    report.add_argument("title")
+    report.add_argument("-o", "--output", required=True)
+    report.set_defaults(func=_cmd_report)
+
+    poster = sub.add_parser("poster", help="write a pictorial-summary PPM")
+    poster.add_argument("title")
+    poster.add_argument("-o", "--output", required=True)
+    poster.add_argument("--level", type=int, default=3, choices=(1, 2, 3, 4))
+    poster.add_argument("--columns", type=int, default=4)
+    poster.set_defaults(func=_cmd_poster)
+
+    render = sub.add_parser("render", help="snapshot the rendered stream")
+    render.add_argument("title")
+    render.add_argument("-o", "--output", required=True)
+    render.set_defaults(func=_cmd_render)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Core contribution: video content-structure mining (Sec. 3) + facade."""
+
+from repro.core.clustering import (
+    ClusteredScene,
+    SceneClusteringResult,
+    cluster_scenes,
+)
+from repro.core.features import Shot, build_shot, representative_frame_index
+from repro.core.groups import (
+    Group,
+    GroupKind,
+    GroupThresholds,
+    classify_group,
+    detect_group_boundaries,
+    detect_groups,
+    select_representative_shot,
+)
+from repro.core.pipeline import ClassMiner, ClassMinerResult
+from repro.core.scenes import (
+    Scene,
+    SceneDetectionResult,
+    detect_scenes,
+    select_representative_group,
+)
+from repro.core.shots import (
+    ShotDetectionResult,
+    boundary_spans,
+    detect_boundaries,
+    detect_shots,
+    shots_from_ground_truth,
+)
+from repro.core.similarity import (
+    SimilarityWeights,
+    group_similarity,
+    shot_group_similarity,
+    shot_similarity,
+    similarity_matrix,
+)
+from repro.core.structure import (
+    ContentStructure,
+    MiningConfig,
+    mine_content_structure,
+)
+from repro.core.threshold import adaptive_local_threshold, entropy_threshold
+from repro.core.validity import search_range, validity_index
+
+__all__ = [
+    "ClassMiner",
+    "ClassMinerResult",
+    "ClusteredScene",
+    "ContentStructure",
+    "Group",
+    "GroupKind",
+    "GroupThresholds",
+    "MiningConfig",
+    "Scene",
+    "SceneClusteringResult",
+    "SceneDetectionResult",
+    "Shot",
+    "ShotDetectionResult",
+    "SimilarityWeights",
+    "adaptive_local_threshold",
+    "boundary_spans",
+    "build_shot",
+    "classify_group",
+    "cluster_scenes",
+    "detect_boundaries",
+    "detect_group_boundaries",
+    "detect_groups",
+    "detect_scenes",
+    "detect_shots",
+    "entropy_threshold",
+    "group_similarity",
+    "mine_content_structure",
+    "representative_frame_index",
+    "search_range",
+    "select_representative_group",
+    "select_representative_shot",
+    "shot_group_similarity",
+    "shot_similarity",
+    "shots_from_ground_truth",
+    "similarity_matrix",
+    "validity_index",
+]

@@ -1,0 +1,188 @@
+"""Seedless Pairwise Cluster Scheme for scene clustering (Sec. 3.5).
+
+Unlike k-means, PCS needs no initial centroids and no presentation
+order: it repeatedly merges the most similar pair of scene clusters
+(similarity of their representative groups, Eqs. 12-13), re-electing
+each merged cluster's representative group with SelectRepGroup.  The
+stopping point is chosen by cluster-validity analysis over the paper's
+[0.5 M, 0.7 M] range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.groups import Group
+from repro.core.scenes import Scene, select_representative_group
+from repro.core.similarity import SimilarityWeights, group_similarity
+from repro.core.validity import search_range, validity_index
+from repro.errors import MiningError
+
+
+@dataclass
+class ClusteredScene:
+    """One scene cluster: visually similar scenes, possibly far apart.
+
+    Attributes
+    ----------
+    cluster_id:
+        Zero-based index.
+    scenes:
+        Member scenes, ordered by appearance.
+    centroid:
+        Representative group elected over all member groups.
+    """
+
+    cluster_id: int
+    scenes: list[Scene]
+    centroid: Group = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.scenes:
+            raise MiningError(f"cluster {self.cluster_id} has no scenes")
+
+    @property
+    def scene_ids(self) -> list[int]:
+        """Member scene ids."""
+        return [scene.scene_id for scene in self.scenes]
+
+    @property
+    def shot_count(self) -> int:
+        """Total shots across member scenes."""
+        return sum(scene.shot_count for scene in self.scenes)
+
+    @property
+    def is_recurring(self) -> bool:
+        """True when the cluster absorbed more than one scene."""
+        return len(self.scenes) > 1
+
+
+@dataclass
+class SceneClusteringResult:
+    """Clusters plus the validity curve that selected their count."""
+
+    clusters: list[ClusteredScene]
+    validity_curve: dict[int, float]
+    chosen_count: int
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+
+def _merged_centroid(
+    scenes: list[Scene], weights: SimilarityWeights
+) -> Group:
+    """SelectRepGroup over every group of the member scenes."""
+    all_groups = [group for scene in scenes for group in scene.groups]
+    return select_representative_group(all_groups, weights)
+
+
+def _pairwise_matrix(
+    centroids: list[Group], weights: SimilarityWeights
+) -> np.ndarray:
+    n = len(centroids)
+    matrix = np.full((n, n), -np.inf)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = group_similarity(centroids[i].shots, centroids[j].shots, weights)
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def cluster_scenes(
+    scenes: list[Scene],
+    weights: SimilarityWeights = SimilarityWeights(),
+    target_count: int | None = None,
+) -> SceneClusteringResult:
+    """Run PCS with validity-based model selection.
+
+    ``target_count`` forces a specific cluster count (used by ablation
+    benches); by default every count in ``[C_min, C_max]`` is evaluated
+    with Eq. (14) and the minimiser wins.
+    """
+    if not scenes:
+        raise MiningError("no scenes to cluster")
+    m = len(scenes)
+    c_min, c_max = search_range(m)
+    if target_count is not None:
+        if not 1 <= target_count <= m:
+            raise MiningError(f"target_count must be in [1, {m}]")
+        c_min = c_max = target_count
+
+    # Active clusters: parallel lists of member-scene lists and centroids.
+    members: list[list[Scene]] = [[scene] for scene in scenes]
+    centroids: list[Group] = [scene.representative_group for scene in scenes]
+    matrix = _pairwise_matrix(centroids, weights)
+
+    snapshots: dict[int, tuple[list[list[Scene]], list[Group]]] = {}
+    if m <= c_max:
+        snapshots[m] = ([list(ms) for ms in members], list(centroids))
+
+    while len(members) > c_min:
+        n = len(members)
+        flat_index = int(np.argmax(matrix))
+        i, j = divmod(flat_index, n)
+        if matrix[i, j] == -np.inf:
+            break  # nothing left to merge
+        if i > j:
+            i, j = j, i
+        merged_scenes = members[i] + members[j]
+        merged_centroid = _merged_centroid(merged_scenes, weights)
+
+        # Remove j, replace i.
+        members.pop(j)
+        centroids.pop(j)
+        members[i] = merged_scenes
+        centroids[i] = merged_centroid
+        matrix = np.delete(np.delete(matrix, j, axis=0), j, axis=1)
+        for k in range(len(members)):
+            if k == i:
+                continue
+            value = group_similarity(centroids[i].shots, centroids[k].shots, weights)
+            matrix[i, k] = value
+            matrix[k, i] = value
+
+        count = len(members)
+        if c_min <= count <= c_max:
+            snapshots[count] = ([list(ms) for ms in members], list(centroids))
+
+    if not snapshots:
+        snapshots[len(members)] = ([list(ms) for ms in members], list(centroids))
+
+    validity_curve: dict[int, float] = {}
+    for count, (snapshot_members, snapshot_centroids) in snapshots.items():
+        member_centroids = [
+            [scene.representative_group for scene in cluster]
+            for cluster in snapshot_members
+        ]
+        validity_curve[count] = validity_index(
+            member_centroids, snapshot_centroids, weights
+        )
+
+    finite = {k: v for k, v in validity_curve.items() if np.isfinite(v)}
+    chosen = min(finite, key=finite.get) if finite else max(snapshots)
+    chosen_members, chosen_centroids = snapshots[chosen]
+
+    clusters = [
+        ClusteredScene(
+            cluster_id=index,
+            scenes=sorted(cluster, key=lambda scene: scene.scene_id),
+            centroid=centroid,
+        )
+        for index, (cluster, centroid) in enumerate(
+            zip(chosen_members, chosen_centroids)
+        )
+    ]
+    clusters.sort(key=lambda c: c.scenes[0].scene_id)
+    for index, cluster in enumerate(clusters):
+        cluster.cluster_id = index
+    return SceneClusteringResult(
+        clusters=clusters,
+        validity_curve=validity_curve,
+        chosen_count=chosen,
+    )

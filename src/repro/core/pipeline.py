@@ -1,0 +1,105 @@
+"""The ClassMiner facade: the paper's full system in one object.
+
+``ClassMiner.mine`` takes a video stream and returns everything the
+database, skimming and evaluation layers consume: the content-structure
+hierarchy, per-shot visual cues, per-shot audio analyses, and per-scene
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audio.speaker import ShotAudio, SpeakerAnalyzer
+from repro.core.structure import ContentStructure, MiningConfig, mine_content_structure
+from repro.errors import MiningError
+from repro.events.miner import EventMiner, EventMiningResult
+from repro.events.model import SceneEvent
+from repro.types import EventKind
+from repro.video.stream import VideoStream
+from repro.vision.cues import VisualCues
+
+
+@dataclass
+class ClassMinerResult:
+    """Everything ClassMiner mined from one video."""
+
+    structure: ContentStructure
+    cues: dict[int, VisualCues] = field(repr=False)
+    audio: dict[int, ShotAudio] = field(repr=False)
+    events: EventMiningResult | None = field(default=None, repr=False)
+
+    @property
+    def title(self) -> str:
+        """Video title."""
+        return self.structure.title
+
+    def event_of_scene(self, scene_id: int) -> SceneEvent:
+        """Mined event of scene ``scene_id``."""
+        if self.events is None:
+            raise MiningError("event mining was disabled for this run")
+        return self.events.event_of_scene(scene_id)
+
+    def scene_events(self) -> dict[int, EventKind]:
+        """Scene id -> mined event kind (empty when events disabled)."""
+        if self.events is None:
+            return {}
+        return {event.scene_index: event.kind for event in self.events.events}
+
+
+class ClassMiner:
+    """The paper's prototype system: structure + event mining.
+
+    Parameters
+    ----------
+    config:
+        Content-structure mining configuration.
+    analyzer:
+        Speaker analyzer (owns the speech/non-speech GMM); built lazily
+        with defaults when omitted.
+    """
+
+    def __init__(
+        self,
+        config: MiningConfig | None = None,
+        analyzer: SpeakerAnalyzer | None = None,
+    ) -> None:
+        self._config = config if config is not None else MiningConfig()
+        self._analyzer = analyzer
+
+    @property
+    def config(self) -> MiningConfig:
+        """The active mining configuration."""
+        return self._config
+
+    def mine(
+        self,
+        stream: VideoStream,
+        mine_events: bool = True,
+        oracle_shot_spans: list[tuple[int, int]] | None = None,
+    ) -> ClassMinerResult:
+        """Run the full pipeline on one video.
+
+        Parameters
+        ----------
+        stream:
+            The video (audio attached when speaker tests are wanted).
+        mine_events:
+            Disable to skip cue extraction and audio analysis (cheaper,
+            used when only the structure is needed).
+        oracle_shot_spans:
+            Bypass shot detection with known spans (evaluation only).
+        """
+        structure = mine_content_structure(
+            stream, self._config, oracle_shot_spans=oracle_shot_spans
+        )
+        if not mine_events:
+            return ClassMinerResult(structure=structure, cues={}, audio={})
+
+        miner = EventMiner(analyzer=self._analyzer)
+        cues = miner.visual_cues(structure.shots)
+        audio = miner.shot_audio(structure.shots, stream.audio)
+        events = miner.mine(structure.scenes, stream.audio)
+        return ClassMinerResult(
+            structure=structure, cues=cues, audio=audio, events=events
+        )

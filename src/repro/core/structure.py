@@ -1,0 +1,227 @@
+"""Content-structure mining: the full Sec. 3 pipeline in one call.
+
+``mine_content_structure`` runs shot detection, group detection, scene
+detection and scene clustering and returns a :class:`ContentStructure` —
+the four-level hierarchy (clustered scenes > scenes > groups > shots)
+of Definition 1.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+from repro.core.clustering import (
+    ClusteredScene,
+    SceneClusteringResult,
+    cluster_scenes,
+)
+from repro.core.features import Shot
+from repro.core.groups import Group, GroupThresholds, detect_groups
+from repro.core.scenes import Scene, SceneDetectionResult, detect_scenes
+from repro.core.shots import (
+    DEFAULT_WINDOW,
+    ShotDetectionResult,
+    detect_shots,
+    shots_from_ground_truth,
+)
+from repro.core.similarity import SimilarityWeights
+from repro.errors import MiningError
+from repro.video.stream import VideoStream
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Tunable parameters of the content-structure miner.
+
+    Defaults are the paper's choices; benches vary them for ablations.
+    """
+
+    weights: SimilarityWeights = field(default_factory=SimilarityWeights)
+    shot_window: int = DEFAULT_WINDOW
+    min_scene_shots: int = 3
+    merge_threshold: float | None = None
+    group_thresholds: GroupThresholds | None = None
+    cluster_target: int | None = None
+
+    def to_dict(self) -> dict:
+        """Serialise to plain data (for experiment manifests)."""
+        return {
+            "weights": {"color": self.weights.color, "texture": self.weights.texture},
+            "shot_window": self.shot_window,
+            "min_scene_shots": self.min_scene_shots,
+            "merge_threshold": self.merge_threshold,
+            "group_thresholds": (
+                None
+                if self.group_thresholds is None
+                else {"t1": self.group_thresholds.t1, "t2": self.group_thresholds.t2}
+            ),
+            "cluster_target": self.cluster_target,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiningConfig":
+        """Rebuild a config serialised by :meth:`to_dict`.
+
+        Unknown keys raise :class:`MiningError` so typos in experiment
+        manifests fail loudly rather than silently using defaults.
+        """
+        known = {
+            "weights",
+            "shot_window",
+            "min_scene_shots",
+            "merge_threshold",
+            "group_thresholds",
+            "cluster_target",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise MiningError(f"unknown MiningConfig keys: {sorted(unknown)}")
+        weights_data = data.get("weights")
+        weights = (
+            SimilarityWeights(**weights_data)
+            if weights_data is not None
+            else SimilarityWeights()
+        )
+        thresholds_data = data.get("group_thresholds")
+        thresholds = (
+            GroupThresholds(**thresholds_data)
+            if thresholds_data is not None
+            else None
+        )
+        return cls(
+            weights=weights,
+            shot_window=data.get("shot_window", DEFAULT_WINDOW),
+            min_scene_shots=data.get("min_scene_shots", 3),
+            merge_threshold=data.get("merge_threshold"),
+            group_thresholds=thresholds,
+            cluster_target=data.get("cluster_target"),
+        )
+
+
+@dataclass
+class ContentStructure:
+    """The mined four-level hierarchy of one video."""
+
+    title: str
+    shots: list[Shot]
+    groups: list[Group]
+    scenes: list[Scene]
+    clustered_scenes: list[ClusteredScene]
+    shot_detection: ShotDetectionResult | None = field(default=None, repr=False)
+    scene_detection: SceneDetectionResult | None = field(default=None, repr=False)
+    clustering: SceneClusteringResult | None = field(default=None, repr=False)
+
+    @property
+    def shot_count(self) -> int:
+        """Number of detected shots."""
+        return len(self.shots)
+
+    @property
+    def scene_count(self) -> int:
+        """Number of kept scenes."""
+        return len(self.scenes)
+
+    @property
+    def compression_rate_factor(self) -> float:
+        """CRF of Eq. (21): detected scenes / total shots."""
+        if not self.shots:
+            raise MiningError("structure has no shots")
+        return len(self.scenes) / len(self.shots)
+
+    def scene_of_shot(self, shot_id: int) -> Scene | None:
+        """The kept scene containing ``shot_id`` (None if eliminated)."""
+        for scene in self.scenes:
+            if shot_id in scene.shot_ids:
+                return scene
+        return None
+
+    def cluster_of_scene(self, scene_id: int) -> ClusteredScene | None:
+        """The cluster containing scene ``scene_id``."""
+        for cluster in self.clustered_scenes:
+            if scene_id in cluster.scene_ids:
+                return cluster
+        return None
+
+    def level_sizes(self) -> dict[str, int]:
+        """Node counts per hierarchy level (used by docs and benches)."""
+        return {
+            "clustered_scenes": len(self.clustered_scenes),
+            "scenes": len(self.scenes),
+            "groups": len(self.groups),
+            "shots": len(self.shots),
+        }
+
+
+def mine_content_structure(
+    stream: VideoStream,
+    config: MiningConfig | None = None,
+    oracle_shot_spans: list[tuple[int, int]] | None = None,
+) -> ContentStructure:
+    """Run the Sec. 3 pipeline on a video stream.
+
+    ``oracle_shot_spans`` bypasses shot detection with known spans so
+    downstream stages can be evaluated in isolation.
+    """
+    if config is None:
+        config = MiningConfig()
+
+    shot_detection: ShotDetectionResult | None = None
+    if oracle_shot_spans is not None:
+        shots = shots_from_ground_truth(stream, oracle_shot_spans)
+    else:
+        shot_detection = detect_shots(stream, window=config.shot_window)
+        shots = shot_detection.shots
+    if not shots:
+        raise MiningError("no shots detected")
+    logger.info("%s: %d shots detected", stream.title, len(shots))
+
+    groups, thresholds = detect_groups(
+        shots, config.weights, thresholds=config.group_thresholds
+    )
+    logger.debug(
+        "%s: %d groups (T1=%.3f, T2=%.3f)",
+        stream.title, len(groups), thresholds.t1, thresholds.t2,
+    )
+    scene_detection = detect_scenes(
+        groups,
+        config.weights,
+        merge_threshold=config.merge_threshold,
+        min_scene_shots=config.min_scene_shots,
+    )
+    scenes = scene_detection.scenes
+    logger.info(
+        "%s: %d scenes kept, %d units eliminated (TG=%.3f)",
+        stream.title,
+        len(scenes),
+        len(scene_detection.eliminated),
+        scene_detection.merge_threshold,
+    )
+
+    if scenes:
+        clustering = cluster_scenes(
+            scenes, config.weights, target_count=config.cluster_target
+        )
+        clustered = clustering.clusters
+        logger.debug(
+            "%s: %d scene clusters (validity-selected N=%d)",
+            stream.title, len(clustered), clustering.chosen_count,
+        )
+    else:
+        clustering = None
+        clustered = []
+
+    return ContentStructure(
+        title=stream.title,
+        shots=shots,
+        groups=groups,
+        scenes=scenes,
+        clustered_scenes=clustered,
+        shot_detection=shot_detection,
+        scene_detection=scene_detection,
+        clustering=clustering,
+    )

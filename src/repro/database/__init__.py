@@ -1,0 +1,74 @@
+"""Hierarchical video database: model, index, queries, access control."""
+
+from repro.database.access import (
+    AccessController,
+    AuditRecord,
+    FilterRule,
+    Permission,
+    User,
+)
+from repro.database.catalog import RegisteredVideo, VideoDatabase
+from repro.database.events_query import EventHit, event_census, query_events
+from repro.database.flat import FlatIndex
+from repro.database.hierarchy import (
+    ConceptLevel,
+    ConceptNode,
+    build_medical_hierarchy,
+    ensure_subject_area,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    scene_node_for,
+)
+from repro.database.index import (
+    IndexNode,
+    LeafHashIndex,
+    ShotEntry,
+    build_node,
+    combine_features,
+    discriminating_dimensions,
+    feature_similarity,
+    leaf_signature,
+)
+from repro.database.scene_search import RankedScene, SceneEntry, SceneIndex
+from repro.database.query import (
+    QueryResult,
+    QueryStats,
+    RankedShot,
+    search_hierarchical,
+)
+
+__all__ = [
+    "AccessController",
+    "AuditRecord",
+    "ConceptLevel",
+    "ConceptNode",
+    "EventHit",
+    "FilterRule",
+    "FlatIndex",
+    "IndexNode",
+    "LeafHashIndex",
+    "Permission",
+    "QueryResult",
+    "QueryStats",
+    "RankedScene",
+    "RankedShot",
+    "SceneEntry",
+    "SceneIndex",
+    "RegisteredVideo",
+    "ShotEntry",
+    "User",
+    "VideoDatabase",
+    "build_medical_hierarchy",
+    "build_node",
+    "ensure_subject_area",
+    "event_census",
+    "hierarchy_from_dict",
+    "hierarchy_to_dict",
+    "query_events",
+    "combine_features",
+    "discriminating_dimensions",
+    "feature_similarity",
+    "leaf_signature",
+    "scene_node_for",
+    "search_hierarchical",
+]

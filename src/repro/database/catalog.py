@@ -1,0 +1,276 @@
+"""The video database: registration, indexing, search, persistence.
+
+:class:`VideoDatabase` ties the pieces together.  Mined videos are
+registered scene by scene: each scene's shots land in the hash index of
+the scene-level concept node its mined event maps to (Fig. 2), the
+index tree mirrors the concept hierarchy, and searches run through the
+access controller.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import ClassMinerResult
+from repro.database.access import AccessController, User
+from repro.database.flat import FlatIndex
+from repro.database.hierarchy import (
+    ConceptLevel,
+    ConceptNode,
+    build_medical_hierarchy,
+    ensure_subject_area,
+    scene_node_for,
+)
+from repro.database.index import (
+    IndexNode,
+    ShotEntry,
+    build_node,
+    combine_features,
+)
+from repro.database.query import QueryResult, search_hierarchical
+from repro.errors import DatabaseError
+from repro.types import EventKind
+
+
+@dataclass
+class RegisteredVideo:
+    """Bookkeeping for one registered video."""
+
+    title: str
+    shot_count: int
+    scene_count: int
+    events: dict[int, str] = field(default_factory=dict)
+
+
+class VideoDatabase:
+    """Hierarchical, access-controlled shot database."""
+
+    def __init__(self, controller: AccessController | None = None) -> None:
+        self._hierarchy = build_medical_hierarchy()
+        self._controller = (
+            controller if controller is not None else AccessController(self._hierarchy)
+        )
+        self._leaf_entries: dict[str, list[ShotEntry]] = {}
+        self._videos: dict[str, RegisteredVideo] = {}
+        self._index_root: IndexNode | None = None
+        self._flat = FlatIndex()
+
+    @property
+    def hierarchy(self) -> ConceptNode:
+        """The concept hierarchy root."""
+        return self._hierarchy
+
+    @property
+    def controller(self) -> AccessController:
+        """The access controller guarding searches."""
+        return self._controller
+
+    @property
+    def videos(self) -> dict[str, RegisteredVideo]:
+        """Registered videos by title."""
+        return dict(self._videos)
+
+    @property
+    def shot_count(self) -> int:
+        """Total indexed shots."""
+        return len(self._flat)
+
+    def register(self, result: ClassMinerResult) -> RegisteredVideo:
+        """Register one mined video.
+
+        Every shot of every kept scene is filed under the scene-level
+        concept of the scene's mined event.  Shots from eliminated
+        scenes are filed under the ``unknown`` concept so nothing is
+        lost.  Re-registering a title raises :class:`DatabaseError`.
+        """
+        title = result.title
+        if title in self._videos:
+            raise DatabaseError(f"video {title!r} already registered")
+        events = result.scene_events()
+
+        record = RegisteredVideo(
+            title=title,
+            shot_count=result.structure.shot_count,
+            scene_count=result.structure.scene_count,
+        )
+        assigned: set[int] = set()
+        for scene in result.structure.scenes:
+            event = events.get(scene.scene_id, EventKind.UNKNOWN)
+            record.events[scene.scene_id] = event.value
+            node = scene_node_for(self._hierarchy, title, event)
+            for shot in scene.shots:
+                entry = ShotEntry(
+                    video_title=title,
+                    shot_id=shot.shot_id,
+                    scene_id=scene.scene_id,
+                    features=combine_features(shot.histogram, shot.texture),
+                )
+                self._leaf_entries.setdefault(node.name, []).append(entry)
+                self._flat.insert(entry)
+                assigned.add(shot.shot_id)
+        # Shots whose scene was eliminated: file under 'unknown'.
+        node = scene_node_for(self._hierarchy, title, EventKind.UNKNOWN)
+        for shot in result.structure.shots:
+            if shot.shot_id in assigned:
+                continue
+            entry = ShotEntry(
+                video_title=title,
+                shot_id=shot.shot_id,
+                scene_id=-1,
+                features=combine_features(shot.histogram, shot.texture),
+            )
+            self._leaf_entries.setdefault(node.name, []).append(entry)
+            self._flat.insert(entry)
+
+        self._videos[title] = record
+        self._index_root = None  # force rebuild
+        return record
+
+    def unregister(self, title: str) -> int:
+        """Remove a video and all its shots; returns entries removed.
+
+        Raises :class:`DatabaseError` for unknown titles.  The
+        hierarchical index is invalidated and rebuilt on next use.
+        """
+        if title not in self._videos:
+            raise DatabaseError(f"video {title!r} is not registered")
+        removed = 0
+        for leaf, entries in list(self._leaf_entries.items()):
+            kept = [entry for entry in entries if entry.video_title != title]
+            removed += len(entries) - len(kept)
+            if kept:
+                self._leaf_entries[leaf] = kept
+            else:
+                del self._leaf_entries[leaf]
+        remaining = [
+            entry for entry in self._flat.entries if entry.video_title != title
+        ]
+        self._flat = FlatIndex(remaining)
+        del self._videos[title]
+        self._index_root = None
+        return removed
+
+    def describe(self) -> dict[str, int]:
+        """Shot counts per scene-concept leaf (catalog statistics)."""
+        return {
+            leaf: len(entries)
+            for leaf, entries in sorted(self._leaf_entries.items())
+        }
+
+    def build_index(self) -> IndexNode:
+        """(Re)build the hierarchical index mirroring the concept tree."""
+        if not self._videos:
+            raise DatabaseError("no videos registered")
+        root = self._build_subtree(self._hierarchy)
+        if root is None:
+            raise DatabaseError("index is empty after build")
+        self._index_root = root
+        return root
+
+    def _build_subtree(self, concept: ConceptNode) -> IndexNode | None:
+        if concept.level is ConceptLevel.SCENE or not concept.children:
+            entries = self._leaf_entries.get(concept.name, [])
+            if not entries:
+                return None
+            return build_node(concept.name, concept.level.depth, entries=entries)
+        children = [
+            child_node
+            for child in concept.children
+            if (child_node := self._build_subtree(child)) is not None
+        ]
+        if not children:
+            return None
+        return build_node(concept.name, concept.level.depth, children=children)
+
+    @property
+    def index_root(self) -> IndexNode:
+        """The hierarchical index (built on demand)."""
+        if self._index_root is None:
+            self.build_index()
+        assert self._index_root is not None
+        return self._index_root
+
+    @property
+    def flat_index(self) -> FlatIndex:
+        """The Eq. (24) linear-scan baseline over the same entries."""
+        return self._flat
+
+    def search(
+        self,
+        features: np.ndarray,
+        user: User | None = None,
+        k: int = 10,
+    ) -> QueryResult:
+        """Hierarchical search, access-filtered when a user is given."""
+        allowed = None
+        if user is not None:
+            allowed = self._controller.permitted_leaves(user)
+        return search_hierarchical(self.index_root, features, k=k, allowed_leaves=allowed)
+
+    def search_flat(self, features: np.ndarray, k: int = 10) -> QueryResult:
+        """Baseline linear scan (no hierarchy, no access filter)."""
+        return self._flat.search(features, k=k)
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise the catalog (entries + registrations) to JSON."""
+        payload = {
+            "videos": {
+                title: {
+                    "shot_count": video.shot_count,
+                    "scene_count": video.scene_count,
+                    "events": video.events,
+                }
+                for title, video in self._videos.items()
+            },
+            "leaves": {
+                leaf: [
+                    {
+                        "video_title": entry.video_title,
+                        "shot_id": entry.shot_id,
+                        "scene_id": entry.scene_id,
+                        "features": entry.features.tolist(),
+                    }
+                    for entry in entries
+                ]
+                for leaf, entries in self._leaf_entries.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VideoDatabase":
+        """Restore a catalog written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DatabaseError(f"cannot load database from {path}: {exc}") from exc
+        db = cls()
+        for leaf, entries in payload.get("leaves", {}).items():
+            if "/" in leaf:
+                # Recreate on-demand subject areas ('general/...').
+                ensure_subject_area(db._hierarchy, leaf.split("/", 1)[0])
+            for raw in entries:
+                entry = ShotEntry(
+                    video_title=raw["video_title"],
+                    shot_id=int(raw["shot_id"]),
+                    scene_id=int(raw["scene_id"]),
+                    features=np.asarray(raw["features"], dtype=np.float64),
+                )
+                db._leaf_entries.setdefault(leaf, []).append(entry)
+                db._flat.insert(entry)
+        for title, raw in payload.get("videos", {}).items():
+            db._videos[title] = RegisteredVideo(
+                title=title,
+                shot_count=int(raw["shot_count"]),
+                scene_count=int(raw["scene_count"]),
+                events={int(k): v for k, v in raw.get("events", {}).items()},
+            )
+        return db

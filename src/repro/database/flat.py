@@ -1,0 +1,53 @@
+"""Flat linear-scan retrieval: the Eq. (24) baseline.
+
+With no indexing structure, every query compares against every shot in
+the database and ranks all of them:
+
+    T_e = N_T * T_m + O(N_T log N_T)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.database.index import ShotEntry, feature_similarity
+from repro.database.query import QueryResult, QueryStats, RankedShot
+
+
+class FlatIndex:
+    """A plain list of shot entries, scanned in full per query."""
+
+    def __init__(self, entries: list[ShotEntry] | None = None) -> None:
+        self._entries: list[ShotEntry] = list(entries or [])
+
+    def insert(self, entry: ShotEntry) -> None:
+        """Append one shot."""
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[ShotEntry]:
+        """All indexed shots."""
+        return list(self._entries)
+
+    def search(self, features: np.ndarray, k: int = 10) -> QueryResult:
+        """Compare against everything, rank everything (Eq. 24)."""
+        start = time.perf_counter()
+        stats = QueryStats(visited_path=["flat_scan"])
+        scored = []
+        for entry in self._entries:
+            scored.append(
+                RankedShot(
+                    entry=entry,
+                    score=feature_similarity(features, entry.features),
+                )
+            )
+            stats.comparisons += 1
+        scored.sort(key=lambda hit: hit.score, reverse=True)
+        stats.ranked = len(scored)
+        stats.elapsed_seconds = time.perf_counter() - start
+        return QueryResult(hits=scored[:k], stats=stats)

@@ -1,0 +1,260 @@
+"""Cluster-based hierarchical index (Sec. 2 and Sec. 6.2).
+
+Two mechanisms, exactly as the paper prescribes:
+
+* **Leaf nodes** (scene-level concepts) index their shots with a *hash
+  table*: a coarse signature of the feature vector keys buckets, so a
+  query probes one bucket (plus its neighbours) instead of every shot.
+* **Non-leaf nodes** keep *multiple centres* — a single Gaussian cannot
+  model a high-level concept made of several visual components — and a
+  query descends through whichever child owns the best-matching centre.
+
+Every node also records the *discriminating dimensions* of its feature
+population (dimension reduction), so similarity inside a node is
+computed on a sub-space: the paper's ``T_c, T_sc, T_s, T_o <= T_m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatabaseError
+
+#: Number of centres kept per non-leaf node.
+DEFAULT_CENTERS = 4
+#: Dimensions retained by per-node dimension reduction.
+DEFAULT_REDUCED_DIM = 64
+#: Histogram bins folded into the leaf hash signature.
+SIGNATURE_BINS = 4
+
+
+@dataclass(frozen=True)
+class ShotEntry:
+    """One indexed shot.
+
+    Attributes
+    ----------
+    video_title / shot_id:
+        Identity of the shot.
+    scene_id:
+        The mined scene it belongs to.
+    features:
+        Concatenated 256-d histogram + 10-d texture (266-d).
+    """
+
+    video_title: str
+    shot_id: int
+    scene_id: int
+    features: np.ndarray = field(repr=False, hash=False, compare=False)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Globally unique shot key."""
+        return (self.video_title, self.shot_id)
+
+
+def combine_features(histogram: np.ndarray, texture: np.ndarray) -> np.ndarray:
+    """Concatenate the paper's two descriptors into one vector."""
+    histogram = np.asarray(histogram, dtype=np.float64).ravel()
+    texture = np.asarray(texture, dtype=np.float64).ravel()
+    return np.concatenate([histogram, texture])
+
+
+def feature_similarity(
+    a: np.ndarray, b: np.ndarray, dims: np.ndarray | None = None
+) -> float:
+    """Eq. (1)-style similarity on (optionally reduced) feature vectors.
+
+    Histogram part uses intersection; texture part uses the quadratic
+    term.  When ``dims`` is given both vectors are restricted to those
+    dimensions first (the node's discriminating sub-space).
+    """
+    if dims is not None:
+        # Reduced sub-space: intersection kernel over the retained dims.
+        a = a[dims]
+        b = b[dims]
+        return float(np.minimum(a, b).sum())
+    color = float(np.minimum(a[:256], b[:256]).sum())
+    texture = max(1.0 - float(((a[256:] - b[256:]) ** 2).sum()), 0.0)
+    return 0.7 * color + 0.3 * texture
+
+
+def discriminating_dimensions(
+    features: np.ndarray, keep: int = DEFAULT_REDUCED_DIM
+) -> np.ndarray:
+    """Pick the ``keep`` highest-variance dimensions of a population.
+
+    This is the paper's dimension-reduction step: only dimensions that
+    actually vary inside the node are worth comparing there.
+    """
+    features = np.atleast_2d(features)
+    variances = features.var(axis=0)
+    keep = min(keep, features.shape[1])
+    return np.sort(np.argsort(variances)[::-1][:keep])
+
+
+def leaf_signature(features: np.ndarray, bins: int = SIGNATURE_BINS) -> tuple[int, ...]:
+    """Hash signature: which coarse histogram quadrants dominate.
+
+    The 256-bin histogram is folded into ``bins`` super-bins; the
+    signature lists the two heaviest super-bins, but a rank is only
+    recorded when it carries real mass (> 0.1) — ties between
+    near-empty super-bins would otherwise flip under feature noise.
+    """
+    histogram = features[:256]
+    folded = histogram.reshape(bins, -1).sum(axis=1)
+    order = np.argsort(folded)[::-1]
+    signature = []
+    for rank in order[:2]:
+        signature.append(int(rank) if folded[rank] > 0.1 else -1)
+    return tuple(signature)
+
+
+class LeafHashIndex:
+    """Hash-table shot index used at scene-concept leaves."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[int, ...], list[ShotEntry]] = {}
+        self._count = 0
+
+    def insert(self, entry: ShotEntry) -> None:
+        """Add one shot to its signature bucket."""
+        signature = leaf_signature(entry.features)
+        self._buckets.setdefault(signature, []).append(entry)
+        self._count += 1
+
+    def probe(self, features: np.ndarray) -> list[ShotEntry]:
+        """Candidates in the query's bucket; falls back to all entries
+        when the bucket is empty (small leaves)."""
+        signature = leaf_signature(features)
+        bucket = self._buckets.get(signature, [])
+        if bucket:
+            return list(bucket)
+        return self.all_entries()
+
+    def all_entries(self) -> list[ShotEntry]:
+        """Every indexed shot."""
+        return [entry for bucket in self._buckets.values() for entry in bucket]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+
+@dataclass
+class IndexNode:
+    """One node of the hierarchical index tree.
+
+    Non-leaf nodes route via ``centers``; leaf nodes hold a
+    :class:`LeafHashIndex`.
+    """
+
+    name: str
+    depth: int
+    children: list["IndexNode"] = field(default_factory=list)
+    centers: np.ndarray | None = field(default=None, repr=False)
+    dims: np.ndarray | None = field(default=None, repr=False)
+    leaf: LeafHashIndex | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for scene-concept leaves."""
+        return self.leaf is not None
+
+    def shot_count(self) -> int:
+        """Total shots indexed under this node."""
+        if self.is_leaf:
+            return len(self.leaf)  # type: ignore[arg-type]
+        return sum(child.shot_count() for child in self.children)
+
+
+def _kcenters(features: np.ndarray, k: int) -> np.ndarray:
+    """Greedy k-centre selection (farthest-point), then mean refinement.
+
+    Deterministic and adequate for routing; the paper only requires
+    "multiple centres", not an optimal clustering.
+    """
+    features = np.atleast_2d(features)
+    n = features.shape[0]
+    k = max(1, min(k, n))
+    chosen = [0]
+    for _ in range(1, k):
+        distances = np.min(
+            ((features[:, None, :] - features[None, chosen, :]) ** 2).sum(axis=2),
+            axis=1,
+        )
+        chosen.append(int(np.argmax(distances)))
+    centers = features[chosen].copy()
+    # One Lloyd step: assign and average.
+    assignment = np.argmin(
+        ((features[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2), axis=1
+    )
+    for c in range(k):
+        members = features[assignment == c]
+        if members.shape[0]:
+            centers[c] = members.mean(axis=0)
+    return centers
+
+
+def build_node(
+    name: str,
+    depth: int,
+    children: list[IndexNode] | None = None,
+    entries: list[ShotEntry] | None = None,
+    num_centers: int = DEFAULT_CENTERS,
+    reduced_dim: int = DEFAULT_REDUCED_DIM,
+) -> IndexNode:
+    """Construct a leaf (from entries) or internal node (from children)."""
+    if (children is None) == (entries is None):
+        raise DatabaseError("a node needs either children or entries, not both")
+    if entries is not None:
+        leaf = LeafHashIndex()
+        for entry in entries:
+            leaf.insert(entry)
+        node = IndexNode(name=name, depth=depth, leaf=leaf)
+        if entries:
+            population = np.stack([entry.features for entry in entries])
+            node.centers = _kcenters(population, num_centers)
+            node.dims = discriminating_dimensions(population, reduced_dim)
+        return node
+
+    node = IndexNode(name=name, depth=depth, children=list(children or []))
+    populations = []
+    for child in node.children:
+        if child.centers is not None:
+            populations.append(child.centers)
+    if populations:
+        stacked = np.vstack(populations)
+        node.centers = _kcenters(stacked, num_centers)
+        node.dims = discriminating_dimensions(stacked, reduced_dim)
+    return node
+
+
+def route_child(node: IndexNode, features: np.ndarray) -> tuple[IndexNode, int]:
+    """Pick the child whose best centre matches the query best.
+
+    Returns ``(child, comparisons_made)``.
+    """
+    if node.is_leaf or not node.children:
+        raise DatabaseError(f"cannot route inside leaf node {node.name!r}")
+    best_child = None
+    best_score = -np.inf
+    comparisons = 0
+    for child in node.children:
+        if child.centers is None:
+            continue  # empty branch: nothing indexed below
+        for center in child.centers:
+            score = feature_similarity(features, center)
+            comparisons += 1
+            if score > best_score:
+                best_score = score
+                best_child = child
+    if best_child is None:
+        raise DatabaseError(f"node {node.name!r} has no populated children")
+    return best_child, comparisons

@@ -1,0 +1,138 @@
+"""Scene-level retrieval: query at the granularity of Fig. 1's scene nodes.
+
+Shot-level search answers "find this picture"; scene-level search
+answers "find passages that look like this one".  Each registered
+scene is summarised by a centroid feature vector (the mean of its
+member shots' combined features — the natural analogue of the paper's
+representative-group centroid in feature space) and queries rank scenes
+by Eq. (1)-style similarity to that centroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import ClassMinerResult
+from repro.database.index import combine_features, feature_similarity
+from repro.errors import DatabaseError
+from repro.types import EventKind
+
+
+@dataclass(frozen=True)
+class SceneEntry:
+    """One indexed scene.
+
+    Attributes
+    ----------
+    video_title / scene_id:
+        Identity of the scene.
+    event:
+        Mined event kind.
+    shot_count:
+        Member shots.
+    centroid:
+        Mean combined feature vector of the member shots.
+    """
+
+    video_title: str
+    scene_id: int
+    event: EventKind
+    shot_count: int
+    centroid: np.ndarray = field(repr=False, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class RankedScene:
+    """One scene-search hit."""
+
+    entry: SceneEntry
+    score: float
+
+
+class SceneIndex:
+    """Flat index of scene centroids with optional event filtering."""
+
+    def __init__(self) -> None:
+        self._entries: list[SceneEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[SceneEntry]:
+        """All indexed scenes."""
+        return list(self._entries)
+
+    def register(self, result: ClassMinerResult) -> int:
+        """Index every kept scene of a mined video; returns scenes added."""
+        events = result.scene_events()
+        added = 0
+        for scene in result.structure.scenes:
+            features = np.stack(
+                [
+                    combine_features(shot.histogram, shot.texture)
+                    for shot in scene.shots
+                ]
+            )
+            self._entries.append(
+                SceneEntry(
+                    video_title=result.title,
+                    scene_id=scene.scene_id,
+                    event=events.get(scene.scene_id, EventKind.UNKNOWN),
+                    shot_count=scene.shot_count,
+                    centroid=features.mean(axis=0),
+                )
+            )
+            added += 1
+        return added
+
+    def search(
+        self,
+        features: np.ndarray,
+        k: int = 5,
+        event: EventKind | None = None,
+    ) -> list[RankedScene]:
+        """Rank scenes by centroid similarity, optionally within an event.
+
+        Raises :class:`DatabaseError` when the index is empty.
+        """
+        if not self._entries:
+            raise DatabaseError("scene index is empty")
+        candidates = self._entries
+        if event is not None:
+            candidates = [entry for entry in candidates if entry.event is event]
+        hits = [
+            RankedScene(
+                entry=entry,
+                score=feature_similarity(features, entry.centroid),
+            )
+            for entry in candidates
+        ]
+        hits.sort(key=lambda hit: hit.score, reverse=True)
+        return hits[:k]
+
+    def similar_scenes(
+        self, video_title: str, scene_id: int, k: int = 5
+    ) -> list[RankedScene]:
+        """Scenes most similar to an indexed scene (itself excluded)."""
+        query = next(
+            (
+                entry
+                for entry in self._entries
+                if entry.video_title == video_title and entry.scene_id == scene_id
+            ),
+            None,
+        )
+        if query is None:
+            raise DatabaseError(f"scene {video_title}/{scene_id} is not indexed")
+        hits = self.search(query.centroid, k=k + 1)
+        return [
+            hit
+            for hit in hits
+            if not (
+                hit.entry.video_title == video_title
+                and hit.entry.scene_id == scene_id
+            )
+        ][:k]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ClassMiner reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class VideoError(ReproError):
+    """Problems with video streams, frames, or the synthetic generator."""
+
+
+class AudioError(ReproError):
+    """Problems with waveforms, audio features, or speaker analysis."""
+
+
+class VisionError(ReproError):
+    """Problems inside the visual-feature substrate."""
+
+
+class MiningError(ReproError):
+    """Problems while mining content structure (shots/groups/scenes)."""
+
+
+class EventMiningError(ReproError):
+    """Problems while classifying scene events."""
+
+
+class DatabaseError(ReproError):
+    """Problems in the hierarchical video database layer."""
+
+
+class AccessDeniedError(DatabaseError):
+    """An access-control rule denied the requested operation."""
+
+
+class SkimmingError(ReproError):
+    """Problems while building or traversing scalable skims."""
+
+
+class EvaluationError(ReproError):
+    """Problems while computing evaluation metrics."""

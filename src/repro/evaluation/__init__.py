@@ -1,0 +1,63 @@
+"""Evaluation: the paper's metrics, judging rules and cost models."""
+
+from repro.evaluation.event_eval import (
+    EventBenchmarkCase,
+    EventTable,
+    build_benchmark,
+    dominant_event,
+    tabulate_events,
+)
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    compression_rate_factor,
+    scene_precision,
+)
+from repro.evaluation.paper import (
+    MethodResult,
+    event_mining_table,
+    fcr_series,
+    mine_corpus,
+    reproduce_all,
+    scene_detection_results,
+    skim_quality_series,
+)
+from repro.evaluation.report import render_series, render_table
+from repro.evaluation.retrieval_eval import RetrievalQuality, evaluate_retrieval
+from repro.evaluation.scene_eval import (
+    SceneEvaluation,
+    SceneJudgement,
+    annotated_scene_of_span,
+    evaluate_scene_partition,
+    judge_scene_spans,
+)
+from repro.evaluation.timing import FlatCost, HierarchicalCost, speedup
+
+__all__ = [
+    "EventBenchmarkCase",
+    "EventTable",
+    "FlatCost",
+    "HierarchicalCost",
+    "MethodResult",
+    "PrecisionRecall",
+    "RetrievalQuality",
+    "SceneEvaluation",
+    "SceneJudgement",
+    "annotated_scene_of_span",
+    "build_benchmark",
+    "compression_rate_factor",
+    "dominant_event",
+    "event_mining_table",
+    "evaluate_retrieval",
+    "fcr_series",
+    "mine_corpus",
+    "reproduce_all",
+    "scene_detection_results",
+    "skim_quality_series",
+    "evaluate_scene_partition",
+    "judge_scene_spans",
+    "render_series",
+    "render_table",
+    "scene_precision",
+    "speedup",
+    "tabulate_events",
+]

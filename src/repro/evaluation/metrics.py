@@ -1,0 +1,72 @@
+"""The paper's evaluation metrics (Eqs. 20-23, FCR).
+
+* Eq. (20)  P   = rightly detected scenes / all detected scenes
+* Eq. (21)  CRF = detected scene number / total shot number
+* Eq. (22)  PR  = true number / detected number
+* Eq. (23)  RE  = true number / selected number
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+
+
+def scene_precision(rightly_detected: int, all_detected: int) -> float:
+    """Eq. (20)."""
+    if all_detected <= 0:
+        raise EvaluationError("no detected scenes to score")
+    if not 0 <= rightly_detected <= all_detected:
+        raise EvaluationError(
+            f"rightly detected {rightly_detected} outside [0, {all_detected}]"
+        )
+    return rightly_detected / all_detected
+
+
+def compression_rate_factor(scene_count: int, shot_count: int) -> float:
+    """Eq. (21)."""
+    if shot_count <= 0:
+        raise EvaluationError("no shots")
+    if scene_count < 0:
+        raise EvaluationError("negative scene count")
+    return scene_count / shot_count
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """One Table 1 row: selected/detected/true counts plus PR/RE."""
+
+    selected: int
+    detected: int
+    true: int
+
+    def __post_init__(self) -> None:
+        if self.selected < 0 or self.detected < 0 or self.true < 0:
+            raise EvaluationError("counts must be non-negative")
+        if self.true > self.detected or self.true > self.selected:
+            raise EvaluationError(
+                f"true count {self.true} exceeds detected {self.detected} "
+                f"or selected {self.selected}"
+            )
+
+    @property
+    def precision(self) -> float:
+        """Eq. (22); defined as 0 when nothing was detected."""
+        return self.true / self.detected if self.detected else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Eq. (23); defined as 0 when nothing was selected."""
+        return self.true / self.selected if self.selected else 0.0
+
+    @staticmethod
+    def combine(rows: list["PrecisionRecall"]) -> "PrecisionRecall":
+        """Pool counts across rows (the paper's Average row)."""
+        if not rows:
+            raise EvaluationError("nothing to combine")
+        return PrecisionRecall(
+            selected=sum(row.selected for row in rows),
+            detected=sum(row.detected for row in rows),
+            true=sum(row.true for row in rows),
+        )

@@ -1,0 +1,146 @@
+"""One-call reproduction of the paper's evaluation (Sec. 6).
+
+The benchmark harness measures runtime; the *results* themselves are
+library functionality, so they live here: every figure/table of the
+paper computed from a list of ``(GeneratedVideo, ClassMinerResult)``
+pairs.  ``reproduce_all`` runs the whole evaluation and returns plain
+data ready for printing or comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    lin_detect_scenes,
+    rui_detect_scenes,
+    stg_detect_scenes,
+)
+from repro.core.pipeline import ClassMiner, ClassMinerResult
+from repro.errors import EvaluationError
+from repro.evaluation.event_eval import EventTable, build_benchmark, tabulate_events
+from repro.evaluation.scene_eval import evaluate_scene_partition
+from repro.skimming.quality import evaluate_all_levels
+from repro.skimming.skim import build_skim
+from repro.skimming.summary import fcr_by_level
+from repro.video.synthesis.generator import GeneratedVideo
+
+#: Method label -> scene-list extractor.
+SCENE_METHODS = {
+    "A": lambda structure: [scene.shot_ids for scene in structure.scenes],
+    "B": lambda structure: rui_detect_scenes(structure.shots).scenes,
+    "C": lambda structure: lin_detect_scenes(structure.shots).scenes,
+    "STG": lambda structure: stg_detect_scenes(structure.shots).scenes,
+}
+
+CorpusRuns = list[tuple[GeneratedVideo, ClassMinerResult]]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Pooled Fig. 12 / Fig. 13 numbers for one method."""
+
+    method: str
+    precision: float
+    crf: float
+
+
+def mine_corpus(videos: list[GeneratedVideo]) -> CorpusRuns:
+    """Mine every video with default settings (the evaluation input)."""
+    if not videos:
+        raise EvaluationError("no videos to mine")
+    miner = ClassMiner()
+    return [(video, miner.mine(video.stream)) for video in videos]
+
+
+def scene_detection_results(
+    runs: CorpusRuns, methods: tuple[str, ...] = ("A", "B", "C")
+) -> dict[str, MethodResult]:
+    """Figs. 12-13: pooled precision and CRF per method."""
+    if not runs:
+        raise EvaluationError("no corpus runs")
+    results: dict[str, MethodResult] = {}
+    for method in methods:
+        extractor = SCENE_METHODS[method]
+        right = detected = shots = 0
+        for video, run in runs:
+            evaluation = evaluate_scene_partition(
+                video.truth,
+                run.structure.shots,
+                extractor(run.structure),
+                method,
+            )
+            right += evaluation.rightly_detected
+            detected += evaluation.detected
+            shots += evaluation.shot_count
+        results[method] = MethodResult(
+            method=method, precision=right / detected, crf=detected / shots
+        )
+    return results
+
+
+def event_mining_table(runs: CorpusRuns) -> EventTable:
+    """Table 1: pooled SN/DN/TN per event category."""
+    cases = []
+    for video, run in runs:
+        cases.extend(
+            build_benchmark(video.truth, run.structure.scenes, run.scene_events())
+        )
+    return tabulate_events(cases)
+
+
+def fcr_series(runs: CorpusRuns) -> dict[int, float]:
+    """Fig. 15: average frame compression ratio per skim level."""
+    sums = {level: 0.0 for level in (1, 2, 3, 4)}
+    for _, run in runs:
+        skim = build_skim(run.structure, run.events.events)
+        for level, value in fcr_by_level(skim).items():
+            sums[level] += value
+    return {level: total / len(runs) for level, total in sums.items()}
+
+
+def skim_quality_series(
+    runs: CorpusRuns, viewers: int = 5, seed: int = 0
+) -> dict[int, tuple[float, float, float]]:
+    """Fig. 14: average (Q1, Q2, Q3) panel scores per skim level."""
+    sums = {level: np.zeros(3) for level in (1, 2, 3, 4)}
+    for video, run in runs:
+        skim = build_skim(run.structure, run.events.events)
+        for scores in evaluate_all_levels(skim, video.truth, viewers=viewers, seed=seed):
+            sums[scores.level] += np.array(scores.as_tuple())
+    return {
+        level: tuple(float(x) for x in vector / len(runs))  # type: ignore[misc]
+        for level, vector in sums.items()
+    }
+
+
+def reproduce_all(runs: CorpusRuns) -> dict:
+    """The full Sec. 6 evaluation as one nested dict.
+
+    Keys: ``scene_detection`` (Figs. 12-13), ``event_mining`` (Table 1),
+    ``fcr`` (Fig. 15), ``skim_quality`` (Fig. 14).
+    """
+    table = event_mining_table(runs)
+    return {
+        "scene_detection": scene_detection_results(runs),
+        "event_mining": {
+            "rows": {
+                kind.value: {
+                    "selected": row.selected,
+                    "detected": row.detected,
+                    "true": row.true,
+                    "precision": row.precision,
+                    "recall": row.recall,
+                }
+                for kind, row in table.rows.items()
+            },
+            "average": {
+                "precision": table.average.precision,
+                "recall": table.average.recall,
+            },
+        },
+        "fcr": fcr_series(runs),
+        "skim_quality": skim_quality_series(runs),
+    }

@@ -1,0 +1,125 @@
+"""Retrieval-quality evaluation for the indexing layer.
+
+Sec. 6.2 analyses retrieval *cost*; this module adds the quality side:
+querying the database with an indexed shot should bring back shots of
+the same scene.  Precision@k over self-queries quantifies how much (if
+anything) the hierarchical descent gives up against the exhaustive
+scan — the classic accuracy/cost trade-off of approximate indexing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.catalog import VideoDatabase
+from repro.database.query import QueryResult
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class RetrievalQuality:
+    """Aggregate retrieval quality for one search strategy.
+
+    Attributes
+    ----------
+    strategy:
+        Label (``"hierarchical"`` / ``"flat"``).
+    precision_at_k:
+        Mean fraction of top-k hits sharing the query's scene.
+    self_hit_rate:
+        Fraction of queries whose own entry appears in the top-k.
+    mean_comparisons:
+        Average similarity computations per query.
+    queries:
+        Number of queries evaluated.
+    """
+
+    strategy: str
+    precision_at_k: float
+    self_hit_rate: float
+    mean_comparisons: float
+    queries: int
+
+
+def _evaluate(
+    entries,
+    search: Callable[[np.ndarray], QueryResult],
+    strategy: str,
+    k: int,
+) -> RetrievalQuality:
+    precisions = []
+    self_hits = 0
+    comparisons = []
+    for entry in entries:
+        result = search(entry.features)
+        hits = result.hits[:k]
+        if not hits:
+            precisions.append(0.0)
+            comparisons.append(result.stats.comparisons)
+            continue
+        same_scene = sum(
+            1
+            for hit in hits
+            if hit.entry.video_title == entry.video_title
+            and hit.entry.scene_id == entry.scene_id
+        )
+        precisions.append(same_scene / len(hits))
+        if any(hit.entry.key == entry.key for hit in hits):
+            self_hits += 1
+        comparisons.append(result.stats.comparisons)
+    return RetrievalQuality(
+        strategy=strategy,
+        precision_at_k=float(np.mean(precisions)),
+        self_hit_rate=self_hits / len(entries),
+        mean_comparisons=float(np.mean(comparisons)),
+        queries=len(entries),
+    )
+
+
+def evaluate_retrieval(
+    database: VideoDatabase,
+    k: int = 5,
+    max_queries: int | None = None,
+    seed: int = 0,
+) -> dict[str, RetrievalQuality]:
+    """Self-query every indexed shot through both strategies.
+
+    Parameters
+    ----------
+    database:
+        Catalog with at least one registered video.
+    k:
+        Hits considered per query.
+    max_queries:
+        Optional cap (queries are sampled deterministically).
+
+    Returns
+    -------
+    ``{"hierarchical": ..., "flat": ...}``.
+    """
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    entries = [
+        entry
+        for entry in database.flat_index.entries
+        if entry.scene_id >= 0  # skip shots of eliminated scenes
+    ]
+    if not entries:
+        raise EvaluationError("database has no scene-assigned shots")
+    if max_queries is not None and len(entries) > max_queries:
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(entries), size=max_queries, replace=False)
+        entries = [entries[i] for i in sorted(picks)]
+
+    database.build_index()
+    return {
+        "hierarchical": _evaluate(
+            entries, lambda f: database.search(f, k=k), "hierarchical", k
+        ),
+        "flat": _evaluate(
+            entries, lambda f: database.search_flat(f, k=k), "flat", k
+        ),
+    }

@@ -1,0 +1,128 @@
+"""Scene-detection evaluation under the paper's judging rule (Sec. 6.1).
+
+"The scene is judged to be rightly detected if and only if all shots in
+the current scene belong to the same semantic unit (scene), otherwise
+the current scene is judged to be falsely detected."
+
+Detected shots need not align with annotated shots (the detector may
+over- or under-segment), so each detected shot is attributed to the
+annotated scene owning the majority of its frames.  Black separator
+units (single-shot annotated scenes) are treated as *neutral*: they can
+attach to either neighbour without spoiling it, since a human judge
+would not fail a scene for including the fade between takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import Shot
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import compression_rate_factor, scene_precision
+from repro.video.ground_truth import GroundTruth
+
+
+@dataclass(frozen=True)
+class SceneJudgement:
+    """Verdict for one detected scene."""
+
+    scene_shot_ids: tuple[int, ...]
+    semantic_units: tuple[int, ...]
+    rightly_detected: bool
+
+
+@dataclass(frozen=True)
+class SceneEvaluation:
+    """Eq. (20)/(21) results for one video and one method."""
+
+    method: str
+    judgements: tuple[SceneJudgement, ...]
+    shot_count: int
+
+    @property
+    def detected(self) -> int:
+        """Number of detected scenes."""
+        return len(self.judgements)
+
+    @property
+    def rightly_detected(self) -> int:
+        """Scenes whose shots all share one semantic unit."""
+        return sum(1 for j in self.judgements if j.rightly_detected)
+
+    @property
+    def precision(self) -> float:
+        """Eq. (20)."""
+        return scene_precision(self.rightly_detected, self.detected)
+
+    @property
+    def crf(self) -> float:
+        """Eq. (21)."""
+        return compression_rate_factor(self.detected, self.shot_count)
+
+
+def annotated_scene_of_span(truth: GroundTruth, start: int, stop: int) -> int:
+    """Annotated scene owning the majority of frames in ``[start, stop)``."""
+    if stop <= start:
+        raise EvaluationError(f"empty span [{start}, {stop})")
+    overlap: dict[int, int] = {}
+    for shot in truth.shots:
+        frames = max(0, min(shot.stop, stop) - max(shot.start, start))
+        if frames:
+            overlap[shot.scene_id] = overlap.get(shot.scene_id, 0) + frames
+    if not overlap:
+        raise EvaluationError(f"span [{start}, {stop}) outside the video")
+    return max(overlap, key=lambda scene_id: (overlap[scene_id], -scene_id))
+
+
+def _neutral_units(truth: GroundTruth) -> set[int]:
+    """Single-shot annotated scenes (black separators) are neutral."""
+    return {scene.scene_id for scene in truth.scenes if scene.shot_count == 1}
+
+
+def judge_scene_spans(
+    truth: GroundTruth,
+    scene_spans: list[list[tuple[int, int]]],
+    method: str,
+    shot_count: int,
+) -> SceneEvaluation:
+    """Judge detected scenes given each member shot's frame span.
+
+    ``scene_spans[k]`` lists the ``(start, stop)`` frame spans of the
+    shots in detected scene ``k``.
+    """
+    if not scene_spans:
+        raise EvaluationError("no detected scenes to judge")
+    neutral = _neutral_units(truth)
+    judgements = []
+    for spans in scene_spans:
+        if not spans:
+            raise EvaluationError("a detected scene has no shots")
+        units = [annotated_scene_of_span(truth, start, stop) for start, stop in spans]
+        content_units = {unit for unit in units if unit not in neutral}
+        rightly = len(content_units) <= 1
+        judgements.append(
+            SceneJudgement(
+                scene_shot_ids=tuple(range(len(spans))),
+                semantic_units=tuple(sorted(set(units))),
+                rightly_detected=rightly,
+            )
+        )
+    return SceneEvaluation(
+        method=method, judgements=tuple(judgements), shot_count=shot_count
+    )
+
+
+def evaluate_scene_partition(
+    truth: GroundTruth,
+    shots: list[Shot],
+    scenes_as_shot_ids: list[list[int]],
+    method: str,
+) -> SceneEvaluation:
+    """Judge scenes given as lists of detected-shot ids."""
+    by_id = {shot.shot_id: shot for shot in shots}
+    spans: list[list[tuple[int, int]]] = []
+    for scene in scenes_as_shot_ids:
+        if not scene:
+            raise EvaluationError("a detected scene has no shots")
+        spans.append([(by_id[s].start, by_id[s].stop) for s in scene])
+    return judge_scene_spans(truth, spans, method, shot_count=len(shots))

@@ -1,0 +1,74 @@
+"""Retrieval cost model and measurements (Sec. 6.2, Eqs. 24-25).
+
+Eq. (24) — flat scan:          T_e = N_T * T_m + O(N_T log N_T)
+Eq. (25) — cluster-based:      T_c = M_c T_c' + M_sc T_sc + M_s T_s
+                                     + M_o T_o + O(M_o log M_o)
+
+The analytic model predicts comparison counts; the measured side comes
+from :class:`~repro.database.query.QueryStats`.  Both appear in the
+Sec. 6.2 bench so the model can be validated against the running code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class FlatCost:
+    """Eq. (24) prediction."""
+
+    total_shots: int
+    unit_compare: float = 1.0
+
+    def comparisons(self) -> int:
+        """Similarity computations: one per database shot."""
+        return self.total_shots
+
+    def cost(self) -> float:
+        """Comparison cost plus the N log N ranking term."""
+        n = self.total_shots
+        if n <= 0:
+            raise EvaluationError("empty database")
+        return n * self.unit_compare + n * math.log2(max(n, 2))
+
+
+@dataclass(frozen=True)
+class HierarchicalCost:
+    """Eq. (25) prediction.
+
+    ``level_nodes`` lists, per level from the root downward, how many
+    candidate units are compared at that level (the paper's M_c, M_sc,
+    M_s); ``leaf_shots`` is M_o, the shots ranked inside the chosen
+    scene node.  ``reduced_compare`` models T_c <= T_m: comparisons in a
+    reduced sub-space are cheaper than full-space ones.
+    """
+
+    level_nodes: tuple[int, ...]
+    leaf_shots: int
+    reduced_compare: float = 0.5
+    unit_compare: float = 1.0
+
+    def comparisons(self) -> int:
+        """Similarity computations along the descent plus the leaf."""
+        return sum(self.level_nodes) + self.leaf_shots
+
+    def cost(self) -> float:
+        """Eq. (25): level costs + leaf ranking."""
+        if self.leaf_shots < 0:
+            raise EvaluationError("negative leaf size")
+        descent = sum(self.level_nodes) * self.unit_compare * self.reduced_compare
+        leaf = self.leaf_shots * self.unit_compare * self.reduced_compare
+        ranking = self.leaf_shots * math.log2(max(self.leaf_shots, 2))
+        return descent + leaf + ranking
+
+
+def speedup(flat: FlatCost, hierarchical: HierarchicalCost) -> float:
+    """Predicted T_e / T_c ratio (> 1 means the hierarchy wins)."""
+    denominator = hierarchical.cost()
+    if denominator <= 0:
+        raise EvaluationError("hierarchical cost must be positive")
+    return flat.cost() / denominator

@@ -1,0 +1,235 @@
+"""The Sec. 4.3 decision rules for scene event classification.
+
+Evidence per scene:
+
+* visual cues of every member shot's representative frame;
+* the temporal/spatial classification of its member groups;
+* the Delta-BIC speaker-change verdicts between adjacent shots.
+
+The decision procedure tests *Presentation*, then *Dialog*, then
+*Clinical operation*, in that order, exactly as the paper lists it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audio.speaker import ShotAudio, SpeakerAnalyzer
+from repro.core.scenes import Scene
+from repro.errors import EventMiningError
+from repro.events.model import EventKind, SceneEvent
+from repro.vision.cues import VisualCues
+
+
+@dataclass
+class SceneEvidence:
+    """All per-shot evidence the rules consume for one scene.
+
+    Attributes
+    ----------
+    scene:
+        The mined scene.
+    cues:
+        Visual cues keyed by shot id (every member shot must appear).
+    audio:
+        Audio analyses keyed by shot id.
+    adjacent_changes:
+        ``adjacent_changes[i]`` is the speaker-change verdict between
+        member shots at positions ``i`` and ``i+1`` (None = untestable).
+    same_speaker_pairs:
+        Member-position pairs ``(i, j)`` confidently judged to be the
+        same speaker (Delta-BIC >= 0 on both shots' clips).
+    """
+
+    scene: Scene
+    cues: dict[int, VisualCues]
+    audio: dict[int, ShotAudio]
+    adjacent_changes: list[bool | None] = field(default_factory=list)
+    same_speaker_pairs: set[tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for shot_id in self.scene.shot_ids:
+            if shot_id not in self.cues:
+                raise EventMiningError(f"missing visual cues for shot {shot_id}")
+
+    def cue_at(self, position: int) -> VisualCues:
+        """Visual cues of the member shot at ``position``."""
+        return self.cues[self.scene.shot_ids[position]]
+
+    @property
+    def member_count(self) -> int:
+        """Number of member shots."""
+        return len(self.scene.shot_ids)
+
+
+def gather_evidence(
+    scene: Scene,
+    cues: dict[int, VisualCues],
+    audio: dict[int, ShotAudio],
+    analyzer: SpeakerAnalyzer,
+) -> SceneEvidence:
+    """Run the speaker-change tests a scene's rules will need."""
+    shot_ids = scene.shot_ids
+    changes: list[bool | None] = []
+    for i in range(len(shot_ids) - 1):
+        a = audio.get(shot_ids[i])
+        b = audio.get(shot_ids[i + 1])
+        if a is None or b is None:
+            changes.append(None)
+            continue
+        result = analyzer.speaker_change(a, b)
+        changes.append(None if result is None else result.is_change)
+
+    same_pairs: set[tuple[int, int]] = set()
+    for i in range(len(shot_ids)):
+        for j in range(i + 1, len(shot_ids)):
+            a = audio.get(shot_ids[i])
+            b = audio.get(shot_ids[j])
+            if a is None or b is None:
+                continue
+            result = analyzer.speaker_change(a, b)
+            if result is not None and not result.is_change:
+                same_pairs.add((i, j))
+    return SceneEvidence(
+        scene=scene,
+        cues=cues,
+        audio=audio,
+        adjacent_changes=changes,
+        same_speaker_pairs=same_pairs,
+    )
+
+
+def _any_adjacent_change(evidence: SceneEvidence) -> bool:
+    return any(change is True for change in evidence.adjacent_changes)
+
+
+def test_presentation(evidence: SceneEvidence) -> tuple[bool, list[str]]:
+    """Sec. 4.3 step 2: the Presentation rule.
+
+    Needs slides/clip art, a face close-up, at least one temporally
+    related group, and no speaker change between adjacent shots.
+    """
+    notes: list[str] = []
+    has_slide = any(
+        evidence.cue_at(i).is_slide_like for i in range(evidence.member_count)
+    )
+    if not has_slide:
+        return False, ["no slide or clip-art frame"]
+    notes.append("slide/clip-art present")
+
+    has_closeup = any(
+        evidence.cue_at(i).has_face_closeup for i in range(evidence.member_count)
+    )
+    if not has_closeup:
+        return False, notes + ["no face close-up"]
+    notes.append("face close-up present")
+
+    if not evidence.scene.has_temporal_group():
+        return False, notes + ["all groups spatially related"]
+    notes.append("temporally related group present")
+
+    if _any_adjacent_change(evidence):
+        return False, notes + ["speaker change between adjacent shots"]
+    notes.append("no adjacent speaker change")
+    return True, notes
+
+
+def test_dialog(evidence: SceneEvidence) -> tuple[bool, list[str]]:
+    """Sec. 4.3 step 3: the Dialog rule.
+
+    Needs adjacent face-bearing shots, a temporally related group, a
+    speaker change between adjacent face shots, and a speaker who
+    appears more than once.
+    """
+    notes: list[str] = []
+    face_positions = [
+        i for i in range(evidence.member_count) if evidence.cue_at(i).has_face
+    ]
+    adjacent_face_pairs = [
+        i
+        for i in range(evidence.member_count - 1)
+        if evidence.cue_at(i).has_face and evidence.cue_at(i + 1).has_face
+    ]
+    if not face_positions or not adjacent_face_pairs:
+        return False, ["no adjacent face-bearing shots"]
+    notes.append(f"{len(adjacent_face_pairs)} adjacent face pairs")
+
+    if not evidence.scene.has_temporal_group():
+        return False, notes + ["all groups spatially related"]
+    notes.append("temporally related group present")
+
+    changing_pairs = [
+        i for i in adjacent_face_pairs if evidence.adjacent_changes[i] is True
+    ]
+    if not changing_pairs:
+        return False, notes + ["no speaker change between adjacent face shots"]
+    notes.append(f"{len(changing_pairs)} adjacent face pairs with speaker change")
+
+    # A duplicated speaker: two face shots judged to be the same voice.
+    face_set = set(face_positions)
+    duplicated = any(
+        i in face_set and j in face_set
+        for (i, j) in evidence.same_speaker_pairs
+    )
+    if not duplicated:
+        return False, notes + ["no duplicated speaker"]
+    notes.append("duplicated speaker found")
+    return True, notes
+
+
+def test_clinical_operation(evidence: SceneEvidence) -> tuple[bool, list[str]]:
+    """Sec. 4.3 step 4: the Clinical-operation rule.
+
+    Needs no adjacent speaker change, plus either a skin close-up or
+    blood-red region, or skin regions in more than half of the shots.
+    """
+    notes: list[str] = []
+    if _any_adjacent_change(evidence):
+        return False, ["speaker change between adjacent shots"]
+    notes.append("no adjacent speaker change")
+
+    has_strong_cue = any(
+        evidence.cue_at(i).has_skin_closeup or evidence.cue_at(i).has_blood
+        for i in range(evidence.member_count)
+    )
+    if has_strong_cue:
+        return True, notes + ["skin close-up or blood-red region present"]
+
+    skin_shots = sum(
+        1 for i in range(evidence.member_count) if evidence.cue_at(i).has_skin
+    )
+    if skin_shots * 2 > evidence.member_count:
+        return True, notes + [
+            f"skin regions in {skin_shots}/{evidence.member_count} shots"
+        ]
+    return False, notes + ["insufficient skin/blood evidence"]
+
+
+def classify_scene(evidence: SceneEvidence) -> SceneEvent:
+    """Run the full Sec. 4.3 decision procedure on one scene."""
+    ok, notes = test_presentation(evidence)
+    if ok:
+        return SceneEvent(
+            scene_index=evidence.scene.scene_id,
+            kind=EventKind.PRESENTATION,
+            evidence=tuple(notes),
+        )
+    ok, notes = test_dialog(evidence)
+    if ok:
+        return SceneEvent(
+            scene_index=evidence.scene.scene_id,
+            kind=EventKind.DIALOG,
+            evidence=tuple(notes),
+        )
+    ok, notes = test_clinical_operation(evidence)
+    if ok:
+        return SceneEvent(
+            scene_index=evidence.scene.scene_id,
+            kind=EventKind.CLINICAL_OPERATION,
+            evidence=tuple(notes),
+        )
+    return SceneEvent(
+        scene_index=evidence.scene.scene_id,
+        kind=EventKind.UNKNOWN,
+        evidence=("no rule matched",),
+    )

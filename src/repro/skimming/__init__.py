@@ -1,0 +1,63 @@
+"""Scalable video skimming: levels, playback, colour bar, quality panel."""
+
+from repro.skimming.browser import BrowseEntry, BrowseLevel, HierarchyBrowser
+from repro.skimming.colorbar import (
+    ColorBarSpan,
+    EVENT_COLORS,
+    EVENT_GLYPHS,
+    build_color_bar,
+    event_at_frame,
+    render_text_bar,
+)
+from repro.skimming.levels import SKIM_LEVELS, build_level_shots
+from repro.skimming.poster import compose_poster, read_ppm, save_poster, write_ppm
+from repro.skimming.report_html import encode_bmp, render_report, save_report
+from repro.skimming.quality import (
+    QualityScores,
+    best_level,
+    evaluate_all_levels,
+    objective_scores,
+    panel_scores,
+)
+from repro.skimming.skim import ScalableSkim, SkimSegment, build_skim
+from repro.skimming.summary import (
+    StoryboardCell,
+    fcr_by_level,
+    frame_compression_ratio,
+    pictorial_summary,
+    render_storyboard,
+)
+
+__all__ = [
+    "BrowseEntry",
+    "BrowseLevel",
+    "ColorBarSpan",
+    "HierarchyBrowser",
+    "EVENT_COLORS",
+    "EVENT_GLYPHS",
+    "QualityScores",
+    "SKIM_LEVELS",
+    "ScalableSkim",
+    "SkimSegment",
+    "StoryboardCell",
+    "best_level",
+    "build_color_bar",
+    "build_level_shots",
+    "build_skim",
+    "compose_poster",
+    "encode_bmp",
+    "evaluate_all_levels",
+    "event_at_frame",
+    "fcr_by_level",
+    "frame_compression_ratio",
+    "objective_scores",
+    "panel_scores",
+    "pictorial_summary",
+    "read_ppm",
+    "render_report",
+    "render_storyboard",
+    "save_poster",
+    "save_report",
+    "render_text_bar",
+    "write_ppm",
+]

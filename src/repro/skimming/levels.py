@@ -1,0 +1,71 @@
+"""Skim level construction (Sec. 5).
+
+Four levels, granularity increasing from level 4 down to level 1:
+
+* **Level 4** — representative shots of *clustered scenes*;
+* **Level 3** — representative shots of all *scenes*;
+* **Level 2** — representative shots of all *groups*;
+* **Level 1** — *all shots*.
+"""
+
+from __future__ import annotations
+
+from repro.core.features import Shot
+from repro.core.groups import Group
+from repro.core.structure import ContentStructure
+from repro.errors import SkimmingError
+
+#: Valid level numbers, coarsest first.
+SKIM_LEVELS = (4, 3, 2, 1)
+
+
+def _group_representative(group: Group) -> Shot:
+    """One shot standing for a whole group (largest cluster's pick)."""
+    if not group.representative_shots:
+        raise SkimmingError(f"group {group.group_id} has no representatives")
+    if len(group.representative_shots) == 1:
+        return group.representative_shots[0]
+    sizes = [len(cluster) for cluster in group.clusters]
+    best = max(range(len(sizes)), key=lambda i: (sizes[i], -i))
+    return group.representative_shots[best]
+
+
+def build_level_shots(structure: ContentStructure) -> dict[int, list[Shot]]:
+    """Skim shot lists per level, each sorted by shot id.
+
+    Every level is guaranteed non-empty as long as the structure has
+    shots: levels whose source tier is empty (e.g. no scene survived
+    filtering) fall back to the next finer tier.
+    """
+    if not structure.shots:
+        raise SkimmingError("structure has no shots to skim")
+
+    level1 = list(structure.shots)
+    level2 = sorted(
+        {_group_representative(group).shot_id: _group_representative(group)
+         for group in structure.groups}.values(),
+        key=lambda shot: shot.shot_id,
+    )
+    level3 = sorted(
+        {
+            _group_representative(scene.representative_group).shot_id:
+            _group_representative(scene.representative_group)
+            for scene in structure.scenes
+        }.values(),
+        key=lambda shot: shot.shot_id,
+    )
+    level4 = sorted(
+        {
+            _group_representative(cluster.centroid).shot_id:
+            _group_representative(cluster.centroid)
+            for cluster in structure.clustered_scenes
+        }.values(),
+        key=lambda shot: shot.shot_id,
+    )
+
+    levels = {1: level1, 2: level2 or level1, 3: level3, 4: level4}
+    if not levels[3]:
+        levels[3] = levels[2]
+    if not levels[4]:
+        levels[4] = levels[3]
+    return levels

@@ -1,0 +1,171 @@
+"""Standalone HTML summary reports.
+
+Bundles everything the skimming stack produces — the event colour bar,
+per-level storyboards with actual thumbnails, FCR figures and the
+mined-event scene list — into one self-contained HTML file.  Thumbnails
+are embedded as base64 BMP data URIs (BMP is browser-renderable and,
+like PPM, trivially written without an imaging library).
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import ClassMinerResult
+from repro.errors import SkimmingError
+from repro.skimming.colorbar import build_color_bar
+from repro.skimming.skim import ScalableSkim, build_skim
+from repro.skimming.summary import fcr_by_level
+from repro.types import EventKind
+
+#: CSS colour per event, matching the colour-bar palette.
+EVENT_CSS: dict[EventKind, str] = {
+    EventKind.PRESENTATION: "#3c5ac8",
+    EventKind.DIALOG: "#3cb45a",
+    EventKind.CLINICAL_OPERATION: "#c83c3c",
+    EventKind.UNKNOWN: "#787878",
+}
+
+
+def encode_bmp(image: np.ndarray) -> bytes:
+    """Encode an RGB uint8 image as an uncompressed 24-bit BMP.
+
+    BMP stores rows bottom-up in BGR order, each padded to 4 bytes —
+    all handled here so browsers render the bytes directly.
+    """
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise SkimmingError("encode_bmp expects an (H, W, 3) uint8 image")
+    height, width = image.shape[:2]
+    row_bytes = width * 3
+    padding = (4 - row_bytes % 4) % 4
+    image_size = (row_bytes + padding) * height
+    file_size = 54 + image_size
+
+    header = struct.pack(
+        "<2sIHHI", b"BM", file_size, 0, 0, 54
+    ) + struct.pack(
+        "<IiiHHIIiiII", 40, width, height, 1, 24, 0, image_size, 2835, 2835, 0, 0
+    )
+    bgr = image[::-1, :, ::-1]  # bottom-up, BGR
+    if padding:
+        pad = np.zeros((height, padding), dtype=np.uint8)
+        rows = np.concatenate([bgr.reshape(height, row_bytes), pad], axis=1)
+    else:
+        rows = bgr.reshape(height, row_bytes)
+    return header + rows.tobytes()
+
+
+def bmp_data_uri(image: np.ndarray) -> str:
+    """``data:`` URI for an RGB uint8 image."""
+    return "data:image/bmp;base64," + base64.b64encode(encode_bmp(image)).decode()
+
+
+def _color_bar_html(result: ClassMinerResult) -> str:
+    spans = build_color_bar(result.structure, result.events.events)
+    total = spans[-1].stop
+    cells = []
+    for span in spans:
+        width = 100.0 * (span.stop - span.start) / total
+        cells.append(
+            f'<div title="{span.event.value}: frames {span.start}-{span.stop}" '
+            f'style="width:{width:.2f}%;background:{EVENT_CSS[span.event]};"></div>'
+        )
+    return (
+        '<div style="display:flex;height:18px;border:1px solid #333;">'
+        + "".join(cells)
+        + "</div>"
+    )
+
+
+def _storyboard_html(skim: ScalableSkim, level: int, scale: int = 2) -> str:
+    cells = []
+    for segment in skim.segments(level):
+        pixels = segment.shot.representative_frame.pixels
+        enlarged = np.repeat(np.repeat(pixels, scale, axis=0), scale, axis=1)
+        uri = bmp_data_uri(enlarged)
+        seconds = segment.shot.start / segment.shot.fps
+        caption = html.escape(
+            f"shot {segment.shot.shot_id} @ {seconds:.1f}s"
+        )
+        cells.append(
+            '<figure style="margin:4px;display:inline-block;text-align:center;">'
+            f'<img src="{uri}" alt="{caption}" '
+            f'style="border:3px solid {EVENT_CSS[segment.event]};"/>'
+            f'<figcaption style="font-size:11px;">{caption}</figcaption></figure>'
+        )
+    return "<div>" + "".join(cells) + "</div>"
+
+
+def render_report(
+    result: ClassMinerResult,
+    skim: ScalableSkim | None = None,
+    storyboard_levels: tuple[int, ...] = (4, 3),
+) -> str:
+    """Render the full HTML report for one mined video."""
+    if result.events is None:
+        raise SkimmingError("report needs a run with event mining enabled")
+    if skim is None:
+        skim = build_skim(result.structure, result.events.events)
+
+    title = html.escape(result.title)
+    sizes = result.structure.level_sizes()
+    fcr = fcr_by_level(skim)
+
+    scene_rows = []
+    for scene in result.structure.scenes:
+        event = result.event_of_scene(scene.scene_id)
+        start, stop = scene.frame_span
+        scene_rows.append(
+            "<tr>"
+            f"<td>{scene.scene_id}</td>"
+            f"<td>{start}-{stop}</td>"
+            f"<td>{scene.shot_count}</td>"
+            f'<td style="color:{EVENT_CSS[event.kind]};font-weight:bold;">'
+            f"{event.kind.value}</td>"
+            "</tr>"
+        )
+
+    storyboards = "".join(
+        f"<h3>Level {level} storyboard "
+        f"({len(skim.segments(level))} shots, FCR {fcr[level]:.2f})</h3>"
+        + _storyboard_html(skim, level)
+        for level in storyboard_levels
+    )
+
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ClassMiner — {title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; background: #fafafa; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #ccc; padding: 4px 10px; }}
+</style></head><body>
+<h1>ClassMiner report — {title}</h1>
+<p>{sizes['clustered_scenes']} clustered scenes &gt; {sizes['scenes']} scenes
+ &gt; {sizes['groups']} groups &gt; {sizes['shots']} shots
+ (CRF {result.structure.compression_rate_factor:.3f})</p>
+<h2>Event colour bar</h2>
+{_color_bar_html(result)}
+<h2>Scenes</h2>
+<table><tr><th>scene</th><th>frames</th><th>shots</th><th>event</th></tr>
+{''.join(scene_rows)}</table>
+<h2>Scalable skim</h2>
+{storyboards}
+</body></html>
+"""
+
+
+def save_report(
+    result: ClassMinerResult,
+    path: str | Path,
+    storyboard_levels: tuple[int, ...] = (4, 3),
+) -> None:
+    """Render and write the HTML report."""
+    Path(path).write_text(
+        render_report(result, storyboard_levels=storyboard_levels)
+    )

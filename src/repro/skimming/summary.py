@@ -1,0 +1,69 @@
+"""Summaries and compression accounting (Fig. 15).
+
+The frame compression ratio (FCR) of a skim level is the fraction of
+the video's frames shown at that level; the paper reports ~10% at the
+top layer rising to 100% at layer 1.  The pictorial summary is a
+storyboard of representative frames, one per skim segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SkimmingError
+from repro.skimming.skim import ScalableSkim
+from repro.types import EventKind
+
+
+def frame_compression_ratio(skim: ScalableSkim, level: int) -> float:
+    """FCR of one level: skim frames / total frames."""
+    if skim.total_frames <= 0:
+        raise SkimmingError("skim covers no frames")
+    return skim.frame_count(level) / skim.total_frames
+
+
+def fcr_by_level(skim: ScalableSkim) -> dict[int, float]:
+    """FCR for every level (the Fig. 15 series)."""
+    return {level: frame_compression_ratio(skim, level) for level in sorted(skim.levels)}
+
+
+@dataclass(frozen=True)
+class StoryboardCell:
+    """One pictorial-summary cell."""
+
+    shot_id: int
+    start_seconds: float
+    event: EventKind
+
+    def caption(self) -> str:
+        """Short caption used by the text storyboard."""
+        minutes, seconds = divmod(int(self.start_seconds), 60)
+        return f"shot {self.shot_id} @ {minutes:02d}:{seconds:02d} [{self.event.value}]"
+
+
+def pictorial_summary(skim: ScalableSkim, level: int | None = None) -> list[StoryboardCell]:
+    """Storyboard of the skim: one cell per segment at the level."""
+    cells = []
+    for segment in skim.segments(level):
+        cells.append(
+            StoryboardCell(
+                shot_id=segment.shot.shot_id,
+                start_seconds=segment.shot.start / segment.shot.fps,
+                event=segment.event,
+            )
+        )
+    return cells
+
+
+def render_storyboard(skim: ScalableSkim, level: int | None = None, columns: int = 4) -> str:
+    """Plain-text storyboard grid for terminals."""
+    cells = pictorial_summary(skim, level)
+    if not cells:
+        raise SkimmingError("nothing to render")
+    captions = [cell.caption() for cell in cells]
+    width = max(len(caption) for caption in captions) + 2
+    lines = []
+    for row_start in range(0, len(captions), columns):
+        row = captions[row_start : row_start + columns]
+        lines.append("".join(caption.ljust(width) for caption in row).rstrip())
+    return "\n".join(lines)

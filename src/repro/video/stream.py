@@ -1,0 +1,117 @@
+"""Video stream model: an in-memory sequence of frames with optional audio.
+
+A :class:`VideoStream` is what the shot detector consumes and what the
+synthetic generator produces.  It owns the frame list, the frame rate, and
+(optionally) a synchronised :class:`~repro.audio.waveform.Waveform`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import VideoError
+from repro.video.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.audio.waveform import Waveform
+
+
+@dataclass
+class VideoStream:
+    """A decoded video: ordered frames at a fixed frame rate.
+
+    Attributes
+    ----------
+    frames:
+        Frames in presentation order.  Indices and timestamps are
+        re-stamped on construction so they are always consistent.
+    fps:
+        Frames per second; must be positive.
+    title:
+        Human-readable name (e.g. ``"laparoscopy"``).
+    audio:
+        Optional synchronised audio track.
+    """
+
+    frames: list[Frame]
+    fps: float = 10.0
+    title: str = "untitled"
+    audio: Optional["Waveform"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise VideoError(f"fps must be positive, got {self.fps}")
+        if not self.frames:
+            raise VideoError("a VideoStream needs at least one frame")
+        shape = self.frames[0].shape
+        restamped = []
+        for i, frame in enumerate(self.frames):
+            if frame.shape != shape:
+                raise VideoError(
+                    f"frame {i} has shape {frame.shape}, expected {shape}"
+                )
+            restamped.append(frame.with_index(i, i / self.fps))
+        self.frames = restamped
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frames[index]
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames in the stream."""
+        return len(self.frames)
+
+    @property
+    def duration(self) -> float:
+        """Total duration in seconds."""
+        return len(self.frames) / self.fps
+
+    @property
+    def frame_shape(self) -> tuple[int, int, int]:
+        """``(height, width, 3)`` of every frame."""
+        return self.frames[0].shape
+
+    def slice(self, start: int, stop: int) -> "VideoStream":
+        """Return frames ``[start, stop)`` as a new stream (audio dropped).
+
+        Frames in the result are re-stamped starting from index 0.
+        """
+        if not 0 <= start < stop <= len(self.frames):
+            raise VideoError(
+                f"invalid slice [{start}, {stop}) for {len(self.frames)} frames"
+            )
+        return VideoStream(
+            frames=list(self.frames[start:stop]),
+            fps=self.fps,
+            title=f"{self.title}[{start}:{stop}]",
+        )
+
+    def timestamp_of(self, frame_index: int) -> float:
+        """Presentation time of ``frame_index`` in seconds."""
+        if not 0 <= frame_index < len(self.frames):
+            raise VideoError(f"frame index {frame_index} out of range")
+        return frame_index / self.fps
+
+    def pixel_stack(self) -> np.ndarray:
+        """Return all frames as one ``(N, H, W, 3)`` uint8 array."""
+        return np.stack([frame.pixels for frame in self.frames])
+
+
+def stream_from_arrays(
+    arrays: Iterable[np.ndarray] | Sequence[np.ndarray],
+    fps: float = 10.0,
+    title: str = "untitled",
+) -> VideoStream:
+    """Build a stream from raw pixel arrays (convenience for tests)."""
+    frames = [Frame(pixels=a, index=i) for i, a in enumerate(arrays)]
+    return VideoStream(frames=frames, fps=fps, title=title)

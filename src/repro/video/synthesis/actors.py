@@ -1,0 +1,204 @@
+"""Actors and anatomy: people, surgical fields, organs, scan imagery.
+
+People are drawn so the vision substrate can find them: heads are skin-
+tone ellipses (matching :data:`repro.vision.skin.DEFAULT_SKIN_MODEL`)
+with dark eye and mouth blobs positioned where the face verifier looks
+for them.  Surgical fields expose large smooth skin patches with
+blood-red incisions for the clinical-operation cues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.synthesis.draw import Color, fill_ellipse, fill_rect
+
+#: Skin tones drawn from the same chromaticity family as the default
+#: Gaussian skin model.
+SKIN_TONES: tuple[Color, ...] = (
+    (0.88, 0.67, 0.41),
+    (0.78, 0.53, 0.26),
+    (0.95, 0.80, 0.62),
+    (0.62, 0.40, 0.20),
+    (0.90, 0.72, 0.55),
+)
+
+#: Shirt / scrub colours keyed by wardrobe id.
+WARDROBE: tuple[Color, ...] = (
+    (0.20, 0.35, 0.60),  # blue scrubs
+    (0.85, 0.85, 0.88),  # white coat
+    (0.45, 0.20, 0.25),  # maroon sweater
+    (0.25, 0.45, 0.30),  # green scrubs
+    (0.55, 0.50, 0.30),  # olive shirt
+)
+
+BLOOD_RED: Color = (0.60, 0.08, 0.10)
+DARK_FEATURE: Color = (0.10, 0.08, 0.08)
+
+
+def draw_person(
+    canvas: np.ndarray,
+    cx: float,
+    head_cy: float,
+    head_ry: float,
+    skin_tone: Color,
+    shirt: Color,
+    talking_phase: float = 0.0,
+    facing: float = 0.0,
+) -> None:
+    """Draw a head-and-shoulders person.
+
+    Parameters
+    ----------
+    cx / head_cy:
+        Fractional centre of the head.
+    head_ry:
+        Fractional vertical head radius; the close-up rule needs about
+        0.22+ here for the face to exceed 10% of the frame.
+    talking_phase:
+        0..1; modulates mouth opening so consecutive frames differ
+        slightly, as real footage does.
+    facing:
+        Horizontal offset of facial features (-0.3..0.3) to suggest the
+        person looking left/right (used for dialog reverse shots).
+    """
+    head_rx = head_ry * 0.82
+    # Torso.
+    fill_rect(
+        canvas,
+        head_cy + head_ry * 0.9,
+        cx - head_rx * 2.2,
+        1.0,
+        cx + head_rx * 2.2,
+        shirt,
+    )
+    # Neck.
+    fill_rect(
+        canvas,
+        head_cy + head_ry * 0.7,
+        cx - head_rx * 0.35,
+        head_cy + head_ry * 1.1,
+        cx + head_rx * 0.35,
+        skin_tone,
+    )
+    # Head.
+    fill_ellipse(canvas, head_cy, cx, head_ry, head_rx, skin_tone)
+    # Hair cap.
+    fill_ellipse(
+        canvas,
+        head_cy - head_ry * 0.62,
+        cx,
+        head_ry * 0.42,
+        head_rx * 0.95,
+        (0.15, 0.12, 0.10),
+    )
+    # Eyes: dark blobs in the upper half of the face.
+    eye_dy = -head_ry * 0.12
+    eye_dx = head_rx * 0.40
+    eye_shift = facing * head_rx
+    for side in (-1.0, 1.0):
+        fill_ellipse(
+            canvas,
+            head_cy + eye_dy,
+            cx + side * eye_dx + eye_shift,
+            head_ry * 0.10,
+            head_rx * 0.14,
+            DARK_FEATURE,
+        )
+    # Mouth: opens and closes with the talking phase.
+    mouth_open = 0.06 + 0.10 * abs(np.sin(np.pi * talking_phase))
+    fill_ellipse(
+        canvas,
+        head_cy + head_ry * 0.45,
+        cx + eye_shift * 0.5,
+        head_ry * mouth_open,
+        head_rx * 0.30,
+        (0.35, 0.10, 0.12),
+    )
+
+
+def draw_surgical_field(
+    canvas: np.ndarray,
+    rng: np.random.Generator,
+    skin_tone: Color,
+    incision: bool = True,
+    coverage: float = 0.55,
+    center: tuple[float, float] | None = None,
+) -> None:
+    """Close-up of a surgical site: a large skin patch, optionally cut.
+
+    ``coverage`` controls the fraction of the frame taken by skin; the
+    clinical-operation rule requires > 20%.  ``center`` overrides the
+    default jittered field centre.
+    """
+    half = float(np.sqrt(coverage) / 2.0)
+    if center is None:
+        cy = 0.5 + float(rng.uniform(-0.05, 0.05))
+        cx = 0.5 + float(rng.uniform(-0.05, 0.05))
+    else:
+        cy, cx = center
+    fill_ellipse(canvas, cy, cx, half * 1.1, half * 1.25, skin_tone)
+    if incision:
+        # Blood-red incision strip across the middle of the field.
+        fill_rect(
+            canvas,
+            cy - 0.035,
+            cx - half * 0.8,
+            cy + 0.035,
+            cx + half * 0.8,
+            BLOOD_RED,
+        )
+        # Retractor instruments at the edges.
+        fill_rect(canvas, cy - 0.02, cx - half * 1.1, cy + 0.02, cx - half * 0.85, (0.75, 0.76, 0.78))
+        fill_rect(canvas, cy - 0.02, cx + half * 0.85, cy + 0.02, cx + half * 1.1, (0.75, 0.76, 0.78))
+
+
+def draw_organ(canvas: np.ndarray, rng: np.random.Generator) -> None:
+    """Organ photograph: a blood-red mass on a dark surgical drape."""
+    canvas[:, :] = (0.08, 0.10, 0.12)
+    cy = 0.5 + float(rng.uniform(-0.04, 0.04))
+    cx = 0.5 + float(rng.uniform(-0.04, 0.04))
+    fill_ellipse(canvas, cy, cx, 0.30, 0.34, BLOOD_RED)
+    fill_ellipse(canvas, cy - 0.08, cx - 0.10, 0.10, 0.12, (0.70, 0.14, 0.16))
+    fill_ellipse(canvas, cy + 0.10, cx + 0.08, 0.07, 0.09, (0.45, 0.05, 0.08))
+
+
+#: Hot-spot palettes for scan imagery (different tracer windows).
+SCAN_PALETTES: tuple[Color, ...] = (
+    (0.95, 0.75, 0.20),  # amber
+    (0.90, 0.30, 0.15),  # hot red-orange
+    (0.30, 0.90, 0.45),  # gamma green
+    (0.40, 0.60, 0.95),  # cool blue
+)
+
+
+def draw_scan_image(
+    canvas: np.ndarray,
+    rng: np.random.Generator,
+    hot_spots: int = 3,
+    body_width: float = 0.22,
+    hot_color: Color = SCAN_PALETTES[0],
+) -> None:
+    """Nuclear-medicine scan: grayscale body outline with tracer hot spots."""
+    canvas[:, :] = (0.02, 0.02, 0.04)
+    fill_ellipse(canvas, 0.5, 0.5, 0.42, body_width, (0.25, 0.25, 0.28))
+    for _ in range(hot_spots):
+        cy = float(rng.uniform(0.2, 0.8))
+        cx = 0.5 + float(rng.uniform(-body_width, body_width)) * 0.7
+        fill_ellipse(canvas, cy, cx, 0.06, 0.06, hot_color)
+
+
+def draw_examined_limb(
+    canvas: np.ndarray,
+    rng: np.random.Generator,
+    skin_tone: Color,
+    lesion: bool = True,
+) -> None:
+    """Dermatology close-up: a limb filling much of the frame."""
+    fill_rect(canvas, 0.25, 0.0, 0.75, 1.0, skin_tone)
+    # Soft shading along the limb.
+    fill_rect(canvas, 0.25, 0.0, 0.32, 1.0, tuple(c * 0.85 for c in skin_tone))  # type: ignore[arg-type]
+    if lesion:
+        cy = 0.5 + float(rng.uniform(-0.08, 0.08))
+        cx = float(rng.uniform(0.3, 0.7))
+        fill_ellipse(canvas, cy, cx, 0.06, 0.07, (0.50, 0.18, 0.14))

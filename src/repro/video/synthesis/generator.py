@@ -1,0 +1,178 @@
+"""Screenplay compiler: renders a :class:`Screenplay` into a video.
+
+Produces the three artefacts the rest of the system consumes:
+
+* a :class:`~repro.video.stream.VideoStream` with per-frame camera
+  jitter, sensor noise and brightness flicker;
+* a synchronised audio track (speech per the shot's speaker label,
+  ambience otherwise);
+* a complete :class:`~repro.video.ground_truth.GroundTruth`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audio.synthesis import VOICE_BANK, synthesize_ambient, synthesize_speech
+from repro.audio.waveform import DEFAULT_SAMPLE_RATE, Waveform
+from repro.errors import VideoError
+from repro.video.frame import Frame
+from repro.video.ground_truth import GroundTruth, SceneSpan, ShotSpan
+from repro.video.stream import VideoStream
+from repro.video.synthesis.compositions import render_composition
+from repro.video.synthesis.draw import add_noise, adjust_brightness, camera_jitter
+from repro.video.synthesis.script import Screenplay
+
+
+@dataclass
+class GeneratedVideo:
+    """A rendered synthetic video with its annotations."""
+
+    stream: VideoStream
+    truth: GroundTruth
+    screenplay: Screenplay
+
+    @property
+    def title(self) -> str:
+        """Screenplay title."""
+        return self.screenplay.title
+
+
+def _stable_seed(*parts: object) -> int:
+    """Deterministic 32-bit seed from arbitrary string-able parts."""
+    text = "/".join(str(part) for part in parts)
+    return zlib.crc32(text.encode())
+
+
+def _shot_audio(
+    speaker: str | None,
+    sample_count: int,
+    seed: int,
+    sample_rate: int,
+) -> np.ndarray:
+    """Exactly ``sample_count`` samples of this shot's soundtrack."""
+    duration = sample_count / sample_rate + 0.05
+    if speaker is None:
+        wave = synthesize_ambient(duration, sample_rate=sample_rate, seed=seed)
+    else:
+        if speaker not in VOICE_BANK:
+            raise VideoError(f"unknown speaker {speaker!r}; known: {sorted(VOICE_BANK)}")
+        wave = synthesize_speech(
+            VOICE_BANK[speaker], duration, sample_rate=sample_rate, seed=seed
+        )
+    samples = wave.samples
+    if samples.size < sample_count:
+        samples = np.pad(samples, (0, sample_count - samples.size))
+    return samples[:sample_count]
+
+
+def generate_video(
+    screenplay: Screenplay,
+    seed: int = 0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    with_audio: bool = True,
+) -> GeneratedVideo:
+    """Render a screenplay into frames, audio and ground truth.
+
+    Determinism: the result depends only on ``(screenplay, seed)``.
+    Scenes that share a ``repeat_key`` re-render from identical scenery
+    seeds, making them near-duplicates (ground truth for clustering).
+    """
+    fps = screenplay.fps
+    height, width = screenplay.height, screenplay.width
+
+    frames: list[Frame] = []
+    shots: list[ShotSpan] = []
+    groups: list[list[int]] = []
+    scenes: list[SceneSpan] = []
+    audio_parts: list[np.ndarray] = []
+    repeat_members: dict[str, list[int]] = {}
+
+    global_shot = 0
+    frame_cursor = 0
+    sample_cursor = 0
+
+    for scene_index, scene in enumerate(screenplay.scenes):
+        scene_first_shot = global_shot
+        # Scenery identity: repeats reuse the repeat key, so their camera
+        # seeds (and therefore their rendered pixels) match.
+        scenery_key = scene.repeat_key if scene.repeat_key else f"scene{scene_index}"
+        if scene.repeat_key:
+            repeat_members.setdefault(scene.repeat_key, []).append(scene_index)
+
+        local_spans: list[tuple[int, int]] = []
+        for local_index, shot in enumerate(scene.shots):
+            frame_count = max(2, int(round(shot.seconds * fps)))
+            camera = shot.camera_id if shot.camera_id else f"shot{local_index}"
+            static_seed = _stable_seed(screenplay.title, scenery_key, camera)
+            motion_rng = np.random.default_rng(
+                _stable_seed(screenplay.title, seed, scene_index, local_index)
+            )
+
+            for k in range(frame_count):
+                t = k / frame_count
+                canvas = render_composition(
+                    shot.composition, height, width, static_seed, shot.params, t
+                )
+                canvas = camera_jitter(canvas, motion_rng, max_shift=1)
+                adjust_brightness(canvas, 1.0 + float(motion_rng.normal(0.0, 0.005)))
+                add_noise(canvas, motion_rng, sigma=0.008)
+                frames.append(Frame(pixels=canvas, index=frame_cursor + k))
+
+            start = frame_cursor
+            stop = frame_cursor + frame_count
+            shots.append(
+                ShotSpan(
+                    shot_id=global_shot,
+                    start=start,
+                    stop=stop,
+                    speaker=shot.speaker,
+                    scene_id=scene_index,
+                )
+            )
+            local_spans.append((start, stop))
+
+            if with_audio:
+                next_sample = int(round(stop / fps * sample_rate))
+                count = next_sample - sample_cursor
+                audio_seed = _stable_seed(screenplay.title, seed, "audio", scene_index, local_index)
+                audio_parts.append(
+                    _shot_audio(shot.speaker, count, audio_seed, sample_rate)
+                )
+                sample_cursor = next_sample
+
+            frame_cursor = stop
+            global_shot += 1
+
+        for local_group in scene.groups:
+            groups.append([scene_first_shot + i for i in local_group])
+        scenes.append(
+            SceneSpan(
+                scene_id=scene_index,
+                first_shot=scene_first_shot,
+                last_shot=global_shot - 1,
+                event=scene.event,
+                subject=scene.subject,
+                topic_relevant=scene.topic_relevant,
+            )
+        )
+
+    audio = None
+    if with_audio:
+        audio = Waveform(
+            samples=np.clip(np.concatenate(audio_parts), -1.0, 1.0),
+            sample_rate=sample_rate,
+        )
+
+    stream = VideoStream(frames=frames, fps=fps, title=screenplay.title, audio=audio)
+    truth = GroundTruth(
+        shots=shots,
+        groups=groups,
+        scenes=scenes,
+        duplicate_scene_sets=[ids for ids in repeat_members.values() if len(ids) > 1],
+    )
+    truth.validate(len(frames))
+    return GeneratedVideo(stream=stream, truth=truth, screenplay=screenplay)

@@ -1,0 +1,550 @@
+"""Screenplay model: the declarative description a video is generated from.
+
+A :class:`Screenplay` lists scenes; each :class:`SceneSpec` lists shots
+and annotates its own ground truth (groups, event category, subject).
+Builder functions at the bottom assemble the stereotypical scene types
+of medical-education video — presentations, dialogs, clinical
+operations — which the paper's event miner must recognise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VideoError
+from repro.types import EventKind
+from repro.video.synthesis.compositions import COMPOSITION_REGISTRY, ShotParams
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """One scripted shot.
+
+    Attributes
+    ----------
+    composition:
+        Name from the composition registry.
+    seconds:
+        Duration; frames = round(seconds * fps).
+    speaker:
+        Voice-bank name speaking during this shot, or ``None`` for
+        ambient/music audio.
+    params:
+        Composition parameters (actors, slide ids, variants).
+    camera_id:
+        Shots with the same camera id *within one scene* share a static
+        render seed — this is how A-B-A-B dialog alternation gets its
+        back-and-forth visual identity.
+    """
+
+    composition: str
+    seconds: float
+    speaker: str | None = None
+    params: ShotParams = field(default_factory=ShotParams)
+    camera_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.composition not in COMPOSITION_REGISTRY:
+            raise VideoError(f"unknown composition {self.composition!r}")
+        if self.seconds <= 0:
+            raise VideoError("shot duration must be positive")
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """One scripted semantic scene.
+
+    Attributes
+    ----------
+    subject:
+        Human-readable description of the semantic unit.
+    event:
+        Ground-truth event category.
+    shots:
+        The scripted shots, in order.
+    groups:
+        Ground-truth group partition as lists of *local* shot indices.
+    topic_relevant:
+        Whether the scene carries the video's main topic.
+    repeat_key:
+        Scenes sharing a repeat key are visual re-occurrences of the
+        same content: they render from the same scenery seeds and are
+        annotated as duplicates for scene clustering.
+    """
+
+    subject: str
+    event: EventKind
+    shots: tuple[ShotSpec, ...]
+    groups: tuple[tuple[int, ...], ...]
+    topic_relevant: bool = False
+    repeat_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shots:
+            raise VideoError(f"scene {self.subject!r} has no shots")
+        covered = sorted(i for group in self.groups for i in group)
+        if covered != list(range(len(self.shots))):
+            raise VideoError(
+                f"scene {self.subject!r}: groups must partition local shots"
+            )
+
+    @property
+    def shot_count(self) -> int:
+        """Number of shots in the scene."""
+        return len(self.shots)
+
+    @property
+    def duration(self) -> float:
+        """Total scripted duration in seconds."""
+        return sum(shot.seconds for shot in self.shots)
+
+
+@dataclass(frozen=True)
+class Screenplay:
+    """A full scripted video."""
+
+    title: str
+    scenes: tuple[SceneSpec, ...]
+    fps: float = 10.0
+    height: int = 64
+    width: int = 80
+
+    def __post_init__(self) -> None:
+        if not self.scenes:
+            raise VideoError("screenplay needs at least one scene")
+        if self.fps <= 0:
+            raise VideoError("fps must be positive")
+
+    @property
+    def shot_count(self) -> int:
+        """Total scripted shots across all scenes."""
+        return sum(scene.shot_count for scene in self.scenes)
+
+    @property
+    def duration(self) -> float:
+        """Total scripted duration in seconds."""
+        return sum(scene.duration for scene in self.scenes)
+
+
+# ---------------------------------------------------------------------------
+# Scene builders.
+# ---------------------------------------------------------------------------
+
+
+def presentation_scene(
+    subject: str,
+    speaker: str = "narrator",
+    cycles: int = 3,
+    actor: int = 0,
+    slide_base: int = 0,
+    variant: int = 0,
+    repeat_key: str | None = None,
+    use_clipart: bool = False,
+) -> SceneSpec:
+    """Presenter-and-slides scene: podium close-up alternating with slides.
+
+    The alternation forms one temporally related group (two visual
+    clusters shown back and forth), the podium shots carry a face
+    close-up, and one narrator speaks throughout — exactly the evidence
+    the Presentation rule requires.
+    """
+    if cycles < 2:
+        raise VideoError("a presentation needs at least 2 cycles")
+    shots: list[ShotSpec] = [
+        ShotSpec(
+            composition="podium_wide",
+            seconds=3.0,
+            speaker=speaker,
+            params=ShotParams(actor=actor, variant=variant),
+            camera_id="wide",
+        )
+    ]
+    slide_comp = "clipart_fullscreen" if use_clipart else "slide_fullscreen"
+    for i in range(cycles):
+        shots.append(
+            ShotSpec(
+                composition="podium_speaker",
+                seconds=3.5,
+                speaker=speaker,
+                params=ShotParams(actor=actor, variant=variant),
+                camera_id="podium",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition=slide_comp,
+                seconds=3.0,
+                speaker=speaker,
+                params=ShotParams(slide_id=slide_base + i, variant=variant + i),
+                camera_id=f"slide{i}",
+            )
+        )
+    groups = ((0,), tuple(range(1, len(shots))))
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.PRESENTATION,
+        shots=tuple(shots),
+        groups=groups,
+        topic_relevant=True,
+        repeat_key=repeat_key,
+    )
+
+
+def dialog_scene(
+    subject: str,
+    speaker_a: str = "dr_adams",
+    speaker_b: str = "patient_chen",
+    exchanges: int = 3,
+    actor_a: int = 0,
+    actor_b: int = 2,
+    variant: int = 0,
+    repeat_key: str | None = None,
+) -> SceneSpec:
+    """Doctor-patient dialog: two-shot, then A-B reverse-shot exchanges.
+
+    Adjacent A/B shots both contain face close-ups with a speaker change
+    between them, speakers recur, and the alternation forms a temporally
+    related group — the Dialog rule's evidence.
+    """
+    if exchanges < 2:
+        raise VideoError("a dialog needs at least 2 exchanges")
+    params = ShotParams(actor=actor_a, actor_b=actor_b, variant=variant)
+    shots: list[ShotSpec] = [
+        ShotSpec(
+            composition="two_shot",
+            seconds=3.0,
+            speaker=speaker_a,
+            params=params,
+            camera_id="two",
+        )
+    ]
+    for _ in range(exchanges):
+        shots.append(
+            ShotSpec(
+                composition="interview_a",
+                seconds=3.0,
+                speaker=speaker_a,
+                params=params,
+                camera_id="cam_a",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition="interview_b",
+                seconds=3.0,
+                speaker=speaker_b,
+                params=params,
+                camera_id="cam_b",
+            )
+        )
+    groups = ((0,), tuple(range(1, len(shots))))
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.DIALOG,
+        shots=tuple(shots),
+        groups=groups,
+        topic_relevant=True,
+        repeat_key=repeat_key,
+    )
+
+
+def clinical_scene(
+    subject: str,
+    narrator: str | None = None,
+    steps: int = 3,
+    actor: int = 1,
+    variant: int = 0,
+    include_organ: bool = True,
+    repeat_key: str | None = None,
+    style: str = "surgery",
+) -> SceneSpec:
+    """Clinical operation: surgical/diagnostic close-ups, one voice or none.
+
+    Skin close-ups and blood-red regions appear and there is no speaker
+    change — the Clinical-operation rule's evidence.  ``style`` selects
+    between surgery, dermatology examination, and imaging review.
+    """
+    if steps < 2:
+        raise VideoError("a clinical scene needs at least 2 steps")
+    shots: list[ShotSpec] = []
+    if style == "surgery":
+        shots.append(
+            ShotSpec(
+                composition="surgical_wide",
+                seconds=3.0,
+                speaker=narrator,
+                params=ShotParams(actor=actor, variant=variant),
+                camera_id="or_wide",
+            )
+        )
+        for i in range(steps):
+            shots.append(
+                ShotSpec(
+                    composition="surgical_closeup",
+                    seconds=3.5,
+                    speaker=narrator,
+                    params=ShotParams(
+                        actor=actor if i % 2 == 0 else actor + 2,
+                        variant=variant + i,
+                        coverage=0.40 + 0.10 * (i % 3),
+                    ),
+                    camera_id=f"or_close{i}",
+                )
+            )
+        if include_organ:
+            shots.append(
+                ShotSpec(
+                    composition="organ_still",
+                    seconds=2.5,
+                    speaker=narrator,
+                    params=ShotParams(variant=variant),
+                    camera_id="organ",
+                )
+            )
+    elif style == "dermatology":
+        for i in range(steps + 1):
+            shots.append(
+                ShotSpec(
+                    composition="limb_exam",
+                    seconds=3.0,
+                    speaker=narrator,
+                    params=ShotParams(actor=actor, variant=variant + i),
+                    camera_id=f"limb{i % 2}",
+                )
+            )
+    elif style == "imaging":
+        for i in range(steps + 1):
+            shots.append(
+                ShotSpec(
+                    composition="scan_display",
+                    seconds=3.0,
+                    speaker=narrator,
+                    params=ShotParams(variant=variant + i),
+                    camera_id=f"scan{i % 2}",
+                )
+            )
+    else:
+        raise VideoError(f"unknown clinical style {style!r}")
+    groups = (tuple(range(len(shots))),)
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.CLINICAL_OPERATION,
+        shots=tuple(shots),
+        groups=groups,
+        topic_relevant=True,
+        repeat_key=repeat_key,
+    )
+
+
+def or_consultation_scene(
+    subject: str,
+    speaker_a: str = "dr_adams",
+    speaker_b: str = "dr_baker",
+    exchanges: int = 2,
+    actor_a: int = 0,
+    actor_b: int = 1,
+    variant: int = 0,
+) -> SceneSpec:
+    """Intra-operative consultation: surgeons debating over the table.
+
+    Ground truth is *clinical operation* (it is surgery footage), but
+    the footage carries dialog evidence — alternating surgeon faces
+    with speaker changes — so the paper-style miner tends to call it a
+    dialog.  One of the confuser scenes that reproduces Table 1's
+    cross-category errors.
+    """
+    params = ShotParams(actor=actor_a, actor_b=actor_b, variant=variant)
+    shots: list[ShotSpec] = [
+        ShotSpec(
+            composition="surgical_wide", seconds=3.0, speaker=speaker_a,
+            params=params, camera_id="or_wide",
+        )
+    ]
+    for _ in range(exchanges):
+        shots.append(
+            ShotSpec(
+                composition="surgeon_face_a", seconds=3.0, speaker=speaker_a,
+                params=params, camera_id="sf_a",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition="surgeon_face_b", seconds=3.0, speaker=speaker_b,
+                params=params, camera_id="sf_b",
+            )
+        )
+    shots.append(
+        ShotSpec(
+            composition="surgical_closeup", seconds=3.0, speaker=speaker_a,
+            params=ShotParams(actor=actor_a + 2, variant=variant, coverage=0.5),
+            camera_id="or_close_end",
+        )
+    )
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.CLINICAL_OPERATION,
+        shots=tuple(shots),
+        groups=((0,), tuple(range(1, len(shots)))),
+        topic_relevant=True,
+    )
+
+
+def planning_session_scene(
+    subject: str,
+    narrator: str = "dr_adams",
+    cycles: int = 2,
+    actor: int = 0,
+    variant: int = 0,
+) -> SceneSpec:
+    """Surgical planning over diagrams: clinical truth, presentation look.
+
+    A surgeon narrates over clip-art anatomy diagrams and organ
+    photographs — clinical-operation ground truth whose slide-like
+    frames and face close-ups satisfy the Presentation rule instead.
+    """
+    shots: list[ShotSpec] = []
+    for i in range(cycles):
+        shots.append(
+            ShotSpec(
+                composition="surgeon_face_a", seconds=3.0, speaker=narrator,
+                params=ShotParams(actor=actor, variant=variant), camera_id="plan_face",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition="clipart_fullscreen", seconds=3.0, speaker=narrator,
+                params=ShotParams(variant=variant + 10 + i), camera_id=f"plan_art{i}",
+            )
+        )
+    shots.append(
+        ShotSpec(
+            composition="organ_still", seconds=2.5, speaker=narrator,
+            params=ShotParams(variant=variant), camera_id="plan_organ",
+        )
+    )
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.CLINICAL_OPERATION,
+        shots=tuple(shots),
+        groups=(tuple(range(len(shots))),),
+        topic_relevant=True,
+    )
+
+
+def atlas_lecture_scene(
+    subject: str,
+    speaker: str = "narrator",
+    cycles: int = 2,
+    actor: int = 0,
+    variant: int = 0,
+) -> SceneSpec:
+    """Lecture illustrated with organ photographs instead of slides.
+
+    Presentation ground truth; with no slide frames but plenty of
+    blood-red imagery and no speaker change, the miner reads it as a
+    clinical operation — the reverse confusion of
+    :func:`planning_session_scene`.
+    """
+    shots: list[ShotSpec] = []
+    for i in range(cycles):
+        shots.append(
+            ShotSpec(
+                composition="podium_speaker", seconds=3.0, speaker=speaker,
+                params=ShotParams(actor=actor, variant=variant), camera_id="podium",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition="organ_still", seconds=3.0, speaker=speaker,
+                params=ShotParams(variant=variant + i), camera_id=f"atlas{i}",
+            )
+        )
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.PRESENTATION,
+        shots=tuple(shots),
+        groups=(tuple(range(len(shots))),),
+        topic_relevant=True,
+    )
+
+
+def voiceover_interview_scene(
+    subject: str,
+    on_camera: str = "patient_chen",
+    off_camera: str = "dr_baker",
+    exchanges: int = 2,
+    actor: int = 2,
+    variant: int = 0,
+) -> SceneSpec:
+    """Interview with the interviewer off camera.
+
+    Dialog ground truth, but the camera never cuts to the second face:
+    the Dialog rule's "adjacent shots which both contain face" evidence
+    comes from one person only and the exam close-ups in between break
+    the face adjacency, so the miner usually abstains.
+    """
+    params = ShotParams(actor=actor, variant=variant)
+    shots: list[ShotSpec] = []
+    for i in range(exchanges):
+        shots.append(
+            ShotSpec(
+                composition="interview_a", seconds=3.0, speaker=on_camera,
+                params=params, camera_id="vo_face",
+            )
+        )
+        shots.append(
+            ShotSpec(
+                composition="limb_exam", seconds=3.0, speaker=off_camera,
+                params=ShotParams(actor=actor, variant=variant + i),
+                camera_id=f"vo_exam{i}",
+            )
+        )
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.DIALOG,
+        shots=tuple(shots),
+        groups=(tuple(range(len(shots))),),
+        topic_relevant=True,
+    )
+
+
+def filler_scene(
+    subject: str = "corridor transition",
+    shots_count: int = 3,
+    actor: int = 3,
+    variant: int = 0,
+) -> SceneSpec:
+    """Establishing / transition footage with no mineable event."""
+    if shots_count < 1:
+        raise VideoError("filler needs at least one shot")
+    shots = tuple(
+        ShotSpec(
+            composition="corridor_walk",
+            seconds=2.5,
+            speaker=None,
+            params=ShotParams(actor=actor + i, variant=variant),
+            camera_id=f"walk{i}",
+        )
+        for i in range(shots_count)
+    )
+    return SceneSpec(
+        subject=subject,
+        event=EventKind.UNKNOWN,
+        shots=shots,
+        groups=(tuple(range(shots_count)),),
+        topic_relevant=False,
+    )
+
+
+def separator_scene() -> SceneSpec:
+    """A short black editing separator (eliminated by scene filtering)."""
+    shots = (
+        ShotSpec(composition="black", seconds=1.0, speaker=None, camera_id="black"),
+    )
+    return SceneSpec(
+        subject="black separator",
+        event=EventKind.UNKNOWN,
+        shots=shots,
+        groups=((0,),),
+        topic_relevant=False,
+    )

@@ -1,0 +1,77 @@
+"""Man-made frames: presentation slides, clip-art diagrams, sketches.
+
+These render the low-entropy, flat-background imagery the special-frame
+classifier must recognise (Sec. 4.1).  Slides carry horizontal dark text
+bands; clip art carries flat saturated shapes; sketches carry thin dark
+strokes on white.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.synthesis.draw import (
+    draw_hline,
+    draw_vline,
+    fill_ellipse,
+    fill_rect,
+)
+
+_TEXT_COLOR = (0.12, 0.12, 0.25)
+
+
+def draw_slide(canvas: np.ndarray, rng: np.random.Generator, slide_id: int = 0) -> None:
+    """A presentation slide: title band plus 3-5 bullet text lines.
+
+    ``slide_id`` seeds the line layout so successive slides in one deck
+    look different but share the template.
+    """
+    layout = np.random.default_rng(10_000 + slide_id)
+    background = (0.90, 0.92, 0.96) if slide_id % 2 == 0 else (0.86, 0.90, 0.93)
+    canvas[:, :] = background
+    # Title band.
+    fill_rect(canvas, 0.06, 0.08, 0.16, 0.92, (0.20, 0.22, 0.28))
+    # Bullet lines of varying length.
+    num_lines = int(layout.integers(3, 6))
+    for i in range(num_lines):
+        y = 0.30 + 0.13 * i
+        length = float(layout.uniform(0.35, 0.8))
+        draw_hline(canvas, y, 0.12, 0.12 + length, _TEXT_COLOR, thickness=2)
+        # Bullet dot.
+        fill_rect(canvas, y - 0.01, 0.08, y + 0.03, 0.10, _TEXT_COLOR)
+    del rng  # layout is deterministic per slide; camera noise comes later
+
+
+def draw_clipart(canvas: np.ndarray, rng: np.random.Generator, variant: int = 0) -> None:
+    """A flat anatomical diagram: saturated shapes and labels on white."""
+    layout = np.random.default_rng(20_000 + variant)
+    canvas[:, :] = (0.97, 0.97, 0.97)
+    # Organ diagram: big flat saturated shapes.
+    fill_ellipse(canvas, 0.45, 0.38, 0.22, 0.18, (0.85, 0.30, 0.25))
+    fill_ellipse(canvas, 0.55, 0.60, 0.16, 0.14, (0.25, 0.45, 0.80))
+    fill_rect(canvas, 0.70, 0.30, 0.78, 0.70, (0.95, 0.70, 0.15))
+    # Label lines.
+    for i in range(2):
+        y = 0.12 + 0.08 * i
+        length = float(layout.uniform(0.2, 0.4))
+        draw_hline(canvas, y, 0.55, 0.55 + length, _TEXT_COLOR, thickness=1)
+    del rng
+
+
+def draw_sketch(canvas: np.ndarray, rng: np.random.Generator, variant: int = 0) -> None:
+    """A line sketch: thin dark strokes on a white board."""
+    layout = np.random.default_rng(30_000 + variant)
+    canvas[:, :] = (0.96, 0.96, 0.94)
+    # Procedure sketch: a few strokes and an arrow.
+    for _ in range(4):
+        y = float(layout.uniform(0.2, 0.8))
+        x0 = float(layout.uniform(0.1, 0.4))
+        x1 = x0 + float(layout.uniform(0.2, 0.5))
+        draw_hline(canvas, y, x0, min(x1, 0.92), (0.15, 0.15, 0.18), thickness=1)
+    draw_vline(canvas, 0.5, 0.25, 0.75, (0.15, 0.15, 0.18), thickness=1)
+    del rng
+
+
+def draw_black_frame(canvas: np.ndarray) -> None:
+    """An editing black frame (scene separator in edited video)."""
+    canvas[:, :] = (0.01, 0.01, 0.01)

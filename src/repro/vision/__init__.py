@@ -1,0 +1,78 @@
+"""Vision substrate: colour, histograms, texture, regions, and cue detectors."""
+
+from repro.vision.blood import BloodDetection, detect_blood
+from repro.vision.color import hsv_to_rgb, quantize_hsv, rgb_to_hsv
+from repro.vision.colormodel import GaussianColorModel, chromaticity
+from repro.vision.cues import VisualCues, extract_cues
+from repro.vision.difference import (
+    difference_signal,
+    histogram_difference,
+    pixel_difference,
+)
+from repro.vision.face import FaceDetection, detect_faces
+from repro.vision.frames import SpecialFrameKind, classify_special_frame
+from repro.vision.histogram import (
+    histogram_intersection,
+    histogram_l1_distance,
+    hsv_histogram,
+)
+from repro.vision.compressed import dc_difference, dc_difference_signal, dc_image
+from repro.vision.morphology import close_mask, dilate, erode, open_mask
+from repro.vision.motion import MotionProfile, motion_profile, shot_motion_profiles
+from repro.vision.roi import (
+    RegionOfInterest,
+    extract_rois,
+    match_rois,
+    roi_similarity,
+)
+from repro.vision.text import TextLine, detect_text_lines, has_video_text, text_coverage
+from repro.vision.regions import Region, filter_regions, label_regions
+from repro.vision.skin import SkinDetection, detect_skin
+from repro.vision.texture import tamura_coarseness, texture_distance_squared
+
+__all__ = [
+    "BloodDetection",
+    "FaceDetection",
+    "GaussianColorModel",
+    "MotionProfile",
+    "Region",
+    "RegionOfInterest",
+    "TextLine",
+    "SkinDetection",
+    "SpecialFrameKind",
+    "VisualCues",
+    "chromaticity",
+    "classify_special_frame",
+    "close_mask",
+    "dc_difference",
+    "dc_difference_signal",
+    "dc_image",
+    "detect_blood",
+    "detect_faces",
+    "detect_skin",
+    "detect_text_lines",
+    "difference_signal",
+    "dilate",
+    "erode",
+    "extract_cues",
+    "extract_rois",
+    "filter_regions",
+    "has_video_text",
+    "histogram_difference",
+    "histogram_intersection",
+    "histogram_l1_distance",
+    "hsv_histogram",
+    "hsv_to_rgb",
+    "label_regions",
+    "match_rois",
+    "motion_profile",
+    "open_mask",
+    "pixel_difference",
+    "quantize_hsv",
+    "rgb_to_hsv",
+    "roi_similarity",
+    "shot_motion_profiles",
+    "tamura_coarseness",
+    "text_coverage",
+    "texture_distance_squared",
+]

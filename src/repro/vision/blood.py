@@ -1,0 +1,88 @@
+"""Blood-red region detection (Sec. 4.1).
+
+Blood and exposed tissue in surgical footage are saturated reds with very
+low green content; the chromaticity Gaussian below is well separated from
+the skin model.  As with skin, shape analysis keeps only regions of
+considerable extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.frame import Frame
+from repro.vision.colormodel import GaussianColorModel
+from repro.vision.morphology import close_mask, open_mask
+from repro.vision.regions import Region, filter_regions, label_regions
+
+#: Chromaticity Gaussian for blood-red / exposed tissue.
+DEFAULT_BLOOD_MODEL = GaussianColorModel(
+    mean=np.array([0.72, 0.13]),
+    covariance=np.array([[0.006, 0.0], [0.0, 0.0025]]),
+    threshold=4.0,
+    min_brightness=0.08,
+    max_brightness=0.95,
+)
+
+#: Minimum area fraction for a blood-red region to count as evidence.
+BLOOD_MIN_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class BloodDetection:
+    """Result of blood-red analysis on one frame.
+
+    Attributes
+    ----------
+    regions:
+        Accepted blood-red regions, largest first.
+    mask_fraction:
+        Fraction of frame pixels matching the colour model.
+    largest_fraction:
+        Area fraction of the largest accepted region (0 when none).
+    has_blood:
+        True when at least one region passed shape analysis.
+    """
+
+    regions: tuple[Region, ...]
+    mask_fraction: float
+    largest_fraction: float
+    has_blood: bool
+
+
+def blood_mask(
+    frame: Frame,
+    model: GaussianColorModel = DEFAULT_BLOOD_MODEL,
+    morphology_radius: int = 1,
+) -> np.ndarray:
+    """Binary blood-red mask after colour and morphology stages."""
+    mask = model.segment(frame.pixels)
+    mask = open_mask(mask, morphology_radius)
+    mask = close_mask(mask, morphology_radius)
+    return mask
+
+
+def detect_blood(
+    frame: Frame,
+    model: GaussianColorModel = DEFAULT_BLOOD_MODEL,
+    min_area_fraction: float = BLOOD_MIN_FRACTION,
+) -> BloodDetection:
+    """Detect blood-red regions of considerable width and height."""
+    mask = blood_mask(frame, model=model)
+    _, regions = label_regions(mask, connectivity=8)
+    kept = filter_regions(
+        regions,
+        frame.shape,
+        min_area_fraction=min_area_fraction,
+        min_height=2,
+        min_width=2,
+    )
+    largest = max((r.area_fraction(frame.shape) for r in kept), default=0.0)
+    return BloodDetection(
+        regions=tuple(kept),
+        mask_fraction=float(mask.mean()),
+        largest_fraction=largest,
+        has_blood=bool(kept),
+    )

@@ -1,0 +1,112 @@
+"""Gaussian colour models over chromaticity space.
+
+The paper segments skin and blood-red regions with Gaussian colour
+models (Sec. 4.1).  We model colours in normalised ``(r, g)``
+chromaticity space — ``r = R / (R+G+B)``, ``g = G / (R+G+B)`` — which
+factors out illumination intensity, and score pixels by Mahalanobis
+distance under a 2-D Gaussian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import VisionError
+
+
+def chromaticity(rgb: np.ndarray) -> np.ndarray:
+    """Map an RGB image to normalised ``(r, g)`` chromaticity.
+
+    Returns an ``(H, W, 2)`` float array.  Pixels that are pure black get
+    the neutral chromaticity ``(1/3, 1/3)``.
+    """
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise VisionError(f"expected (H, W, 3) image, got {rgb.shape}")
+    rgb = rgb.astype(np.float64)
+    total = rgb.sum(axis=2)
+    safe_total = np.where(total > 0, total, 3.0)
+    r = np.where(total > 0, rgb[:, :, 0] / safe_total, 1.0 / 3.0)
+    g = np.where(total > 0, rgb[:, :, 1] / safe_total, 1.0 / 3.0)
+    return np.stack([r, g], axis=2)
+
+
+@dataclass
+class GaussianColorModel:
+    """2-D Gaussian over ``(r, g)`` chromaticity with a brightness gate.
+
+    Attributes
+    ----------
+    mean:
+        ``(2,)`` mean chromaticity.
+    covariance:
+        ``(2, 2)`` covariance; must be positive definite.
+    threshold:
+        Maximum Mahalanobis distance (squared) for a pixel to match.
+    min_brightness / max_brightness:
+        Inclusive gate on mean RGB intensity in ``[0, 1]``; keeps very
+        dark shadows and blown highlights out of the mask.
+    """
+
+    mean: np.ndarray
+    covariance: np.ndarray
+    threshold: float = 4.0
+    min_brightness: float = 0.15
+    max_brightness: float = 0.98
+    _precision: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64).reshape(2)
+        self.covariance = np.asarray(self.covariance, dtype=np.float64).reshape(2, 2)
+        if self.threshold <= 0:
+            raise VisionError("threshold must be positive")
+        eigenvalues = np.linalg.eigvalsh(self.covariance)
+        if eigenvalues.min() <= 0:
+            raise VisionError("covariance must be positive definite")
+        self._precision = np.linalg.inv(self.covariance)
+
+    @classmethod
+    def fit(
+        cls,
+        samples: np.ndarray,
+        threshold: float = 4.0,
+        min_brightness: float = 0.15,
+        max_brightness: float = 0.98,
+        regularisation: float = 1e-6,
+    ) -> "GaussianColorModel":
+        """Fit the Gaussian to ``(N, 2)`` chromaticity samples."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != 2:
+            raise VisionError(f"samples must be (N, 2), got {samples.shape}")
+        if samples.shape[0] < 3:
+            raise VisionError("need at least 3 samples to fit a covariance")
+        mean = samples.mean(axis=0)
+        centred = samples - mean
+        cov = centred.T @ centred / (samples.shape[0] - 1)
+        cov += regularisation * np.eye(2)
+        return cls(
+            mean=mean,
+            covariance=cov,
+            threshold=threshold,
+            min_brightness=min_brightness,
+            max_brightness=max_brightness,
+        )
+
+    def mahalanobis_squared(self, rgb: np.ndarray) -> np.ndarray:
+        """Squared Mahalanobis distance of each pixel's chromaticity."""
+        chroma = chromaticity(rgb)
+        diff = chroma - self.mean
+        return np.einsum("hwi,ij,hwj->hw", diff, self._precision, diff)
+
+    def segment(self, rgb: np.ndarray) -> np.ndarray:
+        """Boolean mask of pixels matching the colour model."""
+        if rgb.dtype == np.uint8:
+            brightness = rgb.astype(np.float64).mean(axis=2) / 255.0
+        else:
+            brightness = rgb.astype(np.float64).mean(axis=2)
+        distances = self.mahalanobis_squared(rgb)
+        mask = distances <= self.threshold
+        mask &= brightness >= self.min_brightness
+        mask &= brightness <= self.max_brightness
+        return mask

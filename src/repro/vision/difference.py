@@ -1,0 +1,71 @@
+"""Frame-difference signals used by the shot-boundary detector (Sec. 3.1).
+
+The paper detects cuts from inter-frame differences with thresholds that
+adapt to the *local* activity of the sequence.  This module supplies the
+raw difference signal; :mod:`repro.core.shots` supplies the adaptive
+thresholding on top of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import VisionError
+from repro.video.frame import Frame
+from repro.video.stream import VideoStream
+from repro.vision.color import TOTAL_BINS, quantize_hsv, rgb_to_hsv
+
+
+def pixel_difference(a: Frame, b: Frame) -> float:
+    """Mean absolute intensity difference between two frames, in [0, 1]."""
+    if a.shape != b.shape:
+        raise VisionError(f"frame shapes differ: {a.shape} vs {b.shape}")
+    return float(np.abs(a.as_float() - b.as_float()).mean())
+
+
+def histogram_difference(a: Frame, b: Frame) -> float:
+    """Half the L1 distance between HSV histograms, in [0, 1].
+
+    0 means identical colour content; 1 means disjoint content.  This is
+    the statistic the shot detector thresholds.
+    """
+    hist_a = _frame_histogram(a)
+    hist_b = _frame_histogram(b)
+    return 0.5 * float(np.abs(hist_a - hist_b).sum())
+
+
+def _frame_histogram(frame: Frame) -> np.ndarray:
+    hsv = rgb_to_hsv(frame.pixels)
+    bins = quantize_hsv(hsv)
+    counts = np.bincount(bins.ravel(), minlength=TOTAL_BINS).astype(np.float64)
+    return counts / counts.sum()
+
+
+def difference_signal(stream: VideoStream) -> np.ndarray:
+    """Inter-frame histogram difference ``d[i] = diff(frame_i, frame_{i+1})``.
+
+    Returns an array of length ``len(stream) - 1``; element ``i`` is the
+    difference across the boundary between frames ``i`` and ``i + 1``.
+    """
+    if len(stream) < 2:
+        return np.zeros(0, dtype=np.float64)
+    histograms = [_frame_histogram(frame) for frame in stream]
+    diffs = np.empty(len(histograms) - 1, dtype=np.float64)
+    for i in range(len(histograms) - 1):
+        diffs[i] = 0.5 * float(np.abs(histograms[i] - histograms[i + 1]).sum())
+    return diffs
+
+
+def signal_from_frames(frames: Sequence[Frame]) -> np.ndarray:
+    """Same as :func:`difference_signal` but for a bare frame sequence."""
+    if len(frames) < 2:
+        return np.zeros(0, dtype=np.float64)
+    histograms = [_frame_histogram(frame) for frame in frames]
+    return np.array(
+        [
+            0.5 * float(np.abs(histograms[i] - histograms[i + 1]).sum())
+            for i in range(len(histograms) - 1)
+        ]
+    )

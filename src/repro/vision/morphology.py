@@ -1,0 +1,62 @@
+"""Binary morphology primitives (erosion, dilation, opening, closing).
+
+The paper's skin-region pipeline applies "texture filter and
+morphological operations" to candidate masks (Sec. 4.1).  These are
+implemented from scratch on boolean numpy arrays with square structuring
+elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VisionError
+
+
+def _check_mask(mask: np.ndarray) -> np.ndarray:
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise VisionError(f"mask must be 2-D, got {mask.ndim}-D")
+    return mask.astype(bool)
+
+
+def _shifted_stack(mask: np.ndarray, radius: int, fill: bool) -> np.ndarray:
+    """All translations of ``mask`` within a ``(2r+1)`` square, stacked."""
+    height, width = mask.shape
+    padded = np.full((height + 2 * radius, width + 2 * radius), fill, dtype=bool)
+    padded[radius : radius + height, radius : radius + width] = mask
+    views = []
+    for dy in range(2 * radius + 1):
+        for dx in range(2 * radius + 1):
+            views.append(padded[dy : dy + height, dx : dx + width])
+    return np.stack(views)
+
+
+def dilate(mask: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Binary dilation with a ``(2*radius+1)`` square structuring element."""
+    mask = _check_mask(mask)
+    if radius < 0:
+        raise VisionError("radius must be >= 0")
+    if radius == 0:
+        return mask.copy()
+    return _shifted_stack(mask, radius, fill=False).any(axis=0)
+
+
+def erode(mask: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Binary erosion with a ``(2*radius+1)`` square structuring element."""
+    mask = _check_mask(mask)
+    if radius < 0:
+        raise VisionError("radius must be >= 0")
+    if radius == 0:
+        return mask.copy()
+    return _shifted_stack(mask, radius, fill=True).all(axis=0)
+
+
+def open_mask(mask: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Opening = erosion then dilation; removes speckle noise."""
+    return dilate(erode(mask, radius), radius)
+
+
+def close_mask(mask: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Closing = dilation then erosion; fills small holes."""
+    return erode(dilate(mask, radius), radius)

@@ -1,0 +1,204 @@
+"""Connected-component labelling and region shape analysis.
+
+The paper's detectors segment colour-model masks and then run "a general
+shape analysis ... to select those regions that have considerable width
+and height" (Sec. 4.1).  :func:`label_regions` is a two-pass union-find
+labeller; :class:`Region` carries the shape statistics the detectors
+threshold on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VisionError
+
+
+@dataclass(frozen=True)
+class Region:
+    """One connected component of a binary mask.
+
+    Attributes
+    ----------
+    label:
+        Integer label in the label image (>= 1).
+    area:
+        Number of member pixels.
+    bbox:
+        ``(top, left, bottom, right)`` — bottom/right exclusive.
+    centroid:
+        ``(row, col)`` mean of member pixels.
+    """
+
+    label: int
+    area: int
+    bbox: tuple[int, int, int, int]
+    centroid: tuple[float, float]
+
+    @property
+    def height(self) -> int:
+        """Bounding-box height in pixels."""
+        return self.bbox[2] - self.bbox[0]
+
+    @property
+    def width(self) -> int:
+        """Bounding-box width in pixels."""
+        return self.bbox[3] - self.bbox[1]
+
+    @property
+    def bbox_area(self) -> int:
+        """Bounding-box area in pixels."""
+        return self.height * self.width
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of the bounding box covered by the region."""
+        return self.area / self.bbox_area if self.bbox_area else 0.0
+
+    @property
+    def aspect_ratio(self) -> float:
+        """height / width (0 when width is 0)."""
+        return self.height / self.width if self.width else 0.0
+
+    def area_fraction(self, frame_shape: tuple[int, ...]) -> float:
+        """Region area as a fraction of the whole frame."""
+        total = frame_shape[0] * frame_shape[1]
+        return self.area / total if total else 0.0
+
+
+class _UnionFind:
+    """Minimal union-find over integer labels."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def make(self, x: int) -> None:
+        self._parent.setdefault(x, x)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+
+def label_regions(mask: np.ndarray, connectivity: int = 4) -> tuple[np.ndarray, list[Region]]:
+    """Label the connected components of a boolean mask.
+
+    Parameters
+    ----------
+    mask:
+        2-D boolean array.
+    connectivity:
+        4 or 8.
+
+    Returns
+    -------
+    ``(labels, regions)`` where ``labels`` is an int array (0 = background)
+    and ``regions`` is sorted by decreasing area.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise VisionError(f"mask must be 2-D, got {mask.ndim}-D")
+    if connectivity not in (4, 8):
+        raise VisionError(f"connectivity must be 4 or 8, got {connectivity}")
+    mask = mask.astype(bool)
+    height, width = mask.shape
+    labels = np.zeros((height, width), dtype=np.int32)
+    uf = _UnionFind()
+    next_label = 1
+
+    # Run-based two-pass labelling: each row is decomposed into runs of
+    # foreground pixels; a run links to previous-row runs it touches
+    # (sharing columns, plus diagonal slack for 8-connectivity).  This
+    # keeps the Python loop proportional to the number of runs, not the
+    # number of pixels.
+    slack = 0 if connectivity == 4 else 1
+    previous_runs: list[tuple[int, int, int]] = []  # (start, stop, label)
+    for y in range(height):
+        row = mask[y]
+        if not row.any():
+            previous_runs = []
+            continue
+        padded = np.concatenate(([False], row, [False]))
+        changes = np.flatnonzero(padded[1:] != padded[:-1])
+        starts, stops = changes[0::2], changes[1::2]
+
+        current_runs: list[tuple[int, int, int]] = []
+        for start, stop in zip(starts, stops):
+            touching = [
+                run_label
+                for run_start, run_stop, run_label in previous_runs
+                if run_start < stop + slack and run_stop + slack > start
+            ]
+            if not touching:
+                label = next_label
+                uf.make(label)
+                next_label += 1
+            else:
+                label = min(touching)
+                for other in touching:
+                    uf.union(label, other)
+            labels[y, start:stop] = label
+            current_runs.append((int(start), int(stop), label))
+        previous_runs = current_runs
+
+    # Second pass: resolve equivalences and compact label ids via a LUT.
+    remap: dict[int, int] = {}
+    lut = np.zeros(next_label, dtype=np.int32)
+    for raw in range(1, next_label):
+        root = uf.find(raw)
+        final = remap.setdefault(root, len(remap) + 1)
+        lut[raw] = final
+    labels = lut[labels]
+
+    regions = _measure_regions(labels, len(remap))
+    regions.sort(key=lambda region: region.area, reverse=True)
+    return labels, regions
+
+
+def _measure_regions(labels: np.ndarray, count: int) -> list[Region]:
+    regions: list[Region] = []
+    for label in range(1, count + 1):
+        ys, xs = np.nonzero(labels == label)
+        if ys.size == 0:
+            continue
+        regions.append(
+            Region(
+                label=label,
+                area=int(ys.size),
+                bbox=(int(ys.min()), int(xs.min()), int(ys.max()) + 1, int(xs.max()) + 1),
+                centroid=(float(ys.mean()), float(xs.mean())),
+            )
+        )
+    return regions
+
+
+def filter_regions(
+    regions: list[Region],
+    frame_shape: tuple[int, ...],
+    min_area_fraction: float = 0.0,
+    min_height: int = 0,
+    min_width: int = 0,
+    min_fill_ratio: float = 0.0,
+) -> list[Region]:
+    """Keep regions of "considerable width and height" (Sec. 4.1)."""
+    kept = []
+    for region in regions:
+        if region.area_fraction(frame_shape) < min_area_fraction:
+            continue
+        if region.height < min_height or region.width < min_width:
+            continue
+        if region.fill_ratio < min_fill_ratio:
+            continue
+        kept.append(region)
+    return kept

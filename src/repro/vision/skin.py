@@ -1,0 +1,114 @@
+"""Skin-region detection (Sec. 4.1).
+
+Pipeline per the paper: a Gaussian colour model segments candidate skin
+pixels, a texture filter removes busy regions (real skin is smooth),
+morphological opening/closing cleans the mask, and shape analysis keeps
+regions of considerable width and height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.frame import Frame
+from repro.vision.colormodel import GaussianColorModel
+from repro.vision.morphology import close_mask, open_mask
+from repro.vision.regions import Region, filter_regions, label_regions
+
+#: Chromaticity Gaussian covering the range of human (and synthetic-corpus)
+#: skin tones; see DESIGN.md for calibration notes.
+DEFAULT_SKIN_MODEL = GaussianColorModel(
+    mean=np.array([0.46, 0.335]),
+    covariance=np.array([[0.0045, 0.0], [0.0, 0.0006]]),
+    threshold=2.5,
+    min_brightness=0.2,
+    max_brightness=0.92,
+)
+
+#: Local-variance ceiling for the texture filter: skin is smooth.
+DEFAULT_TEXTURE_VARIANCE = 0.02
+
+#: The paper's close-up rule: skin region larger than 20% of the frame.
+SKIN_CLOSEUP_FRACTION = 0.20
+
+
+@dataclass(frozen=True)
+class SkinDetection:
+    """Result of skin analysis on one frame.
+
+    Attributes
+    ----------
+    regions:
+        Accepted skin regions, largest first.
+    mask_fraction:
+        Fraction of frame pixels in the raw skin mask.
+    largest_fraction:
+        Area fraction of the largest accepted region (0 when none).
+    has_skin / has_closeup:
+        Whether any region was accepted / whether the paper's 20%
+        close-up rule fired.
+    """
+
+    regions: tuple[Region, ...]
+    mask_fraction: float
+    largest_fraction: float
+    has_skin: bool
+    has_closeup: bool
+
+
+def _local_variance(gray: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Variance of the ``(2r+1)`` square neighbourhood around each pixel."""
+    from repro.vision.texture import _integral_image, _window_means
+
+    integral = _integral_image(gray)
+    integral_sq = _integral_image(gray**2)
+    mean = _window_means(integral, radius + 1)
+    mean_sq = _window_means(integral_sq, radius + 1)
+    return np.maximum(mean_sq - mean**2, 0.0)
+
+
+def skin_mask(
+    frame: Frame,
+    model: GaussianColorModel = DEFAULT_SKIN_MODEL,
+    texture_variance: float = DEFAULT_TEXTURE_VARIANCE,
+    morphology_radius: int = 1,
+) -> np.ndarray:
+    """Binary skin mask after colour, texture and morphology stages."""
+    mask = model.segment(frame.pixels)
+    smooth = _local_variance(frame.gray()) <= texture_variance
+    mask &= smooth
+    mask = open_mask(mask, morphology_radius)
+    mask = close_mask(mask, morphology_radius)
+    return mask
+
+
+def detect_skin(
+    frame: Frame,
+    model: GaussianColorModel = DEFAULT_SKIN_MODEL,
+    min_area_fraction: float = 0.01,
+    closeup_fraction: float = SKIN_CLOSEUP_FRACTION,
+) -> SkinDetection:
+    """Detect skin regions and the paper's "skin close-up" condition.
+
+    A close-up is a single skin region covering more than
+    ``closeup_fraction`` of the frame (paper: 20%).
+    """
+    mask = skin_mask(frame, model=model)
+    _, regions = label_regions(mask, connectivity=8)
+    kept = filter_regions(
+        regions,
+        frame.shape,
+        min_area_fraction=min_area_fraction,
+        min_height=3,
+        min_width=3,
+    )
+    largest = max((r.area_fraction(frame.shape) for r in kept), default=0.0)
+    return SkinDetection(
+        regions=tuple(kept),
+        mask_fraction=float(mask.mean()),
+        largest_fraction=largest,
+        has_skin=bool(kept),
+        has_closeup=largest >= closeup_fraction,
+    )

@@ -1,0 +1,133 @@
+"""Video-text detection (Sec. 4.1).
+
+"The video text and gray information are used to distinguish the
+slides, clip art and black frames from each other."  This module
+detects text *lines*: horizontal runs of dark glyph material on a
+bright background, grouped into per-line bounding boxes with simple
+typographic statistics.  The special-frame classifier uses coarse text
+bands; this richer API serves callers that need the actual line
+geometry (e.g. slide-content summarisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VisionError
+from repro.video.frame import Frame
+
+#: Luma below which a pixel counts as glyph material.
+DARK_LUMA = 0.5
+#: Minimum fraction of dark pixels for a row to join a text line.
+ROW_DENSITY = 0.05
+#: Minimum geometry for an accepted line.
+MIN_LINE_HEIGHT = 1
+MIN_LINE_WIDTH_FRACTION = 0.08
+
+
+@dataclass(frozen=True)
+class TextLine:
+    """One detected text line.
+
+    Attributes
+    ----------
+    top / bottom:
+        Row span (bottom exclusive).
+    left / right:
+        Column extent of the dark material (right exclusive).
+    density:
+        Fraction of dark pixels inside the box — text is sparse
+        (glyphs + gaps), solid bars are dense.
+    """
+
+    top: int
+    bottom: int
+    left: int
+    right: int
+    density: float
+
+    @property
+    def height(self) -> int:
+        """Line height in pixels."""
+        return self.bottom - self.top
+
+    @property
+    def width(self) -> int:
+        """Line width in pixels."""
+        return self.right - self.left
+
+    @property
+    def is_texty(self) -> bool:
+        """Heuristic: sparse, wide, short boxes read as text."""
+        return (
+            self.width >= 4 * self.height
+            and 0.05 <= self.density <= 0.98
+        )
+
+
+def detect_text_lines(
+    frame: Frame,
+    dark_luma: float = DARK_LUMA,
+    row_density: float = ROW_DENSITY,
+) -> list[TextLine]:
+    """Detect horizontal text lines on a bright background.
+
+    Returns an empty list for dark frames (text-on-bright is the slide
+    case the paper cares about).
+    """
+    if not 0.0 < dark_luma < 1.0:
+        raise VisionError("dark_luma must be in (0, 1)")
+    gray = frame.gray()
+    if float(gray.mean()) < 0.45:
+        return []  # not a bright man-made frame
+    dark = gray < dark_luma
+
+    row_fraction = dark.mean(axis=1)
+    lines: list[TextLine] = []
+    start = None
+    for row_index, dense in enumerate(row_fraction >= row_density):
+        if dense and start is None:
+            start = row_index
+        elif not dense and start is not None:
+            line = _measure_line(dark, start, row_index, frame.width)
+            if line is not None:
+                lines.append(line)
+            start = None
+    if start is not None:
+        line = _measure_line(dark, start, dark.shape[0], frame.width)
+        if line is not None:
+            lines.append(line)
+    return lines
+
+
+def _measure_line(
+    dark: np.ndarray, top: int, bottom: int, frame_width: int
+) -> TextLine | None:
+    band = dark[top:bottom]
+    columns = np.flatnonzero(band.any(axis=0))
+    if columns.size == 0:
+        return None
+    left, right = int(columns[0]), int(columns[-1]) + 1
+    if bottom - top < MIN_LINE_HEIGHT:
+        return None
+    if right - left < MIN_LINE_WIDTH_FRACTION * frame_width:
+        return None
+    density = float(band[:, left:right].mean())
+    return TextLine(top=top, bottom=bottom, left=left, right=right, density=density)
+
+
+def has_video_text(frame: Frame, min_lines: int = 2) -> bool:
+    """True when the frame carries at least ``min_lines`` texty lines."""
+    texty = [line for line in detect_text_lines(frame) if line.is_texty]
+    return len(texty) >= min_lines
+
+
+def text_coverage(frame: Frame) -> float:
+    """Fraction of the frame covered by detected text-line boxes."""
+    lines = detect_text_lines(frame)
+    if not lines:
+        return 0.0
+    area = sum(line.height * line.width for line in lines)
+    return area / (frame.height * frame.width)

@@ -1,0 +1,65 @@
+"""Tests for the Delta-BIC speaker-change test."""
+
+import numpy as np
+import pytest
+
+from repro.audio.bic import BicResult, bic_speaker_change
+from repro.audio.mfcc import mfcc
+from repro.audio.synthesis import VOICE_BANK, synthesize_speech
+from repro.errors import AudioError
+
+
+def _mfcc_of(voice_name: str, seed: int) -> np.ndarray:
+    return mfcc(synthesize_speech(VOICE_BANK[voice_name], 2.0, seed=seed))
+
+
+class TestBicOnSynthetic:
+    def test_same_speaker_no_change(self):
+        result = bic_speaker_change(_mfcc_of("dr_adams", 1), _mfcc_of("dr_adams", 2))
+        assert not result.is_change
+        assert result.delta_bic > 0
+
+    def test_different_speakers_change(self):
+        result = bic_speaker_change(_mfcc_of("dr_adams", 1), _mfcc_of("dr_baker", 1))
+        assert result.is_change
+        assert result.delta_bic < 0
+
+    def test_margin_is_wide(self):
+        same = bic_speaker_change(_mfcc_of("narrator", 1), _mfcc_of("narrator", 2))
+        diff = bic_speaker_change(_mfcc_of("narrator", 1), _mfcc_of("nurse_diaz", 1))
+        assert same.delta_bic - diff.delta_bic > 500.0
+
+    def test_penalty_scales_with_lambda(self):
+        a, b = _mfcc_of("dr_adams", 1), _mfcc_of("dr_baker", 1)
+        low = bic_speaker_change(a, b, penalty_factor=1.0)
+        high = bic_speaker_change(a, b, penalty_factor=3.0)
+        assert high.penalty == pytest.approx(3.0 * low.penalty)
+        assert high.delta_bic > low.delta_bic
+        # The ratio term is independent of lambda.
+        assert high.ratio == pytest.approx(low.ratio)
+
+
+class TestBicOnGaussians:
+    def test_identical_distributions(self, rng):
+        a = rng.normal(0, 1, size=(300, 5))
+        b = rng.normal(0, 1, size=(300, 5))
+        assert not bic_speaker_change(a, b).is_change
+
+    def test_shifted_distributions(self, rng):
+        a = rng.normal(0, 1, size=(300, 5))
+        b = rng.normal(5, 1, size=(300, 5))
+        assert bic_speaker_change(a, b).is_change
+
+    def test_rejects_dimension_mismatch(self, rng):
+        with pytest.raises(AudioError):
+            bic_speaker_change(rng.normal(size=(50, 4)), rng.normal(size=(50, 5)))
+
+    def test_rejects_short_sequences(self, rng):
+        with pytest.raises(AudioError):
+            bic_speaker_change(rng.normal(size=(3, 5)), rng.normal(size=(50, 5)))
+
+
+class TestBicResult:
+    def test_is_change_property(self):
+        assert BicResult(delta_bic=-1.0, ratio=0.0, penalty=0.0).is_change
+        assert not BicResult(delta_bic=1.0, ratio=0.0, penalty=0.0).is_change

@@ -1,0 +1,47 @@
+"""Tests for clip segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.audio.clips import segment_clips
+from repro.audio.waveform import Waveform
+from repro.errors import AudioError
+
+
+def _audio(seconds: float) -> Waveform:
+    return Waveform(samples=np.zeros(int(seconds * 8000)), sample_rate=8000)
+
+
+class TestSegmentClips:
+    def test_exact_multiple(self):
+        clips = segment_clips(_audio(10.0), 0.0, 6.0)
+        assert len(clips) == 3
+        assert all(clip.duration == pytest.approx(2.0) for clip in clips)
+
+    def test_remainder_merged_into_last(self):
+        clips = segment_clips(_audio(10.0), 0.0, 7.5)
+        assert len(clips) == 3
+        assert clips[-1].duration == pytest.approx(3.5)
+
+    def test_short_shot_discarded(self):
+        assert segment_clips(_audio(10.0), 0.0, 1.5) == []
+
+    def test_clip_positions_are_absolute(self):
+        clips = segment_clips(_audio(20.0), 5.0, 11.0)
+        assert clips[0].start == pytest.approx(5.0)
+        assert clips[-1].stop == pytest.approx(11.0)
+
+    def test_samples_match_duration(self):
+        clips = segment_clips(_audio(10.0), 0.0, 4.0)
+        for clip in clips:
+            assert len(clip.waveform) == pytest.approx(
+                clip.duration * 8000, abs=1
+            )
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(AudioError):
+            segment_clips(_audio(10.0), 5.0, 5.0)
+
+    def test_rejects_bad_clip_length(self):
+        with pytest.raises(AudioError):
+            segment_clips(_audio(10.0), 0.0, 4.0, clip_seconds=0.0)

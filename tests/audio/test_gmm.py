@@ -1,0 +1,98 @@
+"""Tests for the from-scratch GMM and classifier."""
+
+import numpy as np
+import pytest
+
+from repro.audio.gmm import GaussianMixture, GmmClassifier
+from repro.errors import AudioError
+
+
+def _two_blob_data(rng, n=200):
+    a = rng.normal([0.0, 0.0], 0.3, size=(n, 2))
+    b = rng.normal([4.0, 4.0], 0.3, size=(n, 2))
+    return a, b
+
+
+class TestGaussianMixture:
+    def test_validation(self):
+        with pytest.raises(AudioError):
+            GaussianMixture(
+                weights=np.array([0.6, 0.6]),
+                means=np.zeros((2, 2)),
+                variances=np.ones((2, 2)),
+            )
+        with pytest.raises(AudioError):
+            GaussianMixture(
+                weights=np.array([1.0]),
+                means=np.zeros((1, 2)),
+                variances=np.zeros((1, 2)),
+            )
+
+    def test_fit_recovers_two_blobs(self, rng):
+        a, b = _two_blob_data(rng)
+        mixture = GaussianMixture.fit(np.vstack([a, b]), num_components=2, seed=0)
+        means = sorted(mixture.means.tolist())
+        assert means[0] == pytest.approx([0.0, 0.0], abs=0.15)
+        assert means[1] == pytest.approx([4.0, 4.0], abs=0.15)
+        assert mixture.weights == pytest.approx([0.5, 0.5], abs=0.05)
+
+    def test_log_likelihood_orders_points(self, rng):
+        a, b = _two_blob_data(rng)
+        mixture = GaussianMixture.fit(a, num_components=1)
+        inside = mixture.log_likelihood(np.array([[0.0, 0.0]]))[0]
+        outside = mixture.log_likelihood(np.array([[8.0, 8.0]]))[0]
+        assert inside > outside
+
+    def test_responsibilities_sum_to_one(self, rng):
+        a, b = _two_blob_data(rng)
+        mixture = GaussianMixture.fit(np.vstack([a, b]), num_components=2)
+        resp = mixture.responsibilities(np.vstack([a[:5], b[:5]]))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_fit_rejects_too_few_samples(self):
+        with pytest.raises(AudioError):
+            GaussianMixture.fit(np.zeros((1, 3)), num_components=2)
+
+    def test_em_improves_likelihood(self, rng):
+        a, b = _two_blob_data(rng, n=100)
+        data = np.vstack([a, b])
+        short = GaussianMixture.fit(data, num_components=2, max_iterations=1, seed=3)
+        long = GaussianMixture.fit(data, num_components=2, max_iterations=100, seed=3)
+        assert long.log_likelihood(data).mean() >= short.log_likelihood(data).mean() - 1e-9
+
+
+class TestGmmClassifier:
+    def test_classifies_blobs(self, rng):
+        a, b = _two_blob_data(rng)
+        samples = np.vstack([a, b])
+        labels = ["a"] * len(a) + ["b"] * len(b)
+        classifier = GmmClassifier.fit(samples, labels, num_components=1)
+        test_a = rng.normal([0.0, 0.0], 0.3, size=(20, 2))
+        test_b = rng.normal([4.0, 4.0], 0.3, size=(20, 2))
+        assert classifier.predict(test_a) == ["a"] * 20
+        assert classifier.predict(test_b) == ["b"] * 20
+
+    def test_score_margin_sign(self, rng):
+        a, b = _two_blob_data(rng)
+        classifier = GmmClassifier.fit(
+            np.vstack([a, b]), ["a"] * len(a) + ["b"] * len(b), num_components=1
+        )
+        margins = classifier.score_margin(np.array([[0.0, 0.0], [4.0, 4.0]]), "a")
+        assert margins[0] > 0
+        assert margins[1] < 0
+
+    def test_unknown_class_raises(self, rng):
+        a, b = _two_blob_data(rng)
+        classifier = GmmClassifier.fit(
+            np.vstack([a, b]), ["a"] * len(a) + ["b"] * len(b)
+        )
+        with pytest.raises(AudioError):
+            classifier.score_margin(a[:2], "nope")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(AudioError):
+            GmmClassifier.fit(np.zeros((3, 2)), ["a", "b"])
+
+    def test_empty_classifier_raises(self):
+        with pytest.raises(AudioError):
+            GmmClassifier().predict(np.zeros((1, 2)))

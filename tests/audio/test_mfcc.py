@@ -1,0 +1,94 @@
+"""Tests for the from-scratch MFCC pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.audio.mfcc import (
+    frame_signal,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+    mfcc,
+)
+from repro.audio.synthesis import VOICE_BANK, synthesize_speech
+from repro.audio.waveform import Waveform
+from repro.errors import AudioError
+
+
+class TestMelScale:
+    def test_round_trip(self):
+        freqs = np.array([80.0, 440.0, 1000.0, 3999.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(freqs)), freqs)
+
+    def test_1000hz_anchor(self):
+        assert hz_to_mel(1000.0) == pytest.approx(1000.0, abs=1.0)
+
+    def test_monotone(self):
+        mels = hz_to_mel(np.linspace(0, 4000, 100))
+        assert np.all(np.diff(mels) > 0)
+
+
+class TestFilterbank:
+    def test_shape_and_coverage(self):
+        bank = mel_filterbank(24, 240, 8000)
+        assert bank.shape == (24, 121)
+        # Every filter has some mass; mid-range bins are covered.
+        assert (bank.sum(axis=1) > 0).all()
+        coverage = bank.sum(axis=0)
+        mid = coverage[10:100]
+        assert (mid > 0).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(AudioError):
+            mel_filterbank(0, 240, 8000)
+        with pytest.raises(AudioError):
+            mel_filterbank(10, 240, 8000, fmin=5000.0)
+
+
+class TestFrameSignal:
+    def test_count_and_hop(self):
+        samples = np.arange(8000, dtype=float)
+        frames = frame_signal(samples, 8000, 0.030, 0.010)
+        assert frames.shape == (98, 240)  # 1 + (8000 - 240) // 80
+        assert frames[1, 0] == 80.0  # hop of 80 samples
+
+    def test_short_signal_gives_empty(self):
+        frames = frame_signal(np.zeros(100), 8000, 0.030, 0.010)
+        assert frames.shape[0] == 0
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(AudioError):
+            frame_signal(np.zeros(100), 8000, 0.0, 0.010)
+
+
+class TestMfcc:
+    def test_paper_dimensions(self):
+        wave = synthesize_speech(VOICE_BANK["narrator"], 2.0)
+        vectors = mfcc(wave)
+        assert vectors.shape[1] == 14
+        # 2 s at 10 ms hop with a 30 ms window -> ~198 frames.
+        assert 190 <= vectors.shape[0] <= 200
+
+    def test_empty_waveform(self):
+        assert mfcc(Waveform(samples=np.zeros(0))).shape == (0, 14)
+
+    def test_too_short_waveform(self):
+        assert mfcc(Waveform(samples=np.zeros(100))).shape == (0, 14)
+
+    def test_rejects_bad_coefficient_count(self):
+        wave = Waveform(samples=np.zeros(8000))
+        with pytest.raises(AudioError):
+            mfcc(wave, num_coefficients=0)
+        with pytest.raises(AudioError):
+            mfcc(wave, num_coefficients=99)
+
+    def test_distinct_voices_have_distinct_mfcc_means(self):
+        a = mfcc(synthesize_speech(VOICE_BANK["dr_adams"], 2.0)).mean(axis=0)
+        b = mfcc(synthesize_speech(VOICE_BANK["nurse_diaz"], 2.0)).mean(axis=0)
+        assert np.linalg.norm(a - b) > 1.0
+
+    def test_same_voice_is_stable_across_seeds(self):
+        a = mfcc(synthesize_speech(VOICE_BANK["dr_adams"], 2.0, seed=1)).mean(axis=0)
+        b = mfcc(synthesize_speech(VOICE_BANK["dr_adams"], 2.0, seed=2)).mean(axis=0)
+        c = mfcc(synthesize_speech(VOICE_BANK["nurse_diaz"], 2.0, seed=1)).mean(axis=0)
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)

@@ -1,0 +1,70 @@
+"""Gradual camera motion must not be mistaken for cuts.
+
+Zooms and pans produce elevated but smooth frame differences — the
+classic false-positive source the paper's *adaptive local threshold*
+exists to absorb.  These tests build footage with continuous motion and
+assert the detector only fires on the true hard cuts.
+"""
+
+import pytest
+
+from repro.core.shots import detect_shots
+from repro.types import EventKind
+from repro.video.synthesis.generator import generate_video
+from repro.video.synthesis.script import SceneSpec, Screenplay, ShotSpec
+from repro.video.synthesis.compositions import ShotParams
+
+
+def _motion_screenplay() -> Screenplay:
+    shots = (
+        ShotSpec(
+            composition="surgical_wide", seconds=3.0, camera_id="wide",
+            params=ShotParams(actor=1),
+        ),
+        ShotSpec(
+            composition="surgical_zoom", seconds=6.0, camera_id="zoom",
+            params=ShotParams(actor=1, coverage=0.5),
+        ),
+        ShotSpec(
+            composition="corridor_walk", seconds=6.0, camera_id="walk",
+            params=ShotParams(actor=2),
+        ),
+    )
+    scene = SceneSpec(
+        subject="motion stress",
+        event=EventKind.UNKNOWN,
+        shots=shots,
+        groups=(tuple(range(len(shots))),),
+    )
+    return Screenplay(title="motion", scenes=(scene,))
+
+
+@pytest.fixture(scope="module")
+def motion_video():
+    return generate_video(_motion_screenplay(), seed=0, with_audio=False)
+
+
+class TestGradualMotion:
+    def test_zoom_and_walk_are_not_split(self, motion_video):
+        result = detect_shots(motion_video.stream)
+        truth = set(motion_video.truth.shot_boundaries())
+        detected = set(result.boundaries)
+        assert truth <= detected  # the two hard cuts are found
+        # At most one spurious boundary inside 12 s of continuous motion.
+        assert len(detected - truth) <= 1
+
+    def test_zoom_motion_stays_below_local_threshold(self, motion_video):
+        result = detect_shots(motion_video.stream)
+        # Inside the zoom (transitions 31..88) there is real motion...
+        zoom = result.differences[31:88]
+        assert zoom.mean() > 0.005
+        # ...but every transition stays under its window's threshold, so
+        # the continuous motion never reads as a cut.
+        assert (zoom <= result.thresholds[31:88]).all()
+
+    def test_dc_mode_also_survives_motion(self, motion_video):
+        result = detect_shots(motion_video.stream, mode="dc")
+        truth = set(motion_video.truth.shot_boundaries())
+        detected = set(result.boundaries)
+        assert truth <= detected
+        assert len(detected - truth) <= 2

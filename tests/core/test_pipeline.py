@@ -1,0 +1,61 @@
+"""Tests for the ClassMiner facade."""
+
+import pytest
+
+from repro.core import ClassMiner
+from repro.core.structure import MiningConfig
+from repro.errors import MiningError
+from repro.types import EventKind
+
+
+class TestClassMiner:
+    def test_full_mine_produces_everything(self, demo_result):
+        assert demo_result.structure.shot_count > 0
+        assert len(demo_result.cues) == demo_result.structure.shot_count
+        assert len(demo_result.audio) == demo_result.structure.shot_count
+        assert demo_result.events is not None
+        assert len(demo_result.events.events) == demo_result.structure.scene_count
+
+    def test_scene_events_mapping(self, demo_result):
+        events = demo_result.scene_events()
+        assert set(events) == {s.scene_id for s in demo_result.structure.scenes}
+        assert all(isinstance(kind, EventKind) for kind in events.values())
+
+    def test_event_of_scene(self, demo_result):
+        scene = demo_result.structure.scenes[0]
+        event = demo_result.event_of_scene(scene.scene_id)
+        assert event.scene_index == scene.scene_id
+
+    def test_demo_events_match_truth(self, demo_video, demo_result):
+        """The demo's three content scenes are unambiguous; the miner
+        should label each correctly."""
+        mined = demo_result.scene_events()
+        hits = 0
+        for scene in demo_result.structure.scenes:
+            start, stop = scene.frame_span
+            truth_events = set()
+            for gt in demo_video.truth.scenes:
+                gt_start = demo_video.truth.shots[gt.first_shot].start
+                gt_stop = demo_video.truth.shots[gt.last_shot].stop
+                overlap = min(gt_stop, stop) - max(gt_start, start)
+                if overlap > 10 and gt.event is not EventKind.UNKNOWN:
+                    truth_events.add(gt.event)
+            if mined[scene.scene_id] in truth_events:
+                hits += 1
+        assert hits >= 2  # at least 2 of the 3 content scenes correct
+
+    def test_structure_only_mode(self, demo_video):
+        result = ClassMiner().mine(demo_video.stream, mine_events=False)
+        assert result.events is None
+        assert result.cues == {}
+        with pytest.raises(MiningError):
+            result.event_of_scene(0)
+        assert result.scene_events() == {}
+
+    def test_title_passthrough(self, demo_result):
+        assert demo_result.title == "demo"
+
+    def test_config_exposed(self):
+        config = MiningConfig(shot_window=25)
+        miner = ClassMiner(config=config)
+        assert miner.config.shot_window == 25

@@ -1,0 +1,73 @@
+"""Tests for the fast entropy threshold technique."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold import adaptive_local_threshold, entropy_threshold
+from repro.errors import MiningError
+
+
+class TestEntropyThreshold:
+    def test_separates_bimodal_pool(self, rng):
+        low = rng.normal(0.05, 0.01, 200)
+        high = rng.normal(0.8, 0.05, 40)
+        threshold = entropy_threshold(np.concatenate([low, high]))
+        # The split must land between the two modes (Kapur tends to sit
+        # just above the tighter mode).
+        assert float(np.percentile(low, 90)) < threshold < float(high.min())
+
+    def test_degenerate_pool(self):
+        assert entropy_threshold([0.5]) == 0.5
+        assert entropy_threshold([0.3, 0.3, 0.3]) == pytest.approx(0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MiningError):
+            entropy_threshold([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(MiningError):
+            entropy_threshold([0.1, float("nan")])
+
+    def test_accepts_list_input(self):
+        value = entropy_threshold([0.1, 0.2, 0.9, 0.95])
+        assert 0.1 < value < 0.95
+
+
+@given(
+    values=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=50
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_threshold_within_range(values):
+    threshold = entropy_threshold(values)
+    assert min(values) <= threshold <= max(values)
+
+
+class TestAdaptiveLocalThreshold:
+    def test_quiet_window_gets_floor(self):
+        quiet = np.full(30, 0.01)
+        threshold = adaptive_local_threshold(quiet, minimum=0.05)
+        assert threshold >= 0.05
+
+    def test_active_window_rises_above_noise(self, rng):
+        noise = rng.normal(0.2, 0.05, 29)
+        window = np.append(noise, 0.9)  # one cut spike
+        threshold = adaptive_local_threshold(window)
+        assert threshold > noise.max()
+        assert threshold < 0.9
+
+    def test_spike_does_not_inflate_floor(self, rng):
+        """The MAD floor is robust: adding a huge spike barely moves it."""
+        base = rng.normal(0.02, 0.005, 29)
+        calm = adaptive_local_threshold(base)
+        spiked = adaptive_local_threshold(np.append(base, 5.0))
+        # The spiked threshold still cuts well below the spike.
+        assert spiked < 1.0
+        assert calm < 1.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(MiningError):
+            adaptive_local_threshold([])

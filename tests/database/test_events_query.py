@@ -1,0 +1,75 @@
+"""Tests for event-based queries over the catalog."""
+
+import pytest
+
+from repro.database.access import FilterRule, Permission, User
+from repro.database.catalog import VideoDatabase
+from repro.database.events_query import event_census, query_events
+from repro.errors import DatabaseError
+from repro.types import EventKind
+
+
+@pytest.fixture(scope="module")
+def database(demo_result):
+    db = VideoDatabase()
+    db.register(demo_result)
+    return db
+
+
+class TestQueryEvents:
+    def test_dialog_query_returns_dialog_scenes(self, database, demo_result):
+        hits = query_events(database, EventKind.DIALOG)
+        mined = demo_result.scene_events()
+        expected = {
+            scene_id for scene_id, kind in mined.items() if kind is EventKind.DIALOG
+        }
+        assert {hit.scene_id for hit in hits} == expected
+        assert all(hit.event is EventKind.DIALOG for hit in hits)
+        assert all(hit.video_title == "demo" for hit in hits)
+
+    def test_hits_carry_concept_paths(self, database):
+        for hit in query_events(database, EventKind.PRESENTATION):
+            assert hit.concept.endswith("/presentation")
+
+    def test_video_filter(self, database):
+        hits = query_events(database, EventKind.DIALOG, video_title="demo")
+        assert all(hit.video_title == "demo" for hit in hits)
+        with pytest.raises(DatabaseError):
+            query_events(database, EventKind.DIALOG, video_title="nope")
+
+    def test_access_control_filters_results(self, database):
+        dialogs = query_events(database, EventKind.DIALOG)
+        if not dialogs:
+            pytest.skip("demo produced no dialog scenes")
+        blocked = User(
+            name="blocked",
+            clearance=9,
+            rules=(FilterRule("dialog", Permission.DENY),),
+        )
+        assert query_events(database, EventKind.DIALOG, user=blocked) == []
+        cleared = User(name="chief", clearance=9)
+        assert query_events(database, EventKind.DIALOG, user=cleared) == dialogs
+
+    def test_denials_are_audited(self, database):
+        blocked = User(
+            name="auditee2",
+            clearance=9,
+            rules=(FilterRule("dialog", Permission.DENY),),
+        )
+        before = len(database.controller.audit_log)
+        query_events(database, EventKind.DIALOG, user=blocked)
+        assert len(database.controller.audit_log) > before
+
+
+class TestEventCensus:
+    def test_census_counts_match_queries(self, database):
+        census = event_census(database)
+        for kind in EventKind:
+            assert census[kind] == len(query_events(database, kind))
+
+    def test_census_respects_user(self, database):
+        public = User(name="student", clearance=0)
+        census = event_census(database, user=public)
+        # Clearance 0 only reaches presentations.
+        assert census[EventKind.DIALOG] == 0
+        assert census[EventKind.CLINICAL_OPERATION] == 0

@@ -1,0 +1,70 @@
+"""Tests for hierarchy serialisation (custom taxonomies)."""
+
+import pytest
+
+from repro.database.hierarchy import (
+    ConceptLevel,
+    ConceptNode,
+    build_medical_hierarchy,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+)
+from repro.errors import DatabaseError
+
+
+class TestRoundTrip:
+    def test_medical_hierarchy_round_trips(self):
+        root = build_medical_hierarchy()
+        data = hierarchy_to_dict(root)
+        rebuilt = hierarchy_from_dict(data)
+        assert [n.name for n in rebuilt.walk()] == [n.name for n in root.walk()]
+        assert [n.level for n in rebuilt.walk()] == [n.level for n in root.walk()]
+
+    def test_parents_are_restored(self):
+        root = build_medical_hierarchy()
+        rebuilt = hierarchy_from_dict(hierarchy_to_dict(root))
+        leaf = rebuilt.find("surgery/dialog")
+        assert leaf is not None
+        assert leaf.parent.name == "surgery"
+        assert leaf.path()[0] == "medical_video_database"
+
+    def test_custom_taxonomy(self):
+        data = {
+            "name": "veterinary_db",
+            "level": "database",
+            "children": [
+                {
+                    "name": "small_animal",
+                    "level": "cluster",
+                    "children": [
+                        {"name": "feline", "level": "subcluster", "children": []}
+                    ],
+                }
+            ],
+        }
+        root = hierarchy_from_dict(data)
+        assert root.find("feline").level is ConceptLevel.SUBCLUSTER
+
+
+class TestValidation:
+    def test_missing_keys(self):
+        with pytest.raises(DatabaseError):
+            hierarchy_from_dict({"level": "database"})
+
+    def test_unknown_level(self):
+        with pytest.raises(DatabaseError):
+            hierarchy_from_dict({"name": "x", "level": "galaxy"})
+
+    def test_level_ordering_enforced(self):
+        data = {
+            "name": "root",
+            "level": "scene",
+            "children": [{"name": "bad", "level": "database", "children": []}],
+        }
+        with pytest.raises(DatabaseError):
+            hierarchy_from_dict(data)
+
+    def test_empty_children_default(self):
+        root = hierarchy_from_dict({"name": "r", "level": "database"})
+        assert root.children == []
+        assert isinstance(root, ConceptNode)

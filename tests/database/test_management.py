@@ -1,0 +1,49 @@
+"""Tests for catalog management operations (unregister, describe)."""
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.errors import DatabaseError
+
+
+@pytest.fixture()
+def database(demo_result):
+    db = VideoDatabase()
+    db.register(demo_result)
+    return db
+
+
+class TestUnregister:
+    def test_removes_all_entries(self, database, demo_result):
+        removed = database.unregister("demo")
+        assert removed == demo_result.structure.shot_count
+        assert database.shot_count == 0
+        assert database.videos == {}
+
+    def test_unknown_title_raises(self, database):
+        with pytest.raises(DatabaseError):
+            database.unregister("nope")
+
+    def test_reregistration_after_unregister(self, database, demo_result):
+        database.unregister("demo")
+        database.register(demo_result)
+        assert database.shot_count == demo_result.structure.shot_count
+
+    def test_index_invalidated(self, database, demo_result):
+        database.build_index()
+        database.unregister("demo")
+        with pytest.raises(DatabaseError):
+            database.build_index()  # nothing registered any more
+
+
+class TestDescribe:
+    def test_counts_sum_to_shots(self, database):
+        stats = database.describe()
+        assert sum(stats.values()) == database.shot_count
+        assert all(leaf.count("/") == 1 or leaf for leaf in stats)
+
+    def test_leaves_named_by_concept(self, database, demo_result):
+        stats = database.describe()
+        events = {event.value for event in demo_result.scene_events().values()}
+        for leaf in stats:
+            assert leaf.split("/")[-1] in events | {"unknown"}

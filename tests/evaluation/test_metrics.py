@@ -1,0 +1,89 @@
+"""Tests for the paper's metrics (Eqs. 20-23)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    compression_rate_factor,
+    scene_precision,
+)
+
+
+class TestScenePrecision:
+    def test_basic(self):
+        assert scene_precision(13, 20) == pytest.approx(0.65)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            scene_precision(0, 0)
+
+    def test_rejects_inconsistent(self):
+        with pytest.raises(EvaluationError):
+            scene_precision(5, 3)
+        with pytest.raises(EvaluationError):
+            scene_precision(-1, 3)
+
+
+class TestCrf:
+    def test_paper_value(self):
+        # "CRF=8.6%, each scene consists of about 11 shots"
+        assert compression_rate_factor(10, 116) == pytest.approx(0.086, abs=0.001)
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(EvaluationError):
+            compression_rate_factor(5, 0)
+
+
+class TestPrecisionRecall:
+    def test_table1_presentation_row(self):
+        row = PrecisionRecall(selected=15, detected=16, true=13)
+        assert row.precision == pytest.approx(0.81, abs=0.005)
+        assert row.recall == pytest.approx(0.87, abs=0.005)
+
+    def test_zero_detected_precision_is_zero(self):
+        row = PrecisionRecall(selected=5, detected=0, true=0)
+        assert row.precision == 0.0
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(EvaluationError):
+            PrecisionRecall(selected=5, detected=3, true=4)
+        with pytest.raises(EvaluationError):
+            PrecisionRecall(selected=2, detected=5, true=3)
+        with pytest.raises(EvaluationError):
+            PrecisionRecall(selected=-1, detected=0, true=0)
+
+    def test_combine_pools_counts(self):
+        rows = [
+            PrecisionRecall(selected=15, detected=16, true=13),
+            PrecisionRecall(selected=28, detected=33, true=24),
+            PrecisionRecall(selected=39, detected=32, true=21),
+        ]
+        total = PrecisionRecall.combine(rows)
+        assert total.selected == 82
+        assert total.detected == 81
+        assert total.true == 58
+        assert total.precision == pytest.approx(0.72, abs=0.005)
+        assert total.recall == pytest.approx(0.71, abs=0.005)
+
+    def test_combine_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            PrecisionRecall.combine([])
+
+
+@given(
+    true=st.integers(0, 50),
+    extra_detected=st.integers(0, 50),
+    extra_selected=st.integers(0, 50),
+)
+@settings(max_examples=50, deadline=None)
+def test_pr_re_always_in_unit_interval(true, extra_detected, extra_selected):
+    row = PrecisionRecall(
+        selected=true + extra_selected,
+        detected=true + extra_detected,
+        true=true,
+    )
+    assert 0.0 <= row.precision <= 1.0
+    assert 0.0 <= row.recall <= 1.0

@@ -1,0 +1,82 @@
+"""Tests for the one-call paper reproduction API (on the demo video)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.paper import (
+    event_mining_table,
+    fcr_series,
+    mine_corpus,
+    reproduce_all,
+    scene_detection_results,
+    skim_quality_series,
+)
+
+
+@pytest.fixture(scope="module")
+def runs(demo_video, demo_result):
+    return [(demo_video, demo_result)]
+
+
+class TestSceneDetection:
+    def test_all_methods_scored(self, runs):
+        results = scene_detection_results(runs, methods=("A", "B", "C", "STG"))
+        assert set(results) == {"A", "B", "C", "STG"}
+        for result in results.values():
+            assert 0.0 <= result.precision <= 1.0
+            assert 0.0 < result.crf <= 1.0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(EvaluationError):
+            scene_detection_results([])
+
+
+class TestOtherSeries:
+    def test_event_table(self, runs):
+        table = event_mining_table(runs)
+        assert table.average.selected >= 1
+
+    def test_fcr_series_shape(self, runs):
+        fcr = fcr_series(runs)
+        assert fcr[1] == pytest.approx(1.0)
+        assert fcr[4] <= fcr[1]
+
+    def test_skim_quality_levels(self, runs):
+        quality = skim_quality_series(runs, viewers=3, seed=1)
+        assert set(quality) == {1, 2, 3, 4}
+        for scores in quality.values():
+            assert len(scores) == 3
+            assert all(0.0 <= q <= 5.0 for q in scores)
+
+
+class TestReproduceAll:
+    def test_structure(self, runs):
+        results = reproduce_all(runs)
+        assert set(results) == {
+            "scene_detection",
+            "event_mining",
+            "fcr",
+            "skim_quality",
+        }
+        assert "average" in results["event_mining"]
+
+    def test_json_serialisable(self, runs):
+        import json
+
+        results = reproduce_all(runs)
+        results["scene_detection"] = {
+            m: {"precision": r.precision, "crf": r.crf}
+            for m, r in results["scene_detection"].items()
+        }
+        json.dumps(results)  # must not raise
+
+
+class TestMineCorpus:
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            mine_corpus([])
+
+    def test_mines_given_videos(self, demo_video):
+        runs = mine_corpus([demo_video])
+        assert len(runs) == 1
+        assert runs[0][1].structure.shot_count > 0

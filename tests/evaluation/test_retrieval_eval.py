@@ -1,0 +1,51 @@
+"""Tests for retrieval-quality evaluation."""
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.errors import EvaluationError
+from repro.evaluation.retrieval_eval import evaluate_retrieval
+
+
+@pytest.fixture(scope="module")
+def database(demo_result):
+    db = VideoDatabase()
+    db.register(demo_result)
+    return db
+
+
+class TestEvaluateRetrieval:
+    def test_both_strategies_reported(self, database):
+        quality = evaluate_retrieval(database, k=3)
+        assert set(quality) == {"hierarchical", "flat"}
+        for report in quality.values():
+            assert 0.0 <= report.precision_at_k <= 1.0
+            assert 0.0 <= report.self_hit_rate <= 1.0
+            assert report.queries > 0
+
+    def test_flat_finds_itself(self, database):
+        quality = evaluate_retrieval(database, k=3)
+        # The exhaustive scan always ranks the exact query first.
+        assert quality["flat"].self_hit_rate == 1.0
+
+    def test_hierarchy_quality_holds_up(self, database):
+        # On a tiny database routing overhead can exceed the scan (the
+        # cost advantage at scale is covered by the Sec. 6.2 bench and
+        # test_catalog); what must hold everywhere is that the descent
+        # does not wreck retrieval quality.
+        quality = evaluate_retrieval(database, k=3)
+        assert (
+            quality["hierarchical"].precision_at_k
+            >= quality["flat"].precision_at_k - 0.35
+        )
+        assert quality["hierarchical"].mean_comparisons > 0
+
+    def test_max_queries_sampling_is_deterministic(self, database):
+        a = evaluate_retrieval(database, k=3, max_queries=5, seed=1)
+        b = evaluate_retrieval(database, k=3, max_queries=5, seed=1)
+        assert a["flat"] == b["flat"]
+        assert a["flat"].queries == 5
+
+    def test_rejects_bad_k(self, database):
+        with pytest.raises(EvaluationError):
+            evaluate_retrieval(database, k=0)

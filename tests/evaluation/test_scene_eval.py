@@ -1,0 +1,98 @@
+"""Tests for the Eq. (20) scene judging rule."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.scene_eval import (
+    annotated_scene_of_span,
+    judge_scene_spans,
+)
+from repro.types import EventKind
+from repro.video.ground_truth import GroundTruth, SceneSpan, ShotSpan
+
+
+@pytest.fixture()
+def truth():
+    """Three annotated scenes: A (2 shots), separator (1), B (2 shots)."""
+    shots = [
+        ShotSpan(0, 0, 20, scene_id=0),
+        ShotSpan(1, 20, 40, scene_id=0),
+        ShotSpan(2, 40, 45, scene_id=1),  # black separator
+        ShotSpan(3, 45, 70, scene_id=2),
+        ShotSpan(4, 70, 100, scene_id=2),
+    ]
+    scenes = [
+        SceneSpan(0, 0, 1, event=EventKind.DIALOG),
+        SceneSpan(1, 2, 2),
+        SceneSpan(2, 3, 4, event=EventKind.CLINICAL_OPERATION),
+    ]
+    return GroundTruth(shots=shots, groups=[[0, 1], [2], [3, 4]], scenes=scenes)
+
+
+class TestAnnotatedSceneOfSpan:
+    def test_exact_match(self, truth):
+        assert annotated_scene_of_span(truth, 0, 20) == 0
+        assert annotated_scene_of_span(truth, 45, 100) == 2
+
+    def test_majority_rule(self, truth):
+        # Span mostly in scene 2, slightly into the separator.
+        assert annotated_scene_of_span(truth, 42, 70) == 2
+
+    def test_rejects_empty_span(self, truth):
+        with pytest.raises(EvaluationError):
+            annotated_scene_of_span(truth, 10, 10)
+
+    def test_rejects_outside_span(self, truth):
+        with pytest.raises(EvaluationError):
+            annotated_scene_of_span(truth, 200, 220)
+
+
+class TestJudging:
+    def test_pure_scene_is_right(self, truth):
+        evaluation = judge_scene_spans(
+            truth, [[(0, 20), (20, 40)]], "A", shot_count=5
+        )
+        assert evaluation.precision == 1.0
+        assert evaluation.crf == pytest.approx(1 / 5)
+
+    def test_mixed_scene_is_wrong(self, truth):
+        evaluation = judge_scene_spans(
+            truth, [[(0, 20), (20, 40), (45, 70)]], "A", shot_count=5
+        )
+        assert evaluation.precision == 0.0
+
+    def test_separator_is_neutral(self, truth):
+        # A detected scene spanning scene A plus the black separator
+        # still counts as rightly detected.
+        evaluation = judge_scene_spans(
+            truth, [[(0, 20), (20, 40), (40, 45)]], "A", shot_count=5
+        )
+        assert evaluation.precision == 1.0
+
+    def test_over_segmentation_is_right(self, truth):
+        # Splitting one semantic unit into two detected scenes keeps
+        # both pure (this is why method A trades CRF for precision).
+        evaluation = judge_scene_spans(
+            truth, [[(0, 20)], [(20, 40)]], "A", shot_count=5
+        )
+        assert evaluation.precision == 1.0
+        assert evaluation.crf == pytest.approx(2 / 5)
+
+    def test_mixed_and_pure_average(self, truth):
+        evaluation = judge_scene_spans(
+            truth,
+            [[(0, 40)], [(45, 70), (70, 100)], [(20, 40), (45, 70)]],
+            "A",
+            shot_count=5,
+        )
+        assert evaluation.rightly_detected == 2
+        assert evaluation.detected == 3
+        assert evaluation.precision == pytest.approx(2 / 3)
+
+    def test_rejects_empty_scene_list(self, truth):
+        with pytest.raises(EvaluationError):
+            judge_scene_spans(truth, [], "A", shot_count=5)
+
+    def test_rejects_scene_without_shots(self, truth):
+        with pytest.raises(EvaluationError):
+            judge_scene_spans(truth, [[]], "A", shot_count=5)

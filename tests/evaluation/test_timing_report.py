@@ -1,0 +1,70 @@
+"""Tests for the cost models (Eqs. 24-25) and text reporting."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.report import render_series, render_table
+from repro.evaluation.timing import FlatCost, HierarchicalCost, speedup
+
+
+class TestFlatCost:
+    def test_comparisons_equal_database_size(self):
+        assert FlatCost(total_shots=1000).comparisons() == 1000
+
+    def test_cost_includes_ranking(self):
+        cost = FlatCost(total_shots=1024).cost()
+        assert cost == pytest.approx(1024 + 1024 * 10)  # log2(1024) = 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            FlatCost(total_shots=0).cost()
+
+
+class TestHierarchicalCost:
+    def test_comparisons(self):
+        cost = HierarchicalCost(level_nodes=(3, 4, 4), leaf_shots=50)
+        assert cost.comparisons() == 61
+
+    def test_cost_much_less_than_flat_at_scale(self):
+        flat = FlatCost(total_shots=100_000)
+        hier = HierarchicalCost(level_nodes=(12, 16, 16), leaf_shots=200)
+        assert speedup(flat, hier) > 100
+
+    def test_reduced_compare_models_cheaper_subspace(self):
+        slow = HierarchicalCost(level_nodes=(4,), leaf_shots=100, reduced_compare=1.0)
+        fast = HierarchicalCost(level_nodes=(4,), leaf_shots=100, reduced_compare=0.25)
+        assert fast.cost() < slow.cost()
+
+    def test_rejects_negative_leaf(self):
+        with pytest.raises(EvaluationError):
+            HierarchicalCost(level_nodes=(1,), leaf_shots=-1).cost()
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(
+            ["Events", "PR", "RE"],
+            [["Presentation", 0.81, 0.87], ["Dialog", 0.73, 0.85]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "Presentation" in text
+        assert "0.81" in text
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(EvaluationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_table_rejects_no_headers(self):
+        with pytest.raises(EvaluationError):
+            render_table([], [])
+
+    def test_render_series(self):
+        text = render_series("FCR", [(4, 0.10), (3, 0.2), (1, 1.0)])
+        assert "FCR" in text
+        assert text.count("#") >= 3
+
+    def test_render_series_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            render_series("x", [])

@@ -1,0 +1,43 @@
+"""Tests for the EventMiner orchestration (uses the mined demo video)."""
+
+import pytest
+
+from repro.errors import EventMiningError
+from repro.events.miner import EventMiner
+from repro.types import EventKind
+
+
+class TestEventMiner:
+    def test_mine_labels_every_scene(self, demo_structure, demo_video):
+        miner = EventMiner()
+        result = miner.mine(demo_structure.scenes, demo_video.stream.audio)
+        assert len(result.events) == len(demo_structure.scenes)
+        indices = {event.scene_index for event in result.events}
+        assert indices == {scene.scene_id for scene in demo_structure.scenes}
+
+    def test_event_of_scene_lookup(self, demo_result):
+        events = demo_result.events
+        first = demo_result.structure.scenes[0].scene_id
+        assert events.event_of_scene(first).scene_index == first
+        with pytest.raises(EventMiningError):
+            events.event_of_scene(12345)
+
+    def test_cue_cache_is_reused(self, demo_structure):
+        miner = EventMiner()
+        first = miner.visual_cues(demo_structure.shots[:3])
+        second = miner.visual_cues(demo_structure.shots[:3])
+        for shot in demo_structure.shots[:3]:
+            assert first[shot.shot_id] is second[shot.shot_id]
+
+    def test_no_audio_means_no_speech(self, demo_structure):
+        miner = EventMiner()
+        audio = miner.shot_audio(demo_structure.shots[:3], None)
+        for analysis in audio.values():
+            assert not analysis.has_speech
+            assert analysis.mfcc_vectors.shape == (0, 14)
+
+    def test_mining_without_audio_never_finds_dialog(self, demo_structure):
+        miner = EventMiner()
+        result = miner.mine(demo_structure.scenes, audio=None)
+        kinds = {event.kind for event in result.events}
+        assert EventKind.DIALOG not in kinds

@@ -1,0 +1,79 @@
+"""Tests for the HTML report generator and BMP encoder."""
+
+import base64
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import SkimmingError
+from repro.skimming.report_html import (
+    bmp_data_uri,
+    encode_bmp,
+    render_report,
+    save_report,
+)
+
+
+class TestBmp:
+    def test_header_fields(self):
+        image = np.zeros((2, 3, 3), dtype=np.uint8)
+        data = encode_bmp(image)
+        assert data[:2] == b"BM"
+        file_size = struct.unpack("<I", data[2:6])[0]
+        assert file_size == len(data)
+        width, height = struct.unpack("<ii", data[18:26])
+        assert (width, height) == (3, 2)
+        bpp = struct.unpack("<H", data[28:30])[0]
+        assert bpp == 24
+
+    def test_pixel_order_bottom_up_bgr(self):
+        image = np.zeros((1, 1, 3), dtype=np.uint8)
+        image[0, 0] = (10, 20, 30)  # RGB
+        data = encode_bmp(image)
+        # Payload starts at offset 54; stored as BGR.
+        assert data[54:57] == bytes([30, 20, 10])
+
+    def test_row_padding(self):
+        image = np.zeros((2, 1, 3), dtype=np.uint8)  # 3 bytes/row -> pad 1
+        data = encode_bmp(image)
+        assert len(data) == 54 + 2 * 4
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SkimmingError):
+            encode_bmp(np.zeros((2, 2, 3)))
+
+    def test_data_uri_prefix(self):
+        uri = bmp_data_uri(np.zeros((1, 1, 3), dtype=np.uint8))
+        assert uri.startswith("data:image/bmp;base64,")
+        decoded = base64.b64decode(uri.split(",", 1)[1])
+        assert decoded[:2] == b"BM"
+
+
+class TestReport:
+    def test_render_contains_sections(self, demo_result):
+        text = render_report(demo_result)
+        assert "<!DOCTYPE html>" in text
+        assert "ClassMiner report — demo" in text
+        assert "Event colour bar" in text
+        assert "Level 4 storyboard" in text
+        assert text.count("data:image/bmp;base64,") >= 2
+
+    def test_scene_table_lists_every_scene(self, demo_result):
+        text = render_report(demo_result)
+        for scene in demo_result.structure.scenes:
+            assert f"<td>{scene.scene_id}</td>" in text
+
+    def test_save_report(self, demo_result, tmp_path):
+        path = tmp_path / "report.html"
+        save_report(demo_result, path, storyboard_levels=(4,))
+        content = path.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "Level 3" not in content  # only level 4 requested
+
+    def test_requires_events(self, demo_video):
+        from repro.core import ClassMiner
+
+        bare = ClassMiner().mine(demo_video.stream, mine_events=False)
+        with pytest.raises(SkimmingError):
+            render_report(bare)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_skim_level_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["skim", "demo", "--level", "7"])
+        capsys.readouterr()
+
+    def test_render_requires_output(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "demo"])
+        capsys.readouterr()
+
+
+class TestCommands:
+    def test_corpus_lists_titles(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "face_repair" in out
+        assert "demo" in out
+
+    def test_mine_demo(self, capsys):
+        assert main(["mine", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchy:" in out
+        assert "CRF" in out
+
+    def test_events_demo(self, capsys):
+        assert main(["events", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "presentation" in out or "dialog" in out
+
+    def test_evaluate_demo(self, capsys):
+        assert main(["evaluate", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "A (ours)" in out
+        assert "precision" in out
+
+    def test_skim_demo(self, capsys):
+        assert main(["skim", "demo", "--level", "2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "shot" in out
+
+    def test_render_demo(self, tmp_path, capsys):
+        target = tmp_path / "demo.npz"
+        assert main(["render", "demo", "-o", str(target)]) == 0
+        assert target.exists()
+        capsys.readouterr()
+
+    def test_unknown_title_is_an_error(self, capsys):
+        assert main(["mine", "atlantis"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_report_demo(self, tmp_path, capsys):
+        target = tmp_path / "report.html"
+        assert main(["report", "demo", "-o", str(target)]) == 0
+        assert target.read_text().startswith("<!DOCTYPE html>")
+        capsys.readouterr()
+
+    def test_poster_demo(self, tmp_path, capsys):
+        target = tmp_path / "poster.ppm"
+        assert main(["poster", "demo", "-o", str(target), "--level", "4"]) == 0
+        assert target.read_bytes().startswith(b"P6")
+        capsys.readouterr()

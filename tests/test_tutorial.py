@@ -1,0 +1,23 @@
+"""The tutorial must stay executable.
+
+Extracts every python block from docs/TUTORIAL.md and runs them in
+order in one namespace — documentation that breaks with the code fails
+the build.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_snippets_run(capsys):
+    source = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", source, re.S)
+    assert len(blocks) >= 6
+    code = "\n".join(blocks)
+    exec(compile(code, str(TUTORIAL), "exec"), {})  # noqa: S102 - docs test
+    out = capsys.readouterr().out
+    assert "shots" in out

@@ -1,0 +1,117 @@
+"""Tests for the actor/anatomy and slide renderers."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import Frame
+from repro.video.synthesis import actors, slides
+from repro.video.synthesis.draw import new_canvas
+from repro.vision.colormodel import chromaticity
+from repro.vision.skin import DEFAULT_SKIN_MODEL
+
+
+class TestSkinTones:
+    @pytest.mark.parametrize("tone", actors.SKIN_TONES)
+    def test_every_tone_matches_the_skin_model(self, tone):
+        """The cast's skin tones must be detectable by the default model."""
+        pixels = np.full((8, 8, 3), [int(c * 255) for c in tone], dtype=np.uint8)
+        assert DEFAULT_SKIN_MODEL.segment(pixels).all()
+
+    def test_blood_red_does_not_match_skin(self):
+        pixels = np.full(
+            (8, 8, 3), [int(c * 255) for c in actors.BLOOD_RED], dtype=np.uint8
+        )
+        assert not DEFAULT_SKIN_MODEL.segment(pixels).any()
+
+
+class TestDrawPerson:
+    def _person_canvas(self, talking_phase=0.0, head_ry=0.25):
+        canvas = new_canvas(64, 80, (0.6, 0.7, 0.8))
+        actors.draw_person(
+            canvas, 0.5, 0.4, head_ry,
+            actors.SKIN_TONES[0], actors.WARDROBE[0],
+            talking_phase=talking_phase,
+        )
+        return canvas
+
+    def test_head_is_skin_toned(self):
+        canvas = self._person_canvas()
+        head = canvas[int(0.4 * 64), int(0.5 * 80)]
+        assert np.allclose(head, actors.SKIN_TONES[0])
+
+    def test_eyes_are_dark(self):
+        canvas = self._person_canvas()
+        frame = Frame(pixels=canvas)
+        gray = frame.gray()
+        eye_band = gray[int(0.32 * 64) : int(0.42 * 64), :]
+        assert eye_band.min() < 0.2
+
+    def test_mouth_opens_with_phase(self):
+        closed = self._person_canvas(talking_phase=0.0)
+        open_ = self._person_canvas(talking_phase=0.5)
+        assert not np.array_equal(closed, open_)
+
+
+class TestAnatomy:
+    def test_surgical_field_coverage(self, rng):
+        canvas = new_canvas(64, 80, (0.1, 0.4, 0.4))
+        actors.draw_surgical_field(
+            canvas, rng, actors.SKIN_TONES[0], incision=False, coverage=0.4,
+            center=(0.5, 0.5),
+        )
+        chroma = chromaticity((canvas * 255).astype(np.uint8))
+        skin_like = np.abs(chroma[:, :, 0] - 0.46) < 0.1
+        assert 0.25 < skin_like.mean() < 0.6
+
+    def test_incision_adds_blood(self, rng):
+        canvas = new_canvas(64, 80, (0.1, 0.4, 0.4))
+        actors.draw_surgical_field(
+            canvas, rng, actors.SKIN_TONES[0], incision=True, center=(0.5, 0.5)
+        )
+        reds = canvas[:, :, 0] > 2.0 * canvas[:, :, 1]
+        assert reds.any()
+
+    def test_organ_is_mostly_dark_with_red_mass(self, rng):
+        canvas = new_canvas(64, 80)
+        actors.draw_organ(canvas, rng)
+        frame = Frame(pixels=canvas)
+        assert frame.gray().mean() < 0.3
+        assert (canvas[:, :, 0] > 0.4).mean() > 0.1
+
+    def test_scan_hot_spots_use_palette(self, rng):
+        canvas = new_canvas(64, 80)
+        actors.draw_scan_image(canvas, rng, hot_spots=3, hot_color=(0.3, 0.9, 0.45))
+        greens = canvas[:, :, 1] > 0.8
+        assert greens.any()
+
+
+class TestSlides:
+    def test_slide_layout_deterministic_per_id(self, rng):
+        a = new_canvas(64, 80)
+        b = new_canvas(64, 80)
+        slides.draw_slide(a, rng, slide_id=7)
+        slides.draw_slide(b, np.random.default_rng(999), slide_id=7)
+        assert np.array_equal(a, b)
+
+    def test_different_slide_ids_differ(self, rng):
+        a = new_canvas(64, 80)
+        b = new_canvas(64, 80)
+        slides.draw_slide(a, rng, slide_id=1)
+        slides.draw_slide(b, rng, slide_id=2)
+        assert not np.array_equal(a, b)
+
+    def test_black_frame_is_black(self):
+        canvas = new_canvas(8, 8, (0.5, 0.5, 0.5))
+        slides.draw_black_frame(canvas)
+        assert canvas.max() < 0.05
+
+    def test_clipart_has_saturated_shapes(self, rng):
+        canvas = new_canvas(64, 80)
+        slides.draw_clipart(canvas, rng, variant=0)
+        saturation = canvas.max(axis=2) - canvas.min(axis=2)
+        assert (saturation > 0.3).mean() > 0.1
+
+    def test_sketch_is_mostly_white(self, rng):
+        canvas = new_canvas(64, 80)
+        slides.draw_sketch(canvas, rng, variant=0)
+        assert canvas.mean() > 0.8

@@ -1,0 +1,59 @@
+"""Tests for the five-video corpus screenplays (structure only).
+
+Rendering full corpus videos is covered by the benchmarks; here we
+check the screenplays themselves so the suite stays fast.
+"""
+
+import pytest
+
+from repro.errors import VideoError
+from repro.types import EventKind
+from repro.video.synthesis.corpus import (
+    CORPUS_TITLES,
+    build_screenplay,
+    demo_screenplay,
+)
+
+
+class TestCorpusScreenplays:
+    def test_five_titles(self):
+        assert len(CORPUS_TITLES) == 5
+        assert "face_repair" in CORPUS_TITLES
+        assert "laser_eye_surgery" in CORPUS_TITLES
+
+    @pytest.mark.parametrize("title", CORPUS_TITLES)
+    def test_screenplay_builds(self, title):
+        play = build_screenplay(title)
+        assert play.title == title
+        assert play.shot_count >= 25
+        assert play.duration > 60.0
+
+    @pytest.mark.parametrize("title", CORPUS_TITLES)
+    def test_every_video_has_known_events(self, title):
+        play = build_screenplay(title)
+        events = {scene.event for scene in play.scenes}
+        assert EventKind.PRESENTATION in events or EventKind.DIALOG in events
+        # Every corpus video shows some clinical content (it is a
+        # medical corpus).
+        assert EventKind.CLINICAL_OPERATION in events
+
+    @pytest.mark.parametrize("title", CORPUS_TITLES)
+    def test_separators_between_content(self, title):
+        play = build_screenplay(title)
+        subjects = [scene.subject for scene in play.scenes]
+        assert subjects.count("black separator") >= 2
+
+    def test_repeats_exist_in_each_video(self):
+        for title in CORPUS_TITLES:
+            play = build_screenplay(title)
+            keys = [s.repeat_key for s in play.scenes if s.repeat_key]
+            assert keys, f"{title} has no repeated scenes"
+
+    def test_unknown_title_raises(self):
+        with pytest.raises(VideoError):
+            build_screenplay("does_not_exist")
+
+    def test_demo_screenplay_is_compact(self):
+        play = demo_screenplay()
+        assert play.shot_count < 20
+        assert play.duration < 60.0

@@ -1,0 +1,98 @@
+"""Tests for the drawing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.synthesis.draw import (
+    add_noise,
+    adjust_brightness,
+    camera_jitter,
+    draw_hline,
+    draw_vline,
+    fill_ellipse,
+    fill_rect,
+    new_canvas,
+    value_noise_texture,
+    vertical_gradient,
+)
+
+
+class TestCanvas:
+    def test_new_canvas_color(self):
+        canvas = new_canvas(4, 5, (0.25, 0.5, 0.75))
+        assert canvas.shape == (4, 5, 3)
+        assert np.allclose(canvas[2, 3], (0.25, 0.5, 0.75))
+
+    def test_new_canvas_rejects_bad_size(self):
+        with pytest.raises(VideoError):
+            new_canvas(0, 5)
+
+
+class TestShapes:
+    def test_fill_rect_covers_expected_pixels(self):
+        canvas = new_canvas(10, 10)
+        fill_rect(canvas, 0.0, 0.0, 0.5, 0.5, (1.0, 0.0, 0.0))
+        assert np.allclose(canvas[0:5, 0:5, 0], 1.0)
+        assert np.allclose(canvas[5:, :, 0], 0.0)
+
+    def test_fill_rect_degenerate_is_noop(self):
+        canvas = new_canvas(10, 10)
+        fill_rect(canvas, 0.5, 0.5, 0.5, 0.9, (1.0, 1.0, 1.0))
+        assert canvas.sum() == 0.0
+
+    def test_fill_ellipse_centre_filled_corner_not(self):
+        canvas = new_canvas(20, 20)
+        fill_ellipse(canvas, 0.5, 0.5, 0.3, 0.3, (0.0, 1.0, 0.0))
+        assert canvas[10, 10, 1] == 1.0
+        assert canvas[0, 0, 1] == 0.0
+
+    def test_fill_ellipse_zero_radius_noop(self):
+        canvas = new_canvas(10, 10)
+        fill_ellipse(canvas, 0.5, 0.5, 0.0, 0.3, (1.0, 1.0, 1.0))
+        assert canvas.sum() == 0.0
+
+    def test_lines(self):
+        canvas = new_canvas(10, 10)
+        draw_hline(canvas, 0.5, 0.0, 1.0, (1.0, 1.0, 1.0), thickness=1)
+        lit_rows = np.nonzero(canvas[:, :, 0].sum(axis=1))[0]
+        assert list(lit_rows) == [4]  # mid-height row, full width
+        assert canvas[4, :, 0].sum() == pytest.approx(10.0)
+        canvas2 = new_canvas(10, 10)
+        draw_vline(canvas2, 0.5, 0.0, 1.0, (1.0, 1.0, 1.0), thickness=1)
+        lit_cols = np.nonzero(canvas2[:, :, 0].sum(axis=0))[0]
+        assert list(lit_cols) == [4]
+
+
+class TestEffects:
+    def test_vertical_gradient_monotone(self):
+        canvas = new_canvas(16, 4)
+        vertical_gradient(canvas, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        column = canvas[:, 0, 0]
+        assert np.all(np.diff(column) >= 0)
+        assert column[0] == pytest.approx(0.0)
+        assert column[-1] == pytest.approx(1.0)
+
+    def test_add_noise_stays_in_range(self, rng):
+        canvas = new_canvas(8, 8, (0.99, 0.01, 0.5))
+        add_noise(canvas, rng, sigma=0.2)
+        assert canvas.min() >= 0.0
+        assert canvas.max() <= 1.0
+
+    def test_adjust_brightness_clips(self):
+        canvas = new_canvas(4, 4, (0.9, 0.9, 0.9))
+        adjust_brightness(canvas, 2.0)
+        assert np.allclose(canvas, 1.0)
+
+    def test_camera_jitter_is_permutation(self, rng):
+        canvas = new_canvas(8, 8)
+        canvas[2, 3] = (1.0, 0.5, 0.25)
+        rolled = camera_jitter(canvas, rng, max_shift=1)
+        assert rolled.sum() == pytest.approx(canvas.sum())
+
+    def test_value_noise_bounded_and_smooth(self, rng):
+        field = value_noise_texture(32, 40, rng, cells=4, amplitude=0.1)
+        assert field.shape == (32, 40)
+        assert np.abs(field).max() <= 0.1 + 1e-12
+        # Smoothness: neighbouring pixels differ far less than the range.
+        assert np.abs(np.diff(field, axis=0)).max() < 0.05

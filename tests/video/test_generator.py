@@ -1,0 +1,111 @@
+"""Tests for the screenplay compiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.types import EventKind
+from repro.video.synthesis.generator import generate_video
+from repro.video.synthesis.script import (
+    Screenplay,
+    ShotSpec,
+    SceneSpec,
+    dialog_scene,
+    presentation_scene,
+    separator_scene,
+)
+
+
+def _tiny_screenplay(repeat=False):
+    scenes = [
+        presentation_scene("p", cycles=2, repeat_key="rk" if repeat else None),
+        separator_scene(),
+        dialog_scene("d", exchanges=2),
+    ]
+    if repeat:
+        scenes.append(
+            presentation_scene("p2", cycles=2, repeat_key="rk", slide_base=5)
+        )
+    return Screenplay(title="tiny", scenes=tuple(scenes))
+
+
+class TestGenerateVideo:
+    def test_determinism(self):
+        a = generate_video(_tiny_screenplay(), seed=3, with_audio=False)
+        b = generate_video(_tiny_screenplay(), seed=3, with_audio=False)
+        assert np.array_equal(a.stream.pixel_stack(), b.stream.pixel_stack())
+
+    def test_seed_changes_noise(self):
+        a = generate_video(_tiny_screenplay(), seed=1, with_audio=False)
+        b = generate_video(_tiny_screenplay(), seed=2, with_audio=False)
+        assert not np.array_equal(a.stream.pixel_stack(), b.stream.pixel_stack())
+
+    def test_truth_matches_stream(self):
+        video = generate_video(_tiny_screenplay(), with_audio=False)
+        video.truth.validate(len(video.stream))
+        assert video.truth.shot_count == video.screenplay.shot_count
+
+    def test_frame_counts_follow_durations(self):
+        video = generate_video(_tiny_screenplay(), with_audio=False)
+        fps = video.screenplay.fps
+        expected = [
+            max(2, int(round(shot.seconds * fps)))
+            for scene in video.screenplay.scenes
+            for shot in scene.shots
+        ]
+        actual = [span.length for span in video.truth.shots]
+        assert actual == expected
+
+    def test_audio_duration_matches_video(self):
+        video = generate_video(_tiny_screenplay(), with_audio=True)
+        assert video.stream.audio is not None
+        assert video.stream.audio.duration == pytest.approx(
+            video.stream.duration, abs=0.01
+        )
+
+    def test_speakers_recorded(self):
+        video = generate_video(_tiny_screenplay(), with_audio=False)
+        speakers = {span.speaker for span in video.truth.shots}
+        assert "narrator" in speakers
+        assert None in speakers  # black separators are silent
+
+    def test_repeat_key_creates_duplicate_sets(self):
+        video = generate_video(_tiny_screenplay(repeat=True), with_audio=False)
+        assert len(video.truth.duplicate_scene_sets) == 1
+        dup = video.truth.duplicate_scene_sets[0]
+        assert len(dup) == 2
+
+    def test_repeated_scenes_share_scenery(self):
+        video = generate_video(_tiny_screenplay(repeat=True), with_audio=False)
+        dup = video.truth.duplicate_scene_sets[0]
+        first, second = (video.truth.scenes[i] for i in dup)
+        # Compare the podium shots of both occurrences: identical scenery
+        # means very small pixel distance despite different noise.
+        frame_a = video.stream[video.truth.shots[first.first_shot + 1].start + 5]
+        frame_b = video.stream[video.truth.shots[second.first_shot + 1].start + 5]
+        diff = np.abs(frame_a.as_float() - frame_b.as_float()).mean()
+        assert diff < 0.05
+
+    def test_unknown_speaker_raises(self):
+        scene = SceneSpec(
+            subject="bad",
+            event=EventKind.UNKNOWN,
+            shots=(ShotSpec(composition="black", seconds=2.1, speaker="ghost"),),
+            groups=((0,),),
+        )
+        play = Screenplay(title="bad", scenes=(scene,))
+        with pytest.raises(VideoError):
+            generate_video(play)
+
+
+class TestDemoVideo:
+    def test_demo_video_scene_events(self, demo_video):
+        events = [s.event for s in demo_video.truth.scenes]
+        assert EventKind.PRESENTATION in events
+        assert EventKind.DIALOG in events
+        assert EventKind.CLINICAL_OPERATION in events
+
+    def test_demo_video_has_synchronised_audio(self, demo_video):
+        audio = demo_video.stream.audio
+        assert audio is not None
+        assert audio.duration == pytest.approx(demo_video.stream.duration, abs=0.01)

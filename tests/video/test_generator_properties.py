@@ -1,0 +1,80 @@
+"""Property-based tests for the screenplay compiler.
+
+Random screenplays assembled from the scene builders must always
+produce consistent ground truth, deterministic pixels, and audio
+aligned with the frame timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.synthesis.generator import generate_video
+from repro.video.synthesis.script import (
+    Screenplay,
+    clinical_scene,
+    dialog_scene,
+    filler_scene,
+    presentation_scene,
+    separator_scene,
+)
+
+_BUILDERS = {
+    "presentation": lambda variant: presentation_scene(
+        "p", cycles=2, actor=variant % 5, slide_base=variant, variant=variant
+    ),
+    "dialog": lambda variant: dialog_scene(
+        "d", exchanges=2, actor_a=variant % 5, actor_b=(variant + 2) % 5,
+        variant=variant,
+    ),
+    "clinical": lambda variant: clinical_scene(
+        "c", steps=2, actor=variant % 5, variant=variant,
+        style=("surgery", "dermatology", "imaging")[variant % 3],
+    ),
+    "filler": lambda variant: filler_scene(shots_count=2, variant=variant),
+    "separator": lambda variant: separator_scene(),
+}
+
+scene_choice = st.tuples(
+    st.sampled_from(sorted(_BUILDERS)), st.integers(0, 6)
+)
+
+
+@st.composite
+def screenplays(draw):
+    choices = draw(st.lists(scene_choice, min_size=1, max_size=3))
+    scenes = tuple(_BUILDERS[kind](variant) for kind, variant in choices)
+    return Screenplay(title="prop", scenes=scenes, fps=10.0)
+
+
+@given(play=screenplays(), seed=st.integers(0, 99))
+@settings(max_examples=10, deadline=None)
+def test_ground_truth_always_validates(play, seed):
+    video = generate_video(play, seed=seed, with_audio=False)
+    video.truth.validate(len(video.stream))
+    assert video.truth.shot_count == play.shot_count
+
+
+@given(play=screenplays())
+@settings(max_examples=5, deadline=None)
+def test_generation_is_deterministic(play):
+    a = generate_video(play, seed=4, with_audio=False)
+    b = generate_video(play, seed=4, with_audio=False)
+    assert np.array_equal(a.stream.pixel_stack(), b.stream.pixel_stack())
+
+
+@given(play=screenplays())
+@settings(max_examples=4, deadline=None)
+def test_audio_tracks_frame_timeline(play):
+    video = generate_video(play, seed=1, with_audio=True)
+    assert video.stream.audio is not None
+    assert video.stream.audio.duration == pytest.approx(
+        video.stream.duration, abs=0.01
+    )
+    # Per-shot windows never run past the audio.
+    for span in video.truth.shots:
+        stop_seconds = span.stop / video.stream.fps
+        assert stop_seconds <= video.stream.audio.duration + 1e-6

@@ -1,0 +1,65 @@
+"""Tests for stream persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.io import load_stream, save_stream
+
+
+class TestStreamIo:
+    def test_round_trip_with_audio(self, demo_stream, tmp_path):
+        path = tmp_path / "demo.npz"
+        save_stream(demo_stream, path)
+        loaded = load_stream(path)
+        assert loaded.title == demo_stream.title
+        assert loaded.fps == demo_stream.fps
+        assert len(loaded) == len(demo_stream)
+        assert np.array_equal(loaded.pixel_stack(), demo_stream.pixel_stack())
+        assert loaded.audio is not None
+        assert np.allclose(loaded.audio.samples, demo_stream.audio.samples)
+        assert loaded.audio.sample_rate == demo_stream.audio.sample_rate
+
+    def test_round_trip_without_audio(self, demo_stream, tmp_path):
+        from repro.video.stream import VideoStream
+
+        silent = VideoStream(
+            frames=list(demo_stream.frames[:5]), fps=demo_stream.fps, title="t"
+        )
+        path = tmp_path / "silent.npz"
+        save_stream(silent, path)
+        loaded = load_stream(path)
+        assert loaded.audio is None
+        assert len(loaded) == 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(VideoError):
+            load_stream(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not a zip archive")
+        with pytest.raises(VideoError):
+            load_stream(bad)
+
+    def test_wrong_version(self, demo_stream, tmp_path):
+        path = tmp_path / "versioned.npz"
+        np.savez_compressed(
+            path,
+            version=np.array(99),
+            frames=demo_stream.pixel_stack()[:2],
+            fps=np.array(10.0),
+            title=np.array("x"),
+        )
+        with pytest.raises(VideoError):
+            load_stream(path)
+
+    def test_mining_loaded_stream_matches(self, demo_stream, demo_structure, tmp_path):
+        """A reloaded stream mines to the identical structure."""
+        from repro.core.structure import mine_content_structure
+
+        path = tmp_path / "demo.npz"
+        save_stream(demo_stream, path)
+        loaded = load_stream(path)
+        structure = mine_content_structure(loaded)
+        assert structure.level_sizes() == demo_structure.level_sizes()

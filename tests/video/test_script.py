@@ -1,0 +1,109 @@
+"""Tests for the screenplay model and scene builders."""
+
+import pytest
+
+from repro.errors import VideoError
+from repro.types import EventKind
+from repro.video.synthesis.script import (
+    SceneSpec,
+    Screenplay,
+    ShotSpec,
+    clinical_scene,
+    dialog_scene,
+    filler_scene,
+    presentation_scene,
+    separator_scene,
+)
+
+
+class TestShotSpec:
+    def test_rejects_unknown_composition(self):
+        with pytest.raises(VideoError):
+            ShotSpec(composition="nope", seconds=1.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(VideoError):
+            ShotSpec(composition="black", seconds=0.0)
+
+
+class TestSceneSpec:
+    def test_groups_must_partition(self):
+        shots = (ShotSpec(composition="black", seconds=1.0),) * 2
+        with pytest.raises(VideoError):
+            SceneSpec(
+                subject="x",
+                event=EventKind.UNKNOWN,
+                shots=shots,
+                groups=((0,),),
+            )
+
+    def test_duration_sums_shots(self):
+        scene = separator_scene()
+        assert scene.duration == pytest.approx(1.0)
+        assert scene.shot_count == 1
+
+
+class TestBuilders:
+    def test_presentation_scene_structure(self):
+        scene = presentation_scene("p", cycles=3)
+        assert scene.event is EventKind.PRESENTATION
+        assert scene.shot_count == 7  # wide + 3 * (podium, slide)
+        compositions = [shot.composition for shot in scene.shots]
+        assert compositions[1::2].count("podium_speaker") == 3
+        # One narrator throughout: the Presentation rule needs this.
+        assert len({shot.speaker for shot in scene.shots}) == 1
+
+    def test_presentation_scene_clipart_variant(self):
+        scene = presentation_scene("p", cycles=2, use_clipart=True)
+        assert any(s.composition == "clipart_fullscreen" for s in scene.shots)
+
+    def test_presentation_rejects_single_cycle(self):
+        with pytest.raises(VideoError):
+            presentation_scene("p", cycles=1)
+
+    def test_dialog_scene_alternates_speakers(self):
+        scene = dialog_scene("d", exchanges=2)
+        speakers = [shot.speaker for shot in scene.shots[1:]]
+        assert speakers == ["dr_adams", "patient_chen"] * 2
+        assert scene.event is EventKind.DIALOG
+
+    def test_dialog_rejects_single_exchange(self):
+        with pytest.raises(VideoError):
+            dialog_scene("d", exchanges=1)
+
+    def test_clinical_styles(self):
+        surgery = clinical_scene("s", steps=2, style="surgery")
+        assert any(s.composition == "surgical_closeup" for s in surgery.shots)
+        derm = clinical_scene("s", steps=2, style="dermatology")
+        assert all(s.composition == "limb_exam" for s in derm.shots)
+        imaging = clinical_scene("s", steps=2, style="imaging")
+        assert all(s.composition == "scan_display" for s in imaging.shots)
+        with pytest.raises(VideoError):
+            clinical_scene("s", style="nope")
+
+    def test_clinical_rejects_too_few_steps(self):
+        with pytest.raises(VideoError):
+            clinical_scene("s", steps=1)
+
+    def test_filler_scene_has_no_event(self):
+        scene = filler_scene(shots_count=2)
+        assert scene.event is EventKind.UNKNOWN
+        assert not scene.topic_relevant
+
+
+class TestScreenplay:
+    def test_counts(self):
+        play = Screenplay(
+            title="t",
+            scenes=(separator_scene(), filler_scene(shots_count=2)),
+        )
+        assert play.shot_count == 3
+        assert play.duration == pytest.approx(1.0 + 5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(VideoError):
+            Screenplay(title="t", scenes=())
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(VideoError):
+            Screenplay(title="t", scenes=(separator_scene(),), fps=0)

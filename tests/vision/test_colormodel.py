@@ -1,0 +1,101 @@
+"""Tests for Gaussian colour models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VisionError
+from repro.vision.colormodel import GaussianColorModel, chromaticity
+
+
+class TestChromaticity:
+    def test_sums_to_one_with_blue(self):
+        image = np.full((2, 2, 3), (100, 50, 50), dtype=np.uint8)
+        chroma = chromaticity(image)
+        assert chroma[0, 0, 0] == pytest.approx(0.5)
+        assert chroma[0, 0, 1] == pytest.approx(0.25)
+
+    def test_black_is_neutral(self):
+        image = np.zeros((2, 2, 3), dtype=np.uint8)
+        chroma = chromaticity(image)
+        assert np.allclose(chroma, 1.0 / 3.0)
+
+    def test_intensity_invariance(self):
+        dim = np.full((1, 1, 3), (40, 30, 20), dtype=np.uint8)
+        bright = np.full((1, 1, 3), (200, 150, 100), dtype=np.uint8)
+        assert np.allclose(chromaticity(dim), chromaticity(bright))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(VisionError):
+            chromaticity(np.zeros((3, 3)))
+
+
+class TestGaussianColorModel:
+    def _model(self):
+        return GaussianColorModel(
+            mean=np.array([0.5, 0.3]),
+            covariance=np.array([[0.002, 0.0], [0.0, 0.001]]),
+            threshold=4.0,
+            min_brightness=0.1,
+            max_brightness=0.95,
+        )
+
+    def test_segments_matching_color(self):
+        model = self._model()
+        # Construct a pixel at exactly the model mean chromaticity.
+        image = np.full((4, 4, 3), (125, 75, 50), dtype=np.uint8)  # r=.5 g=.3
+        assert model.segment(image).all()
+
+    def test_rejects_mismatched_color(self):
+        model = self._model()
+        image = np.full((4, 4, 3), (20, 20, 200), dtype=np.uint8)
+        assert not model.segment(image).any()
+
+    def test_brightness_gates(self):
+        model = self._model()
+        dark = np.full((2, 2, 3), (12, 7, 5), dtype=np.uint8)  # right chroma, dim
+        assert not model.segment(dark).any()
+        blown = np.full((2, 2, 3), (255, 255, 255), dtype=np.uint8)
+        assert not model.segment(blown).any()
+
+    def test_rejects_bad_covariance(self):
+        with pytest.raises(VisionError):
+            GaussianColorModel(
+                mean=np.zeros(2), covariance=np.array([[1.0, 0.0], [0.0, -1.0]])
+            )
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(VisionError):
+            GaussianColorModel(
+                mean=np.zeros(2), covariance=np.eye(2), threshold=0.0
+            )
+
+    def test_mahalanobis_zero_at_mean(self):
+        model = self._model()
+        image = np.full((1, 1, 3), (125, 75, 50), dtype=np.uint8)
+        assert model.mahalanobis_squared(image)[0, 0] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestFit:
+    def test_fit_recovers_mean(self, rng):
+        samples = rng.normal([0.45, 0.33], [0.02, 0.01], size=(500, 2))
+        model = GaussianColorModel.fit(samples)
+        assert model.mean == pytest.approx([0.45, 0.33], abs=0.01)
+
+    def test_fit_segments_its_own_population(self, rng):
+        samples = rng.normal([0.45, 0.33], [0.01, 0.005], size=(300, 2))
+        model = GaussianColorModel.fit(samples, threshold=9.0)
+        # Build pixels at the sampled chromaticities with brightness 0.5.
+        r = samples[:, 0]
+        g = samples[:, 1]
+        b = 1.0 - r - g
+        rgb = (np.stack([r, g, b], axis=1) * 3 * 127).clip(0, 255)
+        image = rgb.reshape(-1, 1, 3).astype(np.uint8)
+        assert model.segment(image).mean() > 0.9
+
+    def test_fit_rejects_too_few(self):
+        with pytest.raises(VisionError):
+            GaussianColorModel.fit(np.zeros((2, 2)))
+
+    def test_fit_rejects_bad_shape(self):
+        with pytest.raises(VisionError):
+            GaussianColorModel.fit(np.zeros((10, 3)))

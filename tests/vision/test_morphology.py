@@ -1,0 +1,86 @@
+"""Tests for binary morphology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import VisionError
+from repro.vision.morphology import close_mask, dilate, erode, open_mask
+
+
+def _square_mask(size: int = 10, top: int = 3, bottom: int = 7) -> np.ndarray:
+    mask = np.zeros((size, size), dtype=bool)
+    mask[top:bottom, top:bottom] = True
+    return mask
+
+
+class TestBasics:
+    def test_dilate_grows(self):
+        mask = _square_mask()
+        grown = dilate(mask, 1)
+        assert grown.sum() > mask.sum()
+        assert grown[2, 3]  # one pixel beyond the original edge
+
+    def test_erode_shrinks(self):
+        mask = _square_mask()
+        shrunk = erode(mask, 1)
+        assert shrunk.sum() < mask.sum()
+        assert not shrunk[3, 3]
+
+    def test_radius_zero_is_copy(self):
+        mask = _square_mask()
+        assert np.array_equal(dilate(mask, 0), mask)
+        assert np.array_equal(erode(mask, 0), mask)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(VisionError):
+            dilate(_square_mask(), -1)
+        with pytest.raises(VisionError):
+            erode(_square_mask(), -1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(VisionError):
+            dilate(np.zeros((2, 2, 2)), 1)
+
+
+class TestCompound:
+    def test_open_removes_speckle(self):
+        mask = _square_mask()
+        mask[0, 0] = True  # isolated pixel
+        opened = open_mask(mask, 1)
+        assert not opened[0, 0]
+        assert opened[5, 5]
+
+    def test_close_fills_hole(self):
+        mask = _square_mask(12, 2, 10)
+        mask[5, 5] = False  # small hole
+        closed = close_mask(mask, 1)
+        assert closed[5, 5]
+
+
+mask_strategy = arrays(bool, (12, 12), elements=st.booleans())
+
+
+@given(mask=mask_strategy)
+@settings(max_examples=40, deadline=None)
+def test_erosion_dilation_duality(mask):
+    """Erosion of the mask equals complement of dilating the complement."""
+    assert np.array_equal(erode(mask, 1), ~dilate(~mask, 1))
+
+
+@given(mask=mask_strategy)
+@settings(max_examples=40, deadline=None)
+def test_opening_is_anti_extensive_and_idempotent(mask):
+    opened = open_mask(mask, 1)
+    assert not np.any(opened & ~mask)  # opening never adds pixels
+    assert np.array_equal(open_mask(opened, 1), opened)
+
+
+@given(mask=mask_strategy)
+@settings(max_examples=40, deadline=None)
+def test_closing_is_extensive_and_idempotent(mask):
+    closed = close_mask(mask, 1)
+    assert not np.any(mask & ~closed)  # closing never removes pixels
+    assert np.array_equal(close_mask(closed, 1), closed)
