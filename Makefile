@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench examples report all clean
+.PHONY: install test bench examples report ingest-smoke all clean
 
 install:
 	pip install -e .
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+ingest-smoke:
+	python -m repro.ingest.smoke
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,74 @@
+"""Ingest throughput: cold vs warm corpus ingest at 1 and 2 workers.
+
+Each configuration ingests the five-title corpus into a fresh database
+directory twice.  The cold run renders, mines and serialises every
+title; the warm run must be satisfied entirely from the artifact cache
+and come back at least five times faster.  The rendered table lands in
+``benchmarks/results/ingest_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_result
+from repro.evaluation.report import render_table
+from repro.ingest.runner import ingest_corpus, load_database
+
+TITLES = ["corpus"]
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _timed_ingest(db_dir, workers: int):
+    start = time.perf_counter()
+    report = ingest_corpus(TITLES, db_dir, workers=workers)
+    return report, time.perf_counter() - start
+
+
+def test_ingest_throughput(benchmark, results_dir, tmp_path_factory):
+    rows = []
+    warm_dir = None
+    for workers in (1, 2):
+        db_dir = tmp_path_factory.mktemp(f"ingest-bench-w{workers}")
+        cold, cold_s = _timed_ingest(db_dir, workers)
+        warm, warm_s = _timed_ingest(db_dir, workers)
+        speedup = cold_s / max(warm_s, 1e-9)
+
+        assert cold.ok and warm.ok
+        assert len(cold.mined) == len(cold.outcomes)
+        assert len(warm.cached) == len(warm.outcomes)
+        assert speedup >= MIN_WARM_SPEEDUP
+
+        database = load_database(db_dir)
+        rows.append(
+            [
+                workers,
+                f"{cold_s:.2f}",
+                f"{warm_s:.2f}",
+                f"{speedup:.1f}x",
+                len(cold.mined),
+                len(warm.cached),
+                database.shot_count,
+            ]
+        )
+        warm_dir = db_dir
+
+    # Benchmark the steady state the cache buys: a fully warm re-ingest.
+    benchmark.pedantic(
+        lambda: ingest_corpus(TITLES, warm_dir, workers=1), rounds=1, iterations=1
+    )
+
+    text = render_table(
+        [
+            "workers",
+            "cold s",
+            "warm s",
+            "speedup",
+            "mined",
+            "cached",
+            "shots indexed",
+        ],
+        rows,
+        title="Corpus ingest throughput (cold vs warm)",
+    )
+    save_result(results_dir, "ingest_throughput", text)

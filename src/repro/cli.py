@@ -8,9 +8,13 @@ Installed as the ``classminer`` console script::
     classminer skim skin_examination        # colour bar + storyboard
     classminer evaluate laparoscopy         # methods A/B/C vs ground truth
     classminer render demo -o demo.npz      # snapshot the rendered stream
+    classminer ingest all --db-dir db/      # mine the corpus into a database
+    classminer cache list --db-dir db/      # inspect the artifact cache
 
 The special title ``demo`` refers to the compact demo screenplay; the
-five corpus titles come from the paper's dataset description.
+five corpus titles come from the paper's dataset description.  For
+``ingest``, ``corpus`` expands to the five titles and ``all`` to the
+corpus plus the demo.
 """
 
 from __future__ import annotations
@@ -136,6 +140,63 @@ def _cmd_poster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import ProgressTracker, RetryPolicy, ingest_corpus
+
+    tracker = ProgressTracker()
+
+    def progress(event):
+        tracker(event)
+        if not args.quiet and event.kind != "queued":
+            print(event.describe())
+
+    report = ingest_corpus(
+        args.titles,
+        args.db_dir,
+        workers=args.workers,
+        force=args.force,
+        seed=args.seed,
+        timeout=args.timeout,
+        policy=RetryPolicy(retries=args.retries),
+        progress=progress,
+        strict=False,
+    )
+    print()
+    print(tracker.render_summary())
+    print(
+        f"\n{len(report.mined)} mined, {len(report.cached)} cached, "
+        f"{len(report.failed)} failed; "
+        f"{len(report.registered)} videos registered"
+    )
+    if report.database_path is not None:
+        print(f"database: {report.database_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_table as _table
+    from repro.ingest import manifest_for, store_for
+
+    store = store_for(args.db_dir)
+    if args.action == "list":
+        infos = store.list()
+        if not infos:
+            print(f"no artifacts under {store.root}")
+            return 0
+        rows = [
+            [info.title, info.key[:12], f"{info.size_bytes / 1024:.0f} KiB"]
+            for info in infos
+        ]
+        print(_table(["title", "key", "size"], rows, title="artifact cache"))
+        total = sum(info.size_bytes for info in infos)
+        print(f"\n{len(infos)} artifacts, {total / 1024:.0f} KiB total")
+        return 0
+    removed = store.clear()
+    manifest_for(args.db_dir).clear()
+    print(f"removed {removed} artifacts from {store.root}")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     video = _load(args.title)
     save_stream(video.stream, args.output)
@@ -192,6 +253,63 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("title")
     render.add_argument("-o", "--output", required=True)
     render.set_defaults(func=_cmd_render)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="mine titles into a persistent database directory",
+        description=(
+            "Mine each title (shots, scenes, cues, audio, events) into a "
+            "content-addressed artifact cache under --db-dir, then build "
+            "database.json from the artifacts. Finished jobs are recorded "
+            "in manifest.jsonl, so an interrupted ingest resumes without "
+            "redoing work, and a re-run hits the cache entirely."
+        ),
+    )
+    ingest.add_argument(
+        "titles",
+        nargs="+",
+        help="corpus titles, 'demo', 'corpus' (five titles) or 'all'",
+    )
+    ingest.add_argument(
+        "--db-dir",
+        required=True,
+        help="database directory (artifacts/, manifest.jsonl, database.json)",
+    )
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 mines serially in-process (default: 1)",
+    )
+    ingest.add_argument(
+        "--force",
+        action="store_true",
+        help="re-mine even when a cached artifact exists",
+    )
+    ingest.add_argument("--seed", type=int, default=0, help="render seed (default: 0)")
+    ingest.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock limit in seconds (pool mode only)",
+    )
+    ingest.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry attempts per job after the first failure (default: 2)",
+    )
+    ingest.add_argument(
+        "--quiet", action="store_true", help="only print the final summary"
+    )
+    ingest.set_defaults(func=_cmd_ingest)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the ingest artifact cache"
+    )
+    cache.add_argument("action", choices=("list", "clear"))
+    cache.add_argument("--db-dir", required=True, help="database directory")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

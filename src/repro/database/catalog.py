@@ -10,6 +10,7 @@ access controller.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -129,6 +130,27 @@ class VideoDatabase:
         self._videos[title] = record
         self._index_root = None  # force rebuild
         return record
+
+    def register_bulk(
+        self,
+        results: "Iterable[ClassMinerResult]",
+        skip_registered: bool = False,
+    ) -> list[RegisteredVideo]:
+        """Register many mined videos (the ingest bulk path).
+
+        Accepts any iterable — e.g. a generator lazily deserialising
+        artifacts from an :class:`~repro.ingest.artifacts.ArtifactStore`
+        — so only one result needs to be in memory at a time.  With
+        ``skip_registered`` an already-present title is skipped instead
+        of raising; the returned records cover only the videos added by
+        this call.
+        """
+        records: list[RegisteredVideo] = []
+        for result in results:
+            if skip_registered and result.title in self._videos:
+                continue
+            records.append(self.register(result))
+        return records
 
     def unregister(self, title: str) -> int:
         """Remove a video and all its shots; returns entries removed.

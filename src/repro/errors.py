@@ -39,6 +39,10 @@ class AccessDeniedError(DatabaseError):
     """An access-control rule denied the requested operation."""
 
 
+class IngestError(ReproError):
+    """Problems in the corpus ingestion runtime (jobs, cache, executor)."""
+
+
 class SkimmingError(ReproError):
     """Problems while building or traversing scalable skims."""
 

@@ -1,0 +1,58 @@
+"""Corpus ingestion runtime: parallel mining, artifact cache, resumable jobs.
+
+The batch layer that turns a set of titles into a persistent, queryable
+database directory (Sec. 5-6's corpus-scale story):
+
+* :mod:`repro.ingest.jobs` — jobs and deterministic cache keys;
+* :mod:`repro.ingest.manifest` — crash-tolerant JSON-lines job journal;
+* :mod:`repro.ingest.artifacts` — content-addressed ``.npz`` + JSON
+  store for mined :class:`~repro.core.pipeline.ClassMinerResult`\\ s;
+* :mod:`repro.ingest.executor` — process-pool execution with retry,
+  backoff and per-job timeouts;
+* :mod:`repro.ingest.progress` — structured per-job progress events;
+* :mod:`repro.ingest.runner` — the end-to-end ``ingest_corpus`` entry.
+"""
+
+from repro.ingest.artifacts import (
+    ArtifactInfo,
+    ArtifactStore,
+    decode_result,
+    encode_result,
+    results_equal,
+)
+from repro.ingest.executor import JobOutcome, RetryPolicy, run_jobs
+from repro.ingest.jobs import IngestJob, cache_key, jobs_for_titles
+from repro.ingest.manifest import JobManifest, JobRecord
+from repro.ingest.progress import JobEvent, ProgressTracker
+from repro.ingest.runner import (
+    IngestReport,
+    ingest_corpus,
+    ingest_jobs,
+    load_database,
+    manifest_for,
+    store_for,
+)
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "IngestJob",
+    "IngestReport",
+    "JobEvent",
+    "JobManifest",
+    "JobOutcome",
+    "JobRecord",
+    "ProgressTracker",
+    "RetryPolicy",
+    "cache_key",
+    "decode_result",
+    "encode_result",
+    "ingest_corpus",
+    "ingest_jobs",
+    "jobs_for_titles",
+    "load_database",
+    "manifest_for",
+    "results_equal",
+    "run_jobs",
+    "store_for",
+]

@@ -1,0 +1,593 @@
+"""Content-addressed artifact store for mined results.
+
+A mined :class:`~repro.core.pipeline.ClassMinerResult` is the expensive
+thing in the whole system — shot detection, cue extraction, audio
+analysis and event mining over a full video.  This module serialises it
+losslessly to one directory per cache key::
+
+    <root>/<key[:2]>/<key>/
+        meta.json     relational structure, cues, events, bookkeeping
+        arrays.npz    frames, histograms, textures, MFCCs, waveforms
+
+Numeric payloads live in the ``.npz`` (exact float64/uint8 round-trip);
+everything relational — which shots form which groups, which groups
+form which scenes, rule evidence, detections — lives in ``meta.json``.
+Objects are written to a temporary directory first and moved into place
+atomically, so concurrent workers racing on the same key cannot leave a
+half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.audio.clips import AudioClip
+from repro.audio.speaker import ShotAudio
+from repro.audio.waveform import Waveform
+from repro.core.clustering import ClusteredScene, SceneClusteringResult
+from repro.core.features import Shot
+from repro.core.groups import Group, GroupKind
+from repro.core.pipeline import ClassMinerResult
+from repro.core.scenes import Scene, SceneDetectionResult
+from repro.core.shots import ShotDetectionResult
+from repro.core.structure import ContentStructure
+from repro.errors import IngestError
+from repro.events.miner import EventMiningResult
+from repro.events.model import SceneEvent
+from repro.events.rules import SceneEvidence
+from repro.types import EventKind
+from repro.video.frame import Frame
+from repro.vision.blood import BloodDetection
+from repro.vision.cues import VisualCues
+from repro.vision.face import FaceDetection
+from repro.vision.frames import SpecialFrameKind
+from repro.vision.regions import Region
+from repro.vision.skin import SkinDetection
+
+#: On-disk format version; readers reject anything else.
+FORMAT_VERSION = 1
+
+_META_NAME = "meta.json"
+_ARRAYS_NAME = "arrays.npz"
+
+
+# ---------------------------------------------------------------------------
+# Encoding: ClassMinerResult -> (meta dict, arrays dict).
+# ---------------------------------------------------------------------------
+
+
+def _region_to_data(region: Region) -> dict:
+    return {
+        "label": region.label,
+        "area": region.area,
+        "bbox": list(region.bbox),
+        "centroid": list(region.centroid),
+    }
+
+
+def _region_from_data(data: dict) -> Region:
+    return Region(
+        label=int(data["label"]),
+        area=int(data["area"]),
+        bbox=tuple(int(v) for v in data["bbox"]),
+        centroid=tuple(float(v) for v in data["centroid"]),
+    )
+
+
+def _cues_to_data(cues: VisualCues) -> dict:
+    return {
+        "special": cues.special.value,
+        "face": {
+            "faces": [_region_to_data(r) for r in cues.face.faces],
+            "has_face": cues.face.has_face,
+            "has_closeup": cues.face.has_closeup,
+            "largest_fraction": cues.face.largest_fraction,
+        },
+        "skin": {
+            "regions": [_region_to_data(r) for r in cues.skin.regions],
+            "mask_fraction": cues.skin.mask_fraction,
+            "largest_fraction": cues.skin.largest_fraction,
+            "has_skin": cues.skin.has_skin,
+            "has_closeup": cues.skin.has_closeup,
+        },
+        "blood": {
+            "regions": [_region_to_data(r) for r in cues.blood.regions],
+            "mask_fraction": cues.blood.mask_fraction,
+            "largest_fraction": cues.blood.largest_fraction,
+            "has_blood": cues.blood.has_blood,
+        },
+    }
+
+
+def _cues_from_data(data: dict) -> VisualCues:
+    face = data["face"]
+    skin = data["skin"]
+    blood = data["blood"]
+    return VisualCues(
+        special=SpecialFrameKind(data["special"]),
+        face=FaceDetection(
+            faces=tuple(_region_from_data(r) for r in face["faces"]),
+            has_face=bool(face["has_face"]),
+            has_closeup=bool(face["has_closeup"]),
+            largest_fraction=float(face["largest_fraction"]),
+        ),
+        skin=SkinDetection(
+            regions=tuple(_region_from_data(r) for r in skin["regions"]),
+            mask_fraction=float(skin["mask_fraction"]),
+            largest_fraction=float(skin["largest_fraction"]),
+            has_skin=bool(skin["has_skin"]),
+            has_closeup=bool(skin["has_closeup"]),
+        ),
+        blood=BloodDetection(
+            regions=tuple(_region_from_data(r) for r in blood["regions"]),
+            mask_fraction=float(blood["mask_fraction"]),
+            largest_fraction=float(blood["largest_fraction"]),
+            has_blood=bool(blood["has_blood"]),
+        ),
+    )
+
+
+def encode_result(result: ClassMinerResult) -> tuple[dict, dict[str, np.ndarray]]:
+    """Flatten a mined result into JSON-safe metadata plus numeric arrays."""
+    structure = result.structure
+    shots = structure.shots
+    arrays: dict[str, np.ndarray] = {
+        "rep_frames": np.stack([s.representative_frame.pixels for s in shots]),
+        "histograms": np.stack([s.histogram for s in shots]),
+        "textures": np.stack([s.texture for s in shots]),
+    }
+    meta: dict = {
+        "format": FORMAT_VERSION,
+        "title": structure.title,
+        "fps": shots[0].fps if shots else 0.0,
+        "shots": [
+            {
+                "shot_id": s.shot_id,
+                "start": s.start,
+                "stop": s.stop,
+                "rep_index": s.representative_frame.index,
+            }
+            for s in shots
+        ],
+        "groups": [
+            {
+                "group_id": g.group_id,
+                "shot_ids": g.shot_ids,
+                "kind": g.kind.value,
+                "clusters": [[s.shot_id for s in cluster] for cluster in g.clusters],
+                "representative_shot_ids": [s.shot_id for s in g.representative_shots],
+            }
+            for g in structure.groups
+        ],
+        "scenes": [
+            {
+                "scene_id": sc.scene_id,
+                "group_ids": [g.group_id for g in sc.groups],
+                "representative_group_id": sc.representative_group.group_id,
+            }
+            for sc in structure.scenes
+        ],
+        "clusters": [
+            {
+                "cluster_id": c.cluster_id,
+                "scene_ids": c.scene_ids,
+                "centroid_group_id": c.centroid.group_id,
+            }
+            for c in structure.clustered_scenes
+        ],
+    }
+
+    detection = structure.shot_detection
+    if detection is None:
+        meta["shot_detection"] = None
+    else:
+        meta["shot_detection"] = {"boundaries": list(detection.boundaries)}
+        arrays["shot_differences"] = np.asarray(detection.differences)
+        arrays["shot_thresholds"] = np.asarray(detection.thresholds)
+
+    scene_detection = structure.scene_detection
+    if scene_detection is None:
+        meta["scene_detection"] = None
+    else:
+        meta["scene_detection"] = {
+            "eliminated": [
+                [g.group_id for g in unit] for unit in scene_detection.eliminated
+            ],
+            "merge_threshold": scene_detection.merge_threshold,
+        }
+        arrays["neighbour_similarities"] = np.asarray(
+            scene_detection.neighbour_similarities
+        )
+
+    clustering = structure.clustering
+    meta["clustering"] = (
+        None
+        if clustering is None
+        else {
+            "validity_curve": {str(k): v for k, v in clustering.validity_curve.items()},
+            "chosen_count": clustering.chosen_count,
+        }
+    )
+
+    meta["cues"] = {str(sid): _cues_to_data(c) for sid, c in result.cues.items()}
+
+    audio_meta: dict[str, dict] = {}
+    for sid, shot_audio in result.audio.items():
+        clip = shot_audio.representative_clip
+        audio_meta[str(sid)] = {
+            "has_speech": shot_audio.has_speech,
+            "clip": (
+                None
+                if clip is None
+                else {
+                    "start": clip.start,
+                    "stop": clip.stop,
+                    "sample_rate": clip.waveform.sample_rate,
+                }
+            ),
+        }
+        arrays[f"mfcc_{sid}"] = shot_audio.mfcc_vectors
+        if clip is not None:
+            arrays[f"clip_{sid}"] = clip.waveform.samples
+    meta["audio"] = audio_meta
+
+    events = result.events
+    if events is None:
+        meta["events"] = None
+    else:
+        meta["events"] = {
+            "events": [
+                {
+                    "scene_index": e.scene_index,
+                    "kind": e.kind.value,
+                    "evidence": list(e.evidence),
+                }
+                for e in events.events
+            ],
+            "evidence": [
+                {
+                    "scene_id": ev.scene.scene_id,
+                    "adjacent_changes": list(ev.adjacent_changes),
+                    "same_speaker_pairs": sorted(
+                        list(pair) for pair in ev.same_speaker_pairs
+                    ),
+                }
+                for ev in events.evidence
+            ],
+        }
+    return meta, arrays
+
+
+# ---------------------------------------------------------------------------
+# Decoding: (meta dict, arrays) -> ClassMinerResult.
+# ---------------------------------------------------------------------------
+
+
+def decode_result(meta: dict, arrays: dict[str, np.ndarray]) -> ClassMinerResult:
+    """Rebuild a :class:`ClassMinerResult` from its serialised form."""
+    fps = float(meta["fps"])
+    shots: list[Shot] = []
+    for i, raw in enumerate(meta["shots"]):
+        rep_index = int(raw["rep_index"])
+        frame = Frame(
+            pixels=arrays["rep_frames"][i],
+            index=rep_index,
+            timestamp=rep_index / fps,
+        )
+        shots.append(
+            Shot(
+                shot_id=int(raw["shot_id"]),
+                start=int(raw["start"]),
+                stop=int(raw["stop"]),
+                fps=fps,
+                representative_frame=frame,
+                histogram=arrays["histograms"][i],
+                texture=arrays["textures"][i],
+            )
+        )
+    shot_by_id = {s.shot_id: s for s in shots}
+
+    groups: list[Group] = []
+    for raw in meta["groups"]:
+        groups.append(
+            Group(
+                group_id=int(raw["group_id"]),
+                shots=[shot_by_id[i] for i in raw["shot_ids"]],
+                kind=GroupKind(raw["kind"]),
+                clusters=[
+                    [shot_by_id[i] for i in cluster] for cluster in raw["clusters"]
+                ],
+                representative_shots=[
+                    shot_by_id[i] for i in raw["representative_shot_ids"]
+                ],
+            )
+        )
+    group_by_id = {g.group_id: g for g in groups}
+
+    scenes: list[Scene] = []
+    for raw in meta["scenes"]:
+        scenes.append(
+            Scene(
+                scene_id=int(raw["scene_id"]),
+                groups=[group_by_id[i] for i in raw["group_ids"]],
+                representative_group=group_by_id[int(raw["representative_group_id"])],
+            )
+        )
+    scene_by_id = {s.scene_id: s for s in scenes}
+
+    clustered = [
+        ClusteredScene(
+            cluster_id=int(raw["cluster_id"]),
+            scenes=[scene_by_id[i] for i in raw["scene_ids"]],
+            centroid=group_by_id[int(raw["centroid_group_id"])],
+        )
+        for raw in meta["clusters"]
+    ]
+
+    detection = None
+    if meta.get("shot_detection") is not None:
+        detection = ShotDetectionResult(
+            shots=shots,
+            differences=arrays["shot_differences"],
+            thresholds=arrays["shot_thresholds"],
+            boundaries=[int(b) for b in meta["shot_detection"]["boundaries"]],
+        )
+
+    scene_detection = None
+    if meta.get("scene_detection") is not None:
+        raw = meta["scene_detection"]
+        scene_detection = SceneDetectionResult(
+            scenes=scenes,
+            eliminated=[
+                [group_by_id[i] for i in unit] for unit in raw["eliminated"]
+            ],
+            merge_threshold=float(raw["merge_threshold"]),
+            neighbour_similarities=arrays["neighbour_similarities"],
+        )
+
+    clustering = None
+    if meta.get("clustering") is not None:
+        raw = meta["clustering"]
+        clustering = SceneClusteringResult(
+            clusters=clustered,
+            validity_curve={int(k): float(v) for k, v in raw["validity_curve"].items()},
+            chosen_count=int(raw["chosen_count"]),
+        )
+
+    structure = ContentStructure(
+        title=str(meta["title"]),
+        shots=shots,
+        groups=groups,
+        scenes=scenes,
+        clustered_scenes=clustered,
+        shot_detection=detection,
+        scene_detection=scene_detection,
+        clustering=clustering,
+    )
+
+    cues = {int(sid): _cues_from_data(raw) for sid, raw in meta["cues"].items()}
+
+    audio: dict[int, ShotAudio] = {}
+    for sid_text, raw in meta["audio"].items():
+        sid = int(sid_text)
+        clip_raw = raw["clip"]
+        clip = None
+        if clip_raw is not None:
+            clip = AudioClip(
+                waveform=Waveform(
+                    samples=arrays[f"clip_{sid}"],
+                    sample_rate=int(clip_raw["sample_rate"]),
+                ),
+                start=float(clip_raw["start"]),
+                stop=float(clip_raw["stop"]),
+            )
+        audio[sid] = ShotAudio(
+            shot_id=sid,
+            representative_clip=clip,
+            has_speech=bool(raw["has_speech"]),
+            mfcc_vectors=arrays[f"mfcc_{sid}"],
+        )
+
+    events = None
+    if meta.get("events") is not None:
+        raw_events = meta["events"]
+        event_list = [
+            SceneEvent(
+                scene_index=int(e["scene_index"]),
+                kind=EventKind(e["kind"]),
+                evidence=tuple(e["evidence"]),
+            )
+            for e in raw_events["events"]
+        ]
+        evidence_list = []
+        for ev in raw_events["evidence"]:
+            scene = scene_by_id[int(ev["scene_id"])]
+            evidence_list.append(
+                SceneEvidence(
+                    scene=scene,
+                    cues={sid: cues[sid] for sid in scene.shot_ids},
+                    audio={sid: audio[sid] for sid in scene.shot_ids if sid in audio},
+                    adjacent_changes=[
+                        None if c is None else bool(c)
+                        for c in ev["adjacent_changes"]
+                    ],
+                    same_speaker_pairs={
+                        (int(i), int(j)) for i, j in ev["same_speaker_pairs"]
+                    },
+                )
+            )
+        events = EventMiningResult(events=event_list, evidence=evidence_list)
+
+    return ClassMinerResult(structure=structure, cues=cues, audio=audio, events=events)
+
+
+# ---------------------------------------------------------------------------
+# The store itself.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Summary of one stored artifact (for ``classminer cache list``)."""
+
+    key: str
+    title: str
+    path: Path
+    size_bytes: int
+    modified: float
+
+
+class ArtifactStore:
+    """Content-addressed directory of serialised mining results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        """Root directory of the store."""
+        return self._root
+
+    def path_for(self, key: str) -> Path:
+        """Directory an artifact with ``key`` lives in (may not exist)."""
+        return self._root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        """True when a complete artifact exists for ``key``."""
+        path = self.path_for(key)
+        return (path / _META_NAME).exists() and (path / _ARRAYS_NAME).exists()
+
+    def save(
+        self,
+        key: str,
+        result: ClassMinerResult,
+        extra_meta: dict | None = None,
+    ) -> Path:
+        """Serialise ``result`` under ``key``; atomic against races.
+
+        ``extra_meta`` entries (job seed, config, timings) are merged
+        into ``meta.json`` for provenance.  Returns the artifact path.
+        """
+        meta, arrays = encode_result(result)
+        meta["key"] = key
+        if extra_meta:
+            meta.update(extra_meta)
+        final = self.path_for(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".tmp-{key[:8]}-", dir=self._root)
+        )
+        try:
+            (tmp / _META_NAME).write_text(json.dumps(meta))
+            np.savez_compressed(tmp / _ARRAYS_NAME, **arrays)
+            try:
+                os.replace(tmp, final)
+            except OSError:
+                # The target already exists (an earlier run, or a
+                # concurrent worker).  Replace it — a forced re-mine
+                # must win — but if the swap still fails while a
+                # complete artifact sits there, keep that one: same
+                # key means same inputs, so the content is equivalent.
+                shutil.rmtree(final, ignore_errors=True)
+                try:
+                    os.replace(tmp, final)
+                except OSError:
+                    if not self.has(key):
+                        raise
+                    shutil.rmtree(tmp, ignore_errors=True)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def load(self, key: str) -> ClassMinerResult:
+        """Deserialise the artifact stored under ``key``.
+
+        Raises :class:`IngestError` for missing or corrupt artifacts.
+        """
+        path = self.path_for(key)
+        if not self.has(key):
+            raise IngestError(f"no artifact for key {key[:12]}… in {self._root}")
+        try:
+            meta = json.loads((path / _META_NAME).read_text())
+            if int(meta.get("format", -1)) != FORMAT_VERSION:
+                raise IngestError(
+                    f"artifact {key[:12]}… has format {meta.get('format')!r}, "
+                    f"expected {FORMAT_VERSION}"
+                )
+            with np.load(path / _ARRAYS_NAME, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+            return decode_result(meta, arrays)
+        except IngestError:
+            raise
+        except Exception as exc:  # corrupt json/zip/missing keys
+            raise IngestError(f"corrupt artifact {key[:12]}…: {exc}") from exc
+
+    def read_meta(self, key: str) -> dict:
+        """Load just the JSON metadata of an artifact (cheap)."""
+        path = self.path_for(key) / _META_NAME
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IngestError(f"cannot read artifact meta {key[:12]}…: {exc}") from exc
+
+    def list(self) -> list[ArtifactInfo]:
+        """Enumerate stored artifacts, newest first."""
+        infos: list[ArtifactInfo] = []
+        if not self._root.exists():
+            return infos
+        for meta_path in sorted(self._root.glob(f"*/*/{_META_NAME}")):
+            directory = meta_path.parent
+            key = directory.name
+            if not self.has(key):
+                continue
+            try:
+                title = str(json.loads(meta_path.read_text()).get("title", "?"))
+            except (OSError, json.JSONDecodeError):
+                title = "?"
+            size = sum(f.stat().st_size for f in directory.iterdir() if f.is_file())
+            infos.append(
+                ArtifactInfo(
+                    key=key,
+                    title=title,
+                    path=directory,
+                    size_bytes=size,
+                    modified=meta_path.stat().st_mtime,
+                )
+            )
+        infos.sort(key=lambda info: info.modified, reverse=True)
+        return infos
+
+    def remove(self, key: str) -> bool:
+        """Delete one artifact; returns whether anything was removed."""
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        shutil.rmtree(path)
+        return True
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        count = len(self.list())
+        if self._root.exists():
+            shutil.rmtree(self._root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        return count
+
+
+def results_equal(a: ClassMinerResult, b: ClassMinerResult) -> bool:
+    """Deep equality of two mined results (used to verify round-trips)."""
+    meta_a, arrays_a = encode_result(a)
+    meta_b, arrays_b = encode_result(b)
+    if meta_a != meta_b:
+        return False
+    if set(arrays_a) != set(arrays_b):
+        return False
+    return all(np.array_equal(arrays_a[name], arrays_b[name]) for name in arrays_a)

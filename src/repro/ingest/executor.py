@@ -1,0 +1,481 @@
+"""The ingest worker-pool executor.
+
+Runs ingest jobs across processes via
+:class:`concurrent.futures.ProcessPoolExecutor` with a serial fallback
+(``workers <= 1``, or when the platform refuses to give us a pool).
+Each job:
+
+1. checks the artifact store — a cache hit skips mining entirely;
+2. renders and mines the video (inside the worker process);
+3. serialises the result into the content-addressed store;
+4. reports back, and the parent records the manifest transition.
+
+Failures are retried with exponential backoff up to a bounded attempt
+count; exhaustion (and per-job timeouts in pool mode) surface as a
+typed :class:`~repro.errors.IngestError`.  Tests inject faults by
+monkeypatching :func:`_mine_job`, the single choke point both the
+serial and pool paths go through.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import ClassMiner
+from repro.core.pipeline import ClassMinerResult
+from repro.errors import IngestError
+from repro.ingest.artifacts import ArtifactStore
+from repro.ingest.jobs import IngestJob
+from repro.ingest.manifest import JobManifest
+from repro.ingest.progress import JobEvent, ProgressCallback
+from repro.video.synthesis import generate_video
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient job failures.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts after the first (0 disables retrying).
+    backoff:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied to the delay for each further retry.
+    """
+
+    retries: int = 2
+    backoff: float = 0.1
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a job may consume."""
+        return 1 + max(0, self.retries)
+
+
+@dataclass
+class JobOutcome:
+    """Terminal result of one job within a run.
+
+    Attributes
+    ----------
+    key / title:
+        Job identity.
+    state:
+        ``cached`` (artifact reused), ``done`` (mined this run) or
+        ``failed``.
+    attempts:
+        Attempts consumed (0 for cache hits).
+    wall_time:
+        Seconds of the successful (or final failed) attempt.
+    shots / scenes:
+        Mined counts (None for failures).
+    artifact_path:
+        Where the artifact lives (None for failures).
+    error:
+        Failure description (empty otherwise).
+    """
+
+    key: str
+    title: str
+    state: str
+    attempts: int = 0
+    wall_time: float = 0.0
+    shots: int | None = None
+    scenes: int | None = None
+    artifact_path: Path | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True unless the job failed."""
+        return self.state in ("cached", "done")
+
+
+def _mine_job(job: IngestJob) -> ClassMinerResult:
+    """Render and mine one job's video (the fault-injection choke point)."""
+    video = generate_video(job.screenplay, seed=job.seed, with_audio=job.mine_events)
+    return ClassMiner(config=job.config).mine(video.stream, mine_events=job.mine_events)
+
+
+def _execute_job(job: IngestJob, store_root: str) -> dict:
+    """Worker entry: mine ``job`` and persist its artifact.
+
+    Runs inside the pool worker (or inline in serial mode) and returns a
+    small picklable summary — the heavy result stays on disk.
+    """
+    start = time.perf_counter()
+    result = _mine_job(job)
+    wall = time.perf_counter() - start
+    store = ArtifactStore(store_root)
+    path = store.save(
+        job.key,
+        result,
+        extra_meta={
+            "seed": job.seed,
+            "config": job.config.to_dict(),
+            "mine_events": job.mine_events,
+            "mine_seconds": wall,
+            "created": time.time(),
+        },
+    )
+    return {
+        "key": job.key,
+        "title": job.title,
+        "path": str(path),
+        "shots": result.structure.shot_count,
+        "scenes": result.structure.scene_count,
+        "wall": wall,
+    }
+
+
+def _emit(progress: ProgressCallback | None, event: JobEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _cached_outcome(
+    job: IngestJob,
+    store: ArtifactStore,
+    manifest: JobManifest,
+    progress: ProgressCallback | None,
+) -> JobOutcome:
+    """Outcome for a job whose artifact already exists on disk."""
+    if manifest.state_of(job.key) != "done":
+        manifest.record(job.key, job.title, "done")
+    meta = store.read_meta(job.key)
+    outcome = JobOutcome(
+        key=job.key,
+        title=job.title,
+        state="cached",
+        artifact_path=store.path_for(job.key),
+        shots=len(meta.get("shots", [])),
+        scenes=len(meta.get("scenes", [])),
+    )
+    _emit(
+        progress,
+        JobEvent(
+            "cached",
+            job.title,
+            job.key,
+            shots=outcome.shots,
+            scenes=outcome.scenes,
+        ),
+    )
+    return outcome
+
+
+def _outcome_from_summary(summary: dict, attempts: int) -> JobOutcome:
+    return JobOutcome(
+        key=summary["key"],
+        title=summary["title"],
+        state="done",
+        attempts=attempts,
+        wall_time=summary["wall"],
+        shots=summary["shots"],
+        scenes=summary["scenes"],
+        artifact_path=Path(summary["path"]),
+    )
+
+
+def _run_serial(
+    jobs: list[IngestJob],
+    store: ArtifactStore,
+    manifest: JobManifest,
+    policy: RetryPolicy,
+    progress: ProgressCallback | None,
+) -> list[JobOutcome]:
+    """Mine jobs one by one in this process (no preemptive timeout)."""
+    outcomes: list[JobOutcome] = []
+    for job in jobs:
+        error = ""
+        attempt = 0
+        outcome: JobOutcome | None = None
+        while attempt < policy.max_attempts:
+            attempt += 1
+            manifest.record(job.key, job.title, "running", attempt=attempt)
+            _emit(progress, JobEvent("started", job.title, job.key, attempt=attempt))
+            start = time.perf_counter()
+            try:
+                summary = _execute_job(job, str(store.root))
+            except Exception as exc:  # typed below; bounded by max_attempts
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt < policy.max_attempts:
+                    _emit(
+                        progress,
+                        JobEvent(
+                            "retried",
+                            job.title,
+                            job.key,
+                            attempt=attempt,
+                            message=error,
+                        ),
+                    )
+                    time.sleep(policy.delay(attempt))
+                continue
+            outcome = _outcome_from_summary(summary, attempt)
+            break
+        if outcome is None:
+            outcome = JobOutcome(
+                key=job.key,
+                title=job.title,
+                state="failed",
+                attempts=attempt,
+                wall_time=time.perf_counter() - start,
+                error=error,
+            )
+            manifest.record(
+                job.key, job.title, "failed", attempt=attempt, error=error
+            )
+            _emit(
+                progress,
+                JobEvent(
+                    "failed",
+                    job.title,
+                    job.key,
+                    attempt=attempt,
+                    wall_time=outcome.wall_time,
+                    message=error,
+                ),
+            )
+        else:
+            manifest.record(job.key, job.title, "done", attempt=attempt)
+            _emit(
+                progress,
+                JobEvent(
+                    "finished",
+                    job.title,
+                    job.key,
+                    attempt=attempt,
+                    wall_time=outcome.wall_time,
+                    shots=outcome.shots,
+                    scenes=outcome.scenes,
+                ),
+            )
+        outcomes.append(outcome)
+    return outcomes
+
+
+@dataclass
+class _Slot:
+    """Bookkeeping for one in-flight pooled job."""
+
+    job: IngestJob
+    attempt: int
+    deadline: float | None
+
+
+def _run_pool(
+    jobs: list[IngestJob],
+    store: ArtifactStore,
+    manifest: JobManifest,
+    workers: int,
+    timeout: float | None,
+    policy: RetryPolicy,
+    progress: ProgressCallback | None,
+) -> list[JobOutcome]:
+    """Mine jobs across a process pool with per-job deadlines."""
+    outcomes: dict[str, JobOutcome] = {}
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+
+        def submit(job: IngestJob, attempt: int) -> tuple[Future, _Slot]:
+            manifest.record(job.key, job.title, "running", attempt=attempt)
+            _emit(progress, JobEvent("started", job.title, job.key, attempt=attempt))
+            future = pool.submit(_execute_job, job, str(store.root))
+            deadline = None if timeout is None else time.monotonic() + timeout
+            return future, _Slot(job=job, attempt=attempt, deadline=deadline)
+
+        pending: dict[Future, _Slot] = {}
+        for job in jobs:
+            future, slot = submit(job, attempt=1)
+            pending[future] = slot
+
+        while pending:
+            completed, _ = wait(
+                list(pending), timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for future in completed:
+                slot = pending.pop(future)
+                job, attempt = slot.job, slot.attempt
+                exc = future.exception()
+                if exc is None:
+                    summary = future.result()
+                    outcomes[job.key] = _outcome_from_summary(summary, attempt)
+                    manifest.record(job.key, job.title, "done", attempt=attempt)
+                    _emit(
+                        progress,
+                        JobEvent(
+                            "finished",
+                            job.title,
+                            job.key,
+                            attempt=attempt,
+                            wall_time=summary["wall"],
+                            shots=summary["shots"],
+                            scenes=summary["scenes"],
+                        ),
+                    )
+                    continue
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt < policy.max_attempts:
+                    _emit(
+                        progress,
+                        JobEvent(
+                            "retried", job.title, job.key, attempt=attempt,
+                            message=error,
+                        ),
+                    )
+                    time.sleep(policy.delay(attempt))
+                    future, slot = submit(job, attempt=attempt + 1)
+                    pending[future] = slot
+                else:
+                    outcomes[job.key] = JobOutcome(
+                        key=job.key,
+                        title=job.title,
+                        state="failed",
+                        attempts=attempt,
+                        error=error,
+                    )
+                    manifest.record(
+                        job.key, job.title, "failed", attempt=attempt, error=error
+                    )
+                    _emit(
+                        progress,
+                        JobEvent(
+                            "failed", job.title, job.key, attempt=attempt,
+                            message=error,
+                        ),
+                    )
+            # Enforce per-job deadlines on whatever is still running.
+            now = time.monotonic()
+            for future, slot in list(pending.items()):
+                if slot.deadline is None or now <= slot.deadline:
+                    continue
+                future.cancel()
+                timed_out = True
+                del pending[future]
+                job = slot.job
+                error = f"timed out after {timeout:.1f}s"
+                outcomes[job.key] = JobOutcome(
+                    key=job.key,
+                    title=job.title,
+                    state="failed",
+                    attempts=slot.attempt,
+                    wall_time=timeout or 0.0,
+                    error=error,
+                )
+                manifest.record(
+                    job.key, job.title, "failed", attempt=slot.attempt, error=error
+                )
+                _emit(
+                    progress,
+                    JobEvent(
+                        "failed", job.title, job.key, attempt=slot.attempt,
+                        wall_time=timeout or 0.0, message=error,
+                    ),
+                )
+    finally:
+        # After a timeout the stuck worker may never return; abandon it
+        # instead of blocking the whole ingest on its shutdown join.
+        pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    return [outcomes[job.key] for job in jobs if job.key in outcomes]
+
+
+def run_jobs(
+    jobs: list[IngestJob],
+    store: ArtifactStore,
+    manifest: JobManifest,
+    workers: int = 1,
+    force: bool = False,
+    timeout: float | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressCallback | None = None,
+    raise_on_failure: bool = True,
+) -> list[JobOutcome]:
+    """Run a batch of ingest jobs and return one outcome per job.
+
+    Parameters
+    ----------
+    jobs:
+        The work list (see :func:`repro.ingest.jobs.jobs_for_titles`).
+    store / manifest:
+        The artifact store and job journal of the target database dir.
+    workers:
+        Process count; ``<= 1`` runs serially in this process.
+    force:
+        Re-mine even when a cached artifact exists.
+    timeout:
+        Per-job wall-clock limit in seconds (pool mode only — serial
+        execution cannot preempt a running job).
+    policy:
+        Retry/backoff policy (defaults to :class:`RetryPolicy`).
+    progress:
+        Callback receiving a :class:`JobEvent` per state change.
+    raise_on_failure:
+        Raise :class:`IngestError` when any job exhausts its retries.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    outcomes: list[JobOutcome] = []
+    to_run: list[IngestJob] = []
+    for job in jobs:
+        _emit(progress, JobEvent("queued", job.title, job.key))
+        if force:
+            store.remove(job.key)
+        if not force and store.has(job.key):
+            # Cache hit: mining is skipped entirely.  Covers both a
+            # resumed ingest (manifest already says done) and a manifest
+            # lost or cleared since the artifact was written.
+            outcomes.append(_cached_outcome(job, store, manifest, progress))
+            continue
+        manifest.record(job.key, job.title, "pending")
+        to_run.append(job)
+
+    if to_run:
+        if workers > 1:
+            try:
+                outcomes.extend(
+                    _run_pool(
+                        to_run, store, manifest, workers, timeout, policy, progress
+                    )
+                )
+            except (OSError, PermissionError, ImportError, BrokenExecutor):
+                # No process pool on this platform (or it broke mid
+                # run): degrade to serial, reusing whatever artifacts
+                # the pool managed to land before giving up.
+                remaining: list[IngestJob] = []
+                for job in to_run:
+                    if store.has(job.key):
+                        outcomes.append(
+                            _cached_outcome(job, store, manifest, progress)
+                        )
+                    else:
+                        remaining.append(job)
+                outcomes.extend(
+                    _run_serial(remaining, store, manifest, policy, progress)
+                )
+        else:
+            outcomes.extend(_run_serial(to_run, store, manifest, policy, progress))
+
+    failures = [o for o in outcomes if not o.ok]
+    if failures and raise_on_failure:
+        detail = "; ".join(f"{o.title}: {o.error}" for o in failures)
+        raise IngestError(
+            f"{len(failures)}/{len(jobs)} ingest jobs failed — {detail}"
+        )
+    return outcomes

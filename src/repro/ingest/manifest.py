@@ -1,0 +1,148 @@
+"""The on-disk job manifest: a crash-tolerant JSON-lines journal.
+
+Every state transition of every job is appended as one JSON line, so an
+interrupted ingest can be resumed by replaying the journal: the *last*
+record for each cache key wins.  A partially written trailing line
+(the signature of a mid-write crash) is ignored on replay rather than
+poisoning the whole manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import IngestError
+
+#: The job lifecycle states recorded in the manifest.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One manifest entry: the latest known state of one job.
+
+    Attributes
+    ----------
+    key:
+        The job's artifact cache key.
+    title:
+        Video title (for human inspection; the key is authoritative).
+    state:
+        One of :data:`JOB_STATES`.
+    attempt:
+        1-based attempt number that produced this state (0 = not run).
+    timestamp:
+        Unix time the record was written.
+    error:
+        Failure description (empty unless ``state == "failed"``).
+    """
+
+    key: str
+    title: str
+    state: str
+    attempt: int = 0
+    timestamp: float = 0.0
+    error: str = ""
+
+
+class JobManifest:
+    """Append-only journal of job states, replayable after a crash."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._records: dict[str, JobRecord] = {}
+        if self._path.exists():
+            self._replay()
+
+    @property
+    def path(self) -> Path:
+        """Location of the journal file."""
+        return self._path
+
+    def _replay(self) -> None:
+        for line in self._path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                record = JobRecord(
+                    key=str(raw["key"]),
+                    title=str(raw.get("title", "")),
+                    state=str(raw["state"]),
+                    attempt=int(raw.get("attempt", 0)),
+                    timestamp=float(raw.get("timestamp", 0.0)),
+                    error=str(raw.get("error", "")),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # A torn trailing line from a crash mid-write: skip it.
+                continue
+            if record.state not in JOB_STATES:
+                continue
+            self._records[record.key] = record
+
+    def record(
+        self,
+        key: str,
+        title: str,
+        state: str,
+        attempt: int = 0,
+        error: str = "",
+    ) -> JobRecord:
+        """Append one state transition and return the stored record."""
+        if state not in JOB_STATES:
+            raise IngestError(f"unknown job state {state!r}; known: {JOB_STATES}")
+        record = JobRecord(
+            key=key,
+            title=title,
+            state=state,
+            attempt=attempt,
+            timestamp=time.time(),
+            error=error,
+        )
+        payload = {
+            "key": record.key,
+            "title": record.title,
+            "state": record.state,
+            "attempt": record.attempt,
+            "timestamp": record.timestamp,
+            "error": record.error,
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a") as handle:
+            handle.write(json.dumps(payload) + "\n")
+        self._records[key] = record
+        return record
+
+    def state_of(self, key: str) -> str | None:
+        """Latest recorded state for ``key`` (None when never seen)."""
+        record = self._records.get(key)
+        return record.state if record is not None else None
+
+    def get(self, key: str) -> JobRecord | None:
+        """Latest record for ``key`` (None when never seen)."""
+        return self._records.get(key)
+
+    def records(self) -> list[JobRecord]:
+        """Latest record of every known job, in insertion order."""
+        return list(self._records.values())
+
+    def done_keys(self) -> set[str]:
+        """Keys whose latest state is ``done``."""
+        return {k for k, r in self._records.items() if r.state == "done"}
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs currently in each state."""
+        tally = {state: 0 for state in JOB_STATES}
+        for record in self._records.values():
+            tally[record.state] += 1
+        return tally
+
+    def clear(self) -> None:
+        """Forget every record and truncate the journal file."""
+        self._records.clear()
+        if self._path.exists():
+            self._path.write_text("")

@@ -1,0 +1,193 @@
+"""End-to-end corpus ingestion: titles in, queryable database dir out.
+
+:func:`ingest_corpus` is the high-level entry the CLI and benchmarks
+use.  It lays out a database directory::
+
+    <db_dir>/
+        artifacts/       content-addressed mined results (the cache)
+        manifest.jsonl   job journal (resume state)
+        database.json    the registered, queryable VideoDatabase
+
+The artifacts are the source of truth: every run rebuilds
+``database.json`` from the successful artifacts, so a resumed or
+partially failed ingest still leaves a consistent, loadable database
+covering everything that was mined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.structure import MiningConfig
+from repro.database.catalog import VideoDatabase
+from repro.errors import IngestError
+from repro.ingest.executor import JobOutcome, RetryPolicy, run_jobs
+from repro.ingest.jobs import IngestJob, jobs_for_titles
+from repro.ingest.manifest import JobManifest
+from repro.ingest.artifacts import ArtifactStore
+from repro.ingest.progress import ProgressCallback
+
+#: File names inside a database directory.
+ARTIFACTS_DIR = "artifacts"
+MANIFEST_NAME = "manifest.jsonl"
+DATABASE_NAME = "database.json"
+
+
+@dataclass
+class IngestReport:
+    """What one :func:`ingest_corpus` run did.
+
+    Attributes
+    ----------
+    db_dir:
+        The database directory.
+    database_path:
+        ``database.json`` inside it (None when nothing succeeded).
+    outcomes:
+        Per-job terminal outcomes, in job order.
+    registered:
+        Titles registered into the rebuilt database (this run's jobs
+        plus every earlier artifact still in the store).
+    """
+
+    db_dir: Path
+    database_path: Path | None
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    registered: list[str] = field(default_factory=list)
+
+    @property
+    def mined(self) -> list[JobOutcome]:
+        """Jobs actually mined this run."""
+        return [o for o in self.outcomes if o.state == "done"]
+
+    @property
+    def cached(self) -> list[JobOutcome]:
+        """Jobs satisfied from the artifact cache."""
+        return [o for o in self.outcomes if o.state == "cached"]
+
+    @property
+    def failed(self) -> list[JobOutcome]:
+        """Jobs that exhausted their retries (or timed out)."""
+        return [o for o in self.outcomes if o.state == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced an artifact."""
+        return not self.failed
+
+
+def store_for(db_dir: str | Path) -> ArtifactStore:
+    """The artifact store of a database directory."""
+    return ArtifactStore(Path(db_dir) / ARTIFACTS_DIR)
+
+
+def manifest_for(db_dir: str | Path) -> JobManifest:
+    """The job manifest of a database directory."""
+    return JobManifest(Path(db_dir) / MANIFEST_NAME)
+
+
+def ingest_jobs(
+    jobs: list[IngestJob],
+    db_dir: str | Path,
+    workers: int = 1,
+    force: bool = False,
+    timeout: float | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressCallback | None = None,
+    strict: bool = True,
+) -> IngestReport:
+    """Run prepared jobs into ``db_dir`` and (re)build its database.
+
+    With ``strict`` (the default) any failed job raises
+    :class:`IngestError` *after* the database has been rebuilt from the
+    successful artifacts; pass ``strict=False`` to inspect failures on
+    the returned report instead.
+    """
+    db_dir = Path(db_dir)
+    db_dir.mkdir(parents=True, exist_ok=True)
+    store = store_for(db_dir)
+    manifest = manifest_for(db_dir)
+
+    outcomes = run_jobs(
+        jobs,
+        store,
+        manifest,
+        workers=workers,
+        force=force,
+        timeout=timeout,
+        policy=policy,
+        progress=progress,
+        raise_on_failure=False,
+    )
+
+    database = VideoDatabase()
+    registered: list[str] = []
+    # This run's results first, then every other artifact already in the
+    # store: the cache is the source of truth, so ingesting a disjoint
+    # title set must not drop previously ingested videos from the DB.
+    run_keys = [outcome.key for outcome in outcomes if outcome.ok]
+    stored = [info.key for info in store.list() if info.key not in set(run_keys)]
+    results = (store.load(key) for key in run_keys + stored)
+    for record in database.register_bulk(results, skip_registered=True):
+        registered.append(record.title)
+
+    database_path: Path | None = None
+    if registered:
+        database_path = db_dir / DATABASE_NAME
+        database.save(database_path)
+
+    report = IngestReport(
+        db_dir=db_dir,
+        database_path=database_path,
+        outcomes=outcomes,
+        registered=registered,
+    )
+    if strict and not report.ok:
+        detail = "; ".join(f"{o.title}: {o.error}" for o in report.failed)
+        raise IngestError(
+            f"{len(report.failed)}/{len(outcomes)} ingest jobs failed — {detail}"
+        )
+    return report
+
+
+def ingest_corpus(
+    titles: list[str],
+    db_dir: str | Path,
+    workers: int = 1,
+    force: bool = False,
+    seed: int = 0,
+    config: MiningConfig | None = None,
+    mine_events: bool = True,
+    timeout: float | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressCallback | None = None,
+    strict: bool = True,
+) -> IngestReport:
+    """Ingest a set of titles into a persistent database directory.
+
+    ``titles`` accepts corpus titles, ``demo``, and the shorthands
+    ``corpus`` (the five paper titles) and ``all`` (corpus + demo).
+    See :func:`ingest_jobs` for the execution and failure semantics.
+    """
+    jobs = jobs_for_titles(titles, seed=seed, config=config, mine_events=mine_events)
+    if not jobs:
+        raise IngestError("no titles to ingest")
+    return ingest_jobs(
+        jobs,
+        db_dir,
+        workers=workers,
+        force=force,
+        timeout=timeout,
+        policy=policy,
+        progress=progress,
+        strict=strict,
+    )
+
+
+def load_database(db_dir: str | Path) -> VideoDatabase:
+    """Load the ``database.json`` an ingest run wrote into ``db_dir``."""
+    path = Path(db_dir) / DATABASE_NAME
+    if not path.exists():
+        raise IngestError(f"no ingested database at {path}")
+    return VideoDatabase.load(path)

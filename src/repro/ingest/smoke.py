@@ -1,0 +1,56 @@
+"""Ingest smoke check: cold vs warm demo ingest (``make ingest-smoke``).
+
+Ingests the demo title into a temporary database directory with two
+workers, runs the exact same ingest again, and asserts the warm run is
+at least five times faster because every job hits the artifact cache.
+Exits non-zero (with a diagnostic) when the cache fails to deliver.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.ingest.runner import ingest_corpus, load_database
+
+#: Required cold/warm speedup for the smoke check to pass.
+MIN_SPEEDUP = 5.0
+
+
+def run_smoke(workers: int = 2, titles: list[str] | None = None) -> int:
+    """Run the cold/warm ingest comparison; returns a process exit code."""
+    titles = titles if titles is not None else ["demo"]
+    with tempfile.TemporaryDirectory(prefix="ingest-smoke-") as db_dir:
+        start = time.perf_counter()
+        cold = ingest_corpus(titles, db_dir, workers=workers)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = ingest_corpus(titles, db_dir, workers=workers)
+        warm_seconds = time.perf_counter() - start
+
+        database = load_database(db_dir)
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+        print(
+            f"ingest-smoke: cold {cold_seconds:.2f}s "
+            f"({len(cold.mined)} mined), warm {warm_seconds:.2f}s "
+            f"({len(warm.cached)} cached), speedup {speedup:.1f}x, "
+            f"{database.shot_count} shots indexed"
+        )
+        if warm.mined:
+            print("ingest-smoke: FAIL — warm run re-mined jobs", file=sys.stderr)
+            return 1
+        if speedup < MIN_SPEEDUP:
+            print(
+                f"ingest-smoke: FAIL — warm speedup {speedup:.1f}x "
+                f"< {MIN_SPEEDUP:.0f}x",
+                file=sys.stderr,
+            )
+            return 1
+    print("ingest-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

@@ -1,0 +1,99 @@
+"""The `classminer ingest` and `classminer cache` subcommands."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ingest.runner import DATABASE_NAME
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory):
+    """A database directory populated by one real CLI ingest."""
+    directory = tmp_path_factory.mktemp("cli-ingest")
+    assert main(["ingest", "demo", "--db-dir", str(directory), "--quiet"]) == 0
+    return directory
+
+
+class TestIngestCommand:
+    def test_ingest_writes_database(self, tmp_path, capsys):
+        assert main(["ingest", "demo", "--db-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / DATABASE_NAME).exists()
+        assert "ingest summary" in out
+        assert "1 mined, 0 cached, 0 failed" in out
+        assert "database:" in out
+
+    def test_second_ingest_hits_cache(self, db_dir, capsys):
+        assert main(["ingest", "demo", "--db-dir", str(db_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "0 mined, 1 cached, 0 failed" in out
+
+    def test_quiet_suppresses_event_lines(self, db_dir, capsys):
+        assert main(["ingest", "demo", "--db-dir", str(db_dir), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[  cached]" not in out
+        assert "ingest summary" in out
+
+    def test_unknown_title_exits_nonzero(self, tmp_path, capsys):
+        assert main(["ingest", "atlantis", "--db-dir", str(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_flags_are_parsed(self, tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "ingest",
+                "demo",
+                "corpus",
+                "--db-dir",
+                str(tmp_path),
+                "--workers",
+                "3",
+                "--force",
+                "--seed",
+                "7",
+                "--timeout",
+                "42.5",
+                "--retries",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert args.titles == ["demo", "corpus"]
+        assert args.workers == 3
+        assert args.force is True
+        assert args.seed == 7
+        assert args.timeout == 42.5
+        assert args.retries == 1
+        assert args.quiet is True
+
+    def test_flags_documented_in_help(self):
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        help_text = sub.choices["ingest"].format_help()
+        for flag in ("--db-dir", "--workers", "--force", "--seed", "--retries"):
+            assert flag in help_text
+        assert "--db-dir" in sub.choices["cache"].format_help()
+
+
+class TestCacheCommand:
+    def test_cache_list_shows_artifact(self, db_dir, capsys):
+        assert main(["cache", "list", "--db-dir", str(db_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "KiB" in out
+
+    def test_cache_clear_then_list_empty(self, db_dir, capsys):
+        assert main(["cache", "clear", "--db-dir", str(db_dir)]) == 0
+        assert main(["cache", "list", "--db-dir", str(db_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no artifacts" in out

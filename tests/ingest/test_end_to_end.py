@@ -1,0 +1,134 @@
+"""End-to-end ingest: titles in, cached artifacts and a queryable DB out."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ingest.executor as executor
+from repro.database.index import combine_features
+from repro.ingest.jobs import IngestJob
+from repro.ingest.runner import (
+    ingest_corpus,
+    ingest_jobs,
+    load_database,
+    manifest_for,
+    store_for,
+)
+from repro.ingest.smoke import MIN_SPEEDUP, run_smoke
+
+
+@pytest.fixture(scope="module")
+def ingested(tmp_path_factory):
+    """One real cold ingest of the demo title (shared by the module)."""
+    db_dir = tmp_path_factory.mktemp("ingest-e2e")
+    report = ingest_corpus(["demo"], db_dir, workers=1)
+    return db_dir, report
+
+
+class TestIngestToQuery:
+    def test_cold_ingest_mines_and_registers(self, ingested):
+        db_dir, report = ingested
+        assert report.ok
+        assert [o.state for o in report.outcomes] == ["done"]
+        assert report.registered == ["demo"]
+        assert report.database_path is not None
+        assert report.database_path.exists()
+        assert manifest_for(db_dir).counts()["done"] == 1
+
+    def test_ingested_database_answers_queries(self, ingested):
+        db_dir, _report = ingested
+        database = load_database(db_dir)
+        assert "demo" in database.videos
+        assert database.shot_count > 0
+        # Query with the features of an ingested shot: it must come back.
+        key = IngestJob.for_title("demo").key
+        result = store_for(db_dir).load(key)
+        shot = result.structure.shots[0]
+        hits = database.search(combine_features(shot.histogram, shot.texture), k=5)
+        assert hits.hits
+        assert hits.top.entry.video_title == "demo"
+
+    def test_warm_rerun_is_fully_cached(self, ingested):
+        db_dir, _report = ingested
+        report = ingest_corpus(["demo"], db_dir, workers=1)
+        assert [o.state for o in report.outcomes] == ["cached"]
+        assert report.ok
+        database = load_database(db_dir)
+        assert "demo" in database.videos
+
+    def test_disjoint_ingest_keeps_earlier_titles(
+        self, tmp_path, demo_result, monkeypatch
+    ):
+        # Ingesting a new title later must not drop previously ingested
+        # videos from database.json: artifacts are the source of truth.
+        monkeypatch.setattr(executor, "_mine_job", lambda _job: demo_result)
+        first = ingest_jobs([IngestJob.for_title("demo", seed=0)], tmp_path)
+        assert first.registered == ["demo"]
+
+        import dataclasses
+
+        other = dataclasses.replace(
+            demo_result,
+            structure=dataclasses.replace(
+                demo_result.structure, title="laparoscopy"
+            ),
+        )
+        monkeypatch.setattr(executor, "_mine_job", lambda _job: other)
+        second = ingest_jobs([IngestJob.for_title("laparoscopy")], tmp_path)
+        assert sorted(second.registered) == ["demo", "laparoscopy"]
+        assert sorted(load_database(tmp_path).videos) == ["demo", "laparoscopy"]
+
+    def test_partial_failure_keeps_database_consistent(
+        self, tmp_path, demo_result, monkeypatch
+    ):
+        def picky(job):
+            if job.seed == 1:
+                raise RuntimeError("bad batch")
+            return demo_result
+
+        monkeypatch.setattr(executor, "_mine_job", picky)
+        jobs = [
+            IngestJob.for_title("demo", seed=0),
+            IngestJob.for_title("demo", seed=1),
+        ]
+        report = ingest_jobs(
+            jobs,
+            tmp_path,
+            policy=executor.RetryPolicy(retries=0),
+            strict=False,
+        )
+        assert len(report.failed) == 1
+        assert not report.ok
+        # The successful artifact still produced a loadable database.
+        database = load_database(tmp_path)
+        assert list(database.videos) == ["demo"]
+
+    def test_strict_failure_raises_after_db_rebuild(
+        self, tmp_path, demo_result, monkeypatch
+    ):
+        monkeypatch.setattr(
+            executor,
+            "_mine_job",
+            lambda _job: (_ for _ in ()).throw(RuntimeError("down")),
+        )
+        from repro.errors import IngestError
+
+        with pytest.raises(IngestError):
+            ingest_corpus(
+                ["demo"], tmp_path, policy=executor.RetryPolicy(retries=0)
+            )
+
+    def test_unknown_title_rejected(self, tmp_path):
+        from repro.errors import IngestError
+
+        with pytest.raises(IngestError):
+            ingest_corpus(["atlantis"], tmp_path)
+
+
+class TestSmoke:
+    def test_smoke_cold_vs_warm_speedup(self, capsys):
+        # The `make ingest-smoke` path: 2 workers, warm run >= 5x faster.
+        assert run_smoke(workers=2) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert MIN_SPEEDUP == 5.0

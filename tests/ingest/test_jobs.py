@@ -1,0 +1,65 @@
+"""Cache-key determinism and job construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.structure import MiningConfig
+from repro.errors import IngestError
+from repro.ingest.jobs import IngestJob, cache_key, jobs_for_titles
+from repro.video.synthesis import CORPUS_TITLES, demo_screenplay
+
+
+class TestCacheKey:
+    def test_same_inputs_same_key(self):
+        # Fresh objects on both sides: the key must depend on content only.
+        a = cache_key(demo_screenplay(), 0, MiningConfig())
+        b = cache_key(demo_screenplay(), 0, MiningConfig())
+        assert a == b
+
+    def test_key_is_hex_sha256(self):
+        key = IngestJob.for_title("demo").key
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_seed_changes_key(self):
+        play = demo_screenplay()
+        assert cache_key(play, 0, MiningConfig()) != cache_key(play, 1, MiningConfig())
+
+    def test_config_changes_key(self):
+        play = demo_screenplay()
+        base = cache_key(play, 0, MiningConfig())
+        tweaked = cache_key(play, 0, MiningConfig(min_scene_shots=4))
+        assert base != tweaked
+
+    def test_mine_events_flag_changes_key(self):
+        play = demo_screenplay()
+        assert cache_key(play, 0, MiningConfig(), mine_events=True) != cache_key(
+            play, 0, MiningConfig(), mine_events=False
+        )
+
+    def test_screenplay_changes_key(self):
+        demo_key = IngestJob.for_title("demo").key
+        corpus_key = IngestJob.for_title("face_repair").key
+        assert demo_key != corpus_key
+
+    def test_job_key_is_stable_across_instances(self):
+        assert IngestJob.for_title("demo").key == IngestJob.for_title("demo").key
+
+
+class TestJobsForTitles:
+    def test_corpus_shorthand_expands(self):
+        jobs = jobs_for_titles(["corpus"])
+        assert [job.title for job in jobs] == list(CORPUS_TITLES)
+
+    def test_all_shorthand_includes_demo(self):
+        jobs = jobs_for_titles(["all"])
+        assert [job.title for job in jobs] == ["demo", *CORPUS_TITLES]
+
+    def test_duplicates_dropped_in_order(self):
+        jobs = jobs_for_titles(["demo", "face_repair", "demo"])
+        assert [job.title for job in jobs] == ["demo", "face_repair"]
+
+    def test_unknown_title_raises_typed_error(self):
+        with pytest.raises(IngestError):
+            jobs_for_titles(["atlantis"])

@@ -1,0 +1,87 @@
+"""The JSON-lines job manifest: journaling, replay, crash tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest.manifest import JOB_STATES, JobManifest
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture()
+def manifest(tmp_path):
+    """An empty manifest in a temp directory."""
+    return JobManifest(tmp_path / "manifest.jsonl")
+
+
+class TestRecording:
+    def test_record_and_state_of(self, manifest):
+        manifest.record(KEY_A, "demo", "pending")
+        assert manifest.state_of(KEY_A) == "pending"
+        assert manifest.state_of(KEY_B) is None
+
+    def test_latest_record_wins(self, manifest):
+        manifest.record(KEY_A, "demo", "pending")
+        manifest.record(KEY_A, "demo", "running", attempt=1)
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        assert manifest.state_of(KEY_A) == "done"
+        # All three transitions are journaled, only the last is live.
+        assert len(manifest.path.read_text().splitlines()) == 3
+        assert len(manifest.records()) == 1
+
+    def test_unknown_state_raises_typed_error(self, manifest):
+        with pytest.raises(IngestError):
+            manifest.record(KEY_A, "demo", "exploded")
+
+    def test_error_text_is_kept(self, manifest):
+        manifest.record(KEY_A, "demo", "failed", attempt=3, error="boom")
+        record = manifest.get(KEY_A)
+        assert record.error == "boom"
+        assert record.attempt == 3
+
+    def test_counts_and_done_keys(self, manifest):
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        manifest.record(KEY_B, "laparoscopy", "failed", attempt=2, error="x")
+        counts = manifest.counts()
+        assert counts["done"] == 1
+        assert counts["failed"] == 1
+        assert set(counts) == set(JOB_STATES)
+        assert manifest.done_keys() == {KEY_A}
+
+
+class TestReplay:
+    def test_replay_after_reopen(self, manifest):
+        manifest.record(KEY_A, "demo", "running", attempt=1)
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        manifest.record(KEY_B, "laparoscopy", "running", attempt=1)
+        reopened = JobManifest(manifest.path)
+        assert reopened.state_of(KEY_A) == "done"
+        assert reopened.state_of(KEY_B) == "running"
+
+    def test_torn_trailing_line_is_skipped(self, manifest):
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        # Simulate a crash mid-append: half a JSON object at the end.
+        with manifest.path.open("a") as handle:
+            handle.write('{"key": "' + KEY_B + '", "sta')
+        reopened = JobManifest(manifest.path)
+        assert reopened.state_of(KEY_A) == "done"
+        assert reopened.state_of(KEY_B) is None
+
+    def test_unknown_state_in_journal_is_skipped(self, manifest):
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        with manifest.path.open("a") as handle:
+            handle.write(json.dumps({"key": KEY_A, "state": "exploded"}) + "\n")
+        reopened = JobManifest(manifest.path)
+        assert reopened.state_of(KEY_A) == "done"
+
+    def test_clear_truncates_journal(self, manifest):
+        manifest.record(KEY_A, "demo", "done", attempt=1)
+        manifest.clear()
+        assert manifest.state_of(KEY_A) is None
+        assert manifest.path.read_text() == ""
+        assert JobManifest(manifest.path).records() == []
