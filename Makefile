@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench examples report ingest-smoke all clean
+.PHONY: install test bench examples report ingest-smoke serve-smoke all clean
 
 install:
 	pip install -e .
@@ -13,6 +13,9 @@ bench:
 
 ingest-smoke:
 	python -m repro.ingest.smoke
+
+serve-smoke:
+	python -m repro.serving.smoke
 
 examples:
 	@for ex in examples/*.py; do \

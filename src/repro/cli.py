@@ -10,6 +10,8 @@ Installed as the ``classminer`` console script::
     classminer render demo -o demo.npz      # snapshot the rendered stream
     classminer ingest all --db-dir db/      # mine the corpus into a database
     classminer cache list --db-dir db/      # inspect the artifact cache
+    classminer serve --db-dir db/           # serving health check + metrics
+    classminer loadtest --db-dir db/        # closed-loop load generator
 
 The special title ``demo`` refers to the compact demo screenplay; the
 five corpus titles come from the paper's dataset description.  For
@@ -197,6 +199,66 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_server(args: argparse.Namespace):
+    from repro.ingest import load_database
+    from repro.serving import QueryServer, ServerConfig
+
+    database = load_database(args.db_dir)
+    config = ServerConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout=args.timeout,
+    )
+    return QueryServer(database, config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import QueryRequest
+
+    with _serving_server(args) as server:
+        snapshot = server.manager.current()
+        entries = snapshot.flat.entries
+        canary = entries[0].features
+        cold = server.query(QueryRequest(kind="shot", features=canary, k=5))
+        warm = server.query(QueryRequest(kind="shot", features=canary, k=5))
+        print(
+            f"canary query: cold {cold.elapsed_seconds * 1e3:.3f}ms "
+            f"({cold.comparisons} comparisons), "
+            f"warm {warm.elapsed_seconds * 1e6:.0f}us "
+            f"(cache {'hit' if warm.cache_hit else 'MISS'})"
+        )
+        ok = bool(cold.hits) and warm.cache_hit
+        print(server.describe())
+    return 0 if ok else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serving import LoadgenConfig, run_load
+
+    with _serving_server(args) as server:
+        config = LoadgenConfig(
+            clients=args.clients,
+            duration=args.duration,
+            k=args.k,
+            timeout=args.timeout,
+            unique_fraction=args.unique_fraction,
+            seed=args.seed,
+        )
+        report = run_load(server, config)
+        text = report.render(f"loadtest against {args.db_dir}")
+        print(text)
+        print()
+        print(server.metrics.render())
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text + "\n" + server.metrics.render() + "\n")
+            print(f"\nwrote {args.output}")
+        for failure in report.failures:
+            print(f"invariant failure: {failure}", file=sys.stderr)
+    return 0 if not report.failures and report.completed else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     video = _load(args.title)
     save_stream(video.stream, args.output)
@@ -310,6 +372,71 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("list", "clear"))
     cache.add_argument("--db-dir", required=True, help="database directory")
     cache.set_defaults(func=_cmd_cache)
+
+    def _serving_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--db-dir", required=True, help="ingested database directory"
+        )
+        sub_parser.add_argument(
+            "--workers", type=int, default=4, help="worker threads (default: 4)"
+        )
+        sub_parser.add_argument(
+            "--queue-depth",
+            type=int,
+            default=64,
+            help="bounded admission queue depth (default: 64)",
+        )
+        sub_parser.add_argument(
+            "--timeout",
+            type=float,
+            default=5.0,
+            help="per-query deadline in seconds (default: 5.0)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="stand up the query server and run a serving health check",
+        description=(
+            "Load an ingested database, start the in-process QueryServer, "
+            "answer a cold and a warm canary query, and print the metrics "
+            "dump (generation, cache hit rate, latency percentiles)."
+        ),
+    )
+    _serving_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a closed-loop mixed query load and report latency/QPS",
+        description=(
+            "Replay a deterministic mix of shot, flat-baseline, scene and "
+            "event queries against the query server from N closed-loop "
+            "clients, then report sustained QPS, cache hit rate and "
+            "client-side latency percentiles."
+        ),
+    )
+    _serving_args(loadtest)
+    loadtest.add_argument(
+        "--clients", type=int, default=4, help="concurrent clients (default: 4)"
+    )
+    loadtest.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="run length in seconds (default: 2.0)",
+    )
+    loadtest.add_argument("--k", type=int, default=5, help="hits per query")
+    loadtest.add_argument(
+        "--unique-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of queries perturbed to defeat the cache (default: 0.25)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadtest.add_argument(
+        "-o", "--output", default=None, help="also write the report to a file"
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 
 

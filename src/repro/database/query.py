@@ -44,7 +44,10 @@ class QueryStats:
     visited_path:
         Names of the index nodes the query descended through.
     elapsed_seconds:
-        Wall-clock time of the search.
+        Duration of the search, measured with ``time.perf_counter()``.
+        The clock is monotonic and sub-millisecond accurate, so serving
+        latency histograms built from it can never go negative when the
+        system wall clock steps (NTP adjustments, DST).
     """
 
     comparisons: int = 0

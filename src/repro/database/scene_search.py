@@ -65,6 +65,10 @@ class SceneIndex:
         """All indexed scenes."""
         return list(self._entries)
 
+    def insert(self, entry: SceneEntry) -> None:
+        """Add one pre-built scene entry (the snapshot-rebuild path)."""
+        self._entries.append(entry)
+
     def register(self, result: ClassMinerResult) -> int:
         """Index every kept scene of a mined video; returns scenes added."""
         events = result.scene_events()

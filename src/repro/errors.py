@@ -2,6 +2,12 @@
 
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch a single base class at API boundaries.
+
+The serving layer adds two members: :class:`ServingError` for failures
+inside the concurrent query-serving runtime (bad requests, deadline
+overruns, a stopped server), and its subclass :class:`OverloadedError`,
+raised at admission time when the server's bounded queue is full so
+callers can shed or retry instead of queueing without bound.
 """
 
 from __future__ import annotations
@@ -41,6 +47,14 @@ class AccessDeniedError(DatabaseError):
 
 class IngestError(ReproError):
     """Problems in the corpus ingestion runtime (jobs, cache, executor)."""
+
+
+class ServingError(ReproError):
+    """Problems in the concurrent query-serving runtime."""
+
+
+class OverloadedError(ServingError):
+    """The server's bounded admission queue rejected the request."""
 
 
 class SkimmingError(ReproError):

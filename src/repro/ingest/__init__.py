@@ -25,17 +25,21 @@ from repro.ingest.jobs import IngestJob, cache_key, jobs_for_titles
 from repro.ingest.manifest import JobManifest, JobRecord
 from repro.ingest.progress import JobEvent, ProgressTracker
 from repro.ingest.runner import (
+    CorpusHook,
     IngestReport,
     ingest_corpus,
     ingest_jobs,
     load_database,
     manifest_for,
+    register_corpus_hook,
     store_for,
+    unregister_corpus_hook,
 )
 
 __all__ = [
     "ArtifactInfo",
     "ArtifactStore",
+    "CorpusHook",
     "IngestJob",
     "IngestReport",
     "JobEvent",
@@ -52,7 +56,9 @@ __all__ = [
     "jobs_for_titles",
     "load_database",
     "manifest_for",
+    "register_corpus_hook",
     "results_equal",
     "run_jobs",
     "store_for",
+    "unregister_corpus_hook",
 ]

@@ -16,6 +16,7 @@ covering everything that was mined.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,6 +33,38 @@ from repro.ingest.progress import ProgressCallback
 ARTIFACTS_DIR = "artifacts"
 MANIFEST_NAME = "manifest.jsonl"
 DATABASE_NAME = "database.json"
+
+#: A corpus hook receives ``(db_dir, database)`` after an ingest run has
+#: rebuilt the database from its artifacts.
+CorpusHook = Callable[[Path, VideoDatabase], None]
+
+_corpus_hooks: list[CorpusHook] = []
+
+
+def register_corpus_hook(hook: CorpusHook) -> CorpusHook:
+    """Subscribe to corpus rebuilds.
+
+    The serving layer uses this to bump its snapshot generation whenever
+    ingest lands new videos: every :func:`ingest_jobs` run calls each
+    registered hook with the database directory and the freshly rebuilt
+    :class:`~repro.database.catalog.VideoDatabase`.  Returns the hook so
+    it can be passed straight to :func:`unregister_corpus_hook`.
+    """
+    _corpus_hooks.append(hook)
+    return hook
+
+
+def unregister_corpus_hook(hook: CorpusHook) -> None:
+    """Remove a previously registered corpus hook (missing hooks are a no-op)."""
+    try:
+        _corpus_hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+def _notify_corpus_hooks(db_dir: Path, database: VideoDatabase) -> None:
+    for hook in list(_corpus_hooks):
+        hook(db_dir, database)
 
 
 @dataclass
@@ -136,6 +169,7 @@ def ingest_jobs(
     if registered:
         database_path = db_dir / DATABASE_NAME
         database.save(database_path)
+        _notify_corpus_hooks(db_dir, database)
 
     report = IngestReport(
         db_dir=db_dir,

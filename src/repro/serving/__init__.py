@@ -1,0 +1,75 @@
+"""Concurrent query-serving runtime over the hierarchical database.
+
+The online counterpart to :mod:`repro.ingest` (Sec. 6's "efficient
+access" requirement at many-user scale):
+
+* :mod:`repro.serving.snapshot` — immutable, versioned read snapshots
+  with atomic generation swap and an ingest hook;
+* :mod:`repro.serving.cache` — bounded LRU result cache keyed on query
+  digest, principal scope and generation (access resolved *before*
+  lookup, never after);
+* :mod:`repro.serving.server` — worker pool, bounded admission queue,
+  per-query deadlines, typed overload rejection;
+* :mod:`repro.serving.metrics` — counters and latency histograms with
+  a plain-text dump;
+* :mod:`repro.serving.loadgen` — closed-loop multi-threaded load
+  generator for benchmarks and the ``classminer loadtest`` command.
+"""
+
+from repro.serving.cache import (
+    ANONYMOUS_SCOPE,
+    CacheKey,
+    CacheStats,
+    ResultCache,
+    feature_digest,
+    scope_token,
+)
+from repro.serving.loadgen import (
+    DEFAULT_MIX,
+    LoadgenConfig,
+    LoadReport,
+    build_query_pool,
+    run_load,
+)
+from repro.serving.metrics import (
+    QUERY_KINDS,
+    LatencyHistogram,
+    ServingMetrics,
+    format_seconds,
+)
+from repro.serving.server import (
+    QueryRequest,
+    QueryServer,
+    ServerConfig,
+    ServingResult,
+)
+from repro.serving.snapshot import (
+    Snapshot,
+    SnapshotManager,
+    build_snapshot,
+)
+
+__all__ = [
+    "ANONYMOUS_SCOPE",
+    "CacheKey",
+    "CacheStats",
+    "DEFAULT_MIX",
+    "LatencyHistogram",
+    "LoadReport",
+    "LoadgenConfig",
+    "QUERY_KINDS",
+    "QueryRequest",
+    "QueryServer",
+    "ResultCache",
+    "ServerConfig",
+    "ServingMetrics",
+    "ServingResult",
+    "Snapshot",
+    "SnapshotManager",
+    "build_query_pool",
+    "build_snapshot",
+    "feature_digest",
+    "format_seconds",
+    "run_load",
+    "scope_token",
+]

@@ -1,0 +1,253 @@
+"""Closed-loop multi-threaded load generator for the query server.
+
+Each client thread issues one query at a time (closed loop: think time
+zero, next request only after the previous response), drawn from a
+deterministic mixed workload of shot, flat-baseline, scene and event
+queries sampled from the server's own snapshot.  Rejections
+(:class:`~repro.errors.OverloadedError`) and deadline misses
+(:class:`~repro.errors.ServingError`) are counted, backed off, and the
+loop continues — exactly how a well-behaved caller treats an overloaded
+server.
+
+An ``on_result`` callback sees every successful ``(request, result)``
+pair; tests use it to assert invariants (no cross-clearance hit, no
+stale generation) while the load is live.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.database.access import User
+from repro.errors import OverloadedError, ServingError
+from repro.serving.metrics import format_seconds
+from repro.serving.server import QueryRequest, QueryServer, ServingResult
+from repro.serving.snapshot import Snapshot
+from repro.types import EventKind
+
+#: Workload mix: (kind, weight).  Flat-scan baseline traffic is kept
+#: light — it exists for the side-by-side cost comparison, not volume.
+DEFAULT_MIX: tuple[tuple[str, float], ...] = (
+    ("shot", 0.6),
+    ("shot_flat", 0.1),
+    ("scene", 0.2),
+    ("event", 0.1),
+)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load run.
+
+    ``duration`` bounds the run in seconds; ``requests_per_client``
+    (when set) stops each client earlier once it has completed that
+    many attempts.  ``unique_fraction`` controls cache pressure: 0.0
+    replays the same few queries (cache-friendly), 1.0 perturbs every
+    query so almost nothing repeats.
+    """
+
+    clients: int = 4
+    duration: float = 2.0
+    requests_per_client: int | None = None
+    k: int = 5
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+    timeout: float | None = 2.0
+    pool_size: int = 32
+    unique_fraction: float = 0.25
+    seed: int = 0
+    backoff: float = 0.002
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    clients: int = 0
+    elapsed: float = 0.0
+    issued: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    generations: set[int] = field(default_factory=set)
+    latencies: list[float] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per second of wall time."""
+        return self.completed / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over completed queries."""
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Client-observed latency percentile in seconds."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def render(self, title: str = "load report") -> str:
+        """Plain-text summary of the run."""
+        return "\n".join(
+            [
+                title,
+                f"  clients {self.clients}, elapsed {self.elapsed:.2f}s",
+                f"  completed {self.completed}/{self.issued}"
+                f" ({self.qps:.1f} qps sustained)",
+                f"  cache hit rate {self.cache_hit_rate * 100:.1f}%",
+                f"  rejected {self.rejected} overload, {self.timeouts} deadline,"
+                f" {self.errors} errors",
+                f"  generations seen {sorted(self.generations)}",
+                "  latency (client-side) p50 {p50}  p95 {p95}  p99 {p99}".format(
+                    p50=format_seconds(self.percentile(50)),
+                    p95=format_seconds(self.percentile(95)),
+                    p99=format_seconds(self.percentile(99)),
+                ),
+            ]
+        )
+
+
+def build_query_pool(
+    snapshot: Snapshot,
+    config: LoadgenConfig,
+    users: Sequence[User | None] = (None,),
+) -> list[QueryRequest]:
+    """Sample a deterministic mixed workload from a snapshot.
+
+    Shot/scene queries replay indexed feature vectors (guaranteed to
+    have matches); event queries sweep the event kinds.  Users are
+    assigned round-robin, except the flat baseline which always runs
+    anonymously (it supports no access filtering).
+    """
+    entries = snapshot.flat.entries
+    if not entries:
+        raise ServingError("cannot build a workload over an empty snapshot")
+    rng = np.random.default_rng(config.seed)
+    kinds = [kind for kind, _ in config.mix]
+    weights = np.asarray([weight for _, weight in config.mix], dtype=np.float64)
+    weights = weights / weights.sum()
+    event_kinds = list(EventKind)
+    requests: list[QueryRequest] = []
+    for index in range(config.pool_size):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        user = users[index % len(users)]
+        if kind == "event":
+            requests.append(
+                QueryRequest(
+                    kind="event",
+                    event=event_kinds[index % len(event_kinds)],
+                    user=user,
+                    timeout=config.timeout,
+                )
+            )
+            continue
+        features = entries[int(rng.integers(len(entries)))].features
+        if rng.random() < config.unique_fraction:
+            features = np.clip(
+                features + rng.normal(0.0, 1e-4, features.shape), 0.0, None
+            )
+        requests.append(
+            QueryRequest(
+                kind=kind,
+                features=features,
+                k=config.k,
+                user=None if kind == "shot_flat" else user,
+                timeout=config.timeout,
+            )
+        )
+    return requests
+
+
+def run_load(
+    server: QueryServer,
+    config: LoadgenConfig | None = None,
+    users: Sequence[User | None] = (None,),
+    on_result: Callable[[QueryRequest, ServingResult], None] | None = None,
+) -> LoadReport:
+    """Drive a closed-loop load against a running server.
+
+    ``on_result`` runs on the client thread for every success; anything
+    it raises is captured into ``report.failures`` (the run keeps
+    going, the caller asserts the list is empty).
+    """
+    config = config if config is not None else LoadgenConfig()
+    pool = build_query_pool(server.manager.current(), config, users=users)
+    report = LoadReport(clients=config.clients)
+    lock = threading.Lock()
+    deadline_holder: list[float] = [0.0]
+    barrier = threading.Barrier(config.clients + 1)
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(config.seed + 1000 + client_id)
+        issued = completed = hits = rejected = timeouts = errors = 0
+        latencies: list[float] = []
+        generations: set[int] = set()
+        failures: list[str] = []
+        barrier.wait()
+        stop_at = deadline_holder[0]
+        while time.perf_counter() < stop_at:
+            if (
+                config.requests_per_client is not None
+                and issued >= config.requests_per_client
+            ):
+                break
+            request = pool[int(rng.integers(len(pool)))]
+            issued += 1
+            start = time.perf_counter()
+            try:
+                result = server.query(request)
+            except OverloadedError:
+                rejected += 1
+                time.sleep(config.backoff)
+                continue
+            except ServingError:
+                timeouts += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - surfaced via report
+                errors += 1
+                failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+                continue
+            latencies.append(time.perf_counter() - start)
+            completed += 1
+            hits += int(result.cache_hit)
+            generations.add(result.generation)
+            if on_result is not None:
+                try:
+                    on_result(request, result)
+                except Exception as exc:  # noqa: BLE001 - assertion transport
+                    failures.append(
+                        f"client {client_id} invariant: {type(exc).__name__}: {exc}"
+                    )
+        with lock:
+            report.issued += issued
+            report.completed += completed
+            report.cache_hits += hits
+            report.rejected += rejected
+            report.timeouts += timeouts
+            report.errors += errors
+            report.latencies.extend(latencies)
+            report.generations.update(generations)
+            report.failures.extend(failures)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+        for i in range(config.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    deadline_holder[0] = start + config.duration
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    report.elapsed = time.perf_counter() - start
+    return report

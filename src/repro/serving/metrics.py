@@ -1,0 +1,223 @@
+"""Serving metrics: counters, latency histograms, plain-text dumps.
+
+Latencies are recorded into fixed geometric buckets (1 µs .. ~67 s,
+doubling per bucket), so percentile estimation is O(buckets) with a
+bounded memory footprint no matter how many queries flow through — the
+usual production trade: a quantile is reported as the upper bound of
+the bucket it falls in (≤ 2x its true value), which is plenty to tell
+a 50 µs cache hit from a 5 ms descent.  All clocks are
+``time.perf_counter()`` (monotonic), never the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from collections import Counter
+
+#: Histogram bucket upper bounds in seconds: 1 µs doubling up to ~67 s.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(27))
+
+#: Query kinds the serving runtime distinguishes.
+QUERY_KINDS = ("shot", "shot_flat", "scene", "event")
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimates."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._total = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        seconds = max(0.0, seconds)
+        self._counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
+        self._total += seconds
+        self._count += 1
+        self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation in seconds."""
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1].
+
+        Reports the upper bound of the bucket the quantile falls in,
+        clamped to the largest observation (the top bucket's bound can
+        otherwise overshoot it).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, bucket in enumerate(self._counts):
+            cumulative += bucket
+            if cumulative >= rank and bucket:
+                if index < len(_BUCKET_BOUNDS):
+                    return min(_BUCKET_BOUNDS[index], self._max)
+                return self._max
+        return self._max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for index, bucket in enumerate(other._counts):
+            self._counts[index] += bucket
+        self._total += other._total
+        self._count += other._count
+        self._max = max(self._max, other._max)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human latency: µs under a millisecond, ms under a second."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+class ServingMetrics:
+    """Thread-safe counters and histograms for one server's lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._counters: Counter[str] = Counter()
+        self._latency = LatencyHistogram()
+        self._by_kind: dict[str, LatencyHistogram] = {}
+
+    def record_query(
+        self,
+        kind: str,
+        seconds: float,
+        comparisons: int = 0,
+        cache_hit: bool = False,
+    ) -> None:
+        """Account one completed query."""
+        with self._lock:
+            self._counters["queries_total"] += 1
+            self._counters[f"queries_{kind}"] += 1
+            if cache_hit:
+                self._counters["cache_hits"] += 1
+            else:
+                self._counters["cache_misses"] += 1
+                self._counters["executed_queries"] += 1
+                self._counters["comparisons_total"] += comparisons
+            self._latency.record(seconds)
+            self._by_kind.setdefault(kind, LatencyHistogram()).record(seconds)
+
+    def record_rejection(self) -> None:
+        """Account one admission-queue rejection (overload shed)."""
+        with self._lock:
+            self._counters["rejected_overload"] += 1
+
+    def record_timeout(self) -> None:
+        """Account one query that missed its deadline."""
+        with self._lock:
+            self._counters["deadline_timeouts"] += 1
+
+    def record_error(self) -> None:
+        """Account one query that failed with an error."""
+        with self._lock:
+            self._counters["errors"] += 1
+
+    def record_generation_swap(self) -> None:
+        """Account one snapshot generation swap."""
+        with self._lock:
+            self._counters["generation_swaps"] += 1
+
+    def counter(self, name: str) -> int:
+        """One counter's current value (0 when never touched)."""
+        with self._lock:
+            return self._counters[name]
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since the metrics were created/reset."""
+        return time.perf_counter() - self._started
+
+    def reset(self) -> None:
+        """Zero everything and restart the uptime clock."""
+        with self._lock:
+            self._started = time.perf_counter()
+            self._counters.clear()
+            self._latency = LatencyHistogram()
+            self._by_kind.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time flat view: counters plus derived rates."""
+        with self._lock:
+            view: dict[str, float] = dict(self._counters)
+            elapsed = max(time.perf_counter() - self._started, 1e-9)
+            queries = self._counters["queries_total"]
+            lookups = self._counters["cache_hits"] + self._counters["cache_misses"]
+            executed = self._counters["executed_queries"]
+            view["uptime_seconds"] = elapsed
+            view["qps"] = queries / elapsed
+            view["cache_hit_rate"] = (
+                self._counters["cache_hits"] / lookups if lookups else 0.0
+            )
+            view["comparisons_per_query"] = (
+                self._counters["comparisons_total"] / executed if executed else 0.0
+            )
+            view["latency_p50"] = self._latency.quantile(0.50)
+            view["latency_p95"] = self._latency.quantile(0.95)
+            view["latency_p99"] = self._latency.quantile(0.99)
+            view["latency_mean"] = self._latency.mean
+            view["latency_max"] = self._latency.max
+            return view
+
+    def render(self) -> str:
+        """Plain-text metrics dump (the ``classminer serve`` report)."""
+        view = self.snapshot()
+        with self._lock:
+            kinds = {kind: hist for kind, hist in self._by_kind.items()}
+        lines = [
+            "serving metrics",
+            f"  uptime           {view['uptime_seconds']:.2f}s",
+            f"  queries          {int(view.get('queries_total', 0))}"
+            f" ({view['qps']:.1f} qps)",
+            f"  cache hit rate   {view['cache_hit_rate'] * 100:.1f}%"
+            f" ({int(view.get('cache_hits', 0))} hits /"
+            f" {int(view.get('cache_misses', 0))} misses)",
+            f"  comparisons/q    {view['comparisons_per_query']:.1f} (executed only)",
+            f"  rejected         {int(view.get('rejected_overload', 0))} overload,"
+            f" {int(view.get('deadline_timeouts', 0))} deadline,"
+            f" {int(view.get('errors', 0))} errors",
+            f"  generation swaps {int(view.get('generation_swaps', 0))}",
+            "  latency          p50 {p50}  p95 {p95}  p99 {p99}  max {mx}".format(
+                p50=format_seconds(view["latency_p50"]),
+                p95=format_seconds(view["latency_p95"]),
+                p99=format_seconds(view["latency_p99"]),
+                mx=format_seconds(view["latency_max"]),
+            ),
+        ]
+        for kind in QUERY_KINDS:
+            hist = kinds.get(kind)
+            if hist is None or not hist.count:
+                continue
+            lines.append(
+                f"    {kind:<10} n={hist.count:<6} "
+                f"p50 {format_seconds(hist.quantile(0.5))}  "
+                f"p95 {format_seconds(hist.quantile(0.95))}  "
+                f"p99 {format_seconds(hist.quantile(0.99))}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,458 @@
+"""The concurrent in-process query server.
+
+:class:`QueryServer` puts a worker pool, a bounded admission queue,
+per-query deadlines, an access-scope-aware result cache and metrics in
+front of the snapshot layer:
+
+* **Admission** — ``submit`` enqueues onto a bounded queue and raises
+  :class:`~repro.errors.OverloadedError` when it is full, so overload
+  sheds load instead of growing an unbounded backlog (the caller can
+  back off and retry).
+* **Deadlines** — every request carries an absolute deadline; a request
+  that expires while still queued is failed without executing, and
+  :meth:`query` raises :class:`~repro.errors.ServingError` when the
+  deadline passes while waiting.
+* **Access before cache** — the caller's permitted-leaf scope is
+  resolved *before* the cache lookup and is part of the key, so a
+  cached result can never cross a clearance boundary.
+* **Generations** — results carry the snapshot generation they were
+  computed against; a generation swap (manual ``refresh`` or the ingest
+  hook) invalidates the cache structurally.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.database.access import User
+from repro.database.catalog import VideoDatabase
+from repro.database.events_query import event_concept
+from repro.errors import OverloadedError, ReproError, ServingError
+from repro.serving.cache import (
+    CacheKey,
+    ResultCache,
+    feature_digest,
+    scope_token,
+)
+from repro.serving.metrics import QUERY_KINDS, ServingMetrics
+from repro.serving.snapshot import Snapshot, SnapshotManager
+from repro.types import EventKind
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of one :class:`QueryServer`.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads executing queries.
+    queue_depth:
+        Bounded admission queue; a full queue rejects with
+        :class:`~repro.errors.OverloadedError`.
+    default_timeout:
+        Per-query deadline in seconds applied when the request carries
+        none (``None`` disables deadlines by default).
+    cache_capacity:
+        Resident entries in the LRU result cache.
+    """
+
+    workers: int = 4
+    queue_depth: int = 64
+    default_timeout: float | None = 5.0
+    cache_capacity: int = 512
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServingError("a server needs at least one worker")
+        if self.queue_depth < 1:
+            raise ServingError("queue depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query submitted to the server.
+
+    ``kind`` selects the execution path: ``shot`` (hierarchical
+    descent), ``shot_flat`` (Eq. 24 linear-scan baseline), ``scene``
+    (centroid search) or ``event`` (registration-record walk).  Shot and
+    scene kinds need ``features``; event kind needs ``event``.
+    """
+
+    kind: str
+    features: np.ndarray | None = field(default=None, repr=False)
+    k: int = 10
+    user: User | None = None
+    event: EventKind | None = None
+    video_title: str | None = None
+    timeout: float | None = None
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """What the server hands back for one query.
+
+    ``hits`` is the kind-specific payload (``RankedShot`` /
+    ``RankedScene`` / ``EventHit`` lists); ``generation`` names the
+    snapshot the answer was computed against; ``elapsed_seconds`` is the
+    worker-side execution time (queue wait excluded), measured on the
+    monotonic clock.
+    """
+
+    kind: str
+    hits: tuple
+    generation: int
+    cache_hit: bool
+    elapsed_seconds: float
+    comparisons: int = 0
+
+
+_SENTINEL = object()
+
+
+class QueryServer:
+    """Concurrent query-serving runtime over a :class:`SnapshotManager`."""
+
+    def __init__(
+        self,
+        database: VideoDatabase | None = None,
+        config: ServerConfig | None = None,
+        manager: SnapshotManager | None = None,
+    ) -> None:
+        if (database is None) == (manager is None):
+            raise ServingError("pass exactly one of database or manager")
+        self.config = config if config is not None else ServerConfig()
+        self._manager = manager if manager is not None else SnapshotManager(database)
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._metrics = ServingMetrics()
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._lifecycle = threading.Lock()
+        self._scope_lock = threading.Lock()
+        self._scopes: dict[tuple[User, int], frozenset[str]] = {}
+        self._manager.subscribe(self._on_snapshot)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        """Spin up the worker pool (idempotent once running)."""
+        with self._lifecycle:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"query-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.config.workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the pool: in-flight and queued work finishes first."""
+        with self._lifecycle:
+            if not self._running:
+                return
+            self._running = False
+            for _ in self._threads:
+                self._queue.put(_SENTINEL)
+            for thread in self._threads:
+                thread.join()
+            self._threads = []
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """True while the worker pool is accepting queries."""
+        return self._running
+
+    # ------------------------------------------------------------------
+    # State the outside world may inspect.
+    # ------------------------------------------------------------------
+
+    @property
+    def manager(self) -> SnapshotManager:
+        """The snapshot manager this server reads from."""
+        return self._manager
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """Live serving metrics."""
+        return self._metrics
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache."""
+        return self._cache
+
+    @property
+    def generation(self) -> int:
+        """Current snapshot generation."""
+        return self._manager.generation
+
+    def refresh(self) -> Snapshot:
+        """Rebuild the snapshot from the live database (generation bump)."""
+        return self._manager.refresh()
+
+    def attach_ingest(self):
+        """Register this server's manager on the ingest corpus hook.
+
+        Returns the hook so callers can pass it to
+        :func:`repro.ingest.runner.unregister_corpus_hook` on shutdown.
+        """
+        from repro.ingest.runner import register_corpus_hook
+
+        return register_corpus_hook(self._manager.ingest_hook())
+
+    def _on_snapshot(self, snapshot: Snapshot) -> None:
+        self._cache.evict_other_generations(snapshot.generation)
+        with self._scope_lock:
+            self._scopes = {
+                key: value
+                for key, value in self._scopes.items()
+                if key[1] == snapshot.generation
+            }
+        self._metrics.record_generation_swap()
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[ServingResult]":
+        """Admit one query; returns a future resolving to its result.
+
+        Raises :class:`~repro.errors.ServingError` for malformed
+        requests or a stopped server, and
+        :class:`~repro.errors.OverloadedError` when the admission queue
+        is full.
+        """
+        self._validate(request)
+        if not self._running:
+            raise ServingError("server is not running (call start())")
+        timeout = (
+            request.timeout
+            if request.timeout is not None
+            else self.config.default_timeout
+        )
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        future: Future[ServingResult] = Future()
+        try:
+            self._queue.put_nowait((request, future, deadline))
+        except queue.Full:
+            self._metrics.record_rejection()
+            raise OverloadedError(
+                f"admission queue full ({self.config.queue_depth} pending); "
+                "back off and retry"
+            ) from None
+        return future
+
+    def query(self, request: QueryRequest) -> ServingResult:
+        """Blocking convenience: submit and wait out the deadline."""
+        timeout = (
+            request.timeout
+            if request.timeout is not None
+            else self.config.default_timeout
+        )
+        future = self.submit(request)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            self._metrics.record_timeout()
+            raise ServingError(
+                f"query deadline of {timeout}s exceeded while waiting"
+            ) from None
+
+    def search(
+        self,
+        features: np.ndarray,
+        user: User | None = None,
+        k: int = 10,
+        kind: str = "shot",
+    ) -> ServingResult:
+        """Shorthand for a blocking shot (or flat) search."""
+        return self.query(QueryRequest(kind=kind, features=features, k=k, user=user))
+
+    def _validate(self, request: QueryRequest) -> None:
+        if request.kind not in QUERY_KINDS:
+            raise ServingError(
+                f"unknown query kind {request.kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if request.kind == "event":
+            if request.event is None:
+                raise ServingError("event queries need an EventKind")
+        elif request.features is None:
+            raise ServingError(f"{request.kind} queries need a feature vector")
+        if request.kind == "shot_flat" and request.user is not None:
+            # The flat baseline has no concept structure to filter on;
+            # silently post-filtering would apply access control after
+            # ranking, which the serving layer forbids.
+            raise ServingError(
+                "the flat baseline does not support per-user access filtering"
+            )
+        if request.k < 1:
+            raise ServingError("k must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Execution (worker side).
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            request, future, deadline = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            if deadline is not None and time.perf_counter() > deadline:
+                self._metrics.record_timeout()
+                future.set_exception(
+                    ServingError("deadline expired while queued for admission")
+                )
+                continue
+            try:
+                future.set_result(self._execute(request))
+            except ReproError as exc:
+                self._metrics.record_error()
+                future.set_exception(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._metrics.record_error()
+                future.set_exception(ServingError(f"query execution failed: {exc}"))
+
+    def _scope(
+        self, user: User | None, snapshot: Snapshot
+    ) -> tuple[frozenset[str] | None, str]:
+        """Resolve (permitted leaves, scope token) for the cache key.
+
+        Leaf sets are memoised per (user, generation); the audit log
+        records the resolution once per generation rather than once per
+        query.
+        """
+        if user is None:
+            return None, scope_token(None, None)
+        cache_key = (user, snapshot.generation)
+        with self._scope_lock:
+            leaves = self._scopes.get(cache_key)
+        if leaves is None:
+            leaves = snapshot.permitted_leaves(user)
+            with self._scope_lock:
+                self._scopes[cache_key] = leaves
+        return leaves, scope_token(user, leaves)
+
+    def _request_digest(self, request: QueryRequest) -> str:
+        if request.kind == "event":
+            assert request.event is not None
+            return f"event:{request.event.value}:{request.video_title or '*'}"
+        assert request.features is not None
+        digest = feature_digest(request.features)
+        if request.kind == "scene" and request.event is not None:
+            digest = f"{digest}:{request.event.value}"
+        return digest
+
+    def _execute(self, request: QueryRequest) -> ServingResult:
+        start = time.perf_counter()
+        snapshot = self._manager.current()
+        leaves, scope = self._scope(request.user, snapshot)
+        key = CacheKey(
+            kind=request.kind,
+            digest=self._request_digest(request),
+            k=request.k,
+            scope=scope,
+            generation=snapshot.generation,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            elapsed = time.perf_counter() - start
+            self._metrics.record_query(request.kind, elapsed, cache_hit=True)
+            return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
+
+        hits: tuple
+        comparisons = 0
+        if request.kind == "shot":
+            result = snapshot.search(
+                request.features,
+                user=request.user,
+                k=request.k,
+                allowed_leaves=leaves,
+            )
+            hits = tuple(result.hits)
+            comparisons = result.stats.comparisons
+        elif request.kind == "shot_flat":
+            result = snapshot.search_flat(request.features, k=request.k)
+            hits = tuple(result.hits)
+            comparisons = result.stats.comparisons
+        elif request.kind == "scene":
+            scenes = snapshot.search_scenes(
+                request.features, k=request.k, event=request.event
+            )
+            if leaves is not None:
+                # Scope resolved before the cache key: filtering here is
+                # part of computing the answer, not a post-cache patch.
+                scenes = [
+                    hit
+                    for hit in scenes
+                    if event_concept(hit.entry.video_title, hit.entry.event) in leaves
+                ]
+            hits = tuple(scenes)
+            comparisons = len(snapshot.scenes)
+        else:  # event
+            hits = tuple(
+                snapshot.query_events(
+                    request.event, user=request.user, video_title=request.video_title
+                )
+            )
+
+        elapsed = time.perf_counter() - start
+        result = ServingResult(
+            kind=request.kind,
+            hits=hits,
+            generation=snapshot.generation,
+            cache_hit=False,
+            elapsed_seconds=elapsed,
+            comparisons=comparisons,
+        )
+        self._cache.put(key, result)
+        self._metrics.record_query(
+            request.kind, elapsed, comparisons=comparisons, cache_hit=False
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-stop plain-text status: snapshot, cache, metrics."""
+        snapshot = self._manager.current()
+        stats = self._cache.stats()
+        lines = [
+            f"query server: {self.config.workers} workers, "
+            f"queue depth {self.config.queue_depth}, "
+            f"{'running' if self._running else 'stopped'}",
+            f"  snapshot: generation {snapshot.generation}, "
+            f"{len(snapshot.records)} videos, {snapshot.shot_count} shots",
+            f"  cache: {len(self._cache)}/{self._cache.capacity} entries, "
+            f"hit rate {stats.hit_rate * 100:.1f}%, "
+            f"{stats.stale_evictions} stale evicted",
+            self._metrics.render(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Serving smoke check: cold vs warm query latency (``make serve-smoke``).
+
+Mines the demo title in-process, stands up a :class:`QueryServer`,
+replays the same query cold and warm (the warm repeat must be at least
+five times faster thanks to the result cache), then drives a short
+closed-loop mixed load and prints the metrics dump.  Exits non-zero
+with a diagnostic when the cache or the pool misbehaves.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import ClassMiner
+from repro.database.catalog import VideoDatabase
+from repro.database.index import combine_features
+from repro.serving.loadgen import LoadgenConfig, run_load
+from repro.serving.server import QueryRequest, QueryServer, ServerConfig
+from repro.video.synthesis import demo_screenplay, generate_video
+
+#: Required cold/warm speedup for the smoke check to pass.
+MIN_SPEEDUP = 5.0
+
+
+def run_smoke(workers: int = 4, duration: float = 1.0) -> int:
+    """Run the cold/warm serving comparison; returns a process exit code."""
+    video = generate_video(demo_screenplay(), seed=0)
+    result = ClassMiner().mine(video.stream)
+    database = VideoDatabase()
+    database.register(result)
+
+    shot = result.structure.shots[0]
+    features = combine_features(shot.histogram, shot.texture)
+    request = QueryRequest(kind="shot", features=features, k=5)
+
+    with QueryServer(database, ServerConfig(workers=workers)) as server:
+        cold = server.query(request)
+        warm = server.query(request)
+        repeats = [server.query(request) for _ in range(20)]
+        warm_seconds = float(
+            np.median([warm.elapsed_seconds] + [r.elapsed_seconds for r in repeats])
+        )
+        speedup = cold.elapsed_seconds / max(warm_seconds, 1e-9)
+        print(
+            f"serve-smoke: cold {cold.elapsed_seconds * 1e3:.3f}ms, "
+            f"warm {warm_seconds * 1e6:.0f}us (median of 21), "
+            f"speedup {speedup:.1f}x, generation {cold.generation}"
+        )
+        if cold.cache_hit or not warm.cache_hit:
+            print("serve-smoke: FAIL — cache hit pattern wrong", file=sys.stderr)
+            return 1
+        if speedup < MIN_SPEEDUP:
+            print(
+                f"serve-smoke: FAIL — warm speedup {speedup:.1f}x "
+                f"< {MIN_SPEEDUP:.0f}x",
+                file=sys.stderr,
+            )
+            return 1
+
+        report = run_load(server, LoadgenConfig(clients=4, duration=duration))
+        print(report.render("serve-smoke load"))
+        print(server.metrics.render())
+        if report.failures:
+            for failure in report.failures:
+                print(f"serve-smoke: FAIL — {failure}", file=sys.stderr)
+            return 1
+        if report.completed == 0:
+            print("serve-smoke: FAIL — no queries completed", file=sys.stderr)
+            return 1
+    print("serve-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

@@ -1,0 +1,272 @@
+"""Immutable, versioned read snapshots of the database indexes.
+
+A long-running :class:`~repro.serving.server.QueryServer` must keep
+answering queries while ``classminer ingest`` lands new videos.  The
+snapshot layer makes that safe without read locks:
+
+* :class:`Snapshot` freezes one *generation* of the hierarchical index,
+  the flat baseline, the derived scene index and the registration
+  records.  Everything it holds is either immutable or privately
+  copied, so concurrent worker threads can search it freely while the
+  live :class:`~repro.database.catalog.VideoDatabase` mutates.
+* :class:`SnapshotManager` owns the current snapshot and swaps it
+  atomically (a single attribute store) when :meth:`~SnapshotManager.refresh`
+  builds the next generation.  Readers never block: they either see the
+  old generation or the new one, never a half-built index.
+* :meth:`SnapshotManager.ingest_hook` plugs into
+  :func:`repro.ingest.runner.register_corpus_hook`, so an ingest run
+  that rebuilds the corpus automatically installs the new database and
+  bumps the generation.
+
+Generations are strictly increasing integers; the result cache keys on
+them, which is what makes stale reads after an ingest impossible.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.database.access import AccessController, User
+from repro.database.catalog import RegisteredVideo, VideoDatabase
+from repro.database.events_query import EventHit, query_event_records
+from repro.database.flat import FlatIndex
+from repro.database.index import IndexNode
+from repro.database.query import QueryResult, search_hierarchical
+from repro.database.scene_search import RankedScene, SceneEntry, SceneIndex
+from repro.errors import ServingError
+from repro.types import EventKind
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One frozen, queryable generation of the database.
+
+    Attributes
+    ----------
+    generation:
+        Strictly increasing version number; part of every cache key.
+    index_root:
+        The hierarchical index tree of this generation.  The catalog
+        never mutates a built tree in place (registration invalidates
+        and rebuilds), so holding the root pins the whole structure.
+    flat:
+        Private copy of the Eq. (24) linear-scan baseline.
+    scenes:
+        Scene-centroid index derived from the shot entries.
+    records:
+        Registration records by title (for event queries).
+    controller:
+        The access controller guarding this snapshot's searches.
+    """
+
+    generation: int
+    index_root: IndexNode
+    flat: FlatIndex
+    scenes: SceneIndex
+    records: dict[str, RegisteredVideo]
+    controller: AccessController
+    shot_count: int = 0
+
+    @property
+    def videos(self) -> tuple[str, ...]:
+        """Registered titles, sorted."""
+        return tuple(sorted(self.records))
+
+    def permitted_leaves(self, user: User) -> frozenset[str]:
+        """Leaf concepts the user may enter (audited on the controller)."""
+        return frozenset(self.controller.permitted_leaves(user))
+
+    def search(
+        self,
+        features: np.ndarray,
+        user: User | None = None,
+        k: int = 10,
+        allowed_leaves: frozenset[str] | set[str] | None = None,
+    ) -> QueryResult:
+        """Hierarchical shot search against this generation.
+
+        ``allowed_leaves`` short-circuits the access computation when the
+        caller (the server) already resolved the user's permitted set —
+        passing both is fine, the explicit set wins.
+        """
+        if user is not None and allowed_leaves is None:
+            allowed_leaves = self.permitted_leaves(user)
+        allowed = set(allowed_leaves) if allowed_leaves is not None else None
+        return search_hierarchical(self.index_root, features, k=k, allowed_leaves=allowed)
+
+    def search_flat(self, features: np.ndarray, k: int = 10) -> QueryResult:
+        """Linear-scan baseline search (no access filter — see server)."""
+        return self.flat.search(features, k=k)
+
+    def search_scenes(
+        self,
+        features: np.ndarray,
+        k: int = 5,
+        event: EventKind | None = None,
+    ) -> list[RankedScene]:
+        """Scene-centroid search against this generation."""
+        return self.scenes.search(features, k=k, event=event)
+
+    def query_events(
+        self,
+        kind: EventKind,
+        user: User | None = None,
+        video_title: str | None = None,
+    ) -> list[EventHit]:
+        """Event query over this generation's registration records."""
+        return query_event_records(
+            self.records, self.controller, kind, user=user, video_title=video_title
+        )
+
+    def event_of(self, video_title: str, scene_id: int) -> str:
+        """Mined event value of a registered scene (``unknown`` fallback)."""
+        record = self.records.get(video_title)
+        if record is None:
+            return EventKind.UNKNOWN.value
+        return record.events.get(scene_id, EventKind.UNKNOWN.value)
+
+
+def _derive_scene_index(database: VideoDatabase) -> SceneIndex:
+    """Rebuild scene centroids from the catalog's shot entries.
+
+    The catalog indexes shots, not scenes; grouping its flat entries by
+    ``(title, scene_id)`` recovers each kept scene's member shots, and
+    the registration record supplies the mined event.  Shots filed under
+    an eliminated scene (``scene_id == -1``) carry no scene identity and
+    are skipped.
+    """
+    groups: dict[tuple[str, int], list[np.ndarray]] = {}
+    for entry in database.flat_index.entries:
+        if entry.scene_id < 0:
+            continue
+        groups.setdefault((entry.video_title, entry.scene_id), []).append(
+            entry.features
+        )
+    records = database.videos
+    index = SceneIndex()
+    for (title, scene_id), features in sorted(groups.items()):
+        record = records.get(title)
+        value = record.events.get(scene_id, EventKind.UNKNOWN.value) if record else (
+            EventKind.UNKNOWN.value
+        )
+        index.insert(
+            SceneEntry(
+                video_title=title,
+                scene_id=scene_id,
+                event=EventKind(value),
+                shot_count=len(features),
+                centroid=np.stack(features).mean(axis=0),
+            )
+        )
+    return index
+
+
+def build_snapshot(database: VideoDatabase, generation: int) -> Snapshot:
+    """Freeze the database's current state as one generation.
+
+    Raises :class:`~repro.errors.ServingError` for an empty database —
+    a server has nothing to serve.
+    """
+    if not database.videos:
+        raise ServingError("cannot snapshot an empty database")
+    return Snapshot(
+        generation=generation,
+        index_root=database.index_root,
+        flat=FlatIndex(database.flat_index.entries),
+        scenes=_derive_scene_index(database),
+        records=database.videos,
+        controller=database.controller,
+        shot_count=database.shot_count,
+    )
+
+
+#: Callback invoked with the freshly installed snapshot after a swap.
+SnapshotListener = Callable[[Snapshot], None]
+
+
+@dataclass
+class _ManagerState:
+    """Mutable internals of a :class:`SnapshotManager` (lock-guarded)."""
+
+    database: VideoDatabase
+    generation: int = 0
+    snapshot: Snapshot | None = None
+    listeners: list[SnapshotListener] = field(default_factory=list)
+
+
+class SnapshotManager:
+    """Owns the current snapshot; builds and swaps new generations.
+
+    Reads (:meth:`current`) are lock-free — a snapshot reference is a
+    single atomic attribute load.  Writes (:meth:`refresh`,
+    :meth:`install`) serialise on an internal lock, build the new
+    generation off to the side, then publish it with one store.
+    """
+
+    def __init__(self, database: VideoDatabase) -> None:
+        self._lock = threading.Lock()
+        self._state = _ManagerState(database=database)
+
+    @property
+    def database(self) -> VideoDatabase:
+        """The live database backing new generations."""
+        return self._state.database
+
+    @property
+    def generation(self) -> int:
+        """Generation of the current snapshot (0 before the first build)."""
+        snapshot = self._state.snapshot
+        return snapshot.generation if snapshot is not None else 0
+
+    def subscribe(self, listener: SnapshotListener) -> SnapshotListener:
+        """Call ``listener`` with every newly installed snapshot."""
+        with self._lock:
+            self._state.listeners.append(listener)
+        return listener
+
+    def current(self) -> Snapshot:
+        """The current snapshot, building generation 1 on first use."""
+        snapshot = self._state.snapshot
+        if snapshot is not None:
+            return snapshot
+        return self.refresh()
+
+    def refresh(self) -> Snapshot:
+        """Build the next generation from the live database and swap it in."""
+        with self._lock:
+            return self._swap(self._state.database)
+
+    def install(self, database: VideoDatabase) -> Snapshot:
+        """Replace the backing database (ingest rebuilds one) and refresh."""
+        with self._lock:
+            self._state.database = database
+            return self._swap(database)
+
+    def _swap(self, database: VideoDatabase) -> Snapshot:
+        snapshot = build_snapshot(database, self._state.generation + 1)
+        self._state.generation = snapshot.generation
+        self._state.snapshot = snapshot  # the atomic publish
+        listeners = list(self._state.listeners)
+        for listener in listeners:
+            listener(snapshot)
+        return snapshot
+
+    def ingest_hook(self) -> Callable[[Path, VideoDatabase], None]:
+        """A :data:`repro.ingest.runner.CorpusHook` bound to this manager.
+
+        Register it with
+        :func:`repro.ingest.runner.register_corpus_hook` and every
+        ingest run that rebuilds the corpus installs the new database
+        here, bumping the generation (and, through listeners, letting
+        the server invalidate its result cache).
+        """
+
+        def hook(_db_dir: Path, database: VideoDatabase) -> None:
+            self.install(database)
+
+        return hook

@@ -1,0 +1,57 @@
+"""QueryStats timing must come from the monotonic clock.
+
+Serving latency histograms are built straight from
+``QueryStats.elapsed_seconds``; if any search path measured with the
+wall clock (``time.time()``), an NTP step or DST change could produce
+negative or wildly wrong latencies.  These tests sabotage the wall
+clock and assert the measured search paths never notice.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.database.index import combine_features
+
+
+@pytest.fixture(scope="module")
+def database(demo_result):
+    db = VideoDatabase()
+    db.register(demo_result)
+    db.build_index()
+    return db
+
+
+def _features(demo_result, index=2):
+    shot = demo_result.structure.shots[index]
+    return combine_features(shot.histogram, shot.texture)
+
+
+def _sabotaged_wall_clock():
+    raise AssertionError("search timing must not read the wall clock")
+
+
+def test_hierarchical_search_never_reads_wall_clock(
+    database, demo_result, monkeypatch
+):
+    monkeypatch.setattr(time, "time", _sabotaged_wall_clock)
+    result = database.search(_features(demo_result), k=3)
+    assert result.hits
+    assert result.stats.elapsed_seconds >= 0.0
+
+
+def test_flat_search_never_reads_wall_clock(database, demo_result, monkeypatch):
+    monkeypatch.setattr(time, "time", _sabotaged_wall_clock)
+    result = database.search_flat(_features(demo_result), k=3)
+    assert result.hits
+    assert result.stats.elapsed_seconds >= 0.0
+
+
+def test_elapsed_is_positive_and_subsecond_resolution(database, demo_result):
+    result = database.search(_features(demo_result), k=3)
+    # perf_counter gives sub-millisecond resolution: a real search takes
+    # more than zero time, and this one far less than a second.
+    assert 0.0 < result.stats.elapsed_seconds < 1.0

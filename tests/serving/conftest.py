@@ -1,0 +1,58 @@
+"""Shared serving fixtures: a demo-backed database and cheap clones.
+
+The serving tests reuse the session-mined demo result; re-titled clones
+stand in for "newly ingested" videos so generation-bump tests never pay
+for a second mining run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.database.index import combine_features
+
+
+@pytest.fixture()
+def serving_db(demo_result) -> VideoDatabase:
+    """A fresh database with the demo video registered."""
+    db = VideoDatabase()
+    db.register(demo_result)
+    return db
+
+
+@pytest.fixture()
+def retitle(demo_result):
+    """Clone the demo result under a new title (identical features)."""
+
+    def _clone(title: str):
+        structure = dataclasses.replace(demo_result.structure, title=title)
+        return dataclasses.replace(demo_result, structure=structure)
+
+    return _clone
+
+
+@pytest.fixture()
+def demo_features(demo_result):
+    """Combined feature vector of demo shot ``index``."""
+
+    def _at(index: int = 0):
+        shot = demo_result.structure.shots[index]
+        return combine_features(shot.histogram, shot.texture)
+
+    return _at
+
+
+@pytest.fixture()
+def features_by_event(demo_result):
+    """Map event value -> feature vector of one shot of that event."""
+    events = demo_result.scene_events()
+    mapping = {}
+    for scene in demo_result.structure.scenes:
+        kind = events[scene.scene_id].value
+        if kind not in mapping:
+            shot = scene.shots[0]
+            mapping[kind] = combine_features(shot.histogram, shot.texture)
+    return mapping

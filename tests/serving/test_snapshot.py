@@ -1,0 +1,138 @@
+"""Snapshot immutability, generation swaps, and the ingest hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.database.events_query import query_events
+from repro.errors import ServingError
+from repro.serving.snapshot import SnapshotManager, build_snapshot
+from repro.types import EventKind
+
+
+class TestSnapshot:
+    def test_empty_database_cannot_snapshot(self):
+        with pytest.raises(ServingError):
+            build_snapshot(VideoDatabase(), generation=1)
+
+    def test_snapshot_answers_like_the_database(self, serving_db, demo_features):
+        snapshot = build_snapshot(serving_db, generation=1)
+        features = demo_features(2)
+        direct = serving_db.search(features, k=3)
+        snapped = snapshot.search(features, k=3)
+        assert [h.entry.key for h in snapped.hits] == [
+            h.entry.key for h in direct.hits
+        ]
+        flat = snapshot.search_flat(features, k=3)
+        assert flat.stats.comparisons == serving_db.shot_count
+
+    def test_scene_index_is_derived_from_entries(self, serving_db, demo_result):
+        snapshot = build_snapshot(serving_db, generation=1)
+        assert len(snapshot.scenes) == demo_result.structure.scene_count
+        events = {entry.event for entry in snapshot.scenes.entries}
+        assert events == set(demo_result.scene_events().values())
+
+    def test_event_queries_match_the_database(self, serving_db):
+        snapshot = build_snapshot(serving_db, generation=1)
+        for kind in EventKind:
+            assert snapshot.query_events(kind) == query_events(serving_db, kind)
+
+    def test_event_of_falls_back_to_unknown(self, serving_db):
+        snapshot = build_snapshot(serving_db, generation=1)
+        assert snapshot.event_of("demo", -1) == "unknown"
+        assert snapshot.event_of("nope", 0) == "unknown"
+
+
+class TestSnapshotManager:
+    def test_generations_increase(self, serving_db):
+        manager = SnapshotManager(serving_db)
+        assert manager.generation == 0
+        first = manager.current()
+        assert first.generation == 1
+        assert manager.refresh().generation == 2
+        assert manager.current().generation == 2
+
+    def test_old_snapshot_survives_new_registrations(
+        self, serving_db, retitle, demo_features
+    ):
+        manager = SnapshotManager(serving_db)
+        before = manager.current()
+        serving_db.register(retitle("demo2"))
+        # The frozen generation still only knows the original video...
+        assert before.videos == ("demo",)
+        hits = before.search(demo_features(0), k=16).hits
+        assert {h.entry.video_title for h in hits} == {"demo"}
+        # ...while a refresh exposes the new corpus.
+        after = manager.refresh()
+        assert after.videos == ("demo", "demo2")
+        assert after.generation == before.generation + 1
+        hits = after.search(demo_features(0), k=32).hits
+        assert {h.entry.video_title for h in hits} == {"demo", "demo2"}
+
+    def test_listeners_see_every_swap(self, serving_db):
+        manager = SnapshotManager(serving_db)
+        seen: list[int] = []
+        manager.subscribe(lambda snapshot: seen.append(snapshot.generation))
+        manager.current()
+        manager.refresh()
+        assert seen == [1, 2]
+
+    def test_install_replaces_the_backing_database(self, serving_db, retitle):
+        manager = SnapshotManager(serving_db)
+        manager.current()
+        other = VideoDatabase()
+        other.register(retitle("other"))
+        snapshot = manager.install(other)
+        assert manager.database is other
+        assert snapshot.videos == ("other",)
+        assert snapshot.generation == 2
+
+
+class TestIngestHook:
+    def test_cached_ingest_bumps_the_generation(
+        self, serving_db, demo_result, tmp_path
+    ):
+        from repro.ingest import (
+            IngestJob,
+            ingest_corpus,
+            register_corpus_hook,
+            store_for,
+            unregister_corpus_hook,
+        )
+
+        # Pre-seed the artifact store so the ingest run is pure cache.
+        db_dir = tmp_path / "db"
+        store_for(db_dir).save(IngestJob.for_title("demo").key, demo_result)
+
+        manager = SnapshotManager(serving_db)
+        manager.current()
+        hook = register_corpus_hook(manager.ingest_hook())
+        try:
+            report = ingest_corpus(["demo"], db_dir, workers=1)
+        finally:
+            unregister_corpus_hook(hook)
+        assert [o.state for o in report.outcomes] == ["cached"]
+        assert manager.generation == 2
+        # The manager now serves the freshly rebuilt ingest database.
+        assert manager.database is not serving_db
+        assert manager.current().videos == ("demo",)
+
+    def test_unregistered_hook_stays_silent(self, serving_db, demo_result, tmp_path):
+        from repro.ingest import (
+            IngestJob,
+            ingest_corpus,
+            register_corpus_hook,
+            store_for,
+            unregister_corpus_hook,
+        )
+
+        db_dir = tmp_path / "db"
+        store_for(db_dir).save(IngestJob.for_title("demo").key, demo_result)
+        manager = SnapshotManager(serving_db)
+        manager.current()
+        hook = register_corpus_hook(manager.ingest_hook())
+        unregister_corpus_hook(hook)
+        unregister_corpus_hook(hook)  # double-removal is a no-op
+        ingest_corpus(["demo"], db_dir, workers=1)
+        assert manager.generation == 1
