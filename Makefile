@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench examples report ingest-smoke serve-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke all clean
 
 install:
 	pip install -e .
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-kernels:
+	pytest benchmarks/bench_similarity_kernels.py --benchmark-only
 
 ingest-smoke:
 	python -m repro.ingest.smoke

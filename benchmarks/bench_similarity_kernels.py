@@ -1,0 +1,263 @@
+"""Similarity-kernel benchmark: scalar Eq. (1)/(8)/(9) loops vs the batch engine.
+
+Three measurements, mirroring how the kernels are used:
+
+1. **Pairwise StSim matrix** — the 200-shot all-pairs matrix every
+   mining stage leans on, scalar ``shot_similarity`` double loop vs one
+   :func:`~repro.core.kernels.pairwise_stsim` call.  The vectorized
+   kernel must be at least ten times faster and match to ``<= 1e-9``.
+2. **GpSim group matrix** — Eq. (8)/(9) over mined-size shot groups,
+   scalar ``group_similarity`` loop vs
+   :func:`~repro.core.similarity.group_similarity_matrix`.
+3. **End to end** — wall-clock of the full ``mine_content_structure``
+   pipeline on a demo video, a scalar-emulated vs batched serving scan
+   over the corpus shots, and a short closed-loop load test against a
+   live :class:`~repro.serving.server.QueryServer`.
+
+Results land in ``benchmarks/results/similarity_kernels.txt`` plus a
+machine-readable ``benchmarks/results/BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.core.features import Shot
+from repro.core.kernels import FeatureMatrix, pairwise_stsim
+from repro.core.similarity import (
+    SimilarityWeights,
+    group_similarity,
+    group_similarity_matrix,
+    shot_similarity,
+)
+from repro.core.structure import mine_content_structure
+from repro.database import VideoDatabase
+from repro.database.index import feature_similarity, feature_similarity_batch
+from repro.evaluation.report import render_table
+from repro.serving import LoadgenConfig, QueryServer, ServerConfig, run_load
+from repro.video.synthesis import demo_screenplay, generate_video
+
+#: Acceptance floor for the 200-shot pairwise matrix (ISSUE criterion).
+MIN_PAIRWISE_SPEEDUP = 10.0
+#: Every kernel output must match the scalar oracle this tightly.
+TOLERANCE = 1e-9
+
+PAIRWISE_SHOTS = 200
+GROUP_COUNT = 40
+GROUP_SIZE_RANGE = (2, 7)
+
+
+def _random_shots(rng: np.random.Generator, count: int) -> list[Shot]:
+    shots = []
+    for index in range(count):
+        histogram = rng.random(256)
+        histogram /= histogram.sum()
+        shots.append(
+            Shot(
+                shot_id=index,
+                start=index * 10,
+                stop=index * 10 + 10,
+                fps=25.0,
+                representative_frame=None,
+                histogram=histogram,
+                texture=rng.random(10) * 0.3,
+            )
+        )
+    return shots
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock and the last return value."""
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _scalar_pairwise(shots: list[Shot], weights: SimilarityWeights) -> np.ndarray:
+    n = len(shots)
+    out = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            out[i, j] = shot_similarity(shots[i], shots[j], weights)
+    return out
+
+
+def _scalar_group_matrix(groups, weights: SimilarityWeights) -> np.ndarray:
+    n = len(groups)
+    out = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            out[i, j] = group_similarity(groups[i], groups[j], weights)
+    return out
+
+
+def _scalar_flat_scan(features: np.ndarray, stacked: np.ndarray) -> np.ndarray:
+    return np.array(
+        [feature_similarity(features, stacked[i]) for i in range(stacked.shape[0])]
+    )
+
+
+def test_similarity_kernels(benchmark, corpus_runs, results_dir):
+    rng = np.random.default_rng(13)
+    weights = SimilarityWeights()
+    metrics: dict[str, object] = {}
+
+    # 1. Pairwise StSim: scalar double loop vs one kernel call.
+    shots = _random_shots(rng, PAIRWISE_SHOTS)
+    fm = FeatureMatrix.from_shots(shots)
+    pairwise_stsim(fm, weights)  # warm BLAS / allocator once
+    scalar_s, scalar_matrix = _time(lambda: _scalar_pairwise(shots, weights), repeats=1)
+    vector_s, vector_matrix = _time(lambda: pairwise_stsim(fm, weights))
+    max_abs_err = float(np.abs(vector_matrix - scalar_matrix).max())
+    pairwise_speedup = scalar_s / max(vector_s, 1e-12)
+    assert max_abs_err <= TOLERANCE
+    assert pairwise_speedup >= MIN_PAIRWISE_SPEEDUP
+    metrics["pairwise"] = {
+        "shots": PAIRWISE_SHOTS,
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "speedup": pairwise_speedup,
+        "max_abs_error": max_abs_err,
+    }
+
+    # 2. GpSim matrix over mined-size groups (Eq. 8/9).
+    sizes = rng.integers(*GROUP_SIZE_RANGE, size=GROUP_COUNT)
+    groups = [_random_shots(rng, int(size)) for size in sizes]
+    group_similarity_matrix(groups, weights)  # warm
+    group_scalar_s, group_scalar = _time(
+        lambda: _scalar_group_matrix(groups, weights), repeats=1
+    )
+    group_vector_s, group_vector = _time(
+        lambda: group_similarity_matrix(groups, weights)
+    )
+    group_err = float(np.abs(group_vector - group_scalar).max())
+    group_speedup = group_scalar_s / max(group_vector_s, 1e-12)
+    assert group_err <= TOLERANCE
+    assert group_speedup > 1.0
+    metrics["group_matrix"] = {
+        "groups": GROUP_COUNT,
+        "scalar_seconds": group_scalar_s,
+        "vectorized_seconds": group_vector_s,
+        "speedup": group_speedup,
+        "max_abs_error": group_err,
+    }
+
+    kernel_text = render_table(
+        ["kernel", "scalar s", "vectorized s", "speedup", "max |err|"],
+        [
+            [
+                f"pairwise StSim ({PAIRWISE_SHOTS} shots)",
+                f"{scalar_s:.3f}",
+                f"{vector_s:.4f}",
+                f"{pairwise_speedup:.0f}x",
+                f"{max_abs_err:.1e}",
+            ],
+            [
+                f"GpSim matrix ({GROUP_COUNT} groups)",
+                f"{group_scalar_s:.3f}",
+                f"{group_vector_s:.4f}",
+                f"{group_speedup:.0f}x",
+                f"{group_err:.1e}",
+            ],
+        ],
+        title="Scalar oracle vs batch kernels (best of 3)",
+    )
+
+    # Steady-state microbenchmark: the pairwise kernel itself.
+    benchmark(pairwise_stsim, fm, weights)
+
+    # 3a. End-to-end mining wall-clock on a demo video (the similarity
+    #     stages — groups, scenes, clustering, validity — all run on the
+    #     batch kernels now).
+    video = generate_video(demo_screenplay(), seed=0)
+    mine_s, structure = _time(
+        lambda: mine_content_structure(video.stream), repeats=1
+    )
+    metrics["mine_video"] = {
+        "title": video.stream.title,
+        "frames": video.stream.frame_count,
+        "shots": len(structure.shots),
+        "scenes": len(structure.scenes),
+        "wall_seconds": mine_s,
+    }
+
+    # 3b. Serving scan over the corpus shots: per-entry scalar loop
+    #     (the pre-kernel hot path) vs one batched call.
+    database = VideoDatabase()
+    for _, run in corpus_runs:
+        database.register(run)
+    entries = database.flat_index.entries
+    stacked = np.stack([entry.features for entry in entries])
+    query = entries[int(rng.integers(len(entries)))].features
+    feature_similarity_batch(query, stacked)  # warm
+    scan_scalar_s, scan_scalar = _time(lambda: _scalar_flat_scan(query, stacked))
+    scan_vector_s, scan_vector = _time(
+        lambda: feature_similarity_batch(query, stacked)
+    )
+    scan_err = float(np.abs(scan_vector - scan_scalar).max())
+    scan_speedup = scan_scalar_s / max(scan_vector_s, 1e-12)
+    assert scan_err <= TOLERANCE
+    assert scan_speedup > 1.0  # the measurable serving improvement
+    metrics["serving_scan"] = {
+        "entries": len(entries),
+        "scalar_seconds_per_query": scan_scalar_s,
+        "vectorized_seconds_per_query": scan_vector_s,
+        "speedup": scan_speedup,
+    }
+
+    # 3c. Closed-loop load test against the live server (all query
+    #     kinds ride the batched kernels through warmed snapshots).
+    with QueryServer(database, ServerConfig(workers=4, queue_depth=128)) as server:
+        report = run_load(
+            server, LoadgenConfig(clients=4, duration=1.0, seed=17)
+        )
+    assert not report.failures
+    assert report.completed > 0
+    metrics["loadtest"] = {
+        "clients": 4,
+        "duration_seconds": 1.0,
+        "qps": report.qps,
+        "completed": report.completed,
+        "p50_seconds": report.percentile(50),
+        "p95_seconds": report.percentile(95),
+        "cache_hit_rate": report.cache_hit_rate,
+    }
+
+    end_to_end_text = render_table(
+        ["measurement", "value"],
+        [
+            [
+                f"mine_content_structure ({video.stream.title})",
+                f"{mine_s:.2f} s ({len(structure.shots)} shots, "
+                f"{len(structure.scenes)} scenes)",
+            ],
+            [
+                f"serving scan, scalar loop ({len(entries)} shots)",
+                f"{scan_scalar_s * 1e6:.0f} us/query",
+            ],
+            [
+                "serving scan, batched kernel",
+                f"{scan_vector_s * 1e6:.0f} us/query ({scan_speedup:.0f}x)",
+            ],
+            [
+                "load test (4 clients, 1 s)",
+                f"{report.qps:.0f} QPS, p50 {report.percentile(50) * 1e6:.0f} us, "
+                f"p95 {report.percentile(95) * 1e6:.0f} us",
+            ],
+        ],
+        title="End to end: mining + serving on the batch kernels",
+    )
+
+    text = "\n\n".join([kernel_text, end_to_end_text])
+    save_result(results_dir, "similarity_kernels", text)
+    (results_dir / "BENCH_kernels.json").write_text(
+        json.dumps(metrics, indent=2) + "\n"
+    )

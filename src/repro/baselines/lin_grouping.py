@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.baselines.rui_toc import BaselineScenes
 from repro.core.features import Shot
-from repro.core.similarity import SimilarityWeights, shot_similarity
+from repro.core.kernels import FeatureMatrix, pairwise_stsim
+from repro.core.similarity import SimilarityWeights
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
 
@@ -38,16 +39,17 @@ def coherence_signal(
 
     ``coherence[i]`` is the best similarity between any shot in
     ``[i - window, i)`` and any shot in ``[i, i + window)``.
+
+    All pairwise similarities come from one chunked kernel call; each
+    boundary then takes the max of its window block.
     """
     if len(shots) < 2:
         return np.zeros(0)
+    matrix = pairwise_stsim(FeatureMatrix.from_shots(shots), weights)
     values = np.zeros(len(shots) - 1)
     for i in range(1, len(shots)):
-        left = shots[max(i - window, 0) : i]
-        right = shots[i : i + window]
-        values[i - 1] = max(
-            shot_similarity(a, b, weights) for a in left for b in right
-        )
+        block = matrix[max(i - window, 0) : i, i : i + window]
+        values[i - 1] = block.max()
     return values
 
 

@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.features import Shot
-from repro.core.similarity import SimilarityWeights, group_similarity, shot_similarity
+from repro.core.kernels import (
+    FeatureMatrix,
+    banded_stsim,
+    group_stsim,
+    stsim_to_many,
+)
+from repro.core.similarity import SimilarityWeights
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
 
@@ -51,17 +57,6 @@ class BaselineScenes:
         return len(self.scenes)
 
 
-def _time_adaptive_similarity(
-    shot: Shot, group: list[Shot], weights: SimilarityWeights, tau: float
-) -> float:
-    """Similarity to a group, attenuated by distance to its last shot."""
-    last = group[-1]
-    gap = max(shot.start - last.stop, 0) / shot.fps
-    attenuation = float(np.exp(-gap / tau))
-    best = max(shot_similarity(shot, member, weights) for member in group[-3:])
-    return best * attenuation
-
-
 def rui_group_shots(
     shots: list[Shot],
     weights: SimilarityWeights = SimilarityWeights(),
@@ -72,28 +67,40 @@ def rui_group_shots(
 
     ``group_threshold`` defaults to the entropy pick over adjacent-shot
     similarities, mirroring how the original calibrates per video.
+
+    Every open group exposes its last (up to) three shots; one
+    vectorized kernel call scores the incoming shot against all of
+    them, then per-group maxima are attenuated by the temporal gap.
     """
     if not shots:
         raise MiningError("no shots to group")
+    fm = FeatureMatrix.from_shots(shots)
     if group_threshold is None:
-        pool = [
-            shot_similarity(shots[i], shots[i + 1], weights)
-            for i in range(len(shots) - 1)
-        ]
-        group_threshold = entropy_threshold(np.array(pool)) if pool else 0.5
+        pool = banded_stsim(fm, 1, weights)
+        group_threshold = entropy_threshold(pool) if pool.size else 0.5
 
-    groups: list[list[Shot]] = [[shots[0]]]
-    for shot in shots[1:]:
-        scored = [
-            (_time_adaptive_similarity(shot, group, weights, tau), index)
-            for index, group in enumerate(groups)
-        ]
-        best_score, best_index = max(scored)
-        if best_score >= group_threshold:
-            groups[best_index].append(shot)
+    groups_idx: list[list[int]] = [[0]]
+    for index in range(1, len(shots)):
+        shot = shots[index]
+        tails = [group[-3:] for group in groups_idx]
+        flat = [i for tail in tails for i in tail]
+        sims = stsim_to_many(shot.histogram, shot.texture, fm.take(flat), weights)
+        scores = np.empty(len(groups_idx))
+        position = 0
+        for g, (group, tail) in enumerate(zip(groups_idx, tails)):
+            best = sims[position : position + len(tail)].max()
+            position += len(tail)
+            last = shots[group[-1]]
+            gap = max(shot.start - last.stop, 0) / shot.fps
+            scores[g] = best * float(np.exp(-gap / tau))
+        # The scalar loop took the max over (score, index) tuples, so
+        # ties go to the *later* group.
+        best_index = len(scores) - 1 - int(np.argmax(scores[::-1]))
+        if scores[best_index] >= group_threshold:
+            groups_idx[best_index].append(index)
         else:
-            groups.append([shot])
-    return groups
+            groups_idx.append([index])
+    return [[shots[i] for i in group] for group in groups_idx]
 
 
 def rui_detect_scenes(
@@ -116,8 +123,12 @@ def rui_detect_scenes(
 
     scenes: list[list[Shot]] = [list(ordered[0])]
     for group in ordered[1:]:
-        attach = group_similarity(scenes[-1], group, weights) >= scene_threshold
-        if attach:
+        value = group_stsim(
+            FeatureMatrix.from_shots(scenes[-1]),
+            FeatureMatrix.from_shots(group),
+            weights,
+        )
+        if value >= scene_threshold:
             scenes[-1].extend(group)
         else:
             scenes.append(list(group))

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.baselines.rui_toc import BaselineScenes
 from repro.core.features import Shot
-from repro.core.similarity import SimilarityWeights, shot_similarity
+from repro.core.kernels import FeatureMatrix, banded_stsim, stsim_to_many
+from repro.core.similarity import SimilarityWeights
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
 
@@ -40,31 +41,48 @@ def time_constrained_clusters(
     similarity_threshold: float | None = None,
     time_window: float = DEFAULT_TIME_WINDOW,
 ) -> list[list[Shot]]:
-    """Cluster shots under visual similarity plus a temporal constraint."""
+    """Cluster shots under visual similarity plus a temporal constraint.
+
+    The threshold pool (pairs up to four positions apart) comes from
+    banded kernel passes; each shot is scored against the last (up to)
+    four members of every time-admissible cluster in one vectorized
+    call.
+    """
     if not shots:
         raise MiningError("no shots to cluster")
+    fm = FeatureMatrix.from_shots(shots)
     if similarity_threshold is None:
-        pool = [
-            shot_similarity(shots[i], shots[j], weights)
-            for i in range(len(shots))
-            for j in range(i + 1, min(i + 5, len(shots)))
-        ]
-        similarity_threshold = entropy_threshold(np.array(pool)) if pool else 0.5
+        pooled = np.concatenate(
+            [banded_stsim(fm, offset, weights) for offset in range(1, 5)]
+        )
+        similarity_threshold = entropy_threshold(pooled) if pooled.size else 0.5
 
+    index_of = {id(shot): i for i, shot in enumerate(shots)}
     clusters: list[list[Shot]] = []
     for shot in shots:
-        best_index = None
-        best_score = similarity_threshold
+        # Time-admissible clusters and their last <= 4 members.
+        admissible: list[int] = []
+        tails: list[list[int]] = []
         for index, cluster in enumerate(clusters):
             gap = (shot.start - cluster[-1].stop) / shot.fps
             if gap > time_window:
                 continue  # time constraint
-            score = max(
-                shot_similarity(shot, member, weights) for member in cluster[-4:]
-            )
-            if score >= best_score:
-                best_score = score
-                best_index = index
+            admissible.append(index)
+            tails.append([index_of[id(member)] for member in cluster[-4:]])
+        best_index = None
+        if admissible:
+            flat = [i for tail in tails for i in tail]
+            sims = stsim_to_many(shot.histogram, shot.texture, fm.take(flat), weights)
+            # The scalar loop updated on ">=", so among equal-best
+            # clusters the *last* admissible one wins.
+            best_score = similarity_threshold
+            position = 0
+            for index, tail in zip(admissible, tails):
+                score = sims[position : position + len(tail)].max()
+                position += len(tail)
+                if score >= best_score:
+                    best_score = score
+                    best_index = index
         if best_index is None:
             clusters.append([shot])
         else:

@@ -13,7 +13,8 @@ import numpy as np
 
 from repro.baselines.rui_toc import BaselineScenes
 from repro.core.features import Shot
-from repro.core.similarity import SimilarityWeights, shot_similarity
+from repro.core.kernels import FeatureMatrix, banded_stsim, stsim_to_many
+from repro.core.similarity import SimilarityWeights
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
 
@@ -23,30 +24,35 @@ def visual_cluster_shots(
     weights: SimilarityWeights = SimilarityWeights(),
     threshold: float | None = None,
 ) -> list[list[Shot]]:
-    """Greedy leader clustering on visual similarity only."""
+    """Greedy leader clustering on visual similarity only.
+
+    The threshold pool (pairs up to five positions apart) comes from
+    banded kernel passes; each shot is then scored against every
+    current leader in one vectorized call.
+    """
     if not shots:
         raise MiningError("no shots to cluster")
+    fm = FeatureMatrix.from_shots(shots)
     if threshold is None:
-        pool = [
-            shot_similarity(shots[i], shots[j], weights)
-            for i in range(len(shots))
-            for j in range(i + 1, min(i + 6, len(shots)))
-        ]
-        threshold = entropy_threshold(np.array(pool)) if pool else 0.5
+        pooled = np.concatenate(
+            [banded_stsim(fm, offset, weights) for offset in range(1, 6)]
+        )
+        threshold = entropy_threshold(pooled) if pooled.size else 0.5
 
-    leaders: list[Shot] = []
+    leader_indices: list[int] = []
     clusters: list[list[Shot]] = []
-    for shot in shots:
-        scores = [
-            (shot_similarity(shot, leader, weights), index)
-            for index, leader in enumerate(leaders)
-        ]
-        if scores:
-            best_score, best_index = max(scores)
-            if best_score >= threshold:
+    for index, shot in enumerate(shots):
+        if leader_indices:
+            scores = stsim_to_many(
+                shot.histogram, shot.texture, fm.take(leader_indices), weights
+            )
+            # The scalar loop took the max over (score, index) tuples,
+            # so ties go to the *later* leader.
+            best_index = len(scores) - 1 - int(np.argmax(scores[::-1]))
+            if scores[best_index] >= threshold:
                 clusters[best_index].append(shot)
                 continue
-        leaders.append(shot)
+        leader_indices.append(index)
         clusters.append([shot])
     return clusters
 

@@ -29,9 +29,18 @@ from repro.core.shots import (
     detect_shots,
     shots_from_ground_truth,
 )
+from repro.core.kernels import (
+    FeatureMatrix,
+    banded_stsim,
+    cross_stsim,
+    group_stsim,
+    pairwise_stsim,
+)
 from repro.core.similarity import (
     SimilarityWeights,
     group_similarity,
+    group_similarity_matrix,
+    group_similarity_to_many,
     shot_group_similarity,
     shot_similarity,
     similarity_matrix,
@@ -49,6 +58,7 @@ __all__ = [
     "ClassMinerResult",
     "ClusteredScene",
     "ContentStructure",
+    "FeatureMatrix",
     "Group",
     "GroupKind",
     "GroupThresholds",
@@ -60,10 +70,12 @@ __all__ = [
     "ShotDetectionResult",
     "SimilarityWeights",
     "adaptive_local_threshold",
+    "banded_stsim",
     "boundary_spans",
     "build_shot",
     "classify_group",
     "cluster_scenes",
+    "cross_stsim",
     "detect_boundaries",
     "detect_group_boundaries",
     "detect_groups",
@@ -71,7 +83,11 @@ __all__ = [
     "detect_shots",
     "entropy_threshold",
     "group_similarity",
+    "group_similarity_matrix",
+    "group_similarity_to_many",
+    "group_stsim",
     "mine_content_structure",
+    "pairwise_stsim",
     "representative_frame_index",
     "search_range",
     "select_representative_group",

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.core.groups import Group
 from repro.core.scenes import Scene, select_representative_group
-from repro.core.similarity import SimilarityWeights, group_similarity
+from repro.core.similarity import (
+    SimilarityWeights,
+    group_similarity_matrix,
+    group_similarity_to_many,
+)
 from repro.core.validity import search_range, validity_index
 from repro.errors import MiningError
 
@@ -84,13 +88,20 @@ def _merged_centroid(
 def _pairwise_matrix(
     centroids: list[Group], weights: SimilarityWeights
 ) -> np.ndarray:
+    """Symmetric GpSim matrix over centroids (diagonal ``-inf``).
+
+    One packed kernel call scores every pair; the upper triangle (the
+    scalar loop's ``group_similarity(centroids[i], centroids[j])`` with
+    ``i < j``) is mirrored down, exactly like the scalar construction.
+    """
     n = len(centroids)
     matrix = np.full((n, n), -np.inf)
-    for i in range(n):
-        for j in range(i + 1, n):
-            value = group_similarity(centroids[i].shots, centroids[j].shots, weights)
-            matrix[i, j] = value
-            matrix[j, i] = value
+    if n < 2:
+        return matrix
+    scored = group_similarity_matrix([c.shots for c in centroids], weights)
+    upper = np.triu_indices(n, 1)
+    matrix[upper] = scored[upper]
+    matrix[(upper[1], upper[0])] = scored[upper]
     return matrix
 
 
@@ -140,12 +151,15 @@ def cluster_scenes(
         members[i] = merged_scenes
         centroids[i] = merged_centroid
         matrix = np.delete(np.delete(matrix, j, axis=0), j, axis=1)
-        for k in range(len(members)):
-            if k == i:
-                continue
-            value = group_similarity(centroids[i].shots, centroids[k].shots, weights)
-            matrix[i, k] = value
-            matrix[k, i] = value
+        # Refresh row/column i in one batched kernel call: GpSim of the
+        # merged centroid against every surviving centroid.
+        others = [k for k in range(len(members)) if k != i]
+        if others:
+            row = group_similarity_to_many(
+                centroids[i].shots, [centroids[k].shots for k in others], weights
+            )
+            matrix[i, others] = row
+            matrix[others, i] = row
 
         count = len(members)
         if c_min <= count <= c_max:

@@ -19,6 +19,7 @@ from enum import Enum
 import numpy as np
 
 from repro.core.features import Shot
+from repro.core.kernels import FeatureMatrix, banded_stsim, pairwise_stsim
 from repro.core.similarity import SimilarityWeights, shot_similarity
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
@@ -97,23 +98,24 @@ class GroupThresholds:
 def _side_similarities(
     shots: list[Shot], weights: SimilarityWeights
 ) -> tuple[np.ndarray, np.ndarray]:
-    """CL and CR (Eqs. 2-3) for every shot, using <= 2 shots per side."""
+    """CL and CR (Eqs. 2-3) for every shot, using <= 2 shots per side.
+
+    Each shot only looks two positions away, so two banded kernel
+    passes (offsets 1 and 2) cover every comparison in ``O(N)`` pair
+    evaluations instead of per-pair Python calls.
+    """
     n = len(shots)
     cl = np.zeros(n)
     cr = np.zeros(n)
-    for i in range(n):
-        left = [
-            shot_similarity(shots[i], shots[j], weights)
-            for j in (i - 1, i - 2)
-            if 0 <= j
-        ]
-        right = [
-            shot_similarity(shots[i], shots[j], weights)
-            for j in (i + 1, i + 2)
-            if j < n
-        ]
-        cl[i] = max(left) if left else 0.0
-        cr[i] = max(right) if right else 0.0
+    fm = FeatureMatrix.from_shots(shots)
+    if n >= 2:
+        near = banded_stsim(fm, 1, weights)
+        cl[1:] = near
+        cr[:-1] = near
+    if n >= 3:
+        far = banded_stsim(fm, 2, weights)
+        np.maximum(cl[2:], far, out=cl[2:])
+        np.maximum(cr[:-2], far, out=cr[:-2])
     return cl, cr
 
 
@@ -189,34 +191,33 @@ def classify_group(
 
     ``cluster_threshold`` (Th) defaults to the entropy pick over the
     group's pairwise similarities, falling back to 0.8 for tiny groups.
+
+    The full pairwise StSim matrix is computed once by the vectorized
+    kernel; both the threshold pool and every seed/candidate test read
+    from it.
     """
-    remaining = list(shots)
+    n = len(shots)
+    matrix = pairwise_stsim(FeatureMatrix.from_shots(shots), weights)
     if cluster_threshold is None:
-        if len(shots) >= 3:
-            pool = [
-                shot_similarity(a, b, weights)
-                for idx, a in enumerate(shots)
-                for b in shots[idx + 1 :]
-            ]
-            cluster_threshold = entropy_threshold(np.array(pool))
+        if n >= 3:
+            pool = matrix[np.triu_indices(n, 1)]
+            cluster_threshold = entropy_threshold(pool)
         else:
             cluster_threshold = 0.8
 
     clusters: list[list[Shot]] = []
+    remaining = list(range(n))
     while remaining:
-        seed = remaining.pop(0)
-        cluster = [seed]
-        absorbed = True
-        while absorbed:
-            absorbed = False
-            for candidate in list(remaining):
-                # ">=" so a degenerate pool (all shots identical, threshold
-                # equal to that similarity) still forms one cluster.
-                if shot_similarity(seed, candidate, weights) >= cluster_threshold:
-                    cluster.append(candidate)
-                    remaining.remove(candidate)
-                    absorbed = True
-        clusters.append(cluster)
+        seed, rest = remaining[0], remaining[1:]
+        # ">=" so a degenerate pool (all shots identical, threshold
+        # equal to that similarity) still forms one cluster.  Membership
+        # only depends on the seed, so one vectorized pass absorbs
+        # everything the scalar absorb loop would.
+        absorbed = matrix[seed, rest] >= cluster_threshold
+        clusters.append(
+            [shots[seed]] + [shots[i] for i, take in zip(rest, absorbed) if take]
+        )
+        remaining = [i for i, take in zip(rest, absorbed) if not take]
     kind = GroupKind.TEMPORAL if len(clusters) > 1 else GroupKind.SPATIAL
     return kind, clusters
 
@@ -236,18 +237,10 @@ def select_representative_shot(
         return cluster[0]
     if len(cluster) == 2:
         return max(cluster, key=lambda shot: (shot.length, -shot.shot_id))
-    best_shot = cluster[0]
-    best_score = -np.inf
-    for shot in cluster:
-        score = sum(
-            shot_similarity(shot, other, weights)
-            for other in cluster
-            if other is not shot
-        ) / (len(cluster) - 1)
-        if score > best_score:
-            best_score = score
-            best_shot = shot
-    return best_shot
+    matrix = pairwise_stsim(FeatureMatrix.from_shots(cluster), weights)
+    np.fill_diagonal(matrix, 0.0)
+    scores = matrix.sum(axis=1) / (len(cluster) - 1)
+    return cluster[int(np.argmax(scores))]
 
 
 def detect_groups(

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.core.features import Shot
 from repro.core.groups import Group
-from repro.core.similarity import SimilarityWeights, group_similarity
+from repro.core.kernels import FeatureMatrix, group_stsim
+from repro.core.similarity import (
+    SimilarityWeights,
+    group_similarity_matrix,
+)
 from repro.core.threshold import entropy_threshold
 from repro.errors import MiningError
 
@@ -123,18 +127,12 @@ def select_representative_group(
         return groups[0]
     if len(groups) == 2:
         return max(groups, key=lambda g: (g.shot_count, g.duration))
-    best_group = groups[0]
-    best_score = -np.inf
-    for group in groups:
-        score = sum(
-            group_similarity(group.shots, other.shots, weights)
-            for other in groups
-            if other is not group
-        ) / (len(groups) - 1)
-        if score > best_score:
-            best_score = score
-            best_group = group
-    return best_group
+    # One packed kernel call scores every ordered pair; row means (diag
+    # excluded) are exactly the scalar election's per-group scores.
+    matrix = group_similarity_matrix([group.shots for group in groups], weights)
+    np.fill_diagonal(matrix, 0.0)
+    scores = matrix.sum(axis=1) / (len(groups) - 1)
+    return groups[int(np.argmax(scores))]
 
 
 def detect_scenes(
@@ -155,9 +153,10 @@ def detect_scenes(
         tg = 0.0 if merge_threshold is None else merge_threshold
         merged = [[groups[0]]]
     else:
+        matrices = [FeatureMatrix.from_shots(group.shots) for group in groups]
         neighbour = np.array(
             [
-                group_similarity(groups[i].shots, groups[i + 1].shots, weights)
+                group_stsim(matrices[i], matrices[i + 1], weights)
                 for i in range(len(groups) - 1)
             ]
         )

@@ -19,11 +19,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.features import Shot
+from repro.core.kernels import (
+    DEFAULT_COLOR_WEIGHT,
+    DEFAULT_TEXTURE_WEIGHT,
+    FeatureMatrix,
+    group_pairwise_matrix,
+    group_stsim,
+    group_stsim_row,
+    pairwise_stsim,
+)
 from repro.errors import MiningError
-
-#: Paper weights: W_C = 0.7, W_T = 0.3.
-DEFAULT_COLOR_WEIGHT = 0.7
-DEFAULT_TEXTURE_WEIGHT = 0.3
 
 
 @dataclass(frozen=True)
@@ -91,14 +96,65 @@ def similarity_matrix(
 ) -> np.ndarray:
     """Symmetric StSim matrix over a shot sequence (diagonal = 1-ish).
 
-    Used by group classification and by the baselines.
+    Used by group classification and by the baselines.  Computed by the
+    vectorized kernel (:func:`repro.core.kernels.pairwise_stsim`); the
+    diagonal is filled analytically — ``StSim(s, s)`` is exactly
+    ``W_C * ΣH + W_T`` — instead of spending a full Eq. (1) evaluation
+    per shot.
     """
-    n = len(shots)
-    matrix = np.zeros((n, n), dtype=np.float64)
-    for i in range(n):
-        matrix[i, i] = shot_similarity(shots[i], shots[i], weights)
-        for j in range(i + 1, n):
-            value = shot_similarity(shots[i], shots[j], weights)
-            matrix[i, j] = value
-            matrix[j, i] = value
-    return matrix
+    if not shots:
+        return np.zeros((0, 0), dtype=np.float64)
+    return pairwise_stsim(FeatureMatrix.from_shots(shots), weights)
+
+
+def group_similarity_to_many(
+    group: Sequence[Shot],
+    others: Sequence[Sequence[Shot]],
+    weights: SimilarityWeights = SimilarityWeights(),
+    group_first: bool = True,
+) -> np.ndarray:
+    """Batch GpSim of one group against many (one packed kernel call).
+
+    ``group_first`` keeps the scalar oracle's benchmark tie-break:
+    ``True`` evaluates ``group_similarity(group, g)`` for every ``g``,
+    ``False`` evaluates ``group_similarity(g, group)``.
+    """
+    if not group:
+        raise MiningError("cannot compare empty groups")
+    return group_stsim_row(
+        FeatureMatrix.from_shots(group),
+        [FeatureMatrix.from_shots(g) for g in others],
+        weights=weights,
+        target_first=group_first,
+    )
+
+
+def group_similarity_matrix(
+    groups: Sequence[Sequence[Shot]],
+    weights: SimilarityWeights = SimilarityWeights(),
+) -> np.ndarray:
+    """Batch GpSim over every ordered group pair.
+
+    ``out[i, j]`` equals ``group_similarity(groups[i], groups[j])``
+    exactly (the benchmark of equal-sized groups is the first
+    argument), so clustering and validity read the upper triangle and
+    mirror it, while representative-group election reads full rows.
+    """
+    return group_pairwise_matrix(
+        [FeatureMatrix.from_shots(g) for g in groups], weights=weights
+    )
+
+
+def batched_group_similarity(
+    group_a: Sequence[Shot],
+    group_b: Sequence[Shot],
+    weights: SimilarityWeights = SimilarityWeights(),
+) -> float:
+    """Vectorized Eq. (9) for one pair (kernel-backed ``group_similarity``)."""
+    if not group_a or not group_b:
+        raise MiningError("cannot compare empty groups")
+    return group_stsim(
+        FeatureMatrix.from_shots(group_a),
+        FeatureMatrix.from_shots(group_b),
+        weights=weights,
+    )

@@ -18,7 +18,12 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.groups import Group
-from repro.core.similarity import SimilarityWeights, group_similarity
+from repro.core.similarity import (
+    SimilarityWeights,
+    group_similarity,
+    group_similarity_matrix,
+    group_similarity_to_many,
+)
 from repro.errors import MiningError
 
 #: Paper search range fractions.
@@ -46,14 +51,21 @@ def intra_cluster_distance(
     centroid: Group,
     weights: SimilarityWeights = SimilarityWeights(),
 ) -> float:
-    """sigma_i of Eq. (15): mean ``1 - GpSim(member, centroid)``."""
+    """sigma_i of Eq. (15): mean ``1 - GpSim(member, centroid)``.
+
+    All members are scored against the centroid in one batched kernel
+    call (``group_first=False`` keeps the scalar argument order:
+    member first, centroid second).
+    """
     if not member_centroids:
         raise MiningError("cluster has no members")
-    total = sum(
-        1.0 - group_similarity(member.shots, centroid.shots, weights)
-        for member in member_centroids
+    similarities = group_similarity_to_many(
+        centroid.shots,
+        [member.shots for member in member_centroids],
+        weights,
+        group_first=False,
     )
-    return total / len(member_centroids)
+    return float((1.0 - similarities).mean())
 
 
 def inter_cluster_distance(
@@ -85,12 +97,14 @@ def validity_index(
         intra_cluster_distance(members, centroid, weights)
         for members, centroid in zip(clusters, centroids)
     ]
+    # All centroid/centroid distances from one packed kernel call; the
+    # upper triangle carries the scalar loop's argument order.
+    similarity = group_similarity_matrix([c.shots for c in centroids], weights)
     distances = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = max(inter_cluster_distance(centroids[i], centroids[j], weights), 1e-9)
-            distances[i, j] = d
-            distances[j, i] = d
+    upper = np.triu_indices(n, 1)
+    d = np.maximum(1.0 - similarity[upper], 1e-9)
+    distances[upper] = d
+    distances[(upper[1], upper[0])] = d
     total = 0.0
     for i in range(n):
         ratios = [

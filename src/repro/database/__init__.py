@@ -27,6 +27,7 @@ from repro.database.index import (
     combine_features,
     discriminating_dimensions,
     feature_similarity,
+    feature_similarity_batch,
     leaf_signature,
 )
 from repro.database.scene_search import RankedScene, SceneEntry, SceneIndex
@@ -68,6 +69,7 @@ __all__ = [
     "combine_features",
     "discriminating_dimensions",
     "feature_similarity",
+    "feature_similarity_batch",
     "leaf_signature",
     "scene_node_for",
     "search_hierarchical",

@@ -12,19 +12,26 @@ import time
 
 import numpy as np
 
-from repro.database.index import ShotEntry, feature_similarity
+from repro.database.index import ShotEntry, feature_similarity_batch
 from repro.database.query import QueryResult, QueryStats, RankedShot
 
 
 class FlatIndex:
-    """A plain list of shot entries, scanned in full per query."""
+    """A plain list of shot entries, scanned in full per query.
+
+    The scan itself is one batched kernel call over a cached stacked
+    feature matrix (rebuilt lazily after inserts); every entry still
+    counts as one logical comparison, exactly the Eq. (24) cost.
+    """
 
     def __init__(self, entries: list[ShotEntry] | None = None) -> None:
         self._entries: list[ShotEntry] = list(entries or [])
+        self._matrix: np.ndarray | None = None
 
     def insert(self, entry: ShotEntry) -> None:
         """Append one shot."""
         self._entries.append(entry)
+        self._matrix = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -34,19 +41,32 @@ class FlatIndex:
         """All indexed shots."""
         return list(self._entries)
 
+    def feature_matrix(self) -> np.ndarray:
+        """Cached ``(N, 266)`` stack of every entry's features."""
+        if self._matrix is None:
+            self._matrix = (
+                np.stack([entry.features for entry in self._entries])
+                if self._entries
+                else np.empty((0, 0))
+            )
+        return self._matrix
+
+    def warm(self) -> None:
+        """Pre-build the stacked matrix (snapshot construction)."""
+        self.feature_matrix()
+
     def search(self, features: np.ndarray, k: int = 10) -> QueryResult:
         """Compare against everything, rank everything (Eq. 24)."""
         start = time.perf_counter()
         stats = QueryStats(visited_path=["flat_scan"])
-        scored = []
-        for entry in self._entries:
-            scored.append(
-                RankedShot(
-                    entry=entry,
-                    score=feature_similarity(features, entry.features),
-                )
-            )
-            stats.comparisons += 1
+        scored: list[RankedShot] = []
+        if self._entries:
+            scores = feature_similarity_batch(features, self.feature_matrix())
+            scored = [
+                RankedShot(entry=entry, score=float(score))
+                for entry, score in zip(self._entries, scores)
+            ]
+            stats.comparisons += len(scored)
         scored.sort(key=lambda hit: hit.score, reverse=True)
         stats.ranked = len(scored)
         stats.elapsed_seconds = time.perf_counter() - start

@@ -20,7 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import combined_stsim_to_many, intersection_to_many
+from repro.core.similarity import SimilarityWeights
 from repro.errors import DatabaseError
+
+#: Shared Eq. (1) weights: resolved from the core defaults so the index
+#: and the mining layer cannot drift apart.
+_DEFAULT_WEIGHTS = SimilarityWeights()
 
 #: Number of centres kept per non-leaf node.
 DEFAULT_CENTERS = 4
@@ -63,12 +69,17 @@ def combine_features(histogram: np.ndarray, texture: np.ndarray) -> np.ndarray:
 
 
 def feature_similarity(
-    a: np.ndarray, b: np.ndarray, dims: np.ndarray | None = None
+    a: np.ndarray,
+    b: np.ndarray,
+    dims: np.ndarray | None = None,
+    weights: SimilarityWeights = _DEFAULT_WEIGHTS,
 ) -> float:
     """Eq. (1)-style similarity on (optionally reduced) feature vectors.
 
     Histogram part uses intersection; texture part uses the quadratic
-    term.  When ``dims`` is given both vectors are restricted to those
+    term, mixed with the shared :class:`SimilarityWeights` defaults
+    (W_C = 0.7, W_T = 0.3) so index and core weights stay one value.
+    When ``dims`` is given both vectors are restricted to those
     dimensions first (the node's discriminating sub-space).
     """
     if dims is not None:
@@ -78,7 +89,25 @@ def feature_similarity(
         return float(np.minimum(a, b).sum())
     color = float(np.minimum(a[:256], b[:256]).sum())
     texture = max(1.0 - float(((a[256:] - b[256:]) ** 2).sum()), 0.0)
-    return 0.7 * color + 0.3 * texture
+    return weights.color * color + weights.texture * texture
+
+
+def feature_similarity_batch(
+    features: np.ndarray,
+    matrix: np.ndarray,
+    dims: np.ndarray | None = None,
+    weights: SimilarityWeights = _DEFAULT_WEIGHTS,
+) -> np.ndarray:
+    """Batched :func:`feature_similarity`: one query against stacked rows.
+
+    ``matrix`` is ``(M, 266)``; the result is ``(M,)`` with
+    ``out[m] == feature_similarity(features, matrix[m], dims)`` to
+    kernel precision.  One call replaces ``M`` interpreter dispatches —
+    the Eq. (25) descent and the leaf ranking both run through here.
+    """
+    if dims is not None:
+        return intersection_to_many(features[dims], matrix[:, dims])
+    return combined_stsim_to_many(features, matrix, weights=weights)
 
 
 def discriminating_dimensions(
@@ -118,12 +147,18 @@ class LeafHashIndex:
     def __init__(self) -> None:
         self._buckets: dict[tuple[int, ...], list[ShotEntry]] = {}
         self._count = 0
+        # signature -> (entries, stacked features); None keys the
+        # all-entries fallback block.  Rebuilt lazily, dropped on insert.
+        self._blocks: dict[
+            tuple[int, ...] | None, tuple[list[ShotEntry], np.ndarray]
+        ] = {}
 
     def insert(self, entry: ShotEntry) -> None:
         """Add one shot to its signature bucket."""
         signature = leaf_signature(entry.features)
         self._buckets.setdefault(signature, []).append(entry)
         self._count += 1
+        self._blocks.clear()
 
     def probe(self, features: np.ndarray) -> list[ShotEntry]:
         """Candidates in the query's bucket; falls back to all entries
@@ -133,6 +168,42 @@ class LeafHashIndex:
         if bucket:
             return list(bucket)
         return self.all_entries()
+
+    def _block(
+        self, key: tuple[int, ...] | None
+    ) -> tuple[list[ShotEntry], np.ndarray]:
+        cached = self._blocks.get(key)
+        if cached is None:
+            entries = list(self._buckets.get(key, ())) if key is not None else (
+                self.all_entries()
+            )
+            matrix = (
+                np.stack([entry.features for entry in entries])
+                if entries
+                else np.empty((0, 0))
+            )
+            cached = (entries, matrix)
+            self._blocks[key] = cached
+        return cached
+
+    def probe_block(
+        self, features: np.ndarray
+    ) -> tuple[list[ShotEntry], np.ndarray]:
+        """Like :meth:`probe`, plus the candidates' stacked features.
+
+        The stacked ``(M, 266)`` matrix is cached per bucket signature,
+        so repeated queries (the serving hot path) never re-stack
+        entry features.  Callers must treat both values as read-only.
+        """
+        signature = leaf_signature(features)
+        key = signature if self._buckets.get(signature) else None
+        return self._block(key)
+
+    def warm(self) -> None:
+        """Pre-build every bucket block plus the all-entries fallback."""
+        for signature in self._buckets:
+            self._block(signature)
+        self._block(None)
 
     def all_entries(self) -> list[ShotEntry]:
         """Every indexed shot."""
@@ -145,6 +216,19 @@ class LeafHashIndex:
     def bucket_count(self) -> int:
         """Number of non-empty buckets."""
         return len(self._buckets)
+
+
+@dataclass(frozen=True)
+class CenterBlock:
+    """Stacked routing centres of a node's populated children.
+
+    ``centers[offsets[c]:offsets[c + 1]]`` are the centres of
+    ``children[c]``; one batched kernel call scores them all.
+    """
+
+    centers: np.ndarray = field(repr=False)
+    children: tuple["IndexNode", ...]
+    offsets: np.ndarray = field(repr=False)
 
 
 @dataclass
@@ -161,6 +245,7 @@ class IndexNode:
     centers: np.ndarray | None = field(default=None, repr=False)
     dims: np.ndarray | None = field(default=None, repr=False)
     leaf: LeafHashIndex | None = None
+    _center_block: CenterBlock | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
@@ -172,6 +257,28 @@ class IndexNode:
         if self.is_leaf:
             return len(self.leaf)  # type: ignore[arg-type]
         return sum(child.shot_count() for child in self.children)
+
+    def center_block(self) -> CenterBlock | None:
+        """Cached stacked centres of populated children (None if none).
+
+        The catalog never mutates a built tree in place — registration
+        invalidates and rebuilds — so the cache lives as long as the
+        node.  A snapshot build pre-warms it for the serving hot path.
+        """
+        if self._center_block is None:
+            populated = tuple(
+                child for child in self.children if child.centers is not None
+            )
+            if not populated:
+                return None
+            offsets = np.zeros(len(populated) + 1, dtype=np.intp)
+            np.cumsum([c.centers.shape[0] for c in populated], out=offsets[1:])
+            self._center_block = CenterBlock(
+                centers=np.concatenate([c.centers for c in populated]),
+                children=populated,
+                offsets=offsets,
+            )
+        return self._center_block
 
 
 def _kcenters(features: np.ndarray, k: int) -> np.ndarray:
@@ -239,22 +346,17 @@ def build_node(
 def route_child(node: IndexNode, features: np.ndarray) -> tuple[IndexNode, int]:
     """Pick the child whose best centre matches the query best.
 
-    Returns ``(child, comparisons_made)``.
+    Returns ``(child, comparisons_made)``.  All centres of all
+    populated children are scored in one batched kernel call;
+    ``comparisons`` still counts every logical centre evaluation, and
+    the first-best tie-break matches the scalar scan.
     """
     if node.is_leaf or not node.children:
         raise DatabaseError(f"cannot route inside leaf node {node.name!r}")
-    best_child = None
-    best_score = -np.inf
-    comparisons = 0
-    for child in node.children:
-        if child.centers is None:
-            continue  # empty branch: nothing indexed below
-        for center in child.centers:
-            score = feature_similarity(features, center)
-            comparisons += 1
-            if score > best_score:
-                best_score = score
-                best_child = child
-    if best_child is None:
+    block = node.center_block()
+    if block is None:
         raise DatabaseError(f"node {node.name!r} has no populated children")
-    return best_child, comparisons
+    scores = feature_similarity_batch(features, block.centers)
+    best = int(np.argmax(scores))
+    child_index = int(np.searchsorted(block.offsets, best, side="right") - 1)
+    return block.children[child_index], int(scores.shape[0])

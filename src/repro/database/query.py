@@ -17,8 +17,7 @@ import numpy as np
 from repro.database.index import (
     IndexNode,
     ShotEntry,
-    feature_similarity,
-    route_child,
+    feature_similarity_batch,
 )
 from repro.errors import DatabaseError
 
@@ -74,19 +73,22 @@ class QueryResult:
 def _child_scores(
     node: IndexNode, features: np.ndarray, stats: QueryStats
 ) -> list[tuple[float, IndexNode]]:
-    """Best-centre score of every populated child."""
-    scored = []
-    for child in node.children:
-        if child.centers is None:
-            continue
-        best = -np.inf
-        for center in child.centers:
-            value = feature_similarity(features, center)
-            stats.comparisons += 1
-            if value > best:
-                best = value
-        scored.append((best, child))
-    return scored
+    """Best-centre score of every populated child.
+
+    The node's children stack their centres per level
+    (:meth:`~repro.database.index.IndexNode.center_block`), so one
+    batched kernel call scores them all; ``stats.comparisons`` still
+    counts every logical centre evaluation.
+    """
+    block = node.center_block()
+    if block is None:
+        return []
+    scores = feature_similarity_batch(features, block.centers)
+    stats.comparisons += int(scores.shape[0])
+    return [
+        (float(scores[block.offsets[c] : block.offsets[c + 1]].max()), child)
+        for c, child in enumerate(block.children)
+    ]
 
 
 def search_hierarchical(
@@ -155,19 +157,21 @@ def search_hierarchical(
     scored: list[RankedShot] = []
     seen: set[tuple[str, int]] = set()
     for leaf in leaves:
-        for entry in leaf.leaf.probe(features):  # type: ignore[union-attr]
-            if entry.key in seen:
-                continue
-            seen.add(entry.key)
-            scored.append(
-                RankedShot(
-                    entry=entry,
-                    score=feature_similarity(
-                        features, entry.features, dims=leaf.dims
-                    ),
-                )
-            )
-            stats.comparisons += 1
+        # One kernel call ranks the whole candidate block of this leaf
+        # (in its discriminating sub-space); each scored entry still
+        # counts as one logical comparison.
+        entries, matrix = leaf.leaf.probe_block(features)  # type: ignore[union-attr]
+        keep = [i for i, entry in enumerate(entries) if entry.key not in seen]
+        if not keep:
+            continue
+        seen.update(entries[i].key for i in keep)
+        block = matrix if len(keep) == len(entries) else matrix[keep]
+        scores = feature_similarity_batch(features, block, dims=leaf.dims)
+        scored.extend(
+            RankedShot(entry=entries[i], score=float(score))
+            for i, score in zip(keep, scores)
+        )
+        stats.comparisons += len(keep)
     scored.sort(key=lambda hit: hit.score, reverse=True)
     stats.ranked = len(scored)
     stats.elapsed_seconds = time.perf_counter() - start
@@ -180,19 +184,26 @@ def _best_permitted_leaf(
     allowed: set[str],
     stats: QueryStats,
 ) -> IndexNode | None:
-    """Fallback: the permitted leaf whose centres best match the query."""
-    best: IndexNode | None = None
-    best_score = -np.inf
-    for leaf in _iter_leaves(root):
-        if leaf.name not in allowed or leaf.centers is None:
-            continue
-        for center in leaf.centers:
-            score = feature_similarity(features, center)
-            stats.comparisons += 1
-            if score > best_score:
-                best_score = score
-                best = leaf
-    return best
+    """Fallback: the permitted leaf whose centres best match the query.
+
+    Permitted leaf centres are stacked and scored in one batched kernel
+    call; the first-best tie-break matches the scalar scan.
+    """
+    leaves = [
+        leaf
+        for leaf in _iter_leaves(root)
+        if leaf.name in allowed and leaf.centers is not None
+    ]
+    if not leaves:
+        return None
+    centers = np.concatenate([leaf.centers for leaf in leaves])
+    counts = [leaf.centers.shape[0] for leaf in leaves]
+    offsets = np.zeros(len(leaves) + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    scores = feature_similarity_batch(features, centers)
+    stats.comparisons += int(scores.shape[0])
+    best = int(np.argmax(scores))
+    return leaves[int(np.searchsorted(offsets, best, side="right") - 1)]
 
 
 def _iter_leaves(node: IndexNode):

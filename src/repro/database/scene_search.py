@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pipeline import ClassMinerResult
-from repro.database.index import combine_features, feature_similarity
+from repro.database.index import (
+    combine_features,
+    feature_similarity_batch,
+)
 from repro.errors import DatabaseError
 from repro.types import EventKind
 
@@ -52,10 +55,15 @@ class RankedScene:
 
 
 class SceneIndex:
-    """Flat index of scene centroids with optional event filtering."""
+    """Flat index of scene centroids with optional event filtering.
+
+    Centroids are stacked into one cached matrix (rebuilt lazily after
+    inserts) so a search is one batched kernel call.
+    """
 
     def __init__(self) -> None:
         self._entries: list[SceneEntry] = []
+        self._matrix: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,6 +76,21 @@ class SceneIndex:
     def insert(self, entry: SceneEntry) -> None:
         """Add one pre-built scene entry (the snapshot-rebuild path)."""
         self._entries.append(entry)
+        self._matrix = None
+
+    def centroid_matrix(self) -> np.ndarray:
+        """Cached ``(N, 266)`` stack of every entry's centroid."""
+        if self._matrix is None:
+            self._matrix = (
+                np.stack([entry.centroid for entry in self._entries])
+                if self._entries
+                else np.empty((0, 0))
+            )
+        return self._matrix
+
+    def warm(self) -> None:
+        """Pre-build the stacked matrix (snapshot construction)."""
+        self.centroid_matrix()
 
     def register(self, result: ClassMinerResult) -> int:
         """Index every kept scene of a mined video; returns scenes added."""
@@ -80,7 +103,7 @@ class SceneIndex:
                     for shot in scene.shots
                 ]
             )
-            self._entries.append(
+            self.insert(
                 SceneEntry(
                     video_title=result.title,
                     scene_id=scene.scene_id,
@@ -104,15 +127,19 @@ class SceneIndex:
         """
         if not self._entries:
             raise DatabaseError("scene index is empty")
-        candidates = self._entries
+        matrix = self.centroid_matrix()
         if event is not None:
-            candidates = [entry for entry in candidates if entry.event is event]
+            keep = [i for i, entry in enumerate(self._entries) if entry.event is event]
+            if not keep:
+                return []
+            candidates = [self._entries[i] for i in keep]
+            matrix = matrix[keep]
+        else:
+            candidates = self._entries
+        scores = feature_similarity_batch(features, matrix)
         hits = [
-            RankedScene(
-                entry=entry,
-                score=feature_similarity(features, entry.centroid),
-            )
-            for entry in candidates
+            RankedScene(entry=entry, score=float(score))
+            for entry, score in zip(candidates, scores)
         ]
         hits.sort(key=lambda hit: hit.score, reverse=True)
         return hits[:k]

@@ -166,19 +166,43 @@ def _derive_scene_index(database: VideoDatabase) -> SceneIndex:
     return index
 
 
+def _warm_feature_blocks(root: IndexNode) -> None:
+    """Pre-build every cached feature block of an index tree.
+
+    Walks the tree once: non-leaf nodes stack their children's routing
+    centres (:meth:`~repro.database.index.IndexNode.center_block`),
+    leaves stack each hash bucket plus the all-entries fallback.  The
+    serving hot path then never re-stacks features — every batched
+    kernel call hits a per-generation matrix built here.
+    """
+    if root.is_leaf:
+        root.leaf.warm()  # type: ignore[union-attr]
+        return
+    root.center_block()
+    for child in root.children:
+        _warm_feature_blocks(child)
+
+
 def build_snapshot(database: VideoDatabase, generation: int) -> Snapshot:
     """Freeze the database's current state as one generation.
 
     Raises :class:`~repro.errors.ServingError` for an empty database —
-    a server has nothing to serve.
+    a server has nothing to serve.  All kernel feature blocks (index
+    centre stacks, leaf bucket stacks, flat and scene matrices) are
+    precomputed here, off the query path.
     """
     if not database.videos:
         raise ServingError("cannot snapshot an empty database")
+    flat = FlatIndex(database.flat_index.entries)
+    flat.warm()
+    scenes = _derive_scene_index(database)
+    scenes.warm()
+    _warm_feature_blocks(database.index_root)
     return Snapshot(
         generation=generation,
         index_root=database.index_root,
-        flat=FlatIndex(database.flat_index.entries),
-        scenes=_derive_scene_index(database),
+        flat=flat,
+        scenes=scenes,
         records=database.videos,
         controller=database.controller,
         shot_count=database.shot_count,
