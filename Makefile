@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke all clean
 
 install:
 	pip install -e .
@@ -19,6 +19,9 @@ ingest-smoke:
 
 serve-smoke:
 	python -m repro.serving.smoke
+
+obs-smoke:
+	python -m repro.obs.smoke
 
 examples:
 	@for ex in examples/*.py; do \

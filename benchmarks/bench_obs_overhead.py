@@ -1,0 +1,98 @@
+"""Observability overhead benchmark: traced vs untraced demo mine.
+
+The obs layer's contract is *zero-cost when disabled*: with the default
+:data:`~repro.obs.trace.NULL_TRACER` installed, every instrumented site
+is one attribute read plus a no-op context manager, and the hot-path
+kernel/index stats are plain attribute increments.  This bench measures
+both sides of that contract on the full ``mine_content_structure`` +
+cues + audio + events pipeline:
+
+1. **disabled** — the shipped default (NullTracer, stats increments on).
+2. **enabled** — a live :class:`~repro.obs.Tracer` recording every span.
+
+The enabled run must stay within ``MAX_OVERHEAD`` (5%) of the disabled
+run, the ISSUE acceptance criterion.  Wall-clock is best-of-``ROUNDS``
+to squeeze out scheduler noise; results land in
+``benchmarks/results/obs_overhead.txt`` plus machine-readable
+``benchmarks/results/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, save_result
+from repro.core import ClassMiner
+from repro.evaluation.report import render_table
+from repro.obs import NULL_TRACER, Tracer, install_tracer
+from repro.video.synthesis import demo_screenplay, generate_video
+
+#: Acceptance ceiling for enabled-tracing overhead (ISSUE criterion).
+MAX_OVERHEAD = 0.05
+
+#: Best-of rounds per configuration.
+ROUNDS = 5
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_obs_overhead(results_dir) -> None:
+    """Enabled tracing must cost < 5% over the disabled default."""
+    video = generate_video(demo_screenplay(), seed=0)
+    miner = ClassMiner()
+    miner.mine(video.stream)  # warm caches/JIT-free steady state
+
+    install_tracer(NULL_TRACER)
+    disabled = _best_of(lambda: miner.mine(video.stream))
+
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        enabled = _best_of(lambda: miner.mine(video.stream))
+    finally:
+        install_tracer(previous)
+
+    spans_per_mine = len(tracer.spans()) // ROUNDS
+    overhead = enabled / disabled - 1.0
+
+    rows = [
+        ["disabled (NullTracer)", f"{disabled * 1e3:.2f}", "-"],
+        ["enabled (Tracer)", f"{enabled * 1e3:.2f}", f"{overhead * 100:+.2f}%"],
+    ]
+    text = render_table(
+        ["configuration", "best-of-5 ms", "overhead"],
+        rows,
+        title=(
+            f"observability overhead on demo mine "
+            f"({spans_per_mine} spans per run, ceiling {MAX_OVERHEAD:.0%})"
+        ),
+    )
+    save_result(results_dir, "obs_overhead", text)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(
+            {
+                "pipeline": "ClassMiner.mine(demo)",
+                "rounds": ROUNDS,
+                "spans_per_run": spans_per_mine,
+                "disabled_seconds": disabled,
+                "enabled_seconds": enabled,
+                "overhead_fraction": overhead,
+                "max_overhead_fraction": MAX_OVERHEAD,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead:.1%} exceeds the {MAX_OVERHEAD:.0%} ceiling "
+        f"(disabled {disabled * 1e3:.2f}ms, enabled {enabled * 1e3:.2f}ms)"
+    )

@@ -12,6 +12,9 @@ Installed as the ``classminer`` console script::
     classminer cache list --db-dir db/      # inspect the artifact cache
     classminer serve --db-dir db/           # serving health check + metrics
     classminer loadtest --db-dir db/        # closed-loop load generator
+    classminer mine demo --trace t.jsonl    # record a span trace while mining
+    classminer obs render t.jsonl           # render a recorded trace
+    classminer obs export --format prometheus  # registry exposition text
 
 The special title ``demo`` refers to the compact demo screenplay; the
 five corpus titles come from the paper's dataset description.  For
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
 
 from repro.baselines import lin_detect_scenes, rui_detect_scenes
 from repro.core import ClassMiner
@@ -46,6 +50,29 @@ def _load(title: str, with_audio: bool = True):
     return load_video(title, with_audio=with_audio)
 
 
+@contextmanager
+def _tracing(args: argparse.Namespace):
+    """Install a tracer for the command when ``--trace PATH`` was given.
+
+    Yields the tracer (or None when tracing is off); on exit the
+    previous tracer is restored and the spans are written as JSONL.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    from repro.obs import Tracer, install_tracer
+
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+        tracer.write_jsonl(path)
+        print(f"trace: wrote {len(tracer.spans())} spans to {path}")
+
+
 def _cmd_corpus(_args: argparse.Namespace) -> int:
     print("Available videos (synthetic corpus, Sec. 6.1 titles):")
     for title in ("demo",) + CORPUS_TITLES:
@@ -54,8 +81,13 @@ def _cmd_corpus(_args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    video = _load(args.title)
-    result = ClassMiner().mine(video.stream)
+    with _tracing(args) as tracer:
+        video = _load(args.title)
+        result = ClassMiner().mine(video.stream)
+    if tracer is not None:
+        from repro.obs import render_spans
+
+        print(render_spans(tracer.spans()))
     sizes = result.structure.level_sizes()
     print(f"{args.title}: {len(video.stream)} frames, {video.stream.duration:.1f}s")
     print(
@@ -152,17 +184,18 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         if not args.quiet and event.kind != "queued":
             print(event.describe())
 
-    report = ingest_corpus(
-        args.titles,
-        args.db_dir,
-        workers=args.workers,
-        force=args.force,
-        seed=args.seed,
-        timeout=args.timeout,
-        policy=RetryPolicy(retries=args.retries),
-        progress=progress,
-        strict=False,
-    )
+    with _tracing(args):
+        report = ingest_corpus(
+            args.titles,
+            args.db_dir,
+            workers=args.workers,
+            force=args.force,
+            seed=args.seed,
+            timeout=args.timeout,
+            policy=RetryPolicy(retries=args.retries),
+            progress=progress,
+            strict=False,
+        )
     print()
     print(tracker.render_summary())
     print(
@@ -201,7 +234,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _serving_server(args: argparse.Namespace):
     from repro.ingest import load_database
-    from repro.serving import QueryServer, ServerConfig
+    from repro.obs import get_registry
+    from repro.serving import QueryServer, ServerConfig, ServingMetrics
 
     database = load_database(args.db_dir)
     config = ServerConfig(
@@ -209,13 +243,16 @@ def _serving_server(args: argparse.Namespace):
         queue_depth=args.queue_depth,
         default_timeout=args.timeout,
     )
-    return QueryServer(database, config)
+    # CLI servers report through the process-global registry so
+    # ``classminer obs export`` and the Prometheus text cover them.
+    metrics = ServingMetrics(registry=get_registry())
+    return QueryServer(database, config, metrics=metrics)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import QueryRequest
 
-    with _serving_server(args) as server:
+    with _tracing(args), _serving_server(args) as server:
         snapshot = server.manager.current()
         entries = snapshot.flat.entries
         canary = entries[0].features
@@ -235,7 +272,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.serving import LoadgenConfig, run_load
 
-    with _serving_server(args) as server:
+    with _tracing(args), _serving_server(args) as server:
         config = LoadgenConfig(
             clients=args.clients,
             duration=args.duration,
@@ -257,6 +294,39 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         for failure in report.failures:
             print(f"invariant failure: {failure}", file=sys.stderr)
     return 0 if not report.failures and report.completed else 1
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    from repro.obs import get_registry
+
+    for name, value in sorted(get_registry().snapshot().items()):
+        print(f"{name} {value:g}")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import get_registry, render_json, render_prometheus
+
+    registry = get_registry()
+    if args.format == "prometheus":
+        text = render_prometheus(registry)
+    else:
+        text = render_json(registry)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_obs_render(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_spans
+
+    print(render_spans(load_trace(args.trace_file), max_spans=args.max_spans))
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -281,8 +351,17 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_corpus
     )
 
+    def _trace_arg(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a JSONL trace of this run to PATH",
+        )
+
     mine = sub.add_parser("mine", help="mine a video's content structure")
     mine.add_argument("title")
+    _trace_arg(mine)
     mine.set_defaults(func=_cmd_mine)
 
     events = sub.add_parser("events", help="mined scene events of a video")
@@ -364,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--quiet", action="store_true", help="only print the final summary"
     )
+    _trace_arg(ingest)
     ingest.set_defaults(func=_cmd_ingest)
 
     cache = sub.add_parser(
@@ -403,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _serving_args(serve)
+    _trace_arg(serve)
     serve.set_defaults(func=_cmd_serve)
 
     loadtest = sub.add_parser(
@@ -436,7 +517,47 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "-o", "--output", default=None, help="also write the report to a file"
     )
+    _trace_arg(loadtest)
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability: metrics dump/export and trace rendering",
+        description=(
+            "Inspect the process-wide metrics registry (dump/export) or "
+            "render a JSONL trace file written by a --trace run as a "
+            "flame-style tree."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="flat name=value snapshot of the metrics registry"
+    )
+    obs_dump.set_defaults(func=_cmd_obs_dump)
+    obs_export = obs_sub.add_parser(
+        "export", help="export registry metrics as Prometheus text or JSON"
+    )
+    obs_export.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format (default: prometheus)",
+    )
+    obs_export.add_argument(
+        "-o", "--output", default=None, help="write to a file instead of stdout"
+    )
+    obs_export.set_defaults(func=_cmd_obs_export)
+    obs_render = obs_sub.add_parser(
+        "render", help="render a --trace JSONL file as a span tree"
+    )
+    obs_render.add_argument("trace_file")
+    obs_render.add_argument(
+        "--max-spans",
+        type=int,
+        default=200,
+        help="elide children beyond this many rendered spans (default: 200)",
+    )
+    obs_render.set_defaults(func=_cmd_obs_render)
     return parser
 
 

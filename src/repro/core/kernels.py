@@ -59,6 +59,43 @@ TEXTURE_DIM = 10
 DEFAULT_BLOCK_PAIRS = 4096
 
 
+class KernelStats:
+    """Lock-free hot-path counters for the batch engine.
+
+    Plain attribute increments: the chunk loop must not pay a lock per
+    block, so these are CPython-GIL-approximate (an increment can in
+    principle be lost under heavy thread contention, never negative or
+    wildly off).  The process-global :data:`KERNEL_STATS` instance is
+    published as read-time gauges through
+    :func:`repro.obs.bridge.kernel_stats_collector`.
+    """
+
+    __slots__ = ("packs", "packed_rows", "chunks", "pair_evals")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.packs = 0
+        self.packed_rows = 0
+        self.chunks = 0
+        self.pair_evals = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the counters."""
+        return {
+            "packs": self.packs,
+            "packed_rows": self.packed_rows,
+            "chunks": self.chunks,
+            "pair_evals": self.pair_evals,
+        }
+
+
+#: Process-wide kernel counters (exported via the obs registry).
+KERNEL_STATS = KernelStats()
+
+
 def _resolve_weights(weights) -> tuple[float, float]:
     """``(W_C, W_T)`` from a weights object (duck-typed) or the defaults."""
     if weights is None:
@@ -89,6 +126,8 @@ class FeatureMatrix:
         self.histograms = histograms
         self.textures = textures
         self._texture_sq: np.ndarray | None = None
+        KERNEL_STATS.packs += 1
+        KERNEL_STATS.packed_rows += histograms.shape[0]
 
     @classmethod
     def from_shots(cls, shots: Sequence) -> "FeatureMatrix":
@@ -157,6 +196,8 @@ def cross_stsim(
         return out
     wc, wt = _resolve_weights(weights)
     rows = max(1, block_pairs // nb)
+    KERNEL_STATS.chunks += -(-na // rows)
+    KERNEL_STATS.pair_evals += na * nb
     b_hist = b.histograms
     b_tex_t = b.textures.T
     b_sq = b.texture_sq
@@ -195,6 +236,8 @@ def pairwise_stsim(
         return out
     wc, wt = _resolve_weights(weights)
     rows = max(1, block_pairs // n)
+    KERNEL_STATS.chunks += -(-n // rows)
+    KERNEL_STATS.pair_evals += n * (n + 1) // 2
     hist = fm.histograms
     tex = fm.textures
     sq = fm.texture_sq
@@ -225,6 +268,8 @@ def stsim_to_many(
     scalar oracle bit-for-bit.
     """
     wc, wt = _resolve_weights(weights)
+    KERNEL_STATS.chunks += 1
+    KERNEL_STATS.pair_evals += len(fm)
     histogram = np.asarray(histogram, dtype=np.float64)
     texture = np.asarray(texture, dtype=np.float64)
     color = np.minimum(histogram[None, :], fm.histograms).sum(axis=1)
@@ -246,6 +291,8 @@ def banded_stsim(fm: FeatureMatrix, offset: int, weights=None) -> np.ndarray:
     if n <= offset:
         return np.zeros(0, dtype=np.float64)
     wc, wt = _resolve_weights(weights)
+    KERNEL_STATS.chunks += 1
+    KERNEL_STATS.pair_evals += n - offset
     color = np.minimum(fm.histograms[:-offset], fm.histograms[offset:]).sum(axis=1)
     diff = fm.textures[:-offset] - fm.textures[offset:]
     texture_term = np.maximum(1.0 - (diff * diff).sum(axis=1), 0.0)
@@ -373,6 +420,8 @@ def combined_stsim_to_many(
     wc, wt = _resolve_weights(weights)
     query = np.asarray(query, dtype=np.float64)
     matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    KERNEL_STATS.chunks += 1
+    KERNEL_STATS.pair_evals += matrix.shape[0]
     color = np.minimum(query[None, :histogram_dim], matrix[:, :histogram_dim]).sum(
         axis=1
     )
@@ -390,4 +439,6 @@ def intersection_to_many(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     """
     query = np.asarray(query, dtype=np.float64)
     matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    KERNEL_STATS.chunks += 1
+    KERNEL_STATS.pair_evals += matrix.shape[0]
     return np.minimum(query[None, :], matrix).sum(axis=1)

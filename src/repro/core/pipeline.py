@@ -15,6 +15,7 @@ from repro.core.structure import ContentStructure, MiningConfig, mine_content_st
 from repro.errors import MiningError
 from repro.events.miner import EventMiner, EventMiningResult
 from repro.events.model import SceneEvent
+from repro.obs.trace import span as obs_span
 from repro.types import EventKind
 from repro.video.stream import VideoStream
 from repro.vision.cues import VisualCues
@@ -90,16 +91,29 @@ class ClassMiner:
         oracle_shot_spans:
             Bypass shot detection with known spans (evaluation only).
         """
-        structure = mine_content_structure(
-            stream, self._config, oracle_shot_spans=oracle_shot_spans
-        )
-        if not mine_events:
-            return ClassMinerResult(structure=structure, cues={}, audio={})
+        with obs_span(
+            "mine", title=stream.title, frames=len(stream)
+        ) as root:
+            structure = mine_content_structure(
+                stream, self._config, oracle_shot_spans=oracle_shot_spans
+            )
+            root.set(
+                shots=structure.shot_count,
+                scenes=structure.scene_count,
+            )
+            if not mine_events:
+                return ClassMinerResult(structure=structure, cues={}, audio={})
 
-        miner = EventMiner(analyzer=self._analyzer)
-        cues = miner.visual_cues(structure.shots)
-        audio = miner.shot_audio(structure.shots, stream.audio)
-        events = miner.mine(structure.scenes, stream.audio)
-        return ClassMinerResult(
-            structure=structure, cues=cues, audio=audio, events=events
-        )
+            miner = EventMiner(analyzer=self._analyzer)
+            with obs_span("mine.cues") as sp:
+                cues = miner.visual_cues(structure.shots)
+                sp.set(shots=len(cues))
+            with obs_span("mine.audio") as sp:
+                audio = miner.shot_audio(structure.shots, stream.audio)
+                sp.set(shots=len(audio))
+            with obs_span("mine.events") as sp:
+                events = miner.mine(structure.scenes, stream.audio)
+                sp.set(events=len(events.events))
+            return ClassMinerResult(
+                structure=structure, cues=cues, audio=audio, events=events
+            )

@@ -31,6 +31,7 @@ from repro.core.shots import (
 )
 from repro.core.similarity import SimilarityWeights
 from repro.errors import MiningError
+from repro.obs.trace import span as obs_span
 from repro.video.stream import VideoStream
 
 
@@ -171,29 +172,36 @@ def mine_content_structure(
         config = MiningConfig()
 
     shot_detection: ShotDetectionResult | None = None
-    if oracle_shot_spans is not None:
-        shots = shots_from_ground_truth(stream, oracle_shot_spans)
-    else:
-        shot_detection = detect_shots(stream, window=config.shot_window)
-        shots = shot_detection.shots
-    if not shots:
-        raise MiningError("no shots detected")
+    with obs_span("mine.shots", window=config.shot_window) as sp:
+        if oracle_shot_spans is not None:
+            shots = shots_from_ground_truth(stream, oracle_shot_spans)
+            sp.set(oracle=True)
+        else:
+            shot_detection = detect_shots(stream, window=config.shot_window)
+            shots = shot_detection.shots
+        if not shots:
+            raise MiningError("no shots detected")
+        sp.set(frames=len(stream), shots=len(shots))
     logger.info("%s: %d shots detected", stream.title, len(shots))
 
-    groups, thresholds = detect_groups(
-        shots, config.weights, thresholds=config.group_thresholds
-    )
+    with obs_span("mine.groups") as sp:
+        groups, thresholds = detect_groups(
+            shots, config.weights, thresholds=config.group_thresholds
+        )
+        sp.set(groups=len(groups))
     logger.debug(
         "%s: %d groups (T1=%.3f, T2=%.3f)",
         stream.title, len(groups), thresholds.t1, thresholds.t2,
     )
-    scene_detection = detect_scenes(
-        groups,
-        config.weights,
-        merge_threshold=config.merge_threshold,
-        min_scene_shots=config.min_scene_shots,
-    )
-    scenes = scene_detection.scenes
+    with obs_span("mine.scenes") as sp:
+        scene_detection = detect_scenes(
+            groups,
+            config.weights,
+            merge_threshold=config.merge_threshold,
+            min_scene_shots=config.min_scene_shots,
+        )
+        scenes = scene_detection.scenes
+        sp.set(scenes=len(scenes), eliminated=len(scene_detection.eliminated))
     logger.info(
         "%s: %d scenes kept, %d units eliminated (TG=%.3f)",
         stream.title,
@@ -202,18 +210,20 @@ def mine_content_structure(
         scene_detection.merge_threshold,
     )
 
-    if scenes:
-        clustering = cluster_scenes(
-            scenes, config.weights, target_count=config.cluster_target
-        )
-        clustered = clustering.clusters
-        logger.debug(
-            "%s: %d scene clusters (validity-selected N=%d)",
-            stream.title, len(clustered), clustering.chosen_count,
-        )
-    else:
-        clustering = None
-        clustered = []
+    with obs_span("mine.clustering") as sp:
+        if scenes:
+            clustering = cluster_scenes(
+                scenes, config.weights, target_count=config.cluster_target
+            )
+            clustered = clustering.clusters
+            sp.set(clusters=len(clustered))
+            logger.debug(
+                "%s: %d scene clusters (validity-selected N=%d)",
+                stream.title, len(clustered), clustering.chosen_count,
+            )
+        else:
+            clustering = None
+            clustered = []
 
     return ContentStructure(
         title=stream.title,

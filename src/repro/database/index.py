@@ -36,6 +36,50 @@ DEFAULT_REDUCED_DIM = 64
 SIGNATURE_BINS = 4
 
 
+class IndexStats:
+    """Lock-free hot-path counters for the hierarchical index.
+
+    Plain attribute increments (same GIL-approximate trade as
+    :class:`repro.core.kernels.KernelStats`): the descent and the leaf
+    feature-block cache must not pay a lock per query.  Published as
+    read-time gauges through
+    :func:`repro.obs.bridge.index_stats_collector`.
+    """
+
+    __slots__ = (
+        "descents",
+        "routes",
+        "center_block_builds",
+        "block_hits",
+        "block_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.descents = 0
+        self.routes = 0
+        self.center_block_builds = 0
+        self.block_hits = 0
+        self.block_misses = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the counters."""
+        return {
+            "descents": self.descents,
+            "routes": self.routes,
+            "center_block_builds": self.center_block_builds,
+            "block_hits": self.block_hits,
+            "block_misses": self.block_misses,
+        }
+
+
+#: Process-wide index counters (exported via the obs registry).
+INDEX_STATS = IndexStats()
+
+
 @dataclass(frozen=True)
 class ShotEntry:
     """One indexed shot.
@@ -174,6 +218,7 @@ class LeafHashIndex:
     ) -> tuple[list[ShotEntry], np.ndarray]:
         cached = self._blocks.get(key)
         if cached is None:
+            INDEX_STATS.block_misses += 1
             entries = list(self._buckets.get(key, ())) if key is not None else (
                 self.all_entries()
             )
@@ -184,6 +229,8 @@ class LeafHashIndex:
             )
             cached = (entries, matrix)
             self._blocks[key] = cached
+        else:
+            INDEX_STATS.block_hits += 1
         return cached
 
     def probe_block(
@@ -271,6 +318,7 @@ class IndexNode:
             )
             if not populated:
                 return None
+            INDEX_STATS.center_block_builds += 1
             offsets = np.zeros(len(populated) + 1, dtype=np.intp)
             np.cumsum([c.centers.shape[0] for c in populated], out=offsets[1:])
             self._center_block = CenterBlock(
@@ -356,6 +404,7 @@ def route_child(node: IndexNode, features: np.ndarray) -> tuple[IndexNode, int]:
     block = node.center_block()
     if block is None:
         raise DatabaseError(f"node {node.name!r} has no populated children")
+    INDEX_STATS.routes += 1
     scores = feature_similarity_batch(features, block.centers)
     best = int(np.argmax(scores))
     child_index = int(np.searchsorted(block.offsets, best, side="right") - 1)

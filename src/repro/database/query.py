@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.database.index import (
+    INDEX_STATS,
     IndexNode,
     ShotEntry,
     feature_similarity_batch,
@@ -123,6 +124,7 @@ def search_hierarchical(
     if beam < 1:
         raise DatabaseError("beam must be >= 1")
     start = time.perf_counter()
+    INDEX_STATS.descents += 1
     stats = QueryStats()
     stats.visited_path.append(root.name)
 

@@ -57,6 +57,10 @@ class OverloadedError(ServingError):
     """The server's bounded admission queue rejected the request."""
 
 
+class ObservabilityError(ReproError):
+    """Problems in the observability layer (tracing, metrics, export)."""
+
+
 class SkimmingError(ReproError):
     """Problems while building or traversing scalable skims."""
 

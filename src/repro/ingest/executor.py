@@ -37,6 +37,7 @@ from repro.ingest.artifacts import ArtifactStore
 from repro.ingest.jobs import IngestJob
 from repro.ingest.manifest import JobManifest
 from repro.ingest.progress import JobEvent, ProgressCallback
+from repro.obs.registry import get_registry
 from repro.video.synthesis import generate_video
 
 
@@ -292,6 +293,10 @@ def _run_pool(
     """Mine jobs across a process pool with per-job deadlines."""
     outcomes: dict[str, JobOutcome] = {}
     timed_out = False
+    inflight = get_registry().gauge(
+        "ingest_inflight_jobs",
+        "Jobs currently submitted to the ingest process pool.",
+    )
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
 
@@ -308,6 +313,7 @@ def _run_pool(
             pending[future] = slot
 
         while pending:
+            inflight.set(len(pending))
             completed, _ = wait(
                 list(pending), timeout=0.05, return_when=FIRST_COMPLETED
             )
@@ -391,6 +397,7 @@ def _run_pool(
                     ),
                 )
     finally:
+        inflight.set(0)
         # After a timeout the stuck worker may never return; abandon it
         # instead of blocking the whole ingest on its shutdown join.
         pool.shutdown(wait=not timed_out, cancel_futures=timed_out)

@@ -8,6 +8,7 @@ summary table.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -38,6 +39,10 @@ class JobEvent:
         Mined counts (``finished`` only; None otherwise).
     message:
         Extra human-readable detail (e.g. the error on a retry).
+    timestamp:
+        Monotonic clock reading (``time.perf_counter()``) at emission,
+        so job events can be aligned with observability trace spans.
+        Not part of :meth:`describe` — console output is unchanged.
     """
 
     kind: str
@@ -48,6 +53,7 @@ class JobEvent:
     shots: int | None = None
     scenes: int | None = None
     message: str = ""
+    timestamp: float = field(default_factory=time.perf_counter)
 
     def describe(self) -> str:
         """One console line for the event."""

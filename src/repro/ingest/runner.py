@@ -28,6 +28,9 @@ from repro.ingest.jobs import IngestJob, jobs_for_titles
 from repro.ingest.manifest import JobManifest
 from repro.ingest.artifacts import ArtifactStore
 from repro.ingest.progress import ProgressCallback
+from repro.obs.bridge import JobEventBridge
+from repro.obs.registry import get_registry
+from repro.obs.trace import span as obs_span
 
 #: File names inside a database directory.
 ARTIFACTS_DIR = "artifacts"
@@ -142,34 +145,51 @@ def ingest_jobs(
     store = store_for(db_dir)
     manifest = manifest_for(db_dir)
 
-    outcomes = run_jobs(
-        jobs,
-        store,
-        manifest,
-        workers=workers,
-        force=force,
-        timeout=timeout,
-        policy=policy,
-        progress=progress,
-        raise_on_failure=False,
-    )
+    # Every run mirrors its job events into the shared registry (and,
+    # when a tracer is installed, into back-dated job spans).
+    progress = JobEventBridge(get_registry()).wrap(progress)
+
+    with obs_span("ingest.run", jobs=len(jobs), workers=workers) as sp:
+        outcomes = run_jobs(
+            jobs,
+            store,
+            manifest,
+            workers=workers,
+            force=force,
+            timeout=timeout,
+            policy=policy,
+            progress=progress,
+            raise_on_failure=False,
+        )
+        sp.set(
+            mined=sum(1 for o in outcomes if o.state == "done"),
+            cached=sum(1 for o in outcomes if o.state == "cached"),
+            failed=sum(1 for o in outcomes if o.state == "failed"),
+        )
 
     database = VideoDatabase()
     registered: list[str] = []
-    # This run's results first, then every other artifact already in the
-    # store: the cache is the source of truth, so ingesting a disjoint
-    # title set must not drop previously ingested videos from the DB.
-    run_keys = [outcome.key for outcome in outcomes if outcome.ok]
-    stored = [info.key for info in store.list() if info.key not in set(run_keys)]
-    results = (store.load(key) for key in run_keys + stored)
-    for record in database.register_bulk(results, skip_registered=True):
-        registered.append(record.title)
+    with obs_span("ingest.rebuild") as sp:
+        # This run's results first, then every other artifact already in
+        # the store: the cache is the source of truth, so ingesting a
+        # disjoint title set must not drop previously ingested videos
+        # from the DB.
+        run_keys = [outcome.key for outcome in outcomes if outcome.ok]
+        stored = [info.key for info in store.list() if info.key not in set(run_keys)]
+        results = (store.load(key) for key in run_keys + stored)
+        for record in database.register_bulk(results, skip_registered=True):
+            registered.append(record.title)
+        sp.set(registered=len(registered))
 
     database_path: Path | None = None
     if registered:
         database_path = db_dir / DATABASE_NAME
         database.save(database_path)
         _notify_corpus_hooks(db_dir, database)
+        get_registry().counter(
+            "ingest_corpus_rebuilds_total",
+            "Database rebuilds completed by ingest runs.",
+        ).inc()
 
     report = IngestReport(
         db_dir=db_dir,

@@ -1,0 +1,85 @@
+"""Unified observability: tracing, metrics registry, exporters.
+
+The first cross-cutting layer of the reproduction — every subsystem
+reports through one surface:
+
+* :mod:`repro.obs.trace` — nested, monotonic-clocked spans with
+  attributes, JSONL trace files, flame-style text trees.  Disabled by
+  default and zero-cost when disabled; ``classminer … --trace PATH``
+  installs a real tracer for one run.
+* :mod:`repro.obs.metrics` — the shared :class:`LatencyHistogram`
+  (promoted from :mod:`repro.serving.metrics`) and
+  :func:`format_seconds`.
+* :mod:`repro.obs.registry` — named counter / gauge / histogram
+  families under one lock, plus read-time collectors for the lock-free
+  kernel and index hot-path stats.  :func:`get_registry` is the
+  process-wide instance serving, ingest and mining all default to.
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  exporters (``classminer obs export``), with a line-format checker.
+* :mod:`repro.obs.bridge` — ingest ``JobEvent`` → span/counter bridge
+  and the default registry collectors.
+
+Instrumented call sites write::
+
+    from repro import obs
+
+    with obs.span("mine.shots", window=config.shot_window) as sp:
+        shots = detect_shots(stream)
+        sp.set(shots=len(shots))
+
+which is a no-op while no tracer is installed (see
+``benchmarks/bench_obs_overhead.py`` for the measured bound).
+"""
+
+from repro.obs.bridge import JobEventBridge, register_default_collectors
+from repro.obs.export import (
+    check_prometheus_text,
+    render_json,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.metrics import BUCKET_BOUNDS, LatencyHistogram, format_seconds
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    load_trace,
+    render_spans,
+    span,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "JobEventBridge",
+    "LatencyHistogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "check_prometheus_text",
+    "format_seconds",
+    "get_registry",
+    "install_tracer",
+    "load_trace",
+    "register_default_collectors",
+    "render_json",
+    "render_prometheus",
+    "render_spans",
+    "span",
+    "validate_prometheus_text",
+]

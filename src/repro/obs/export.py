@@ -1,0 +1,144 @@
+"""Metric exporters: Prometheus text format and JSON.
+
+:func:`render_prometheus` emits the classic text exposition format —
+``# HELP`` / ``# TYPE`` headers, ``name{label="value"} sample`` lines,
+histograms as cumulative ``_bucket{le=…}`` series plus ``_sum`` and
+``_count``.  :func:`validate_prometheus_text` is a line-format checker
+(used by CI) that catches malformed names, labels and sample values
+without needing a real Prometheus server.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import BUCKET_BOUNDS
+from repro.obs.registry import MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _labels_text(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        samples = family.samples()
+        if not samples:
+            continue
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for pairs, child in samples:
+            if family.kind == "histogram":
+                cumulative = 0
+                counts = child.bucket_counts()
+                for bound, count in zip(BUCKET_BOUNDS, counts):
+                    cumulative += count
+                    le_pairs = tuple(pairs) + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket{_labels_text(le_pairs)} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                inf_pairs = tuple(pairs) + (("le", "+Inf"),)
+                lines.append(
+                    f"{family.name}_bucket{_labels_text(inf_pairs)} {cumulative}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(pairs)} "
+                    f"{_format_value(child.total)}"
+                )
+                lines.append(f"{family.name}_count{_labels_text(pairs)} {cumulative}")
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(pairs)} "
+                    f"{_format_value(child.value)}"
+                )
+    collected = registry.collect()
+    if collected:
+        lines.append("# collected gauges (read-time collectors)")
+        for name in sorted(collected):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(collected[name])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry's flat snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+#: One sample line: name, optional {labels}, one float value.
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})"
+    rf"(?:\{{(?:{_LABEL})(?:,(?:{_LABEL}))*\}})?"
+    rf" (?P<value>\S+)$"
+)
+_HELP_RE = re.compile(rf"^# HELP {_METRIC_NAME} .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE {_METRIC_NAME} (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Line-format check of a Prometheus exposition; returns violations.
+
+    Accepts ``# HELP`` / ``# TYPE`` / other comments, blank lines and
+    well-formed sample lines whose value parses as a float (or
+    ±Inf/NaN).  An empty list means the text passed.
+    """
+    errors: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP"):
+            if not _HELP_RE.match(line):
+                errors.append(f"line {number}: malformed HELP comment: {line!r}")
+            continue
+        if line.startswith("# TYPE"):
+            if not _TYPE_RE.match(line):
+                errors.append(f"line {number}: malformed TYPE comment: {line!r}")
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"line {number}: non-numeric value {value!r}")
+    return errors
+
+
+def check_prometheus_text(text: str) -> None:
+    """Raise :class:`ObservabilityError` when the exposition is malformed."""
+    errors = validate_prometheus_text(text)
+    if errors:
+        raise ObservabilityError(
+            "invalid Prometheus exposition: " + "; ".join(errors[:5])
+        )

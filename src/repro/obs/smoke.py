@@ -1,0 +1,93 @@
+"""Observability smoke check: traced mine + exporters (``make obs-smoke``).
+
+Mines the demo title under an installed :class:`~repro.obs.trace.Tracer`,
+asserts every pipeline stage produced a span, round-trips the trace
+through its JSONL file format, and validates the Prometheus text the
+process-global registry exports.  Exits non-zero with a diagnostic when
+any of the three surfaces (spans, trace files, exporters) misbehaves.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import ClassMiner
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    check_prometheus_text,
+    get_registry,
+    install_tracer,
+    load_trace,
+    render_prometheus,
+    render_spans,
+)
+from repro.video.synthesis import demo_screenplay, generate_video
+
+#: Spans a demo mine must always produce (root plus every stage).
+EXPECTED_SPANS = (
+    "mine",
+    "mine.shots",
+    "mine.groups",
+    "mine.scenes",
+    "mine.clustering",
+    "mine.cues",
+    "mine.audio",
+    "mine.events",
+)
+
+
+def run_smoke() -> int:
+    """Run the traced demo mine and exporter checks; returns an exit code."""
+    video = generate_video(demo_screenplay(), seed=0)
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        result = ClassMiner().mine(video.stream)
+    finally:
+        install_tracer(previous if previous is not None else NULL_TRACER)
+
+    names = {span.name for span in tracer.spans()}
+    missing = [name for name in EXPECTED_SPANS if name not in names]
+    if missing:
+        print(f"obs-smoke: FAIL — missing spans {missing}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        tracer.write_jsonl(path)
+        loaded = load_trace(path)
+        if [s.to_json() for s in loaded] != [s.to_json() for s in tracer.spans()]:
+            print("obs-smoke: FAIL — JSONL round-trip mismatch", file=sys.stderr)
+            return 1
+
+    tree = render_spans(tracer.spans())
+    if "mine.shots" not in tree:
+        print("obs-smoke: FAIL — render lost stage spans", file=sys.stderr)
+        return 1
+
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    if snapshot.get("kernel_packs_total", 0.0) <= 0:
+        print("obs-smoke: FAIL — kernel collector reported no packs", file=sys.stderr)
+        return 1
+    try:
+        check_prometheus_text(render_prometheus(registry))
+    except Exception as exc:  # noqa: BLE001 - diagnostic surface
+        print(f"obs-smoke: FAIL — invalid Prometheus text: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"obs-smoke: {len(tracer.spans())} spans "
+        f"({len(names)} distinct), {result.structure.shot_count} shots mined, "
+        f"{int(snapshot['kernel_packs_total'])} kernel packs, "
+        "Prometheus export valid"
+    )
+    print(tree)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

@@ -163,3 +163,21 @@ class ResultCache:
                 evictions=self._evictions,
                 stale_evictions=self._stale_evictions,
             )
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """``{metric_name: value}`` gauges for the observability registry.
+
+        Shaped as a registry *collector* (see
+        :meth:`repro.obs.registry.MetricsRegistry.register_collector`) so
+        the server can publish cache health through the shared export
+        surface without the cache knowing about metric families.
+        """
+        with self._lock:
+            return {
+                "serving_cache_entries": float(len(self._entries)),
+                "serving_cache_capacity": float(self._capacity),
+                "serving_cache_hits_total": float(self._hits),
+                "serving_cache_misses_total": float(self._misses),
+                "serving_cache_evictions_total": float(self._evictions),
+                "serving_cache_stale_evictions_total": float(self._stale_evictions),
+            }

@@ -1,108 +1,73 @@
-"""Serving metrics: counters, latency histograms, plain-text dumps.
+"""Serving metrics over the shared observability registry.
 
-Latencies are recorded into fixed geometric buckets (1 µs .. ~67 s,
-doubling per bucket), so percentile estimation is O(buckets) with a
-bounded memory footprint no matter how many queries flow through — the
-usual production trade: a quantile is reported as the upper bound of
-the bucket it falls in (≤ 2x its true value), which is plenty to tell
-a 50 µs cache hit from a 5 ms descent.  All clocks are
-``time.perf_counter()`` (monotonic), never the wall clock.
+:class:`ServingMetrics` keeps its historical surface — ``record_query``
+/ ``counter`` / ``snapshot`` / ``render`` — but every value now lives
+in a :class:`~repro.obs.registry.MetricsRegistry`: counters in the
+``serving_events_total`` family, latencies in
+``serving_latency_seconds`` (overall) and
+``serving_kind_latency_seconds{kind=…}`` histograms.  Handing the
+process-global registry in (``ServingMetrics(registry=obs.get_registry())``,
+what ``classminer serve`` does) makes the same numbers available to the
+Prometheus/JSON exporters without changing the plain-text dump.
+
+:class:`LatencyHistogram` and :func:`format_seconds` are re-exported
+from their new home in :mod:`repro.obs.metrics` for backward
+compatibility.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from bisect import bisect_left
-from collections import Counter
 
-#: Histogram bucket upper bounds in seconds: 1 µs doubling up to ~67 s.
-_BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(27))
+from repro.obs.metrics import (  # noqa: F401  (compatibility re-exports)
+    BUCKET_BOUNDS as _BUCKET_BOUNDS,
+    LatencyHistogram,
+    format_seconds,
+)
+from repro.obs.registry import MetricsRegistry
 
 #: Query kinds the serving runtime distinguishes.
 QUERY_KINDS = ("shot", "shot_flat", "scene", "event")
 
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with quantile estimates."""
-
-    def __init__(self) -> None:
-        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self._total = 0.0
-        self._count = 0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (negative values clamp to zero)."""
-        seconds = max(0.0, seconds)
-        self._counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
-        self._total += seconds
-        self._count += 1
-        self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        """Observations recorded."""
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Mean latency in seconds (0.0 when empty)."""
-        return self._total / self._count if self._count else 0.0
-
-    @property
-    def max(self) -> float:
-        """Largest observation in seconds."""
-        return self._max
-
-    def quantile(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1].
-
-        Reports the upper bound of the bucket the quantile falls in,
-        clamped to the largest observation (the top bucket's bound can
-        otherwise overshoot it).
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be within [0, 1]")
-        if self._count == 0:
-            return 0.0
-        rank = q * self._count
-        cumulative = 0
-        for index, bucket in enumerate(self._counts):
-            cumulative += bucket
-            if cumulative >= rank and bucket:
-                if index < len(_BUCKET_BOUNDS):
-                    return min(_BUCKET_BOUNDS[index], self._max)
-                return self._max
-        return self._max
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's observations into this one."""
-        for index, bucket in enumerate(other._counts):
-            self._counts[index] += bucket
-        self._total += other._total
-        self._count += other._count
-        self._max = max(self._max, other._max)
-
-
-def format_seconds(seconds: float) -> str:
-    """Human latency: µs under a millisecond, ms under a second."""
-    if seconds < 1e-3:
-        return f"{seconds * 1e6:.0f}us"
-    if seconds < 1.0:
-        return f"{seconds * 1e3:.2f}ms"
-    return f"{seconds:.2f}s"
-
-
 class ServingMetrics:
-    """Thread-safe counters and histograms for one server's lifetime."""
+    """Thread-safe counters and histograms for one server's lifetime.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to report
+        into.  Defaults to a private registry so independent servers
+        (and tests) never share counts; pass ``repro.obs.get_registry()``
+        to publish through the process-wide export surface.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._lock = self._registry.lock
         self._started = time.perf_counter()
-        self._counters: Counter[str] = Counter()
-        self._latency = LatencyHistogram()
-        self._by_kind: dict[str, LatencyHistogram] = {}
+        self._counters = self._registry.counter(
+            "serving_events_total",
+            "Serving runtime event counts, by event name.",
+            labelnames=("event",),
+        )
+        self._latency = self._registry.histogram(
+            "serving_latency_seconds",
+            "Worker-side query latency, all query kinds.",
+        )
+        self._by_kind = self._registry.histogram(
+            "serving_kind_latency_seconds",
+            "Worker-side query latency, per query kind.",
+            labelnames=("kind",),
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry this server's metrics live in."""
+        return self._registry
+
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        self._counters.labels(event=name).inc(amount)
 
     def record_query(
         self,
@@ -113,70 +78,79 @@ class ServingMetrics:
     ) -> None:
         """Account one completed query."""
         with self._lock:
-            self._counters["queries_total"] += 1
-            self._counters[f"queries_{kind}"] += 1
+            self._inc("queries_total")
+            self._inc(f"queries_{kind}")
             if cache_hit:
-                self._counters["cache_hits"] += 1
+                self._inc("cache_hits")
             else:
-                self._counters["cache_misses"] += 1
-                self._counters["executed_queries"] += 1
-                self._counters["comparisons_total"] += comparisons
+                self._inc("cache_misses")
+                self._inc("executed_queries")
+                self._inc("comparisons_total", comparisons)
             self._latency.record(seconds)
-            self._by_kind.setdefault(kind, LatencyHistogram()).record(seconds)
+            self._by_kind.labels(kind=kind).record(seconds)
 
     def record_rejection(self) -> None:
         """Account one admission-queue rejection (overload shed)."""
-        with self._lock:
-            self._counters["rejected_overload"] += 1
+        self._inc("rejected_overload")
 
     def record_timeout(self) -> None:
         """Account one query that missed its deadline."""
-        with self._lock:
-            self._counters["deadline_timeouts"] += 1
+        self._inc("deadline_timeouts")
 
     def record_error(self) -> None:
         """Account one query that failed with an error."""
-        with self._lock:
-            self._counters["errors"] += 1
+        self._inc("errors")
 
     def record_generation_swap(self) -> None:
         """Account one snapshot generation swap."""
-        with self._lock:
-            self._counters["generation_swaps"] += 1
+        self._inc("generation_swaps")
 
     def counter(self, name: str) -> int:
         """One counter's current value (0 when never touched)."""
-        with self._lock:
-            return self._counters[name]
+        return int(self._counters.labels(event=name).value)
 
     @property
     def uptime_seconds(self) -> float:
-        """Monotonic seconds since the metrics were created/reset."""
-        return time.perf_counter() - self._started
+        """Monotonic seconds since the metrics were created/reset.
+
+        ``_started`` is read under the registry lock: :meth:`reset`
+        rewrites it from another thread, and an unsynchronised read
+        could otherwise observe the pre-reset epoch mid-reset.
+        """
+        with self._lock:
+            started = self._started
+        return time.perf_counter() - started
 
     def reset(self) -> None:
-        """Zero everything and restart the uptime clock."""
+        """Zero everything and restart the uptime clock.
+
+        Only this server's families are reset — a shared registry's
+        other metrics (ingest, kernels) are left alone.
+        """
         with self._lock:
             self._started = time.perf_counter()
-            self._counters.clear()
-            self._latency = LatencyHistogram()
-            self._by_kind.clear()
+            self._counters.reset()
+            self._latency.reset()
+            self._by_kind.reset()
 
     def snapshot(self) -> dict[str, float]:
         """Point-in-time flat view: counters plus derived rates."""
         with self._lock:
-            view: dict[str, float] = dict(self._counters)
+            view: dict[str, float] = {
+                labels[0][1]: child.value
+                for (labels, child) in self._counters.samples()
+            }
             elapsed = max(time.perf_counter() - self._started, 1e-9)
-            queries = self._counters["queries_total"]
-            lookups = self._counters["cache_hits"] + self._counters["cache_misses"]
-            executed = self._counters["executed_queries"]
+            queries = self.counter("queries_total")
+            lookups = self.counter("cache_hits") + self.counter("cache_misses")
+            executed = self.counter("executed_queries")
             view["uptime_seconds"] = elapsed
             view["qps"] = queries / elapsed
             view["cache_hit_rate"] = (
-                self._counters["cache_hits"] / lookups if lookups else 0.0
+                self.counter("cache_hits") / lookups if lookups else 0.0
             )
             view["comparisons_per_query"] = (
-                self._counters["comparisons_total"] / executed if executed else 0.0
+                self.counter("comparisons_total") / executed if executed else 0.0
             )
             view["latency_p50"] = self._latency.quantile(0.50)
             view["latency_p95"] = self._latency.quantile(0.95)
@@ -188,8 +162,6 @@ class ServingMetrics:
     def render(self) -> str:
         """Plain-text metrics dump (the ``classminer serve`` report)."""
         view = self.snapshot()
-        with self._lock:
-            kinds = {kind: hist for kind, hist in self._by_kind.items()}
         lines = [
             "serving metrics",
             f"  uptime           {view['uptime_seconds']:.2f}s",
@@ -210,6 +182,9 @@ class ServingMetrics:
                 mx=format_seconds(view["latency_max"]),
             ),
         ]
+        kinds = {
+            labels[0][1]: hist for labels, hist in self._by_kind.samples()
+        }
         for kind in QUERY_KINDS:
             hist = kinds.get(kind)
             if hist is None or not hist.count:

@@ -34,6 +34,7 @@ from repro.database.access import User
 from repro.database.catalog import VideoDatabase
 from repro.database.events_query import event_concept
 from repro.errors import OverloadedError, ReproError, ServingError
+from repro.obs.trace import span as obs_span
 from repro.serving.cache import (
     CacheKey,
     ResultCache,
@@ -124,13 +125,19 @@ class QueryServer:
         database: VideoDatabase | None = None,
         config: ServerConfig | None = None,
         manager: SnapshotManager | None = None,
+        metrics: ServingMetrics | None = None,
     ) -> None:
         if (database is None) == (manager is None):
             raise ServingError("pass exactly one of database or manager")
         self.config = config if config is not None else ServerConfig()
         self._manager = manager if manager is not None else SnapshotManager(database)
         self._cache = ResultCache(self.config.cache_capacity)
-        self._metrics = ServingMetrics()
+        # Default: metrics on a private registry, so independent servers
+        # never mix counts.  ``classminer serve`` passes
+        # ``ServingMetrics(registry=repro.obs.get_registry())`` to make
+        # the same numbers visible to the Prometheus/JSON exporters.
+        self._metrics = metrics if metrics is not None else ServingMetrics()
+        self._metrics.registry.register_collector(self._cache.metrics_snapshot)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._threads: list[threading.Thread] = []
         self._running = False
@@ -369,6 +376,17 @@ class QueryServer:
         return digest
 
     def _execute(self, request: QueryRequest) -> ServingResult:
+        with obs_span("serve.query", kind=request.kind) as sp:
+            result = self._execute_unspanned(request)
+            sp.set(
+                cache_hit=result.cache_hit,
+                generation=result.generation,
+                hits=len(result.hits),
+                comparisons=result.comparisons,
+            )
+            return result
+
+    def _execute_unspanned(self, request: QueryRequest) -> ServingResult:
         start = time.perf_counter()
         snapshot = self._manager.current()
         leaves, scope = self._scope(request.user, snapshot)

@@ -1,0 +1,1 @@
+"""Observability layer tests: tracing, registry, exporters, bridges."""

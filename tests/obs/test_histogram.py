@@ -1,0 +1,104 @@
+"""LatencyHistogram edge cases: extreme quantiles, merges, clamping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import BUCKET_BOUNDS, LatencyHistogram, MetricsRegistry, format_seconds
+
+
+class TestExtremeQuantiles:
+    def test_q0_and_q1_on_populated_histogram(self):
+        hist = LatencyHistogram()
+        for value in (1e-5, 2e-4, 3e-3):
+            hist.record(value)
+        # q=0 reports the first occupied bucket's bound, q=1 the max.
+        assert 0.0 < hist.quantile(0.0) <= 2e-5
+        assert hist.quantile(1.0) == pytest.approx(3e-3)
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_q0_and_q1_on_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+
+class TestTopBucketClamp:
+    def test_overflow_observation_clamps_to_max(self):
+        hist = LatencyHistogram()
+        huge = BUCKET_BOUNDS[-1] * 10  # beyond the last finite bucket
+        hist.record(huge)
+        # The overflow bucket has no upper bound: the quantile must
+        # report the observed max, not a bucket bound.
+        assert hist.quantile(0.99) == pytest.approx(huge)
+        assert hist.quantile(1.0) == pytest.approx(huge)
+
+    def test_in_bucket_quantile_clamps_to_observed_max(self):
+        hist = LatencyHistogram()
+        value = 1.5e-6  # inside the [1us, 2us) bucket
+        hist.record(value)
+        # The bucket bound (2us) overshoots the only observation.
+        assert hist.quantile(0.5) == pytest.approx(value)
+
+
+class TestMerge:
+    def test_merge_empty_into_populated_is_identity(self):
+        hist = LatencyHistogram()
+        hist.record(1e-3)
+        before = (hist.count, hist.total, hist.max, hist.bucket_counts())
+        hist.merge(LatencyHistogram())
+        assert (hist.count, hist.total, hist.max, hist.bucket_counts()) == before
+
+    def test_merge_populated_into_empty(self):
+        source = LatencyHistogram()
+        source.record(1e-3)
+        source.record(2e-2)
+        target = LatencyHistogram()
+        target.merge(source)
+        assert target.count == 2
+        assert target.total == pytest.approx(source.total)
+        assert target.max == pytest.approx(2e-2)
+
+    def test_merge_then_quantile_matches_single_histogram(self):
+        values_a = [1e-5, 3e-4, 2e-3, 8e-3]
+        values_b = [5e-6, 7e-4, 4e-2, 0.3, 1.2]
+        merged = LatencyHistogram()
+        part_a, part_b = LatencyHistogram(), LatencyHistogram()
+        for value in values_a:
+            part_a.record(value)
+        for value in values_b:
+            part_b.record(value)
+        for value in values_a + values_b:
+            merged.record(value)
+        part_a.merge(part_b)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+            assert part_a.quantile(q) == pytest.approx(merged.quantile(q))
+        assert part_a.count == merged.count
+        assert part_a.total == pytest.approx(merged.total)
+        assert part_a.bucket_counts() == merged.bucket_counts()
+
+    def test_merge_between_registry_histograms_shares_one_lock(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("a_seconds")._solo()
+        b = registry.histogram("b_seconds")._solo()
+        assert a.lock is b.lock
+        b.record(1e-3)
+        a.merge(b)  # single re-entrant acquisition, must not deadlock
+        assert a.count == 1
+
+    def test_merge_across_registries_acquires_both_locks(self):
+        a = MetricsRegistry().histogram("a_seconds")._solo()
+        b = MetricsRegistry().histogram("b_seconds")._solo()
+        assert a.lock is not b.lock
+        b.record(1e-3)
+        a.merge(b)
+        b.merge(a)  # opposite direction: id-ordered locking, no deadlock
+        assert a.count == 1
+        assert b.count == 2
+
+
+class TestFormatSecondsMinutes:
+    def test_minutes_form_beyond_sixty_seconds(self):
+        assert format_seconds(60.0) == "1m0.0s"
+        assert format_seconds(312.4) == "5m12.4s"
+        assert format_seconds(59.99) == "59.99s"

@@ -99,3 +99,27 @@ class TestFormatSeconds:
         assert format_seconds(5e-6) == "5us"
         assert format_seconds(2.5e-3) == "2.50ms"
         assert format_seconds(1.2) == "1.20s"
+
+    def test_minutes_beyond_sixty_seconds(self):
+        assert format_seconds(75.0) == "1m15.0s"
+        assert format_seconds(312.4) == "5m12.4s"
+
+
+class TestRegistryIntegration:
+    def test_metrics_publish_through_a_shared_registry(self):
+        from repro.obs import MetricsRegistry, render_prometheus
+
+        registry = MetricsRegistry()
+        metrics = ServingMetrics(registry=registry)
+        metrics.record_query("shot", 1e-3, comparisons=10)
+        view = registry.snapshot()
+        assert view["serving_events_total{event=queries_total}"] == 1.0
+        assert view["serving_latency_seconds_count"] == 1.0
+        assert view["serving_kind_latency_seconds_count{kind=shot}"] == 1.0
+        text = render_prometheus(registry)
+        assert 'serving_events_total{event="queries_total"} 1.0' in text
+
+    def test_independent_servers_do_not_share_counts(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.record_query("shot", 1e-3)
+        assert b.counter("queries_total") == 0
