@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke all clean
 
 install:
 	pip install -e .
@@ -22,6 +22,9 @@ serve-smoke:
 
 obs-smoke:
 	python -m repro.obs.smoke
+
+chaos-smoke:
+	python -m repro.resilience.smoke
 
 examples:
 	@for ex in examples/*.py; do \

@@ -11,6 +11,7 @@ Installed as the ``classminer`` console script::
     classminer ingest all --db-dir db/      # mine the corpus into a database
     classminer cache list --db-dir db/      # inspect the artifact cache
     classminer serve --db-dir db/           # serving health check + metrics
+    classminer health --db-dir db/          # liveness/readiness/degradation
     classminer loadtest --db-dir db/        # closed-loop load generator
     classminer mine demo --trace t.jsonl    # record a span trace while mining
     classminer obs render t.jsonl           # render a recorded trace
@@ -269,6 +270,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.resilience import server_health
+
+    with _serving_server(args) as server:
+        # Exercise the snapshot build so readiness reflects reality.
+        server.manager.current()
+        report = server_health(server)
+        print(report.render())
+        return report.exit_code
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.serving import LoadgenConfig, run_load
 
@@ -485,6 +497,19 @@ def build_parser() -> argparse.ArgumentParser:
     _serving_args(serve)
     _trace_arg(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    health = sub.add_parser(
+        "health",
+        help="liveness/readiness/degradation report for a database dir",
+        description=(
+            "Load an ingested database, start the query server, and print "
+            "the combined health report: worker liveness, snapshot "
+            "readiness, circuit-breaker states, degraded corpus entries "
+            "and quarantine history.  Exit code 0 ok, 1 degraded, 2 down."
+        ),
+    )
+    _serving_args(health)
+    health.set_defaults(func=_cmd_health)
 
     loadtest = sub.add_parser(
         "loadtest",

@@ -9,6 +9,7 @@ of Definition 1.
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +22,7 @@ from repro.core.clustering import (
     cluster_scenes,
 )
 from repro.core.features import Shot
-from repro.core.groups import Group, GroupThresholds, detect_groups
+from repro.core.groups import Group, GroupKind, GroupThresholds, detect_groups
 from repro.core.scenes import Scene, SceneDetectionResult, detect_scenes
 from repro.core.shots import (
     DEFAULT_WINDOW,
@@ -30,8 +31,9 @@ from repro.core.shots import (
     shots_from_ground_truth,
 )
 from repro.core.similarity import SimilarityWeights
-from repro.errors import MiningError
+from repro.errors import DegradedResultWarning, MiningError
 from repro.obs.trace import span as obs_span
+from repro.resilience.faults import fault_point
 from repro.video.stream import VideoStream
 
 
@@ -116,6 +118,12 @@ class ContentStructure:
     shot_detection: ShotDetectionResult | None = field(default=None, repr=False)
     scene_detection: SceneDetectionResult | None = field(default=None, repr=False)
     clustering: SceneClusteringResult | None = field(default=None, repr=False)
+    degraded_stages: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any mining stage fell back instead of completing."""
+        return bool(self.degraded_stages)
 
     @property
     def shot_count(self) -> int:
@@ -158,6 +166,45 @@ class ContentStructure:
         }
 
 
+def degrade_stage(title: str, stage: str, exc: Exception) -> None:
+    """Record one stage falling back: warn, log, count.
+
+    Emits a :class:`DegradedResultWarning` (so callers can assert or
+    escalate), logs the underlying failure, and bumps the process-wide
+    ``mining_degraded_stages_total{stage=...}`` counter.
+    """
+    warnings.warn(
+        DegradedResultWarning(
+            f"{title}: stage {stage!r} failed ({exc}); continuing degraded"
+        ),
+        stacklevel=3,
+    )
+    logger.warning("%s: stage %s degraded: %s", title, stage, exc)
+    # Imported lazily: the registry module pulls in exporter plumbing
+    # that the core layer must not depend on at import time.
+    from repro.obs.registry import get_registry
+
+    get_registry().counter(
+        "mining_degraded_stages_total",
+        "Mining stages that fell back to a degraded result.",
+        labelnames=("stage",),
+    ).labels(stage=stage).inc()
+
+
+def _fallback_groups(shots: list[Shot]) -> list[Group]:
+    """One temporal group per shot: the no-similarity-information case."""
+    return [
+        Group(
+            group_id=i,
+            shots=[shot],
+            kind=GroupKind.TEMPORAL,
+            clusters=[[shot]],
+            representative_shots=[shot],
+        )
+        for i, shot in enumerate(shots)
+    ]
+
+
 def mine_content_structure(
     stream: VideoStream,
     config: MiningConfig | None = None,
@@ -167,12 +214,23 @@ def mine_content_structure(
 
     ``oracle_shot_spans`` bypasses shot detection with known spans so
     downstream stages can be evaluated in isolation.
+
+    Failure containment: shot detection is load-bearing (no shots means
+    nothing downstream can exist) and stays fatal, but a failure in
+    group detection, scene detection or clustering *degrades* the
+    result instead of raising — the failed stage's output is replaced
+    by its safest fallback (one group per shot / no scenes / no
+    clusters), the stage name lands in
+    :attr:`ContentStructure.degraded_stages`, and a
+    :class:`DegradedResultWarning` is emitted.
     """
     if config is None:
         config = MiningConfig()
+    degraded: list[str] = []
 
     shot_detection: ShotDetectionResult | None = None
     with obs_span("mine.shots", window=config.shot_window) as sp:
+        fault_point("mine.shots")
         if oracle_shot_spans is not None:
             shots = shots_from_ground_truth(stream, oracle_shot_spans)
             sp.set(oracle=True)
@@ -185,45 +243,69 @@ def mine_content_structure(
     logger.info("%s: %d shots detected", stream.title, len(shots))
 
     with obs_span("mine.groups") as sp:
-        groups, thresholds = detect_groups(
-            shots, config.weights, thresholds=config.group_thresholds
-        )
+        try:
+            fault_point("mine.groups")
+            groups, thresholds = detect_groups(
+                shots, config.weights, thresholds=config.group_thresholds
+            )
+            logger.debug(
+                "%s: %d groups (T1=%.3f, T2=%.3f)",
+                stream.title, len(groups), thresholds.t1, thresholds.t2,
+            )
+        except Exception as exc:
+            degrade_stage(stream.title, "groups", exc)
+            degraded.append("groups")
+            groups = _fallback_groups(shots)
+            sp.set(degraded=True)
         sp.set(groups=len(groups))
-    logger.debug(
-        "%s: %d groups (T1=%.3f, T2=%.3f)",
-        stream.title, len(groups), thresholds.t1, thresholds.t2,
-    )
+
     with obs_span("mine.scenes") as sp:
-        scene_detection = detect_scenes(
-            groups,
-            config.weights,
-            merge_threshold=config.merge_threshold,
-            min_scene_shots=config.min_scene_shots,
-        )
-        scenes = scene_detection.scenes
-        sp.set(scenes=len(scenes), eliminated=len(scene_detection.eliminated))
-    logger.info(
-        "%s: %d scenes kept, %d units eliminated (TG=%.3f)",
-        stream.title,
-        len(scenes),
-        len(scene_detection.eliminated),
-        scene_detection.merge_threshold,
-    )
+        try:
+            fault_point("mine.scenes")
+            scene_detection = detect_scenes(
+                groups,
+                config.weights,
+                merge_threshold=config.merge_threshold,
+                min_scene_shots=config.min_scene_shots,
+            )
+            scenes = scene_detection.scenes
+            sp.set(eliminated=len(scene_detection.eliminated))
+            logger.info(
+                "%s: %d scenes kept, %d units eliminated (TG=%.3f)",
+                stream.title,
+                len(scenes),
+                len(scene_detection.eliminated),
+                scene_detection.merge_threshold,
+            )
+        except Exception as exc:
+            degrade_stage(stream.title, "scenes", exc)
+            degraded.append("scenes")
+            scene_detection = None
+            scenes = []
+            sp.set(degraded=True)
+        sp.set(scenes=len(scenes))
 
     with obs_span("mine.clustering") as sp:
+        clustering = None
+        clustered: list[ClusteredScene] = []
         if scenes:
-            clustering = cluster_scenes(
-                scenes, config.weights, target_count=config.cluster_target
-            )
-            clustered = clustering.clusters
-            sp.set(clusters=len(clustered))
-            logger.debug(
-                "%s: %d scene clusters (validity-selected N=%d)",
-                stream.title, len(clustered), clustering.chosen_count,
-            )
-        else:
-            clustering = None
-            clustered = []
+            try:
+                fault_point("mine.clustering")
+                clustering = cluster_scenes(
+                    scenes, config.weights, target_count=config.cluster_target
+                )
+                clustered = clustering.clusters
+                sp.set(clusters=len(clustered))
+                logger.debug(
+                    "%s: %d scene clusters (validity-selected N=%d)",
+                    stream.title, len(clustered), clustering.chosen_count,
+                )
+            except Exception as exc:
+                degrade_stage(stream.title, "clustering", exc)
+                degraded.append("clustering")
+                clustering = None
+                clustered = []
+                sp.set(degraded=True)
 
     return ContentStructure(
         title=stream.title,
@@ -234,4 +316,5 @@ def mine_content_structure(
         shot_detection=shot_detection,
         scene_detection=scene_detection,
         clustering=clustering,
+        degraded_stages=tuple(degraded),
     )

@@ -39,12 +39,24 @@ from repro.types import EventKind
 
 @dataclass
 class RegisteredVideo:
-    """Bookkeeping for one registered video."""
+    """Bookkeeping for one registered video.
+
+    ``degraded_stages`` carries the mining pipeline's degradation flags
+    (see :attr:`~repro.core.pipeline.ClassMinerResult.degraded_stages`)
+    through persistence, so health checks and query results can report
+    which corpus entries were mined from weakened evidence.
+    """
 
     title: str
     shot_count: int
     scene_count: int
     events: dict[int, str] = field(default_factory=dict)
+    degraded_stages: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any mining stage fell back for this video."""
+        return bool(self.degraded_stages)
 
 
 class VideoDatabase:
@@ -97,6 +109,7 @@ class VideoDatabase:
             title=title,
             shot_count=result.structure.shot_count,
             scene_count=result.structure.scene_count,
+            degraded_stages=tuple(result.degraded_stages),
         )
         assigned: set[int] = set()
         for scene in result.structure.scenes:
@@ -249,6 +262,7 @@ class VideoDatabase:
                     "shot_count": video.shot_count,
                     "scene_count": video.scene_count,
                     "events": video.events,
+                    "degraded_stages": list(video.degraded_stages),
                 }
                 for title, video in self._videos.items()
             },
@@ -294,5 +308,6 @@ class VideoDatabase:
                 shot_count=int(raw["shot_count"]),
                 scene_count=int(raw["scene_count"]),
                 events={int(k): v for k, v in raw.get("events", {}).items()},
+                degraded_stages=tuple(raw.get("degraded_stages", ())),
             )
         return db

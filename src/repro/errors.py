@@ -1,13 +1,35 @@
 """Exception hierarchy for the ClassMiner reproduction.
 
 Every error raised by this package derives from :class:`ReproError`, so
-callers can catch a single base class at API boundaries.
+callers can catch a single base class at API boundaries.  The taxonomy
+fans out by subsystem:
 
-The serving layer adds two members: :class:`ServingError` for failures
-inside the concurrent query-serving runtime (bad requests, deadline
-overruns, a stopped server), and its subclass :class:`OverloadedError`,
-raised at admission time when the server's bounded queue is full so
-callers can shed or retry instead of queueing without bound.
+``ReproError``
+    ├── ``VideoError`` / ``AudioError`` / ``VisionError`` — substrate
+    │   failures (streams, waveforms, visual features).
+    ├── ``MiningError`` / ``EventMiningError`` — the Sec. 3/4 pipeline.
+    ├── ``DatabaseError``
+    │   └── ``AccessDeniedError`` — an access rule denied the request.
+    ├── ``IngestError`` — the corpus ingestion runtime.
+    │   └── ``IntegrityError`` — a stored artifact failed checksum
+    │       verification (corrupt on disk; quarantined by the store).
+    ├── ``ServingError`` — the concurrent query-serving runtime.
+    │   ├── ``OverloadedError`` — bounded admission queue full; shed
+    │   │   and retry instead of queueing without bound.
+    │   └── ``CircuitOpenError`` — a circuit breaker is open; the
+    │       protected operation was not attempted (fail fast, retry
+    │       after the breaker's reset timeout).
+    ├── ``FaultInjectedError`` — raised only by an armed
+    │   :class:`repro.resilience.FaultPlan`; production code never
+    │   raises it, but must contain it like any other failure.
+    ├── ``ObservabilityError`` / ``SkimmingError`` / ``EvaluationError``
+    └── …
+
+:class:`DegradedResultWarning` is a *warning*, not an error: it is
+emitted (via :mod:`warnings`) when a pipeline stage fails and the miner
+degrades to a partial result — structure-only events, visual-only rules
+— instead of raising.  Callers that must not accept partial results can
+promote it with ``warnings.simplefilter("error", DegradedResultWarning)``.
 """
 
 from __future__ import annotations
@@ -49,12 +71,48 @@ class IngestError(ReproError):
     """Problems in the corpus ingestion runtime (jobs, cache, executor)."""
 
 
+class IntegrityError(IngestError):
+    """A stored artifact's content does not match its checksums.
+
+    Raised on read by :class:`~repro.ingest.artifacts.ArtifactStore`
+    after the corrupt entry has been quarantined; the next ingest run
+    re-mines the affected video transparently.
+    """
+
+
 class ServingError(ReproError):
     """Problems in the concurrent query-serving runtime."""
 
 
 class OverloadedError(ServingError):
     """The server's bounded admission queue rejected the request."""
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open: the protected call was not attempted.
+
+    Carries no partial result — the caller should fall back to the last
+    good value (the serving layer keeps answering from the previous
+    snapshot generation) or retry after the breaker's reset timeout.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """An armed fault plan fired an error fault at an instrumented point.
+
+    Only :mod:`repro.resilience.faults` raises this; it exists so chaos
+    tests can tell injected failures from organic ones while the rest of
+    the system handles both identically.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """A pipeline stage failed and the result degraded instead of raising.
+
+    The warning message names the failed stage; the produced
+    :class:`~repro.core.pipeline.ClassMinerResult` lists it in
+    ``degraded_stages``.
+    """
 
 
 class ObservabilityError(ReproError):

@@ -15,6 +15,13 @@ form which scenes, rule evidence, detections — lives in ``meta.json``.
 Objects are written to a temporary directory first and moved into place
 atomically, so concurrent workers racing on the same key cannot leave a
 half-written artifact behind.
+
+Integrity: every save also writes ``checksums.json`` (sha256 of both
+payload files, computed before the atomic rename) and every load
+verifies it.  A mismatch — torn write, bit rot, an injected corruption
+fault — raises :class:`~repro.errors.IntegrityError` after the corrupt
+entry is *quarantined* under ``<root>/.quarantine/``; ``has()`` then
+answers False, so the next ingest run re-mines the video transparently.
 """
 
 from __future__ import annotations
@@ -39,10 +46,18 @@ from repro.core.pipeline import ClassMinerResult
 from repro.core.scenes import Scene, SceneDetectionResult
 from repro.core.shots import ShotDetectionResult
 from repro.core.structure import ContentStructure
-from repro.errors import IngestError
+from repro.errors import IngestError, IntegrityError
 from repro.events.miner import EventMiningResult
+from repro.obs.registry import get_registry
 from repro.events.model import SceneEvent
 from repro.events.rules import SceneEvidence
+from repro.resilience.faults import corrupt_payload, fault_point
+from repro.resilience.integrity import (
+    CHECKSUMS_NAME,
+    QUARANTINE_DIR,
+    verify_checksums,
+    write_checksums,
+)
 from repro.types import EventKind
 from repro.video.frame import Frame
 from repro.vision.blood import BloodDetection
@@ -147,6 +162,7 @@ def encode_result(result: ClassMinerResult) -> tuple[dict, dict[str, np.ndarray]
     meta: dict = {
         "format": FORMAT_VERSION,
         "title": structure.title,
+        "degraded_stages": list(result.degraded_stages),
         "fps": shots[0].fps if shots else 0.0,
         "shots": [
             {
@@ -426,7 +442,13 @@ def decode_result(meta: dict, arrays: dict[str, np.ndarray]) -> ClassMinerResult
             )
         events = EventMiningResult(events=event_list, evidence=evidence_list)
 
-    return ClassMinerResult(structure=structure, cues=cues, audio=audio, events=events)
+    return ClassMinerResult(
+        structure=structure,
+        cues=cues,
+        audio=audio,
+        events=events,
+        degraded_stages=tuple(meta.get("degraded_stages", ())),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -476,6 +498,7 @@ class ArtifactStore:
         ``extra_meta`` entries (job seed, config, timings) are merged
         into ``meta.json`` for provenance.  Returns the artifact path.
         """
+        fault_point("ingest.artifact.write")
         meta, arrays = encode_result(result)
         meta["key"] = key
         if extra_meta:
@@ -486,8 +509,16 @@ class ArtifactStore:
             tempfile.mkdtemp(prefix=f".tmp-{key[:8]}-", dir=self._root)
         )
         try:
-            (tmp / _META_NAME).write_text(json.dumps(meta))
+            meta_bytes = json.dumps(meta).encode()
+            (tmp / _META_NAME).write_bytes(meta_bytes)
             np.savez_compressed(tmp / _ARRAYS_NAME, **arrays)
+            # Checksums cover the intended content; a corruption fault
+            # (or real disk corruption) lands after they are computed,
+            # which is exactly what read-time verification must catch.
+            write_checksums(tmp, (_META_NAME, _ARRAYS_NAME))
+            corrupted = corrupt_payload("ingest.artifact.write", meta_bytes)
+            if corrupted is not meta_bytes:
+                (tmp / _META_NAME).write_bytes(corrupted)
             try:
                 os.replace(tmp, final)
             except OSError:
@@ -510,11 +541,19 @@ class ArtifactStore:
     def load(self, key: str) -> ClassMinerResult:
         """Deserialise the artifact stored under ``key``.
 
-        Raises :class:`IngestError` for missing or corrupt artifacts.
+        The checksum manifest is verified first; a failing artifact is
+        quarantined and :class:`IntegrityError` raised.  Other missing
+        or corrupt artifacts raise :class:`IngestError`.
         """
+        fault_point("ingest.artifact.read")
         path = self.path_for(key)
         if not self.has(key):
             raise IngestError(f"no artifact for key {key[:12]}… in {self._root}")
+        try:
+            verify_checksums(path)
+        except IntegrityError as exc:
+            self.quarantine(key, reason=str(exc))
+            raise
         try:
             meta = json.loads((path / _META_NAME).read_text())
             if int(meta.get("format", -1)) != FORMAT_VERSION:
@@ -530,12 +569,71 @@ class ArtifactStore:
         except Exception as exc:  # corrupt json/zip/missing keys
             raise IngestError(f"corrupt artifact {key[:12]}…: {exc}") from exc
 
+    def verify(self, key: str) -> bool:
+        """Verify ``key``'s checksum manifest without decoding.
+
+        Returns ``True`` when verified, ``False`` for a legacy artifact
+        with no manifest; raises :class:`IntegrityError` on corruption
+        (the entry is *not* quarantined — use :meth:`has_valid` for
+        that) and :class:`IngestError` when the artifact is missing.
+        """
+        if not self.has(key):
+            raise IngestError(f"no artifact for key {key[:12]}… in {self._root}")
+        return verify_checksums(self.path_for(key))
+
+    def has_valid(self, key: str) -> bool:
+        """True when a verified (or legacy) artifact exists for ``key``.
+
+        A present-but-corrupt artifact is quarantined as a side effect,
+        so callers gating cache hits on this answer will re-mine it.
+        """
+        if not self.has(key):
+            return False
+        try:
+            verify_checksums(self.path_for(key))
+        except IntegrityError as exc:
+            self.quarantine(key, reason=str(exc))
+            return False
+        return True
+
+    def quarantine(self, key: str, reason: str = "") -> Path:
+        """Move ``key``'s directory under ``<root>/.quarantine/``.
+
+        The quarantined copy keeps its payload for post-mortems plus a
+        ``quarantined.json`` note recording when and why.  After this,
+        :meth:`has` answers False so the next ingest run re-mines the
+        video.  Returns the quarantine path.
+        """
+        source = self.path_for(key)
+        target = self._root / QUARANTINE_DIR / key
+        if source.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.rmtree(target, ignore_errors=True)
+            os.replace(source, target)
+            (target / "quarantined.json").write_text(
+                json.dumps({"key": key, "time": time.time(), "reason": reason})
+            )
+            get_registry().counter(
+                "ingest_artifacts_quarantined_total",
+                "Corrupt artifacts moved to quarantine.",
+            ).inc()
+        return target
+
+    def quarantined(self) -> list[str]:
+        """Keys currently sitting in quarantine (sorted)."""
+        root = self._root / QUARANTINE_DIR
+        if not root.exists():
+            return []
+        return sorted(p.name for p in root.iterdir() if p.is_dir())
+
     def read_meta(self, key: str) -> dict:
         """Load just the JSON metadata of an artifact (cheap)."""
         path = self.path_for(key) / _META_NAME
         try:
             return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, ValueError) as exc:
+            # ValueError covers both garbled JSON and bytes that are not
+            # valid UTF-8 (a corrupted file is arbitrary bytes).
             raise IngestError(f"cannot read artifact meta {key[:12]}…: {exc}") from exc
 
     def list(self) -> list[ArtifactInfo]:
@@ -550,7 +648,7 @@ class ArtifactStore:
                 continue
             try:
                 title = str(json.loads(meta_path.read_text()).get("title", "?"))
-            except (OSError, json.JSONDecodeError):
+            except (OSError, ValueError):  # unreadable or corrupt bytes
                 title = "?"
             size = sum(f.stat().st_size for f in directory.iterdir() if f.is_file())
             infos.append(

@@ -19,6 +19,7 @@ serial and pool paths go through.
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -38,6 +39,7 @@ from repro.ingest.jobs import IngestJob
 from repro.ingest.manifest import JobManifest
 from repro.ingest.progress import JobEvent, ProgressCallback
 from repro.obs.registry import get_registry
+from repro.resilience.faults import fault_point
 from repro.video.synthesis import generate_video
 
 
@@ -53,15 +55,50 @@ class RetryPolicy:
         Delay before the first retry, in seconds.
     backoff_factor:
         Multiplier applied to the delay for each further retry.
+    jitter:
+        Randomise retry delays with *decorrelated jitter* so a batch of
+        jobs failing together (a shared-resource hiccup) does not retry
+        in lockstep and fail together again.  Disable for byte-exact
+        deterministic scheduling in tests.
+    max_delay:
+        Upper bound on any single delay, jittered or not.
     """
 
     retries: int = 2
     backoff: float = 0.1
     backoff_factor: float = 2.0
+    jitter: bool = True
+    max_delay: float = 30.0
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retrying after failed attempt ``attempt``."""
-        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+        """Deterministic backoff after failed attempt ``attempt``.
+
+        Pure exponential (no jitter) — the fixed schedule used when
+        ``jitter`` is off, and the base the jittered path grows from.
+        """
+        return min(
+            self.max_delay, self.backoff * self.backoff_factor ** max(0, attempt - 1)
+        )
+
+    def next_delay(
+        self,
+        attempt: int,
+        previous: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> float:
+        """Backoff after failed attempt ``attempt``, jittered when enabled.
+
+        Decorrelated jitter (the AWS architecture-blog scheme): each
+        delay is drawn uniformly from ``[backoff, 3 * previous]``, so
+        retry times spread out instead of synchronising, while still
+        growing roughly exponentially.  ``previous`` is the delay the
+        caller slept last time (0 on the first retry).  Falls back to
+        :meth:`delay` when jitter is disabled or no ``rng`` is given.
+        """
+        if not self.jitter or rng is None:
+            return self.delay(attempt)
+        upper = max(self.backoff, 3.0 * previous)
+        return min(self.max_delay, rng.uniform(self.backoff, upper))
 
     @property
     def max_attempts(self) -> int:
@@ -110,6 +147,7 @@ class JobOutcome:
 
 def _mine_job(job: IngestJob) -> ClassMinerResult:
     """Render and mine one job's video (the fault-injection choke point)."""
+    fault_point("ingest.mine")
     video = generate_video(job.screenplay, seed=job.seed, with_audio=job.mine_events)
     return ClassMiner(config=job.config).mine(video.stream, mine_events=job.mine_events)
 
@@ -207,6 +245,10 @@ def _run_serial(
         error = ""
         attempt = 0
         outcome: JobOutcome | None = None
+        # Seeded per job key: deterministic for a given corpus, but
+        # decorrelated across jobs so retries do not synchronise.
+        rng = random.Random(job.key)
+        last_delay = 0.0
         while attempt < policy.max_attempts:
             attempt += 1
             manifest.record(job.key, job.title, "running", attempt=attempt)
@@ -227,7 +269,8 @@ def _run_serial(
                             message=error,
                         ),
                     )
-                    time.sleep(policy.delay(attempt))
+                    last_delay = policy.next_delay(attempt, last_delay, rng)
+                    time.sleep(last_delay)
                 continue
             outcome = _outcome_from_summary(summary, attempt)
             break
@@ -279,6 +322,10 @@ class _Slot:
     job: IngestJob
     attempt: int
     deadline: float | None
+    # Retry-jitter state: one seeded stream per job, plus the delay the
+    # scheduler slept before this attempt (decorrelated jitter input).
+    rng: random.Random | None = None
+    last_delay: float = 0.0
 
 
 def _run_pool(
@@ -300,12 +347,23 @@ def _run_pool(
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
 
-        def submit(job: IngestJob, attempt: int) -> tuple[Future, _Slot]:
+        def submit(
+            job: IngestJob,
+            attempt: int,
+            rng: random.Random | None = None,
+            last_delay: float = 0.0,
+        ) -> tuple[Future, _Slot]:
             manifest.record(job.key, job.title, "running", attempt=attempt)
             _emit(progress, JobEvent("started", job.title, job.key, attempt=attempt))
             future = pool.submit(_execute_job, job, str(store.root))
             deadline = None if timeout is None else time.monotonic() + timeout
-            return future, _Slot(job=job, attempt=attempt, deadline=deadline)
+            return future, _Slot(
+                job=job,
+                attempt=attempt,
+                deadline=deadline,
+                rng=rng if rng is not None else random.Random(job.key),
+                last_delay=last_delay,
+            )
 
         pending: dict[Future, _Slot] = {}
         for job in jobs:
@@ -347,8 +405,16 @@ def _run_pool(
                             message=error,
                         ),
                     )
-                    time.sleep(policy.delay(attempt))
-                    future, slot = submit(job, attempt=attempt + 1)
+                    retry_delay = policy.next_delay(
+                        attempt, slot.last_delay, slot.rng
+                    )
+                    time.sleep(retry_delay)
+                    future, slot = submit(
+                        job,
+                        attempt=attempt + 1,
+                        rng=slot.rng,
+                        last_delay=retry_delay,
+                    )
                     pending[future] = slot
                 else:
                     outcomes[job.key] = JobOutcome(
@@ -444,10 +510,12 @@ def run_jobs(
         _emit(progress, JobEvent("queued", job.title, job.key))
         if force:
             store.remove(job.key)
-        if not force and store.has(job.key):
+        if not force and store.has_valid(job.key):
             # Cache hit: mining is skipped entirely.  Covers both a
             # resumed ingest (manifest already says done) and a manifest
-            # lost or cleared since the artifact was written.
+            # lost or cleared since the artifact was written.  A corrupt
+            # artifact fails verification here, gets quarantined, and
+            # the job falls through to a fresh mine.
             outcomes.append(_cached_outcome(job, store, manifest, progress))
             continue
         manifest.record(job.key, job.title, "pending")

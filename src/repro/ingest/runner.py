@@ -16,6 +16,7 @@ covering everything that was mined.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +32,9 @@ from repro.ingest.progress import ProgressCallback
 from repro.obs.bridge import JobEventBridge
 from repro.obs.registry import get_registry
 from repro.obs.trace import span as obs_span
+from repro.resilience.faults import fault_point
+
+_LOGGER = logging.getLogger(__name__)
 
 #: File names inside a database directory.
 ARTIFACTS_DIR = "artifacts"
@@ -169,17 +173,34 @@ def ingest_jobs(
 
     database = VideoDatabase()
     registered: list[str] = []
+    skipped: list[str] = []
     with obs_span("ingest.rebuild") as sp:
+        fault_point("ingest.rebuild")
         # This run's results first, then every other artifact already in
         # the store: the cache is the source of truth, so ingesting a
         # disjoint title set must not drop previously ingested videos
         # from the DB.
         run_keys = [outcome.key for outcome in outcomes if outcome.ok]
         stored = [info.key for info in store.list() if info.key not in set(run_keys)]
-        results = (store.load(key) for key in run_keys + stored)
-        for record in database.register_bulk(results, skip_registered=True):
+
+        def loadable():
+            # One corrupt (or vanished) artifact must not take the whole
+            # rebuild down with it: the entry is quarantined by the
+            # store, counted here, and the remaining corpus registers.
+            for key in run_keys + stored:
+                try:
+                    yield store.load(key)
+                except IngestError as exc:
+                    skipped.append(key)
+                    get_registry().counter(
+                        "ingest_rebuild_artifacts_skipped_total",
+                        "Artifacts skipped during database rebuilds.",
+                    ).inc()
+                    _LOGGER.warning("rebuild skipping artifact %s: %s", key[:12], exc)
+
+        for record in database.register_bulk(loadable(), skip_registered=True):
             registered.append(record.title)
-        sp.set(registered=len(registered))
+        sp.set(registered=len(registered), skipped=len(skipped))
 
     database_path: Path | None = None
     if registered:

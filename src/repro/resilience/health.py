@@ -1,0 +1,160 @@
+"""Liveness / readiness / degradation health reporting.
+
+:func:`server_health` distils one :class:`~repro.serving.server.QueryServer`
+into the three answers an orchestrator asks:
+
+* **live** — is the process serving at all?  The worker pool is running
+  and every configured worker thread is alive (the watchdog repairs
+  stragglers; a dead pool is dead).
+* **ready** — can it answer correctly?  A snapshot generation exists
+  and indexes at least one shot.
+* **degraded** — is it answering from a weakened position?  True when
+  the last snapshot rebuild failed (answers come from the previous good
+  generation), a circuit breaker is not closed, the result cache has
+  been bypassed, or the corpus contains degraded mine results.
+
+The report also folds in process-wide registry gauges (quarantined
+artifacts, worker resurrections) so ``classminer health`` gives one
+combined view.  Exit-code mapping: ``ok`` 0, ``degraded`` 1, ``down`` 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import get_registry
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One named probe inside a report."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class HealthReport:
+    """The combined liveness / readiness / degradation verdict."""
+
+    live: bool
+    ready: bool
+    degraded: bool
+    checks: list[HealthCheck] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """``ok``, ``degraded`` or ``down``."""
+        if not self.live or not self.ready:
+            return "down"
+        return "degraded" if self.degraded else "ok"
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for the health CLI (0 ok, 1 degraded, 2 down)."""
+        return {"ok": 0, "degraded": 1, "down": 2}[self.status]
+
+    def render(self) -> str:
+        """Plain-text report (the ``classminer health`` output)."""
+        lines = [
+            f"health: {self.status.upper()} "
+            f"(live={'yes' if self.live else 'NO'}, "
+            f"ready={'yes' if self.ready else 'NO'}, "
+            f"degraded={'yes' if self.degraded else 'no'})"
+        ]
+        for check in self.checks:
+            marker = "ok " if check.ok else "FAIL"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  [{marker}] {check.name}{detail}")
+        return "\n".join(lines)
+
+
+def _registry_value(name: str) -> float:
+    try:
+        return float(get_registry().snapshot().get(name, 0.0))
+    except Exception:  # registry trouble must not break a health probe
+        return 0.0
+
+
+def server_health(server) -> HealthReport:
+    """Build a :class:`HealthReport` for one query server.
+
+    Reads only cheap state: thread liveness, the current snapshot's
+    bookkeeping, breaker states and registry gauges — never executes a
+    query, so it is safe to call from a tight probe loop.
+    """
+    checks: list[HealthCheck] = []
+
+    alive = server.alive_workers
+    workers_ok = server.running and alive == server.config.workers
+    checks.append(
+        HealthCheck(
+            "workers",
+            workers_ok,
+            f"{alive}/{server.config.workers} alive"
+            + ("" if server.running else ", pool stopped"),
+        )
+    )
+
+    manager = server.manager
+    generation = manager.generation
+    ready = generation >= 1
+    shots = 0
+    degraded_videos: tuple[str, ...] = ()
+    if ready:
+        snapshot = manager.current()
+        shots = snapshot.shot_count
+        degraded_videos = snapshot.degraded_videos
+        ready = shots > 0
+    checks.append(
+        HealthCheck(
+            "snapshot",
+            ready,
+            f"generation {generation}, {shots} shots indexed",
+        )
+    )
+
+    stale = manager.degraded
+    checks.append(
+        HealthCheck(
+            "rebuild",
+            not stale,
+            manager.breaker.describe()
+            + (f"; last error: {manager.last_error}" if stale else ""),
+        )
+    )
+
+    cache_ok = server.cache_breaker.state.value == "closed"
+    checks.append(HealthCheck("cache", cache_ok, server.cache_breaker.describe()))
+
+    corpus_ok = not degraded_videos
+    checks.append(
+        HealthCheck(
+            "corpus",
+            corpus_ok,
+            f"{len(degraded_videos)} degraded videos"
+            + (f": {', '.join(degraded_videos)}" if degraded_videos else ""),
+        )
+    )
+
+    quarantined = _registry_value("ingest_artifacts_quarantined_total")
+    resurrections = server.metrics.registry.snapshot().get(
+        "serving_worker_resurrections_total", 0.0
+    )
+    checks.append(
+        HealthCheck(
+            "history",
+            True,
+            f"{int(quarantined)} artifacts quarantined, "
+            f"{int(resurrections)} workers resurrected, "
+            f"{server.metrics.counter('errors')} query errors",
+        )
+    )
+
+    return HealthReport(
+        live=workers_ok,
+        ready=ready,
+        degraded=stale or not cache_ok or not corpus_ok,
+        checks=checks,
+    )

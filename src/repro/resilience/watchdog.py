@@ -1,0 +1,99 @@
+"""Worker watchdog: detect and repair dead threads.
+
+A :class:`Watchdog` is a small daemon thread that periodically invokes
+a *repair check* — a callable that inspects some pool, resurrects
+whatever died, and returns how many repairs it made.  The serving layer
+hands it :meth:`QueryServer._repair_workers
+<repro.serving.server.QueryServer>`; anything long-running with
+resurrectable threads can use it the same way.
+
+The check itself must be safe to call at any time (the watchdog holds
+no locks for it) and must never raise — a raising check is caught,
+counted against the watchdog, and does not kill it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+#: A repair check: fix what is broken, return the number of repairs.
+RepairCheck = Callable[[], int]
+
+
+class Watchdog:
+    """Periodic repair loop on a daemon thread."""
+
+    def __init__(
+        self,
+        check: RepairCheck,
+        interval: float = 0.2,
+        name: str = "watchdog",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("watchdog interval must be > 0")
+        self._check = check
+        self._interval = interval
+        self._name = name
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._repairs = 0
+        self._check_errors = 0
+        self._lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        """True while the watchdog thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def repairs(self) -> int:
+        """Total repairs reported by the check."""
+        with self._lock:
+            return self._repairs
+
+    @property
+    def check_errors(self) -> int:
+        """Times the check itself raised (caught, never fatal)."""
+        with self._lock:
+            return self._check_errors
+
+    def start(self) -> "Watchdog":
+        """Start the loop (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name=self._name, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    def poke(self) -> int:
+        """Run one check synchronously (tests, explicit health probes)."""
+        return self._run_check()
+
+    def _run_check(self) -> int:
+        try:
+            repaired = int(self._check())
+        except Exception:
+            with self._lock:
+                self._check_errors += 1
+            return 0
+        if repaired:
+            with self._lock:
+                self._repairs += repaired
+        return repaired
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._run_check()

@@ -35,6 +35,9 @@ from repro.database.catalog import VideoDatabase
 from repro.database.events_query import event_concept
 from repro.errors import OverloadedError, ReproError, ServingError
 from repro.obs.trace import span as obs_span
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import fault_point
+from repro.resilience.watchdog import Watchdog
 from repro.serving.cache import (
     CacheKey,
     ResultCache,
@@ -62,18 +65,24 @@ class ServerConfig:
         none (``None`` disables deadlines by default).
     cache_capacity:
         Resident entries in the LRU result cache.
+    watchdog_interval:
+        Seconds between worker-pool repair checks (a dead worker thread
+        is resurrected); ``None`` disables the watchdog.
     """
 
     workers: int = 4
     queue_depth: int = 64
     default_timeout: float | None = 5.0
     cache_capacity: int = 512
+    watchdog_interval: float | None = 0.2
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ServingError("a server needs at least one worker")
         if self.queue_depth < 1:
             raise ServingError("queue depth must be >= 1")
+        if self.watchdog_interval is not None and self.watchdog_interval <= 0:
+            raise ServingError("watchdog interval must be > 0 (or None)")
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,14 @@ class ServingResult:
     snapshot the answer was computed against; ``elapsed_seconds`` is the
     worker-side execution time (queue wait excluded), measured on the
     monotonic clock.
+
+    ``degraded`` is True when the answer comes from a weakened
+    position: the last snapshot rebuild failed (so the generation is
+    stale) or the corpus contains videos whose mining fell back
+    somewhere (see :attr:`Snapshot.degraded_videos
+    <repro.serving.snapshot.Snapshot>`).  The answer is still correct
+    for the data the snapshot holds — the flag tells the caller the
+    evidence is not at full strength.
     """
 
     kind: str
@@ -112,6 +129,7 @@ class ServingResult:
     cache_hit: bool
     elapsed_seconds: float
     comparisons: int = 0
+    degraded: bool = False
 
 
 _SENTINEL = object()
@@ -144,11 +162,29 @@ class QueryServer:
         self._lifecycle = threading.Lock()
         self._scope_lock = threading.Lock()
         self._scopes: dict[tuple[User, int], frozenset[str]] = {}
+        # A flaky cache must not take queries down with it: get/put run
+        # through this breaker and an open breaker simply bypasses the
+        # cache (answers recompute against the snapshot).
+        self._cache_breaker = CircuitBreaker(
+            name="result-cache", registry=self._metrics.registry
+        )
+        self._watchdog: Watchdog | None = None
+        self._worker_serial = 0
         self._manager.subscribe(self._on_snapshot)
 
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
+
+    def _spawn_worker(self) -> threading.Thread:
+        self._worker_serial += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"query-worker-{self._worker_serial}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
 
     def start(self) -> "QueryServer":
         """Spin up the worker pool (idempotent once running)."""
@@ -157,15 +193,14 @@ class QueryServer:
                 return self
             self._running = True
             self._threads = [
-                threading.Thread(
-                    target=self._worker_loop,
-                    name=f"query-worker-{i}",
-                    daemon=True,
-                )
-                for i in range(self.config.workers)
+                self._spawn_worker() for _ in range(self.config.workers)
             ]
-            for thread in self._threads:
-                thread.start()
+            if self.config.watchdog_interval is not None:
+                self._watchdog = Watchdog(
+                    self._repair_workers,
+                    interval=self.config.watchdog_interval,
+                    name="query-server-watchdog",
+                ).start()
         return self
 
     def stop(self) -> None:
@@ -174,11 +209,45 @@ class QueryServer:
             if not self._running:
                 return
             self._running = False
+            watchdog, self._watchdog = self._watchdog, None
+        # Joined outside the lifecycle lock: its repair check takes the
+        # same lock, so stopping it under the lock could deadlock.  With
+        # ``_running`` already False the check is a no-op either way.
+        if watchdog is not None:
+            watchdog.stop()
+        with self._lifecycle:
             for _ in self._threads:
                 self._queue.put(_SENTINEL)
             for thread in self._threads:
                 thread.join()
             self._threads = []
+
+    def _repair_workers(self) -> int:
+        """Resurrect dead worker threads (the watchdog's repair check).
+
+        The worker loop is hardened to survive anything short of a
+        process-killing condition, so this is the second line of
+        defence: whatever still manages to kill a thread gets replaced,
+        keeping the pool at its configured width.
+        """
+        with self._lifecycle:
+            if not self._running:
+                return 0
+            dead = [t for t in self._threads if not t.is_alive()]
+            if not dead:
+                return 0
+            alive = [t for t in self._threads if t.is_alive()]
+            self._threads = alive + [self._spawn_worker() for _ in dead]
+        self._metrics.registry.counter(
+            "serving_worker_resurrections_total",
+            "Dead query-worker threads replaced by the watchdog.",
+        ).inc(len(dead))
+        return len(dead)
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently alive."""
+        return sum(1 for thread in self._threads if thread.is_alive())
 
     def __enter__(self) -> "QueryServer":
         return self.start()
@@ -209,6 +278,16 @@ class QueryServer:
     def cache(self) -> ResultCache:
         """The result cache."""
         return self._cache
+
+    @property
+    def cache_breaker(self) -> CircuitBreaker:
+        """The breaker guarding result-cache access."""
+        return self._cache_breaker
+
+    @property
+    def watchdog(self) -> Watchdog | None:
+        """The worker watchdog (None while stopped or disabled)."""
+        return self._watchdog
 
     @property
     def generation(self) -> int:
@@ -323,27 +402,62 @@ class QueryServer:
     # ------------------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        # Nothing a request does may kill this loop.  ``_process``
+        # already converts execution failures into typed errors on the
+        # future; the catch-all below covers the loop's own plumbing
+        # (e.g. resolving an already-cancelled future), counts the
+        # event, answers with a typed ServingError, and keeps going.
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
                 return
-            request, future, deadline = item
-            if not future.set_running_or_notify_cancel():
-                continue
-            if deadline is not None and time.perf_counter() > deadline:
-                self._metrics.record_timeout()
-                future.set_exception(
-                    ServingError("deadline expired while queued for admission")
-                )
-                continue
             try:
-                future.set_result(self._execute(request))
-            except ReproError as exc:
+                self._process(item)
+            except Exception as exc:
+                self._metrics.registry.counter(
+                    "serving_worker_failures_total",
+                    "Unexpected exceptions survived by the worker loop.",
+                ).inc()
                 self._metrics.record_error()
-                future.set_exception(exc)
-            except Exception as exc:  # pragma: no cover - defensive
-                self._metrics.record_error()
-                future.set_exception(ServingError(f"query execution failed: {exc}"))
+                try:
+                    _request, future, _deadline = item
+                    self._fail(future, ServingError(f"worker failed: {exc}"))
+                except Exception:  # malformed item; nothing to answer
+                    pass
+
+    @staticmethod
+    def _fail(future: Future, exc: Exception) -> None:
+        """Fail a future that may already be cancelled or resolved."""
+        try:
+            future.set_exception(exc)
+        except Exception:
+            pass
+
+    def _process(self, item) -> None:
+        request, future, deadline = item
+        if not future.set_running_or_notify_cancel():
+            return
+        if deadline is not None and time.perf_counter() > deadline:
+            self._metrics.record_timeout()
+            self._fail(
+                future,
+                ServingError("deadline expired while queued for admission"),
+            )
+            return
+        try:
+            result = self._execute(request)
+        except ReproError as exc:
+            self._metrics.record_error()
+            self._fail(future, exc)
+            return
+        except Exception as exc:
+            self._metrics.record_error()
+            self._fail(future, ServingError(f"query execution failed: {exc}"))
+            return
+        try:
+            future.set_result(result)
+        except Exception:  # future cancelled while we computed
+            pass
 
     def _scope(
         self, user: User | None, snapshot: Snapshot
@@ -386,9 +500,36 @@ class QueryServer:
             )
             return result
 
+    def _cache_get(self, key: CacheKey) -> ServingResult | None:
+        """Cache lookup through the breaker (miss when open or failing)."""
+        if not self._cache_breaker.allow():
+            return None
+        try:
+            fault_point("serve.cache")
+            cached = self._cache.get(key)
+        except Exception:
+            self._cache_breaker.record_failure()
+            return None
+        self._cache_breaker.record_success()
+        return cached
+
+    def _cache_put(self, key: CacheKey, result: ServingResult) -> None:
+        """Cache store through the breaker (dropped when open or failing)."""
+        if not self._cache_breaker.allow():
+            return
+        try:
+            fault_point("serve.cache")
+            self._cache.put(key, result)
+        except Exception:
+            self._cache_breaker.record_failure()
+            return
+        self._cache_breaker.record_success()
+
     def _execute_unspanned(self, request: QueryRequest) -> ServingResult:
         start = time.perf_counter()
+        fault_point("serve.query")
         snapshot = self._manager.current()
+        degraded = self._manager.degraded or bool(snapshot.degraded_videos)
         leaves, scope = self._scope(request.user, snapshot)
         key = CacheKey(
             kind=request.kind,
@@ -397,11 +538,13 @@ class QueryServer:
             scope=scope,
             generation=snapshot.generation,
         )
-        cached = self._cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             elapsed = time.perf_counter() - start
             self._metrics.record_query(request.kind, elapsed, cache_hit=True)
-            return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
+            return replace(
+                cached, cache_hit=True, elapsed_seconds=elapsed, degraded=degraded
+            )
 
         hits: tuple
         comparisons = 0
@@ -447,8 +590,9 @@ class QueryServer:
             cache_hit=False,
             elapsed_seconds=elapsed,
             comparisons=comparisons,
+            degraded=degraded,
         )
-        self._cache.put(key, result)
+        self._cache_put(key, result)
         self._metrics.record_query(
             request.kind, elapsed, comparisons=comparisons, cache_hit=False
         )
@@ -462,15 +606,33 @@ class QueryServer:
         """One-stop plain-text status: snapshot, cache, metrics."""
         snapshot = self._manager.current()
         stats = self._cache.stats()
+        degraded_videos = snapshot.degraded_videos
         lines = [
-            f"query server: {self.config.workers} workers, "
+            f"query server: {self.alive_workers}/{self.config.workers} workers, "
             f"queue depth {self.config.queue_depth}, "
             f"{'running' if self._running else 'stopped'}",
             f"  snapshot: generation {snapshot.generation}, "
-            f"{len(snapshot.records)} videos, {snapshot.shot_count} shots",
+            f"{len(snapshot.records)} videos, {snapshot.shot_count} shots"
+            + (
+                f", {len(degraded_videos)} degraded"
+                if degraded_videos
+                else ""
+            )
+            + (
+                f" (stale: {self._manager.last_error})"
+                if self._manager.degraded
+                else ""
+            ),
             f"  cache: {len(self._cache)}/{self._cache.capacity} entries, "
             f"hit rate {stats.hit_rate * 100:.1f}%, "
-            f"{stats.stale_evictions} stale evicted",
+            f"{stats.stale_evictions} stale evicted"
+            + (
+                ""
+                if self._cache_breaker.state is BreakerState.CLOSED
+                else f" [{self._cache_breaker.describe()}]"
+            ),
+            f"  breakers: {self._manager.breaker.describe()}; "
+            f"{self._cache_breaker.describe()}",
             self._metrics.render(),
         ]
         return "\n".join(lines)

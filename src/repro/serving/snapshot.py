@@ -24,6 +24,7 @@ them, which is what makes stale reads after an ingest impossible.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -38,8 +39,13 @@ from repro.database.flat import FlatIndex
 from repro.database.index import IndexNode
 from repro.database.query import QueryResult, search_hierarchical
 from repro.database.scene_search import RankedScene, SceneEntry, SceneIndex
-from repro.errors import ServingError
+from repro.errors import CircuitOpenError, ReproError, ServingError
+from repro.obs.registry import get_registry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_point
 from repro.types import EventKind
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,17 @@ class Snapshot:
     def videos(self) -> tuple[str, ...]:
         """Registered titles, sorted."""
         return tuple(sorted(self.records))
+
+    @property
+    def degraded_videos(self) -> tuple[str, ...]:
+        """Titles whose mining fell back somewhere (sorted)."""
+        return tuple(
+            sorted(
+                title
+                for title, record in self.records.items()
+                if record.degraded_stages
+            )
+        )
 
     def permitted_leaves(self, user: User) -> frozenset[str]:
         """Leaf concepts the user may enter (audited on the controller)."""
@@ -221,6 +238,7 @@ class _ManagerState:
     generation: int = 0
     snapshot: Snapshot | None = None
     listeners: list[SnapshotListener] = field(default_factory=list)
+    last_error: str | None = None
 
 
 class SnapshotManager:
@@ -230,16 +248,49 @@ class SnapshotManager:
     single atomic attribute load.  Writes (:meth:`refresh`,
     :meth:`install`) serialise on an internal lock, build the new
     generation off to the side, then publish it with one store.
+
+    Self-healing: a failed rebuild never disturbs the published
+    snapshot — readers keep answering from the last good generation
+    while :attr:`degraded` turns True and :attr:`last_error` names the
+    failure.  Rebuild attempts run through a
+    :class:`~repro.resilience.breaker.CircuitBreaker`, so a dependency
+    that keeps failing stops being hammered
+    (:class:`~repro.errors.CircuitOpenError`) until its cooldown lets a
+    probe through.
     """
 
-    def __init__(self, database: VideoDatabase) -> None:
+    def __init__(
+        self,
+        database: VideoDatabase,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._state = _ManagerState(database=database)
+        self._breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name="snapshot-rebuild", registry=get_registry())
+        )
 
     @property
     def database(self) -> VideoDatabase:
         """The live database backing new generations."""
         return self._state.database
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The breaker guarding rebuild attempts."""
+        return self._breaker
+
+    @property
+    def last_error(self) -> str | None:
+        """Failure text of the most recent rebuild attempt (None when good)."""
+        return self._state.last_error
+
+    @property
+    def degraded(self) -> bool:
+        """True while answers come from a stale (last good) generation."""
+        return self._state.last_error is not None
 
     @property
     def generation(self) -> int:
@@ -272,7 +323,28 @@ class SnapshotManager:
             return self._swap(database)
 
     def _swap(self, database: VideoDatabase) -> Snapshot:
-        snapshot = build_snapshot(database, self._state.generation + 1)
+        if not self._breaker.allow():
+            raise CircuitOpenError(
+                f"snapshot rebuild suppressed — {self._breaker.describe()}"
+            )
+        try:
+            fault_point("serve.rebuild")
+            snapshot = build_snapshot(database, self._state.generation + 1)
+        except Exception as exc:
+            # The published snapshot is untouched: readers keep serving
+            # the last good generation while we report degraded.
+            self._breaker.record_failure()
+            self._state.last_error = f"{type(exc).__name__}: {exc}"
+            get_registry().counter(
+                "serving_rebuild_failures_total",
+                "Snapshot rebuild attempts that failed.",
+            ).inc()
+            _LOGGER.warning("snapshot rebuild failed: %s", exc)
+            if isinstance(exc, ReproError):
+                raise
+            raise ServingError(f"snapshot rebuild failed: {exc}") from exc
+        self._breaker.record_success()
+        self._state.last_error = None
         self._state.generation = snapshot.generation
         self._state.snapshot = snapshot  # the atomic publish
         listeners = list(self._state.listeners)
@@ -287,10 +359,22 @@ class SnapshotManager:
         :func:`repro.ingest.runner.register_corpus_hook` and every
         ingest run that rebuilds the corpus installs the new database
         here, bumping the generation (and, through listeners, letting
-        the server invalidate its result cache).
+        the server invalidate its result cache).  A failing install must
+        not take the *ingest* down with it: the error is swallowed here
+        (recorded on :attr:`last_error` and the metrics registry), the
+        server keeps answering from its last good snapshot.
         """
 
         def hook(_db_dir: Path, database: VideoDatabase) -> None:
-            self.install(database)
+            try:
+                self.install(database)
+            except ReproError as exc:
+                get_registry().counter(
+                    "serving_ingest_hook_failures_total",
+                    "Corpus-hook snapshot installs that failed.",
+                ).inc()
+                _LOGGER.warning(
+                    "ingest hook could not install new snapshot: %s", exc
+                )
 
         return hook

@@ -1,0 +1,36 @@
+"""Shared resilience fixtures: demo-backed database and features.
+
+Mirrors the serving conftest so resilience tests reuse the session-mined
+demo result instead of paying for extra mining runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database.catalog import VideoDatabase
+from repro.database.index import combine_features
+from repro.resilience.faults import NULL_PLAN, install_plan
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Every test starts and ends with fault injection disarmed."""
+    install_plan(NULL_PLAN)
+    yield
+    install_plan(NULL_PLAN)
+
+
+@pytest.fixture()
+def serving_db(demo_result) -> VideoDatabase:
+    """A fresh database with the demo video registered."""
+    db = VideoDatabase()
+    db.register(demo_result)
+    return db
+
+
+@pytest.fixture()
+def demo_features(demo_result):
+    """Combined feature vector of the first demo shot."""
+    shot = demo_result.structure.shots[0]
+    return combine_features(shot.histogram, shot.texture)

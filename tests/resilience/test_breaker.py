@@ -1,0 +1,159 @@
+"""Circuit-breaker state machine: trips, probes, recovery, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        name="test", failure_threshold=2, reset_timeout=10.0, clock=clock
+    )
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_consecutive_failures_trip_open(self, breaker):
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # streak broken
+
+    def test_open_advances_to_half_open_after_timeout(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller refused
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        clock.advance(9.0)  # cooldown restarted at the re-trip
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_reset_forces_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+
+class TestCall:
+    def test_call_passes_through_when_closed(self, breaker):
+        assert breaker.call(lambda: 42) == 42
+
+    def test_call_records_failures_and_reraises(self, breaker):
+        def boom():
+            raise RuntimeError("organic failure")
+
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_call_raises_circuit_open_without_running(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        calls = []
+        with pytest.raises(CircuitOpenError, match="retry in"):
+            breaker.call(calls.append, "never")
+        assert calls == []
+        clock.advance(10.0)
+        assert breaker.call(lambda: "healed") == "healed"
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestValidationAndIntrospection:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+    def test_describe_names_state_and_counters(self, breaker):
+        assert "test: closed" in breaker.describe()
+        breaker.record_failure()
+        breaker.record_failure()
+        description = breaker.describe()
+        assert "open" in description
+        assert "1 trips" in description
+
+    def test_registry_gauge_tracks_state(self, clock):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            name="gauged", failure_threshold=1, reset_timeout=5.0,
+            clock=clock, registry=registry,
+        )
+        key = 'circuit_breaker_state{breaker=gauged}'
+        assert registry.snapshot()[key] == 0.0
+        breaker.record_failure()
+        assert registry.snapshot()[key] == 1.0
+        assert registry.snapshot()['circuit_breaker_trips_total{breaker=gauged}'] == 1.0
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert registry.snapshot()[key] == 2.0
+        breaker.record_success()
+        assert registry.snapshot()[key] == 0.0

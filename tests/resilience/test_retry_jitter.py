@@ -1,0 +1,91 @@
+"""RetryPolicy backoff: decorrelated jitter plus the deterministic path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ingest.executor import RetryPolicy
+
+
+class TestDeterministicDelay:
+    def test_exponential_schedule_is_unchanged(self):
+        policy = RetryPolicy(retries=3, backoff=0.1, backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(backoff=1.0, backoff_factor=10.0, max_delay=5.0)
+        assert policy.delay(4) == 5.0
+
+    def test_jitter_disabled_falls_back_to_delay(self):
+        policy = RetryPolicy(jitter=False)
+        rng = random.Random(0)
+        for attempt in range(1, 4):
+            assert policy.next_delay(attempt, previous=1.0, rng=rng) == policy.delay(
+                attempt
+            )
+
+    def test_no_rng_falls_back_to_delay(self):
+        policy = RetryPolicy(jitter=True)
+        assert policy.next_delay(2, previous=1.0, rng=None) == policy.delay(2)
+
+
+class TestDecorrelatedJitter:
+    def test_delays_stay_within_bounds(self):
+        policy = RetryPolicy(backoff=0.1, max_delay=2.0)
+        rng = random.Random(42)
+        previous = 0.0
+        for attempt in range(1, 50):
+            upper = min(policy.max_delay, max(policy.backoff, 3.0 * previous))
+            delay = policy.next_delay(attempt, previous, rng)
+            assert policy.backoff <= delay <= upper + 1e-12
+            previous = delay
+
+    def test_delays_never_exceed_the_cap(self):
+        policy = RetryPolicy(backoff=1.0, max_delay=3.0)
+        rng = random.Random(7)
+        previous = 100.0  # pathological caller state
+        for attempt in range(1, 20):
+            previous = policy.next_delay(attempt, previous, rng)
+            assert previous <= 3.0
+
+    def test_same_seed_reproduces_the_schedule(self):
+        policy = RetryPolicy(backoff=0.1)
+
+        def schedule(seed):
+            rng = random.Random(seed)
+            previous, out = 0.0, []
+            for attempt in range(1, 8):
+                previous = policy.next_delay(attempt, previous, rng)
+                out.append(previous)
+            return out
+
+        assert schedule("job-a") == schedule("job-a")
+
+    def test_different_jobs_decorrelate(self):
+        policy = RetryPolicy(backoff=0.1)
+
+        def schedule(seed):
+            rng = random.Random(seed)
+            previous, out = 0.0, []
+            for attempt in range(1, 8):
+                previous = policy.next_delay(attempt, previous, rng)
+                out.append(previous)
+            return out
+
+        assert schedule("job-a") != schedule("job-b")
+
+    def test_jitter_spreads_a_lockstep_batch(self):
+        policy = RetryPolicy(backoff=0.1)
+        first_delays = {
+            round(policy.next_delay(1, 0.5, random.Random(key)), 6)
+            for key in ("a", "b", "c", "d", "e")
+        }
+        assert len(first_delays) > 1  # no longer retrying in lockstep
+
+    def test_max_attempts_unchanged(self):
+        assert RetryPolicy(retries=2).max_attempts == 3
+        assert RetryPolicy(retries=0).max_attempts == 1

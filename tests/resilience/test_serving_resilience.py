@@ -1,0 +1,196 @@
+"""Self-healing serving: fault survival, stale snapshots, watchdog, health."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CircuitOpenError, FaultInjectedError, ReproError
+from repro.resilience import server_health
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.serving.server import _SENTINEL, QueryRequest, QueryServer, ServerConfig
+from repro.serving.snapshot import SnapshotManager
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+
+_CONFIG = ServerConfig(workers=2, default_timeout=10.0)
+
+
+def _request(server, k=3) -> QueryRequest:
+    features = server.manager.current().flat.entries[0].features
+    return QueryRequest(kind="shot", features=features, k=k)
+
+
+class TestQueryFaults:
+    def test_injected_query_error_is_typed_and_survivable(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            request = _request(server)
+            plan = FaultPlan([FaultSpec(point="serve.query", kind="error", limit=2)])
+            with inject(plan):
+                for _ in range(2):
+                    with pytest.raises(FaultInjectedError):
+                        server.query(request)
+            clean = server.query(request)
+            assert clean.hits
+            assert server.alive_workers == _CONFIG.workers
+
+    def test_injected_latency_only_slows_the_answer(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            request = _request(server)
+            plan = FaultPlan(
+                [FaultSpec(point="serve.query", kind="latency", delay=0.02, limit=1)]
+            )
+            with inject(plan):
+                result = server.query(request)
+            assert result.hits
+            assert result.elapsed_seconds >= 0.02
+            assert plan.fired("serve.query", "latency") == 1
+
+
+class TestRebuildResilience:
+    def test_failed_rebuild_serves_stale_and_degraded(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            request = _request(server)
+            baseline = server.query(request)
+            assert not baseline.degraded
+
+            plan = FaultPlan([FaultSpec(point="serve.rebuild", kind="error", limit=1)])
+            with inject(plan):
+                with pytest.raises(FaultInjectedError):
+                    server.refresh()
+                during = server.query(request)
+            assert during.generation == baseline.generation  # stale but serving
+            assert during.degraded
+            assert during.hits
+            assert server.manager.degraded
+            assert "FaultInjectedError" in server.manager.last_error
+
+            healed = server.refresh()
+            after = server.query(request)
+            assert healed.generation > baseline.generation
+            assert not after.degraded
+            assert server.manager.last_error is None
+
+    def test_breaker_opens_after_threshold_and_recovers(self, serving_db):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            name="snapshot-rebuild",
+            failure_threshold=2,
+            reset_timeout=10.0,
+            clock=lambda: clock[0],
+        )
+        manager = SnapshotManager(serving_db, breaker=breaker)
+        with QueryServer(manager=manager, config=_CONFIG) as server:
+            request = _request(server)
+            plan = FaultPlan([FaultSpec(point="serve.rebuild", kind="error")])
+            with inject(plan):
+                errors = []
+                for _ in range(3):
+                    try:
+                        server.refresh()
+                    except ReproError as exc:
+                        errors.append(type(exc))
+            assert errors == [FaultInjectedError, FaultInjectedError, CircuitOpenError]
+            assert breaker.state is BreakerState.OPEN
+            assert breaker.trips == 1
+
+            # While open, even a healthy rebuild is refused...
+            with pytest.raises(CircuitOpenError):
+                server.refresh()
+            # ...but queries keep flowing from the last good generation.
+            assert server.query(request).hits
+
+            clock[0] += 10.0  # cooldown elapses; the probe heals it
+            healed = server.refresh()
+            assert breaker.state is BreakerState.CLOSED
+            assert healed.generation >= 2
+            assert not server.query(request).degraded
+
+
+class TestCacheResilience:
+    def test_cache_faults_bypass_the_cache_not_the_query(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            request = _request(server)
+            plan = FaultPlan([FaultSpec(point="serve.cache", kind="error")])
+            with inject(plan):
+                results = [server.query(request) for _ in range(4)]
+            assert all(r.hits for r in results)
+            assert not any(r.cache_hit for r in results)  # cache never engaged
+            assert server.cache_breaker.state is BreakerState.OPEN
+            assert server.cache_breaker.trips >= 1
+            # Queries still answer fine with the breaker open.
+            assert server.query(request).hits
+
+
+class TestWatchdog:
+    def test_watchdog_resurrects_a_killed_worker(self, serving_db):
+        config = ServerConfig(workers=2, watchdog_interval=0.05)
+        with QueryServer(serving_db, config) as server:
+            server._queue.put(_SENTINEL)  # assassinate one worker
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if (
+                    server.alive_workers == config.workers
+                    and server.metrics.registry.snapshot().get(
+                        "serving_worker_resurrections_total", 0.0
+                    )
+                    >= 1.0
+                ):
+                    break
+                time.sleep(0.02)
+            assert server.alive_workers == config.workers
+            snapshot = server.metrics.registry.snapshot()
+            assert snapshot["serving_worker_resurrections_total"] >= 1.0
+            assert server.query(_request(server)).hits
+
+    def test_watchdog_can_be_disabled(self, serving_db):
+        config = ServerConfig(workers=1, watchdog_interval=None)
+        with QueryServer(serving_db, config) as server:
+            assert server.watchdog is None
+            assert server.query(_request(server)).hits
+        assert server.watchdog is None
+
+
+class TestHealth:
+    def test_healthy_server_reports_ok(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            server.manager.current()
+            report = server_health(server)
+        assert report.status == "ok"
+        assert report.exit_code == 0
+        assert "health: OK" in report.render()
+        assert all(check.ok for check in report.checks)
+
+    def test_stale_snapshot_reports_degraded(self, serving_db):
+        with QueryServer(serving_db, _CONFIG) as server:
+            server.manager.current()
+            plan = FaultPlan([FaultSpec(point="serve.rebuild", kind="error", limit=1)])
+            with inject(plan), pytest.raises(FaultInjectedError):
+                server.refresh()
+            report = server_health(server)
+        assert report.live
+        assert report.ready
+        assert report.degraded
+        assert report.status == "degraded"
+        assert report.exit_code == 1
+
+    def test_stopped_server_reports_down(self, serving_db):
+        server = QueryServer(serving_db, _CONFIG)
+        server.manager.current()
+        report = server_health(server)  # never started
+        assert not report.live
+        assert report.status == "down"
+        assert report.exit_code == 2
+
+    def test_health_cli_on_an_ingested_directory(self, tmp_path, serving_db, capsys):
+        serving_db.save(tmp_path / "database.json")
+        code = main(["health", "--db-dir", str(tmp_path), "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "health: OK" in out
+        assert "snapshot" in out
+
+    def test_health_cli_missing_database_fails_cleanly(self, tmp_path):
+        code = main(["health", "--db-dir", str(tmp_path / "empty")])
+        assert code != 0
