@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke storage-smoke all clean
 
 install:
 	pip install -e .
@@ -25,6 +25,9 @@ obs-smoke:
 
 chaos-smoke:
 	python -m repro.resilience.smoke
+
+storage-smoke:
+	python -m repro.storage.smoke
 
 examples:
 	@for ex in examples/*.py; do \

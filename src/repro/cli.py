@@ -9,6 +9,8 @@ Installed as the ``classminer`` console script::
     classminer evaluate laparoscopy         # methods A/B/C vs ground truth
     classminer render demo -o demo.npz      # snapshot the rendered stream
     classminer ingest all --db-dir db/      # mine the corpus into a database
+    classminer migrate --db-dir db/         # JSON-era dir -> SQL catalog
+    classminer search "laser surgery" --db-dir db/  # full-text metadata search
     classminer cache list --db-dir db/      # inspect the artifact cache
     classminer serve --db-dir db/           # serving health check + metrics
     classminer health --db-dir db/          # liveness/readiness/degradation
@@ -207,6 +209,36 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if report.database_path is not None:
         print(f"database: {report.database_path}")
     return 0 if report.ok else 1
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.storage import migrate_db_dir
+
+    report = migrate_db_dir(args.db_dir, remove_json=args.remove_json)
+    print(report.render())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_table as _table
+    from repro.storage import SQLCatalog, catalog_path
+
+    if not catalog_path(args.db_dir).exists():
+        print(
+            f"error: no SQL catalog in {args.db_dir} — run `classminer "
+            f"migrate --db-dir {args.db_dir}` first",
+            file=sys.stderr,
+        )
+        return 1
+    with SQLCatalog(args.db_dir) as catalog:
+        hits = catalog.search_text(args.text, k=args.k)
+        surface = "fts5" if catalog.fts_enabled else "LIKE fallback"
+    if not hits:
+        print(f"no matches for {args.text!r} ({surface})")
+        return 0
+    rows = [[hit.kind, hit.title, hit.body] for hit in hits]
+    print(_table(["kind", "title", "matched text"], rows, title=f"search ({surface})"))
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -413,7 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Mine each title (shots, scenes, cues, audio, events) into a "
             "content-addressed artifact cache under --db-dir, then build "
-            "database.json from the artifacts. Finished jobs are recorded "
+            "the queryable catalog (catalog.sqlite + features/, or "
+            "database.json with CLASSMINER_CATALOG_BACKEND=json) from the "
+            "artifacts. Finished jobs are recorded "
             "in manifest.jsonl, so an interrupted ingest resumes without "
             "redoing work, and a re-run hits the cache entirely."
         ),
@@ -426,7 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--db-dir",
         required=True,
-        help="database directory (artifacts/, manifest.jsonl, database.json)",
+        help="database directory (artifacts/, manifest.jsonl, catalog.sqlite)",
     )
     ingest.add_argument(
         "--workers",
@@ -457,6 +491,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _trace_arg(ingest)
     ingest.set_defaults(func=_cmd_ingest)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="convert a JSON-era database directory to the SQL catalog",
+        description=(
+            "One-shot migration: read database.json (or rebuild from the "
+            "artifact store) and write catalog.sqlite plus the "
+            "content-addressed feature blocks under features/. Idempotent; "
+            "query results are identical before and after."
+        ),
+    )
+    migrate.add_argument("--db-dir", required=True, help="database directory")
+    migrate.add_argument(
+        "--remove-json",
+        action="store_true",
+        help="delete the legacy database.json after a successful migration",
+    )
+    migrate.set_defaults(func=_cmd_migrate)
+
+    search = sub.add_parser(
+        "search",
+        help="full-text search over catalog metadata (videos/scenes/concepts)",
+        description=(
+            "Query the SQL catalog's FTS5 surface (bm25-ranked; degrades to "
+            "a LIKE scan when the linked SQLite lacks FTS5) over video "
+            "titles, scene events and concept names."
+        ),
+    )
+    search.add_argument("text", help="search text (all terms must match)")
+    search.add_argument("--db-dir", required=True, help="database directory")
+    search.add_argument(
+        "-k", type=int, default=10, help="maximum hits (default: 10)"
+    )
+    search.set_defaults(func=_cmd_search)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the ingest artifact cache"

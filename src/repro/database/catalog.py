@@ -10,6 +10,8 @@ access controller.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -165,6 +167,48 @@ class VideoDatabase:
             records.append(self.register(result))
         return records
 
+    def register_entries(
+        self,
+        title: str,
+        scenes: "Iterable[tuple[int, EventKind, Iterable[np.ndarray]]]",
+        degraded_stages: tuple[str, ...] = (),
+    ) -> RegisteredVideo:
+        """Register pre-featurised shots directly, bypassing the miner.
+
+        ``scenes`` yields ``(scene_id, event, feature_vectors)``; shots
+        receive sequential ids in iteration order and are filed exactly
+        as :meth:`register` files mined scenes.  Used by synthetic
+        corpus builders (storage smoke and benchmarks) and migration
+        tooling; re-registering a title raises :class:`DatabaseError`.
+        """
+        if title in self._videos:
+            raise DatabaseError(f"video {title!r} already registered")
+        record = RegisteredVideo(
+            title=title,
+            shot_count=0,
+            scene_count=0,
+            degraded_stages=tuple(degraded_stages),
+        )
+        shot_id = 0
+        for scene_id, event, feature_vectors in scenes:
+            record.scene_count += 1
+            record.events[int(scene_id)] = event.value
+            node = scene_node_for(self._hierarchy, title, event)
+            for features in feature_vectors:
+                entry = ShotEntry(
+                    video_title=title,
+                    shot_id=shot_id,
+                    scene_id=int(scene_id),
+                    features=np.asarray(features, dtype=np.float64),
+                )
+                self._leaf_entries.setdefault(node.name, []).append(entry)
+                self._flat.insert(entry)
+                shot_id += 1
+        record.shot_count = shot_id
+        self._videos[title] = record
+        self._index_root = None
+        return record
+
     def unregister(self, title: str) -> int:
         """Remove a video and all its shots; returns entries removed.
 
@@ -194,6 +238,17 @@ class VideoDatabase:
         return {
             leaf: len(entries)
             for leaf, entries in sorted(self._leaf_entries.items())
+        }
+
+    def leaf_entries(self) -> dict[str, list[ShotEntry]]:
+        """Per-leaf shot entries, in leaf creation order (copied lists).
+
+        The ordering is load-bearing: the durable storage layer persists
+        leaves in this order so a lazily opened catalog rebuilds its
+        index tree and hash buckets bit-identically.
+        """
+        return {
+            leaf: list(entries) for leaf, entries in self._leaf_entries.items()
         }
 
     def build_index(self) -> IndexNode:
@@ -255,7 +310,13 @@ class VideoDatabase:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialise the catalog (entries + registrations) to JSON."""
+        """Serialise the catalog (entries + registrations) to JSON.
+
+        The write is atomic: the payload lands in a temp file in the
+        target directory and is renamed into place, so a crash (or a
+        serialisation error) mid-save can never leave a truncated
+        catalog where a valid one stood.
+        """
         payload = {
             "videos": {
                 title: {
@@ -279,7 +340,17 @@ class VideoDatabase:
                 for leaf, entries in self._leaf_entries.items()
             },
         }
-        Path(path).write_text(json.dumps(payload))
+        target = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or "."
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path) -> "VideoDatabase":

@@ -9,7 +9,9 @@ fans out by subsystem:
     │   failures (streams, waveforms, visual features).
     ├── ``MiningError`` / ``EventMiningError`` — the Sec. 3/4 pipeline.
     ├── ``DatabaseError``
-    │   └── ``AccessDeniedError`` — an access rule denied the request.
+    │   ├── ``AccessDeniedError`` — an access rule denied the request.
+    │   └── ``StorageError`` — the durable storage subsystem (SQL
+    │       catalog schema/locking, feature-store bookkeeping).
     ├── ``IngestError`` — the corpus ingestion runtime.
     │   └── ``IntegrityError`` — a stored artifact failed checksum
     │       verification (corrupt on disk; quarantined by the store).
@@ -65,6 +67,16 @@ class DatabaseError(ReproError):
 
 class AccessDeniedError(DatabaseError):
     """An access-control rule denied the requested operation."""
+
+
+class StorageError(DatabaseError):
+    """Problems in the durable storage subsystem (SQL catalog, feature store).
+
+    Raised for schema-version mismatches, a catalog that stays locked
+    past the retry budget, or missing feature blocks.  Corrupt feature
+    blocks (truncated or checksum-failing mmaps) raise
+    :class:`IntegrityError` instead, matching the artifact store.
+    """
 
 
 class IngestError(ReproError):

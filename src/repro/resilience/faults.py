@@ -61,6 +61,8 @@ KNOWN_FAULT_POINTS = (
     "serve.rebuild",
     "serve.query",
     "serve.cache",
+    "storage.db_locked",
+    "storage.mmap_truncated",
 )
 
 

@@ -15,7 +15,13 @@ contracts hold:
    breaker, and never stop the server answering from the last good
    generation — and the breaker recovers through half-open;
 5. injected query faults produce typed errors without killing worker
-   threads.
+   threads;
+6. a transiently locked SQL catalog is absorbed by the storage retry
+   budget; a persistently locked one surfaces as a typed
+   :class:`~repro.errors.StorageError` and a clean reopen recovers;
+7. an injected mmap read fault surfaces typed and the next read
+   recovers; a genuinely truncated feature block is caught by
+   content-digest verification.
 
 Throughout, nothing but :class:`~repro.errors.ReproError` subclasses
 may escape a public API — any other exception fails the smoke run.
@@ -214,6 +220,80 @@ def _query_fault_survival(db_dir: Path, seed: int) -> bool:
     )
 
 
+def _storage_db_locked(db_dir: Path, seed: int) -> bool:
+    """Locked-catalog faults: retried while transient, typed when not."""
+    from repro.errors import StorageError
+    from repro.storage import SQLCatalog
+
+    plan = FaultPlan(
+        [FaultSpec(point="storage.db_locked", kind="error", limit=1)], seed=seed
+    )
+    with inject(plan), SQLCatalog(db_dir) as catalog:
+        videos = catalog.videos()
+    absorbed = bool(videos) and plan.fired("storage.db_locked", "error") == 1
+
+    persistent = FaultPlan(
+        [FaultSpec(point="storage.db_locked", kind="error")], seed=seed
+    )
+    typed = False
+    with inject(persistent), SQLCatalog(db_dir) as catalog:
+        try:
+            catalog.videos()
+        except StorageError:
+            typed = True
+
+    with SQLCatalog(db_dir) as catalog:
+        recovered = catalog.videos().keys() == videos.keys()
+    ok = absorbed and typed and recovered
+    return _report(
+        "storage-db-locked",
+        ok,
+        f"transient lock absorbed by retry, persistent lock -> "
+        f"StorageError, clean reopen answered {len(videos)} videos",
+    )
+
+
+def _storage_mmap_truncated(db_dir: Path, seed: int) -> bool:
+    """Feature-block read faults stay typed; truncation is caught."""
+    from repro.errors import IntegrityError
+    from repro.storage import SQLVideoDatabase
+
+    database = SQLVideoDatabase.open(db_dir)
+    probe = database.flat_index.entries[0].features
+    plan = FaultPlan(
+        [FaultSpec(point="storage.mmap_truncated", kind="error")], seed=seed
+    )
+    typed = False
+    with inject(plan):
+        try:
+            database.search_flat(probe, k=3)
+        except ReproError:
+            typed = True
+    after = database.search_flat(probe, k=3)  # disarmed: recovers
+    database.close()
+
+    # A genuinely truncated block must fail digest verification.
+    store = database.catalog.features
+    sha = store.list_blocks()[0]
+    path = store.path_for(sha)
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    caught = False
+    try:
+        store.verify(sha)
+    except IntegrityError:
+        caught = True
+    finally:
+        path.write_bytes(payload)
+    ok = typed and bool(after.hits) and caught
+    return _report(
+        "storage-mmap-truncated",
+        ok,
+        f"injected read fault typed, clean retry answered "
+        f"{len(after.hits)} hits, truncated block failed verification",
+    )
+
+
 def run_smoke(seed: int = 0) -> int:
     """Run the seeded fault matrix; returns a process exit code."""
     root = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
@@ -223,6 +303,8 @@ def run_smoke(seed: int = 0) -> int:
         ("degraded", _degraded_mining, root / "degraded"),
         ("rebuild", _rebuild_breaker, root / "transient"),
         ("query", _query_fault_survival, root / "transient"),
+        ("storage-locked", _storage_db_locked, root / "transient"),
+        ("storage-truncated", _storage_mmap_truncated, root / "transient"),
     )
     failures = 0
     try:

@@ -210,6 +210,21 @@ def build_snapshot(database: VideoDatabase, generation: int) -> Snapshot:
     """
     if not database.videos:
         raise ServingError("cannot snapshot an empty database")
+    if getattr(database, "out_of_core", False):
+        # An out-of-core database (repro.storage) is already immutable
+        # from the reader's side: its flat scan, lazy leaves and stored
+        # scene centroids serve straight from memory-mapped blocks, and
+        # copying or pre-warming them would defeat the whole point of
+        # not materialising the corpus.
+        return Snapshot(
+            generation=generation,
+            index_root=database.index_root,
+            flat=database.flat_index,
+            scenes=database.scene_index,
+            records=database.videos,
+            controller=database.controller,
+            shot_count=database.shot_count,
+        )
     flat = FlatIndex(database.flat_index.entries)
     flat.warm()
     scenes = _derive_scene_index(database)

@@ -1,0 +1,73 @@
+"""Durable storage: SQL catalog + memory-mapped out-of-core features.
+
+The JSON-era persistence (one ``database.json`` holding every feature
+vector) forces a cold start to parse the whole corpus before the first
+query.  This subsystem splits durable state into two pieces sized for
+their access patterns:
+
+* :class:`SQLCatalog` — everything *relational* (videos, events, leaf
+  metadata, entry rows, scene bookkeeping, full-text search documents)
+  in one WAL-mode SQLite file with a versioned schema;
+* :class:`FeatureStore` — the bulky packed feature matrices as
+  content-addressed, memory-mapped ``.npy`` blocks behind a bounded
+  LRU of open handles.
+
+:class:`SQLVideoDatabase` serves the ordinary
+:class:`~repro.database.catalog.VideoDatabase` API out-of-core on top
+of both, bit-identical to the in-RAM query paths;
+:func:`save_database` persists a database,
+:func:`migrate_db_dir` converts a JSON-era directory, and
+:mod:`repro.storage.smoke` (``make storage-smoke``) checks the whole
+contract at corpus scale.  See ``docs/STORAGE.md``.
+"""
+
+from repro.storage.featurestore import DEFAULT_MAX_OPEN, BlockRef, FeatureStore
+from repro.storage.lazy import (
+    LazyLeafHashIndex,
+    LazySceneIndex,
+    OutOfCoreFlatIndex,
+    SQLVideoDatabase,
+)
+from repro.storage.migrate import MigrationReport, migrate_db_dir
+from repro.storage.schema import (
+    CATALOG_NAME,
+    FEATURES_DIR,
+    SCHEMA_VERSION,
+    catalog_path,
+    features_path,
+    fts5_available,
+)
+from repro.storage.sqlcatalog import (
+    EntryRow,
+    LeafInfo,
+    SceneRow,
+    SearchHit,
+    SQLCatalog,
+    save_database,
+)
+from repro.storage.synthetic import build_synthetic_database
+
+__all__ = [
+    "BlockRef",
+    "CATALOG_NAME",
+    "DEFAULT_MAX_OPEN",
+    "EntryRow",
+    "FEATURES_DIR",
+    "FeatureStore",
+    "LazyLeafHashIndex",
+    "LazySceneIndex",
+    "LeafInfo",
+    "MigrationReport",
+    "OutOfCoreFlatIndex",
+    "SCHEMA_VERSION",
+    "SQLCatalog",
+    "SQLVideoDatabase",
+    "SceneRow",
+    "SearchHit",
+    "build_synthetic_database",
+    "catalog_path",
+    "features_path",
+    "fts5_available",
+    "migrate_db_dir",
+    "save_database",
+]

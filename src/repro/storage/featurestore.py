@@ -1,0 +1,213 @@
+"""Content-addressed, memory-mapped feature-block store.
+
+The catalog's bulky payload — packed ``(N, 266)`` float64 feature
+matrices, one block per scene-concept leaf plus one block of scene
+centroids — lives outside SQLite as plain ``.npy`` files addressed by
+the sha256 of their bytes::
+
+    <db_dir>/features/<sha[:2]>/<sha>.npy
+
+The layout mirrors the ingest artifact store (two-level fan-out,
+tmp-file + ``os.replace`` atomic publish) and its integrity contract:
+the file *name* is the checksum, computed with the same streaming
+:func:`~repro.resilience.integrity.file_digest` the PR-5 artifact
+checksums use, so :meth:`FeatureStore.verify` needs no side manifest.
+
+Blocks are opened with ``np.load(..., mmap_mode="r")`` — the OS pages
+rows in on demand, so a cold-started process touches only the blocks
+its queries actually route into, and resident memory stays independent
+of corpus size.  A small LRU bounds the number of simultaneously open
+mmaps; hit/miss counters and an open-handle gauge publish through the
+process metrics registry, and the ``storage.mmap_truncated`` fault
+point lets chaos runs inject read failures here.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IntegrityError, StorageError
+from repro.obs.registry import get_registry
+from repro.resilience.faults import fault_point
+from repro.resilience.integrity import file_digest
+
+#: Default bound on simultaneously open mmap handles.
+DEFAULT_MAX_OPEN = 32
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Identity and shape of one stored feature block."""
+
+    sha: str
+    rows: int
+    cols: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the block (float64 cells)."""
+        return self.rows * self.cols * 8
+
+
+class FeatureStore:
+    """Content-addressed ``.npy`` blocks with a bounded mmap cache.
+
+    Thread-safe: serving workers share one store; the LRU and its
+    counters serialise on an internal lock, while the returned memmap
+    arrays themselves are read-only and safe to share.
+    """
+
+    def __init__(self, root: str | Path, max_open: int = DEFAULT_MAX_OPEN) -> None:
+        if max_open < 1:
+            raise StorageError("feature store needs max_open >= 1")
+        self._root = Path(root)
+        self._max_open = max_open
+        self._lock = threading.Lock()
+        self._open: OrderedDict[str, np.ndarray] = OrderedDict()
+        registry = get_registry()
+        self._hits = registry.counter(
+            "storage_block_cache_hits_total",
+            "Feature-block opens served from the mmap LRU.",
+        )
+        self._misses = registry.counter(
+            "storage_block_cache_misses_total",
+            "Feature-block opens that mapped a file.",
+        )
+        self._gauge = registry.gauge(
+            "storage_block_open_mmaps",
+            "Feature blocks currently memory-mapped.",
+        )
+
+    @property
+    def root(self) -> Path:
+        """Root directory of the store."""
+        return self._root
+
+    def path_for(self, sha: str) -> Path:
+        """File a block with digest ``sha`` lives in (may not exist)."""
+        return self._root / sha[:2] / f"{sha}.npy"
+
+    def put(self, matrix: np.ndarray) -> BlockRef:
+        """Store one 2-D float64 block; returns its content address.
+
+        Idempotent: a block whose bytes are already stored is not
+        rewritten (content addressing deduplicates identical leaf
+        populations for free).  The write is atomic — the bytes land in
+        a temp file first and are renamed into place — so a crash can
+        never leave a half-written block under a valid digest name.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise StorageError(
+                f"feature blocks are 2-D, got shape {matrix.shape}"
+            )
+        self._root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-block-", suffix=".npy", dir=self._root)
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, matrix)
+            sha = file_digest(tmp)
+            final = self.path_for(sha)
+            if final.exists():
+                tmp.unlink()
+            else:
+                final.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return BlockRef(sha=sha, rows=int(matrix.shape[0]), cols=int(matrix.shape[1]))
+
+    def open(self, sha: str) -> np.ndarray:
+        """Memory-map the block addressed by ``sha`` (read-only).
+
+        Served from the LRU when already mapped; otherwise the file is
+        mapped and the least recently used handle beyond the bound is
+        dropped.  A missing block raises
+        :class:`~repro.errors.StorageError`; a truncated or unparsable
+        one raises :class:`~repro.errors.IntegrityError`, matching the
+        artifact store's corruption contract.
+        """
+        fault_point("storage.mmap_truncated")
+        with self._lock:
+            cached = self._open.get(sha)
+            if cached is not None:
+                self._open.move_to_end(sha)
+                self._hits.inc()
+                return cached
+        path = self.path_for(sha)
+        if not path.exists():
+            raise StorageError(f"no feature block {sha[:12]}… in {self._root}")
+        try:
+            block = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise IntegrityError(
+                f"feature block {sha[:12]}… is corrupt or truncated: {exc}"
+            ) from exc
+        with self._lock:
+            self._misses.inc()
+            self._open[sha] = block
+            self._open.move_to_end(sha)
+            while len(self._open) > self._max_open:
+                self._open.popitem(last=False)
+            self._gauge.set(len(self._open))
+        return block
+
+    def verify(self, sha: str) -> None:
+        """Recompute the digest of a stored block against its address.
+
+        Raises :class:`~repro.errors.StorageError` for a missing block
+        and :class:`~repro.errors.IntegrityError` on a mismatch (bit
+        rot, a truncating copy, an injected corruption).
+        """
+        path = self.path_for(sha)
+        if not path.exists():
+            raise StorageError(f"no feature block {sha[:12]}… in {self._root}")
+        actual = file_digest(path)
+        if actual != sha:
+            raise IntegrityError(
+                f"feature block {sha[:12]}… failed verification: "
+                f"content digest is {actual[:12]}…"
+            )
+
+    def list_blocks(self) -> list[str]:
+        """Digests of every stored block (sorted)."""
+        if not self._root.exists():
+            return []
+        return sorted(p.stem for p in self._root.glob("*/*.npy"))
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of every stored block."""
+        return sum(
+            self.path_for(sha).stat().st_size for sha in self.list_blocks()
+        )
+
+    def delete(self, sha: str) -> bool:
+        """Drop one block (and any open handle); True when removed."""
+        with self._lock:
+            self._open.pop(sha, None)
+            self._gauge.set(len(self._open))
+        path = self.path_for(sha)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def close(self) -> None:
+        """Release every open mmap handle."""
+        with self._lock:
+            self._open.clear()
+            self._gauge.set(0)
+
+    @property
+    def open_count(self) -> int:
+        """Number of currently mapped blocks."""
+        with self._lock:
+            return len(self._open)

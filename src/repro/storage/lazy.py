@@ -1,0 +1,433 @@
+"""Out-of-core views over a stored SQL catalog.
+
+The JSON-era load path deserialises every feature vector into RAM
+before the first query can run.  This module gives the same
+:class:`~repro.database.catalog.VideoDatabase` API a lazy spine:
+
+* :class:`LazyLeafHashIndex` — a :class:`~repro.database.index.LeafHashIndex`
+  that materialises its hash buckets from the leaf's memory-mapped
+  feature block on first probe.  Rows are replayed through the parent's
+  ``insert`` in stored row order, so buckets, cached blocks and
+  fallback ordering are *identical* to an eager build.
+* :class:`OutOfCoreFlatIndex` — the Eq. (24) linear scan executed
+  leaf-block by leaf-block: per-block batch scores scatter into one
+  score vector by stored flat ordinal, and the ranking reproduces the
+  eager stable sort (``np.lexsort`` with an insertion-order tiebreak)
+  bit for bit.  Only the top-``k`` rows ever become Python objects.
+* :class:`LazySceneIndex` — scene-centroid search fed from the stored
+  centroid block on first use.
+* :class:`SQLVideoDatabase` — a :class:`VideoDatabase` subclass opened
+  from a database directory.  Reads stay out-of-core; any mutating call
+  (``register``/``unregister``/``save``) first materialises the catalog
+  into ordinary in-RAM structures and proceeds on the base class.
+
+Every score these views return is bit-identical to the in-RAM path:
+the kernels are row-independent, blocks store the same float64 bytes
+the eager path would stack, and all orderings (leaf creation order,
+bucket replay order, flat ordinal order, sorted scene grouping) are
+persisted by :mod:`repro.storage.sqlcatalog` precisely so they can be
+replayed here.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.database.catalog import VideoDatabase
+from repro.database.flat import FlatIndex
+from repro.database.hierarchy import ConceptLevel, ConceptNode, ensure_subject_area
+from repro.database.index import (
+    IndexNode,
+    LeafHashIndex,
+    ShotEntry,
+    build_node,
+    feature_similarity_batch,
+)
+from repro.database.query import QueryResult, QueryStats, RankedShot
+from repro.database.scene_search import SceneEntry, SceneIndex
+from repro.errors import StorageError
+from repro.storage.featurestore import DEFAULT_MAX_OPEN
+from repro.storage.sqlcatalog import LeafInfo, SQLCatalog
+from repro.types import EventKind
+
+
+class LazyLeafHashIndex(LeafHashIndex):
+    """A leaf hash index whose entries load from the feature store on demand.
+
+    Until the first probe the index knows only its entry count; the
+    loader then yields :class:`ShotEntry` rows in stored row order and
+    each is inserted through the base class, reproducing the eager
+    bucket layout exactly.
+    """
+
+    def __init__(self, count: int, loader) -> None:
+        super().__init__()
+        self._loader = loader
+        self._stored_count = count
+        self._loaded = False
+
+    def _ensure(self) -> None:
+        if not self._loaded:
+            self._loaded = True
+            for entry in self._loader():
+                super().insert(entry)
+
+    def insert(self, entry: ShotEntry) -> None:
+        """Insert after loading, so stored rows keep their bucket order."""
+        self._ensure()
+        super().insert(entry)
+
+    def probe(self, features: np.ndarray) -> list[ShotEntry]:
+        self._ensure()
+        return super().probe(features)
+
+    def probe_block(self, features: np.ndarray):
+        self._ensure()
+        return super().probe_block(features)
+
+    def warm(self) -> None:
+        self._ensure()
+        super().warm()
+
+    def all_entries(self) -> list[ShotEntry]:
+        self._ensure()
+        return super().all_entries()
+
+    def __len__(self) -> int:
+        return self._stored_count if not self._loaded else self._count
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of populated hash buckets (materialises)."""
+        self._ensure()
+        return LeafHashIndex.bucket_count.fget(self)  # type: ignore[attr-defined]
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the entries have been materialised yet."""
+        return self._loaded
+
+
+def _leaf_entries_for(catalog: SQLCatalog, info: LeafInfo) -> list[ShotEntry]:
+    """Materialise one leaf's entries (features are mmap row views)."""
+    block = catalog.features.open(info.block.sha)
+    return [
+        ShotEntry(
+            video_title=row.video_title,
+            shot_id=row.shot_id,
+            scene_id=row.scene_id,
+            features=block[row.row],
+        )
+        for row in catalog.leaf_rows(info.name)
+    ]
+
+
+class OutOfCoreFlatIndex(FlatIndex):
+    """The Eq. (24) linear scan, executed block-by-block over mmaps.
+
+    Scoring walks the stored leaf blocks — the OS pages each one in,
+    the batched kernel scores it, and the per-row results scatter into
+    one score vector by flat ordinal — so peak resident memory is one
+    block plus the score vector, independent of corpus size.  Ranking
+    then reproduces the eager stable sort exactly and only the top
+    ``k`` rows are fetched back from SQL as entry objects.
+    """
+
+    def __init__(self, catalog: SQLCatalog) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self._total = catalog.entry_count()
+        self._infos: dict[str, LeafInfo] | None = None
+        self._plan: list[tuple[LeafInfo, np.ndarray]] | None = None
+
+    def _leaf_infos(self) -> dict[str, LeafInfo]:
+        if self._infos is None:
+            self._infos = {info.name: info for info in self._catalog.leaf_infos()}
+        return self._infos
+
+    def _scan_plan(self) -> list[tuple[LeafInfo, np.ndarray]]:
+        """Per-leaf (info, flat-ordinal vector) in stored row order."""
+        if self._plan is None:
+            plan = []
+            for info in self._leaf_infos().values():
+                ords = np.array(
+                    [row.ord for row in self._catalog.leaf_rows(info.name)],
+                    dtype=np.intp,
+                )
+                plan.append((info, ords))
+            self._plan = plan
+        return self._plan
+
+    def insert(self, entry: ShotEntry) -> None:
+        raise StorageError(
+            "out-of-core flat index is read-only — materialise the "
+            "database before mutating it"
+        )
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def entries(self) -> list[ShotEntry]:
+        """Every stored shot in flat-ordinal order (materialises)."""
+        flat: list[ShotEntry | None] = [None] * self._total
+        for info, _ords in self._scan_plan():
+            for entry, row in zip(
+                _leaf_entries_for(self._catalog, info),
+                self._catalog.leaf_rows(info.name),
+            ):
+                flat[row.ord] = entry
+        return [entry for entry in flat if entry is not None]
+
+    def feature_matrix(self) -> np.ndarray:
+        """Full stacked matrix (materialises; prefer :meth:`search`)."""
+        if self._matrix is None:
+            if not self._total:
+                self._matrix = np.empty((0, 0))
+            else:
+                plan = self._scan_plan()
+                cols = plan[0][0].block.cols
+                matrix = np.empty((self._total, cols), dtype=np.float64)
+                for info, ords in plan:
+                    matrix[ords] = self._catalog.features.open(info.block.sha)
+                self._matrix = matrix
+        return self._matrix
+
+    def warm(self) -> None:
+        """No-op: the out-of-core scan stays cold by design."""
+        return None
+
+    def search(self, features: np.ndarray, k: int = 10) -> QueryResult:
+        """Block-wise Eq. (24) scan, bit-identical to the in-RAM result."""
+        start = time.perf_counter()
+        stats = QueryStats(visited_path=["flat_scan"])
+        n = self._total
+        if not n:
+            stats.elapsed_seconds = time.perf_counter() - start
+            return QueryResult(hits=[], stats=stats)
+        scores = np.empty(n, dtype=np.float64)
+        for info, ords in self._scan_plan():
+            block = self._catalog.features.open(info.block.sha)
+            scores[ords] = feature_similarity_batch(features, block)
+        stats.comparisons += n
+        # Stable descending sort with insertion-order tiebreak — the
+        # exact ordering list.sort(key=score, reverse=True) produces.
+        order = np.lexsort((np.arange(n), -scores))
+        top = [int(i) for i in order[:k]]
+        rows = self._catalog.entries_by_ord(top)
+        hits = []
+        for ordinal in top:
+            row = rows[ordinal]
+            block = self._catalog.features.open(
+                self._leaf_infos()[row.leaf].block.sha
+            )
+            hits.append(
+                RankedShot(
+                    entry=ShotEntry(
+                        video_title=row.video_title,
+                        shot_id=row.shot_id,
+                        scene_id=row.scene_id,
+                        features=block[row.row],
+                    ),
+                    score=float(scores[ordinal]),
+                )
+            )
+        stats.ranked = n
+        stats.elapsed_seconds = time.perf_counter() - start
+        return QueryResult(hits=hits, stats=stats)
+
+
+class LazySceneIndex(SceneIndex):
+    """Scene-centroid index fed from the stored centroid block on first use.
+
+    Rows load in stored row order — the same ``sorted(groups.items())``
+    order the serving layer's derived index uses — so rankings and
+    tie-breaks match the in-RAM path exactly.
+    """
+
+    def __init__(self, catalog: SQLCatalog) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self._stored_count = catalog.scene_count()
+        self._loaded = False
+
+    def _ensure(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        ref = self._catalog.scene_block_ref()
+        if ref is None:
+            return
+        block = self._catalog.features.open(ref.sha)
+        for row in self._catalog.scene_rows():
+            SceneIndex.insert(
+                self,
+                SceneEntry(
+                    video_title=row.video_title,
+                    scene_id=row.scene_id,
+                    event=EventKind(row.event),
+                    shot_count=row.shot_count,
+                    centroid=block[row.row],
+                ),
+            )
+
+    def __len__(self) -> int:
+        return self._stored_count if not self._loaded else super().__len__()
+
+    @property
+    def entries(self) -> list[SceneEntry]:
+        """Every indexed scene in centroid-row order (materialises)."""
+        self._ensure()
+        return SceneIndex.entries.fget(self)  # type: ignore[attr-defined]
+
+    def insert(self, entry: SceneEntry) -> None:
+        self._ensure()
+        super().insert(entry)
+
+    def centroid_matrix(self) -> np.ndarray:
+        self._ensure()
+        return super().centroid_matrix()
+
+    def warm(self) -> None:
+        self._ensure()
+        super().warm()
+
+    def search(self, features, k=5, event=None):
+        self._ensure()
+        return super().search(features, k=k, event=event)
+
+    def similar_scenes(self, video_title, scene_id, k=5):
+        self._ensure()
+        return super().similar_scenes(video_title, scene_id, k=k)
+
+
+class SQLVideoDatabase(VideoDatabase):
+    """A :class:`VideoDatabase` served out-of-core from a SQL catalog.
+
+    Registration records, subject areas and per-leaf routing metadata
+    (centres, discriminating dims) load eagerly — they are tiny — while
+    feature payloads stay memory-mapped until a query actually routes
+    into them.  The hierarchical index tree is rebuilt from the stored
+    centres and is bit-identical to the eager build; so are flat, leaf
+    and scene search results.
+
+    Mutations (``register``, ``unregister``, ``save``) transparently
+    materialise the whole catalog into RAM first and proceed on the
+    base class; persist the result with
+    :func:`repro.storage.sqlcatalog.save_database` (or the catalog's
+    ``register_bulk``, which does this under one transaction).
+    """
+
+    def __init__(self, catalog: SQLCatalog, controller=None) -> None:
+        super().__init__(controller)
+        self._catalog = catalog
+        self.out_of_core = True
+        for area in catalog.subject_areas():
+            ensure_subject_area(self._hierarchy, area)
+        self._videos = catalog.videos()
+        self._leaf_infos = {info.name: info for info in catalog.leaf_infos()}
+        self._flat = OutOfCoreFlatIndex(catalog)
+        self._scenes = LazySceneIndex(catalog)
+
+    @classmethod
+    def open(
+        cls, db_dir: str | Path, max_open: int = DEFAULT_MAX_OPEN
+    ) -> "SQLVideoDatabase":
+        """Open the catalog stored in ``db_dir``."""
+        return cls(SQLCatalog(db_dir, max_open=max_open))
+
+    @property
+    def catalog(self) -> SQLCatalog:
+        """The backing SQL catalog."""
+        return self._catalog
+
+    @property
+    def scene_index(self) -> LazySceneIndex:
+        """Scene-centroid search over the stored centroid block."""
+        return self._scenes
+
+    def close(self) -> None:
+        """Release the catalog connection and open mmap handles."""
+        self._catalog.close()
+
+    def describe(self) -> dict[str, int]:
+        if self.out_of_core:
+            return self._catalog.describe()
+        return super().describe()
+
+    def _build_subtree(self, concept: ConceptNode) -> IndexNode | None:
+        if not self.out_of_core:
+            return super()._build_subtree(concept)
+        if concept.level is ConceptLevel.SCENE or not concept.children:
+            info = self._leaf_infos.get(concept.name)
+            if info is None:
+                return None
+            catalog = self._catalog
+            node = IndexNode(
+                name=concept.name,
+                depth=concept.level.depth,
+                leaf=LazyLeafHashIndex(
+                    info.entry_count,
+                    lambda info=info: _leaf_entries_for(catalog, info),
+                ),
+            )
+            node.centers = info.centers
+            node.dims = info.dims
+            return node
+        children = [
+            child_node
+            for child in concept.children
+            if (child_node := self._build_subtree(child)) is not None
+        ]
+        if not children:
+            return None
+        return build_node(concept.name, concept.level.depth, children=children)
+
+    # -- materialisation (the mutation path) --------------------------
+
+    def _materialize(self) -> None:
+        if not self.out_of_core:
+            return
+        leaf_entries: dict[str, list[ShotEntry]] = {}
+        flat: list[ShotEntry | None] = [None] * self._catalog.entry_count()
+        for info in self._leaf_infos.values():
+            block = self._catalog.features.open(info.block.sha)
+            bucket = []
+            for row in self._catalog.leaf_rows(info.name):
+                entry = ShotEntry(
+                    video_title=row.video_title,
+                    shot_id=row.shot_id,
+                    scene_id=row.scene_id,
+                    features=np.array(block[row.row]),
+                )
+                bucket.append(entry)
+                flat[row.ord] = entry
+            leaf_entries[info.name] = bucket
+        self._leaf_entries = leaf_entries
+        self._flat = FlatIndex([entry for entry in flat if entry is not None])
+        self._index_root = None
+        self.out_of_core = False
+
+    def materialize(self) -> "SQLVideoDatabase":
+        """Load every feature block into RAM; returns ``self``.
+
+        After this the database behaves exactly like an eagerly loaded
+        one (same objects, same orderings) and supports mutation.
+        """
+        self._materialize()
+        return self
+
+    def register(self, result):
+        self._materialize()
+        return super().register(result)
+
+    def unregister(self, title: str) -> int:
+        self._materialize()
+        return super().unregister(title)
+
+    def save(self, path) -> None:
+        self._materialize()
+        super().save(path)

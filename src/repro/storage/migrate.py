@@ -1,0 +1,156 @@
+"""One-shot migration of a JSON-era database directory to the SQL catalog.
+
+``classminer migrate --db-dir db/`` converts what an older ingest run
+left behind into the durable backend this package serves from::
+
+    database.json  ──►  catalog.sqlite + features/*.npy
+
+The JSON catalog is preferred as the source when present (it is the
+exact state the old loader would have produced); without one, the
+corpus is rebuilt from the artifact store — the same source-of-truth
+path ``classminer ingest`` uses — so a directory holding only
+artifacts migrates too.  The migration is idempotent: re-running it
+replaces the SQL catalog in one transaction and content addressing
+means unchanged feature blocks are not rewritten.
+
+Query equivalence is part of the contract (and covered by the storage
+test suite): a migrated catalog answers flat, hierarchical and scene
+searches bit-identically to loading the original JSON.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.database.catalog import VideoDatabase
+from repro.errors import IngestError, StorageError
+from repro.obs.trace import span as obs_span
+from repro.storage.sqlcatalog import save_database
+
+_LOGGER = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :func:`migrate_db_dir` run did.
+
+    Attributes
+    ----------
+    db_dir / catalog_path:
+        The migrated directory and the SQL catalog written into it.
+    source:
+        Where the corpus came from: ``json`` (``database.json``) or
+        ``artifacts`` (rebuilt from the artifact store).
+    videos / entries / blocks:
+        Registered videos, stored shot entries and feature blocks now
+        on disk.
+    skipped_artifacts:
+        Artifact keys that failed to load during an artifact-sourced
+        rebuild (quarantined by the store, not migrated).
+    removed_json:
+        True when ``--remove-json`` deleted the legacy file.
+    """
+
+    db_dir: Path
+    catalog_path: Path
+    source: str
+    videos: int
+    entries: int
+    blocks: int
+    skipped_artifacts: tuple[str, ...] = ()
+    removed_json: bool = False
+
+    def render(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"migrated {self.db_dir} from {self.source}:",
+            f"  catalog: {self.catalog_path}",
+            f"  {self.videos} videos, {self.entries} shot entries, "
+            f"{self.blocks} feature blocks",
+        ]
+        if self.skipped_artifacts:
+            lines.append(
+                f"  skipped {len(self.skipped_artifacts)} unreadable artifacts"
+            )
+        if self.removed_json:
+            lines.append("  removed legacy database.json")
+        return "\n".join(lines)
+
+
+def _database_from_artifacts(
+    db_dir: Path, skipped: list[str]
+) -> VideoDatabase:
+    """Rebuild the corpus from the artifact store (ingest's own path)."""
+    from repro.ingest.runner import store_for
+
+    store = store_for(db_dir)
+
+    def loadable():
+        for info in store.list():
+            try:
+                yield store.load(info.key)
+            except IngestError as exc:
+                skipped.append(info.key)
+                _LOGGER.warning(
+                    "migration skipping artifact %s: %s", info.key[:12], exc
+                )
+
+    database = VideoDatabase()
+    database.register_bulk(loadable(), skip_registered=True)
+    return database
+
+
+def migrate_db_dir(
+    db_dir: str | Path, remove_json: bool = False
+) -> MigrationReport:
+    """Convert a database directory to the SQL catalog backend.
+
+    Sources ``database.json`` when present, else rebuilds from the
+    artifact store.  Raises :class:`~repro.errors.StorageError` when the
+    directory holds neither (or the corpus comes up empty).  With
+    ``remove_json`` the legacy JSON file is deleted *after* the SQL
+    catalog has been durably written.
+    """
+    from repro.ingest.runner import ARTIFACTS_DIR, DATABASE_NAME
+
+    db_dir = Path(db_dir)
+    json_path = db_dir / DATABASE_NAME
+    skipped: list[str] = []
+    with obs_span("storage.migrate") as sp:
+        if json_path.exists():
+            source = "json"
+            database = VideoDatabase.load(json_path)
+        elif (db_dir / ARTIFACTS_DIR).exists():
+            source = "artifacts"
+            database = _database_from_artifacts(db_dir, skipped)
+        else:
+            raise StorageError(
+                f"nothing to migrate in {db_dir}: no {DATABASE_NAME} and "
+                f"no {ARTIFACTS_DIR}/ store"
+            )
+        if not database.videos:
+            raise StorageError(f"{db_dir} migration found no registered videos")
+        catalog_path = save_database(database, db_dir)
+        sp.set(source=source, videos=len(database.videos))
+
+    removed = False
+    if remove_json and json_path.exists():
+        json_path.unlink()
+        removed = True
+
+    from repro.storage.featurestore import FeatureStore
+    from repro.storage.schema import features_path
+
+    blocks = len(FeatureStore(features_path(db_dir)).list_blocks())
+    return MigrationReport(
+        db_dir=db_dir,
+        catalog_path=catalog_path,
+        source=source,
+        videos=len(database.videos),
+        entries=database.shot_count,
+        blocks=blocks,
+        skipped_artifacts=tuple(skipped),
+        removed_json=removed,
+    )

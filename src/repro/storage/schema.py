@@ -1,0 +1,211 @@
+"""SQLite schema and connection plumbing for the durable catalog.
+
+One database directory gains two durable pieces::
+
+    <db_dir>/
+        catalog.sqlite   relational catalog (this module's schema)
+        features/        content-addressed mmap feature blocks
+                         (:mod:`repro.storage.featurestore`)
+
+The catalog holds everything *relational* about a registered corpus —
+videos, scene events, leaf metadata, per-shot entry rows, scene
+centroid bookkeeping and a full-text search surface — while the bulky
+``(N, 266)`` float64 feature matrices live outside SQLite as
+memory-mapped ``.npy`` blocks referenced by sha256.
+
+Schema versioning uses ``PRAGMA user_version``: :func:`connect` refuses
+a catalog written by a different schema generation with a typed
+:class:`~repro.errors.StorageError` instead of misreading it.  WAL mode
+keeps concurrent readers from blocking the (single) writer.
+
+FTS5 is probed once per process: when the linked SQLite lacks it, the
+``search_fts`` virtual table is skipped and text search degrades to a
+``LIKE`` scan over the plain ``search_docs`` table (recorded in the
+``meta`` table so readers know which surface they got).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from repro.errors import StorageError
+
+#: Current on-disk schema generation (``PRAGMA user_version``).
+SCHEMA_VERSION = 1
+
+#: File name of the SQL catalog inside a database directory.
+CATALOG_NAME = "catalog.sqlite"
+
+#: Directory name of the feature-block store inside a database directory.
+FEATURES_DIR = "features"
+
+#: Relational DDL, applied in order inside one transaction.
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS videos (
+        title           TEXT PRIMARY KEY,
+        shot_count      INTEGER NOT NULL,
+        scene_count     INTEGER NOT NULL,
+        degraded_stages TEXT NOT NULL DEFAULT '[]'
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS video_events (
+        title    TEXT NOT NULL,
+        scene_id INTEGER NOT NULL,
+        event    TEXT NOT NULL,
+        PRIMARY KEY (title, scene_id)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS leaves (
+        name         TEXT PRIMARY KEY,
+        position     INTEGER NOT NULL,
+        entry_count  INTEGER NOT NULL,
+        block_sha    TEXT NOT NULL,
+        rows         INTEGER NOT NULL,
+        cols         INTEGER NOT NULL,
+        centers      BLOB NOT NULL,
+        centers_rows INTEGER NOT NULL,
+        dims         BLOB NOT NULL,
+        dims_count   INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS entries (
+        ord         INTEGER PRIMARY KEY,
+        leaf        TEXT NOT NULL,
+        row         INTEGER NOT NULL,
+        video_title TEXT NOT NULL,
+        shot_id     INTEGER NOT NULL,
+        scene_id    INTEGER NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_entries_leaf ON entries (leaf, row)",
+    "CREATE INDEX IF NOT EXISTS idx_entries_video ON entries (video_title)",
+    """
+    CREATE TABLE IF NOT EXISTS scenes (
+        row         INTEGER PRIMARY KEY,
+        video_title TEXT NOT NULL,
+        scene_id    INTEGER NOT NULL,
+        event       TEXT NOT NULL,
+        shot_count  INTEGER NOT NULL,
+        UNIQUE (video_title, scene_id)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_scenes_event ON scenes (event)",
+    """
+    CREATE TABLE IF NOT EXISTS scene_block (
+        id        INTEGER PRIMARY KEY CHECK (id = 1),
+        block_sha TEXT NOT NULL,
+        rows      INTEGER NOT NULL,
+        cols      INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS search_docs (
+        doc_id INTEGER PRIMARY KEY,
+        kind   TEXT NOT NULL,
+        title  TEXT NOT NULL,
+        body   TEXT NOT NULL
+    )
+    """,
+)
+
+#: Every data table, in deletion order for a full catalog replace.
+DATA_TABLES = (
+    "videos",
+    "video_events",
+    "leaves",
+    "entries",
+    "scenes",
+    "scene_block",
+    "search_docs",
+)
+
+_FTS_PROBED: bool | None = None
+
+
+def fts5_available() -> bool:
+    """Whether the linked SQLite can create FTS5 virtual tables."""
+    global _FTS_PROBED
+    if _FTS_PROBED is None:
+        probe = sqlite3.connect(":memory:")
+        try:
+            probe.execute("CREATE VIRTUAL TABLE probe USING fts5(body)")
+            _FTS_PROBED = True
+        except sqlite3.OperationalError:
+            _FTS_PROBED = False
+        finally:
+            probe.close()
+    return _FTS_PROBED
+
+
+def catalog_path(db_dir: str | Path) -> Path:
+    """Location of the SQL catalog inside a database directory."""
+    return Path(db_dir) / CATALOG_NAME
+
+
+def features_path(db_dir: str | Path) -> Path:
+    """Location of the feature-block store inside a database directory."""
+    return Path(db_dir) / FEATURES_DIR
+
+
+def connect(path: str | Path, create: bool = False) -> sqlite3.Connection:
+    """Open (optionally creating) a catalog, enforcing the schema version.
+
+    WAL journal mode and ``synchronous=NORMAL`` give durable commits
+    without an fsync per statement; ``check_same_thread=False`` lets the
+    owning :class:`~repro.storage.sqlcatalog.SQLCatalog` serialise
+    access on its own lock instead of sqlite3's thread check.
+
+    Raises :class:`~repro.errors.StorageError` when the file is missing
+    (without ``create``), unreadable, or carries a different
+    ``user_version`` than :data:`SCHEMA_VERSION`.
+    """
+    path = Path(path)
+    if not create and not path.exists():
+        raise StorageError(f"no SQL catalog at {path}")
+    try:
+        conn = sqlite3.connect(path, check_same_thread=False)
+    except sqlite3.Error as exc:
+        raise StorageError(f"cannot open catalog {path}: {exc}") from exc
+    try:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        version = int(conn.execute("PRAGMA user_version").fetchone()[0])
+        if version == 0 and create:
+            with conn:
+                for statement in SCHEMA_STATEMENTS:
+                    conn.execute(statement)
+                if fts5_available():
+                    conn.execute(
+                        "CREATE VIRTUAL TABLE IF NOT EXISTS search_fts "
+                        "USING fts5(kind, title, body)"
+                    )
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('fts', ?)",
+                    ("1" if fts5_available() else "0",),
+                )
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        elif version != SCHEMA_VERSION:
+            raise StorageError(
+                f"catalog {path} has schema version {version}, "
+                f"this build reads version {SCHEMA_VERSION} — "
+                f"re-run `classminer migrate`"
+            )
+    except sqlite3.Error as exc:
+        conn.close()
+        raise StorageError(f"cannot initialise catalog {path}: {exc}") from exc
+    except StorageError:
+        conn.close()
+        raise
+    return conn

@@ -1,0 +1,728 @@
+"""The SQL catalog: durable relational state + feature-block bookkeeping.
+
+:class:`SQLCatalog` is the storage subsystem's front door.  It owns one
+WAL-mode SQLite connection (schema in :mod:`repro.storage.schema`) and
+the directory-sibling :class:`~repro.storage.featurestore.FeatureStore`
+holding the packed feature matrices the rows refer to.
+
+Write model
+-----------
+The artifact store remains the corpus's source of truth, so the catalog
+is rebuilt by *full replace*: :func:`save_database` serialises an
+in-memory :class:`~repro.database.catalog.VideoDatabase` — leaf blocks,
+routing centres, discriminating dims, scene centroids, FTS documents —
+inside **one** ``BEGIN IMMEDIATE`` transaction.  A failure mid-write
+rolls the relational state back to the previous generation and deletes
+any feature blocks the aborted write introduced; readers never see a
+half-replaced catalog.  :meth:`SQLCatalog.register_bulk` layers the
+incremental API on top: materialise, register, replace — still one
+transaction.
+
+Determinism contract
+--------------------
+Everything derived here (leaf routing centres via
+:func:`~repro.database.index._kcenters`, discriminating dimensions,
+scene centroids via ``np.stack(...).mean(axis=0)``) is computed with
+the *identical* operations and input orderings the in-RAM
+:meth:`~repro.database.catalog.VideoDatabase.build_index` and
+:func:`~repro.serving.snapshot._derive_scene_index` paths use, which is
+what lets :mod:`repro.storage.lazy` reproduce query results
+bit-for-bit.
+
+Resilience + observability
+--------------------------
+Every statement runs through a retry loop: a transiently locked
+database (another process's writer, or the ``storage.db_locked`` fault
+point) is retried with backoff and counted; exhausting the budget
+raises a typed :class:`~repro.errors.StorageError`.  Query latency
+lands in the ``storage_catalog_query_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.database.catalog import RegisteredVideo, VideoDatabase
+from repro.database.index import (
+    DEFAULT_CENTERS,
+    DEFAULT_REDUCED_DIM,
+    _kcenters,
+    discriminating_dimensions,
+)
+from repro.errors import FaultInjectedError, StorageError
+from repro.obs.registry import get_registry
+from repro.obs.trace import span as obs_span
+from repro.resilience.faults import fault_point
+from repro.storage.featurestore import (
+    DEFAULT_MAX_OPEN,
+    BlockRef,
+    FeatureStore,
+)
+from repro.storage.schema import (
+    DATA_TABLES,
+    catalog_path,
+    connect,
+    features_path,
+)
+from repro.types import EventKind
+
+#: Locked-database retry budget and base backoff.
+LOCK_RETRIES = 5
+LOCK_BACKOFF = 0.01
+
+#: sqlite bind-variable batches stay under the historic 999 limit.
+_BATCH = 500
+
+
+def _pack(array: np.ndarray) -> bytes:
+    """Serialise a contiguous array's cells for a BLOB column."""
+    return np.ascontiguousarray(array).tobytes()
+
+
+def _unpack_f64(blob: bytes, rows: int, cols: int) -> np.ndarray:
+    """Rebuild a float64 matrix packed by :func:`_pack`."""
+    return np.frombuffer(blob, dtype=np.float64).reshape(rows, cols).copy()
+
+
+def _unpack_i64(blob: bytes, count: int) -> np.ndarray:
+    """Rebuild an int64 vector packed by :func:`_pack`."""
+    return np.frombuffer(blob, dtype=np.int64).reshape(count).copy()
+
+
+@dataclass(frozen=True)
+class LeafInfo:
+    """Stored metadata of one scene-concept leaf."""
+
+    name: str
+    position: int
+    entry_count: int
+    block: BlockRef
+    centers: np.ndarray
+    dims: np.ndarray
+
+
+@dataclass(frozen=True)
+class EntryRow:
+    """Stored metadata of one indexed shot (features live in the block)."""
+
+    ord: int
+    leaf: str
+    row: int
+    video_title: str
+    shot_id: int
+    scene_id: int
+
+
+@dataclass(frozen=True)
+class SceneRow:
+    """Stored metadata of one indexed scene centroid."""
+
+    row: int
+    video_title: str
+    scene_id: int
+    event: str
+    shot_count: int
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One full-text search result."""
+
+    kind: str
+    title: str
+    body: str
+    rank: float
+
+
+class SQLCatalog:
+    """WAL-mode SQLite catalog plus its sibling feature store.
+
+    Thread-safe: all statements serialise on one re-entrant lock (the
+    lazy readers in :mod:`repro.storage.lazy` are called from serving
+    worker threads).
+    """
+
+    def __init__(
+        self,
+        db_dir: str | Path,
+        create: bool = False,
+        max_open: int = DEFAULT_MAX_OPEN,
+    ) -> None:
+        self._db_dir = Path(db_dir)
+        self._path = catalog_path(self._db_dir)
+        if create:
+            self._db_dir.mkdir(parents=True, exist_ok=True)
+        self._conn = connect(self._path, create=create)
+        self._conn.isolation_level = None  # explicit transactions only
+        self._lock = threading.RLock()
+        self._features = FeatureStore(features_path(self._db_dir), max_open=max_open)
+        registry = get_registry()
+        self._queries = registry.counter(
+            "storage_catalog_queries_total",
+            "Statements executed against the SQL catalog.",
+        )
+        self._latency = registry.histogram(
+            "storage_catalog_query_seconds",
+            "SQL catalog statement latency.",
+        )
+        self._locked_retries = registry.counter(
+            "storage_catalog_locked_retries_total",
+            "Catalog statements retried because the database was locked.",
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """The ``catalog.sqlite`` file."""
+        return self._path
+
+    @property
+    def db_dir(self) -> Path:
+        """The database directory this catalog lives in."""
+        return self._db_dir
+
+    @property
+    def features(self) -> FeatureStore:
+        """The sibling feature-block store."""
+        return self._features
+
+    def close(self) -> None:
+        """Release the connection and every open mmap handle."""
+        with self._lock:
+            self._conn.close()
+            self._features.close()
+
+    def __enter__(self) -> "SQLCatalog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _run(self, fn):
+        """Execute ``fn(conn)`` with locked-database retries and metrics.
+
+        A transient lock — a concurrent writer's ``sqlite3.OperationalError``
+        or the ``storage.db_locked`` fault point — is retried up to
+        :data:`LOCK_RETRIES` times with linear backoff; exhaustion
+        raises :class:`~repro.errors.StorageError`.  Any other SQLite
+        error becomes a :class:`StorageError` immediately.
+        """
+        last: Exception | None = None
+        for attempt in range(LOCK_RETRIES + 1):
+            if attempt:
+                self._locked_retries.inc()
+                time.sleep(LOCK_BACKOFF * attempt)
+            start = time.perf_counter()
+            try:
+                with self._lock:
+                    fault_point("storage.db_locked")
+                    result = fn(self._conn)
+                self._queries.inc()
+                self._latency.record(time.perf_counter() - start)
+                return result
+            except FaultInjectedError as exc:
+                last = exc
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise StorageError(f"catalog statement failed: {exc}") from exc
+                last = exc
+            except sqlite3.Error as exc:
+                raise StorageError(f"catalog statement failed: {exc}") from exc
+        raise StorageError(
+            f"catalog stayed locked after {LOCK_RETRIES} retries: {last}"
+        ) from last
+
+    # -- meta ----------------------------------------------------------
+
+    def meta(self, key: str) -> str | None:
+        """One ``meta`` table value (None when absent)."""
+        def op(conn: sqlite3.Connection):
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+            return None if row is None else str(row[0])
+
+        return self._run(op)
+
+    @property
+    def fts_enabled(self) -> bool:
+        """Whether this catalog carries an FTS5 search surface."""
+        return self.meta("fts") == "1"
+
+    def subject_areas(self) -> list[str]:
+        """Subject-area subclusters, in hierarchy creation order."""
+        raw = self.meta("subject_areas")
+        return list(json.loads(raw)) if raw else []
+
+    # -- readers -------------------------------------------------------
+
+    def videos(self) -> dict[str, RegisteredVideo]:
+        """Every registration record, keyed by title."""
+        def op(conn: sqlite3.Connection):
+            records: dict[str, RegisteredVideo] = {}
+            for title, shots, scenes, degraded in conn.execute(
+                "SELECT title, shot_count, scene_count, degraded_stages "
+                "FROM videos ORDER BY rowid"
+            ):
+                records[title] = RegisteredVideo(
+                    title=title,
+                    shot_count=int(shots),
+                    scene_count=int(scenes),
+                    degraded_stages=tuple(json.loads(degraded)),
+                )
+            for title, scene_id, event in conn.execute(
+                "SELECT title, scene_id, event FROM video_events"
+            ):
+                if title in records:
+                    records[title].events[int(scene_id)] = str(event)
+            return records
+
+        return self._run(op)
+
+    def entry_count(self) -> int:
+        """Total indexed shots."""
+        return int(
+            self._run(lambda conn: conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()[0])
+        )
+
+    def scene_count(self) -> int:
+        """Total indexed scene centroids."""
+        return int(
+            self._run(lambda conn: conn.execute(
+                "SELECT COUNT(*) FROM scenes"
+            ).fetchone()[0])
+        )
+
+    def describe(self) -> dict[str, int]:
+        """Shot counts per scene-concept leaf (catalog statistics)."""
+        def op(conn: sqlite3.Connection):
+            return {
+                str(leaf): int(count)
+                for leaf, count in conn.execute(
+                    "SELECT leaf, COUNT(*) FROM entries GROUP BY leaf ORDER BY leaf"
+                )
+            }
+
+        return self._run(op)
+
+    def leaf_infos(self) -> list[LeafInfo]:
+        """Every stored leaf, in hierarchy creation order."""
+        def op(conn: sqlite3.Connection):
+            infos = []
+            for (
+                name, position, entry_count, sha, rows, cols,
+                centers, centers_rows, dims, dims_count,
+            ) in conn.execute(
+                "SELECT name, position, entry_count, block_sha, rows, cols, "
+                "centers, centers_rows, dims, dims_count "
+                "FROM leaves ORDER BY position"
+            ):
+                infos.append(
+                    LeafInfo(
+                        name=str(name),
+                        position=int(position),
+                        entry_count=int(entry_count),
+                        block=BlockRef(sha=str(sha), rows=int(rows), cols=int(cols)),
+                        centers=_unpack_f64(centers, int(centers_rows), int(cols)),
+                        dims=_unpack_i64(dims, int(dims_count)),
+                    )
+                )
+            return infos
+
+        return self._run(op)
+
+    def leaf_rows(self, name: str) -> list[EntryRow]:
+        """A leaf's entries in block-row order."""
+        def op(conn: sqlite3.Connection):
+            return [
+                EntryRow(
+                    ord=int(ordinal), leaf=name, row=int(row),
+                    video_title=str(title), shot_id=int(shot), scene_id=int(scene),
+                )
+                for ordinal, row, title, shot, scene in conn.execute(
+                    "SELECT ord, row, video_title, shot_id, scene_id "
+                    "FROM entries WHERE leaf = ? ORDER BY row",
+                    (name,),
+                )
+            ]
+
+        return self._run(op)
+
+    def entries_by_ord(self, ords: list[int]) -> dict[int, EntryRow]:
+        """Entry metadata for specific flat ordinals (batched IN query)."""
+        result: dict[int, EntryRow] = {}
+
+        def op_for(chunk: list[int]):
+            marks = ",".join("?" * len(chunk))
+
+            def op(conn: sqlite3.Connection):
+                return conn.execute(
+                    "SELECT ord, leaf, row, video_title, shot_id, scene_id "
+                    f"FROM entries WHERE ord IN ({marks})",
+                    chunk,
+                ).fetchall()
+
+            return op
+
+        for i in range(0, len(ords), _BATCH):
+            chunk = [int(o) for o in ords[i : i + _BATCH]]
+            for ordinal, leaf, row, title, shot, scene in self._run(op_for(chunk)):
+                result[int(ordinal)] = EntryRow(
+                    ord=int(ordinal), leaf=str(leaf), row=int(row),
+                    video_title=str(title), shot_id=int(shot), scene_id=int(scene),
+                )
+        return result
+
+    def scene_rows(self, event: str | None = None) -> list[SceneRow]:
+        """Scene centroid rows in block-row order, optionally per event."""
+        def op(conn: sqlite3.Connection):
+            if event is None:
+                cursor = conn.execute(
+                    "SELECT row, video_title, scene_id, event, shot_count "
+                    "FROM scenes ORDER BY row"
+                )
+            else:
+                cursor = conn.execute(
+                    "SELECT row, video_title, scene_id, event, shot_count "
+                    "FROM scenes WHERE event = ? ORDER BY row",
+                    (event,),
+                )
+            return [
+                SceneRow(
+                    row=int(row), video_title=str(title), scene_id=int(scene),
+                    event=str(kind), shot_count=int(shots),
+                )
+                for row, title, scene, kind, shots in cursor
+            ]
+
+        return self._run(op)
+
+    def scene_row_for(self, video_title: str, scene_id: int) -> SceneRow | None:
+        """One scene's centroid row (None when not indexed)."""
+        def op(conn: sqlite3.Connection):
+            row = conn.execute(
+                "SELECT row, video_title, scene_id, event, shot_count "
+                "FROM scenes WHERE video_title = ? AND scene_id = ?",
+                (video_title, int(scene_id)),
+            ).fetchone()
+            if row is None:
+                return None
+            return SceneRow(
+                row=int(row[0]), video_title=str(row[1]), scene_id=int(row[2]),
+                event=str(row[3]), shot_count=int(row[4]),
+            )
+
+        return self._run(op)
+
+    def scene_block_ref(self) -> BlockRef | None:
+        """Address of the scene-centroid block (None when no scenes)."""
+        def op(conn: sqlite3.Connection):
+            row = conn.execute(
+                "SELECT block_sha, rows, cols FROM scene_block WHERE id = 1"
+            ).fetchone()
+            if row is None:
+                return None
+            return BlockRef(sha=str(row[0]), rows=int(row[1]), cols=int(row[2]))
+
+        return self._run(op)
+
+    def search_text(self, text: str, k: int = 10) -> list[SearchHit]:
+        """Full-text search over video/scene/concept metadata.
+
+        Uses the FTS5 surface (bm25-ranked) when the catalog has one;
+        otherwise falls back to an all-tokens ``LIKE`` scan over the
+        plain ``search_docs`` table.  Tokens are quoted before matching,
+        so user text cannot inject FTS query syntax.
+        """
+        tokens = [t for t in text.split() if t.strip('"')]
+        if not tokens:
+            return []
+        with obs_span("storage.search_text", tokens=len(tokens)):
+            if self.fts_enabled:
+                query = " ".join('"' + t.replace('"', "") + '"' for t in tokens)
+
+                def op(conn: sqlite3.Connection):
+                    return conn.execute(
+                        "SELECT kind, title, body, bm25(search_fts) "
+                        "FROM search_fts WHERE search_fts MATCH ? "
+                        "ORDER BY bm25(search_fts) LIMIT ?",
+                        (query, int(k)),
+                    ).fetchall()
+
+            else:
+                clause = " AND ".join(
+                    "(body LIKE ? OR title LIKE ?)" for _ in tokens
+                )
+                params: list[object] = []
+                for token in tokens:
+                    like = f"%{token}%"
+                    params.extend((like, like))
+                params.append(int(k))
+
+                def op(conn: sqlite3.Connection):
+                    return conn.execute(
+                        "SELECT kind, title, body, 0.0 FROM search_docs "
+                        f"WHERE {clause} ORDER BY doc_id LIMIT ?",
+                        params,
+                    ).fetchall()
+
+            return [
+                SearchHit(
+                    kind=str(kind), title=str(title),
+                    body=str(body), rank=float(rank),
+                )
+                for kind, title, body, rank in self._run(op)
+            ]
+
+    # -- writer --------------------------------------------------------
+
+    def replace_from(self, database: VideoDatabase) -> int:
+        """Replace the whole catalog with ``database``'s state.
+
+        Feature blocks are written (content-addressed, so re-saving an
+        unchanged corpus writes nothing new) before one ``BEGIN
+        IMMEDIATE`` transaction swaps every relational table.  On any
+        failure the transaction rolls back and blocks this call
+        introduced are deleted — the previous catalog generation stays
+        intact.  Returns the number of shot entries stored.
+        """
+        flat_entries = database.flat_index.entries
+        if not flat_entries:
+            raise StorageError("cannot store an empty database")
+        ord_of = {entry.key: i for i, entry in enumerate(flat_entries)}
+
+        before = self._referenced_blocks()
+        new_blocks: set[str] = set()
+        try:
+            return self._replace_from(database, flat_entries, ord_of, before, new_blocks)
+        except BaseException:
+            # The relational state rolled back (or was never touched);
+            # drop the blocks only this aborted write introduced.
+            for sha in new_blocks:
+                self._features.delete(sha)
+            raise
+
+    def _replace_from(self, database, flat_entries, ord_of, before, new_blocks) -> int:
+        # Leaf blocks + routing metadata, in leaf creation order.  The
+        # centres and dims are computed exactly as build_node() would,
+        # so the lazy index tree routes identically to the eager one.
+        leaves_payload = []
+        entry_payload = []
+        for position, (name, entries) in enumerate(database.leaf_entries().items()):
+            population = np.stack([entry.features for entry in entries])
+            ref = self._features.put(population)
+            if ref.sha not in before:
+                new_blocks.add(ref.sha)
+            centers = _kcenters(population, DEFAULT_CENTERS)
+            dims = discriminating_dimensions(population, DEFAULT_REDUCED_DIM)
+            leaves_payload.append(
+                (
+                    name, position, len(entries), ref.sha, ref.rows, ref.cols,
+                    _pack(centers), int(centers.shape[0]),
+                    _pack(dims.astype(np.int64)), int(dims.shape[0]),
+                )
+            )
+            entry_payload.extend(
+                (
+                    ord_of[entry.key], name, row,
+                    entry.video_title, entry.shot_id, entry.scene_id,
+                )
+                for row, entry in enumerate(entries)
+            )
+
+        # Scene centroids: same grouping, ordering and mean() op as the
+        # serving layer's _derive_scene_index, for bit-identical scores.
+        records = database.videos
+        groups: dict[tuple[str, int], list[np.ndarray]] = {}
+        for entry in flat_entries:
+            if entry.scene_id < 0:
+                continue
+            groups.setdefault((entry.video_title, entry.scene_id), []).append(
+                entry.features
+            )
+        scene_payload = []
+        centroids = []
+        for row, ((title, scene_id), features) in enumerate(sorted(groups.items())):
+            record = records.get(title)
+            value = (
+                record.events.get(scene_id, EventKind.UNKNOWN.value)
+                if record
+                else EventKind.UNKNOWN.value
+            )
+            scene_payload.append((row, title, scene_id, value, len(features)))
+            centroids.append(np.stack(features).mean(axis=0))
+        scene_ref: BlockRef | None = None
+        if centroids:
+            scene_ref = self._features.put(np.stack(centroids))
+            if scene_ref.sha not in before:
+                new_blocks.add(scene_ref.sha)
+
+        video_payload = [
+            (
+                title, record.shot_count, record.scene_count,
+                json.dumps(list(record.degraded_stages)),
+            )
+            for title, record in records.items()
+        ]
+        event_payload = [
+            (title, scene_id, value)
+            for title, record in records.items()
+            for scene_id, value in record.events.items()
+        ]
+        education = database.hierarchy.find("medical_education")
+        areas = [child.name for child in education.children] if education else []
+        docs = _search_documents(records, scene_payload, database.leaf_entries())
+
+        def op(conn: sqlite3.Connection):
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                for table in DATA_TABLES:
+                    conn.execute(f"DELETE FROM {table}")
+                if self.fts_enabled:
+                    conn.execute("DELETE FROM search_fts")
+                conn.executemany(
+                    "INSERT INTO videos (title, shot_count, scene_count, "
+                    "degraded_stages) VALUES (?, ?, ?, ?)",
+                    video_payload,
+                )
+                conn.executemany(
+                    "INSERT INTO video_events (title, scene_id, event) "
+                    "VALUES (?, ?, ?)",
+                    event_payload,
+                )
+                conn.executemany(
+                    "INSERT INTO leaves (name, position, entry_count, block_sha, "
+                    "rows, cols, centers, centers_rows, dims, dims_count) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    leaves_payload,
+                )
+                conn.executemany(
+                    "INSERT INTO entries (ord, leaf, row, video_title, shot_id, "
+                    "scene_id) VALUES (?, ?, ?, ?, ?, ?)",
+                    entry_payload,
+                )
+                conn.executemany(
+                    "INSERT INTO scenes (row, video_title, scene_id, event, "
+                    "shot_count) VALUES (?, ?, ?, ?, ?)",
+                    scene_payload,
+                )
+                if scene_ref is not None:
+                    conn.execute(
+                        "INSERT INTO scene_block (id, block_sha, rows, cols) "
+                        "VALUES (1, ?, ?, ?)",
+                        (scene_ref.sha, scene_ref.rows, scene_ref.cols),
+                    )
+                conn.executemany(
+                    "INSERT INTO search_docs (kind, title, body) VALUES (?, ?, ?)",
+                    docs,
+                )
+                if self.fts_enabled:
+                    conn.executemany(
+                        "INSERT INTO search_fts (kind, title, body) "
+                        "VALUES (?, ?, ?)",
+                        docs,
+                    )
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('subject_areas', ?)",
+                    (json.dumps(areas),),
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+        with obs_span(
+            "storage.replace", entries=len(entry_payload), leaves=len(leaves_payload)
+        ):
+            self._run(op)
+        return len(entry_payload)
+
+    def register_bulk(self, results, skip_registered: bool = False) -> list[RegisteredVideo]:
+        """Transactionally register mined results into the stored catalog.
+
+        Materialises the current catalog into an in-memory
+        :class:`VideoDatabase`, registers the new results, then replaces
+        the stored catalog in one transaction — a failure anywhere
+        leaves the previous generation untouched.  Returns the records
+        added by this call (mirroring
+        :meth:`VideoDatabase.register_bulk`).
+        """
+        from repro.storage.lazy import SQLVideoDatabase
+
+        staging = (
+            SQLVideoDatabase(self).materialize()
+            if self.entry_count()
+            else VideoDatabase()
+        )
+        added = staging.register_bulk(results, skip_registered=skip_registered)
+        if added:
+            self.replace_from(staging)
+        return added
+
+    def _referenced_blocks(self) -> set[str]:
+        """Digests the current catalog generation refers to."""
+        def op(conn: sqlite3.Connection):
+            shas = {
+                str(row[0])
+                for row in conn.execute("SELECT block_sha FROM leaves")
+            }
+            shas.update(
+                str(row[0])
+                for row in conn.execute("SELECT block_sha FROM scene_block")
+            )
+            return shas
+
+        return self._run(op)
+
+
+def _search_documents(
+    records: dict[str, RegisteredVideo],
+    scene_payload: list[tuple],
+    leaf_entries: dict,
+) -> list[tuple[str, str, str]]:
+    """Flatten the corpus into (kind, title, body) FTS documents."""
+    docs: list[tuple[str, str, str]] = []
+    for title, record in records.items():
+        events = sorted(set(record.events.values()))
+        body = " ".join(
+            [title.replace("_", " ")]
+            + events
+            + [f"degraded {stage}" for stage in record.degraded_stages]
+        )
+        docs.append(("video", title, body))
+    for _row, title, scene_id, value, shot_count in scene_payload:
+        docs.append(
+            (
+                "scene",
+                f"{title}/scene-{scene_id}",
+                f"{title.replace('_', ' ')} scene {scene_id} {value} "
+                f"{shot_count} shots",
+            )
+        )
+    for leaf in leaf_entries:
+        docs.append(("concept", leaf, leaf.replace("/", " ").replace("_", " ")))
+    return docs
+
+
+def save_database(database: VideoDatabase, db_dir: str | Path) -> Path:
+    """Persist ``database`` as ``<db_dir>/catalog.sqlite`` + feature blocks.
+
+    The SQLite counterpart of :meth:`VideoDatabase.save`; returns the
+    catalog path.  Creates the schema on first use.
+    """
+    with obs_span("storage.save", videos=len(database.videos)):
+        with SQLCatalog(db_dir, create=True) as catalog:
+            catalog.replace_from(database)
+    return catalog_path(db_dir)

@@ -140,6 +140,25 @@ class TestPersistence:
         with pytest.raises(DatabaseError):
             VideoDatabase.load(bad)
 
+    def test_save_is_atomic(self, tmp_path, database, monkeypatch):
+        # A serialisation failure mid-save must leave the previous
+        # catalog intact and no temp file behind.
+        path = tmp_path / "db.json"
+        database.save(path)
+        before = path.read_bytes()
+
+        import json as json_module
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("serialisation exploded")
+
+        monkeypatch.setattr(json_module, "dump", boom)
+        monkeypatch.setattr(json_module, "dumps", boom)
+        with pytest.raises(RuntimeError):
+            database.save(path)
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob(".*tmp*"))
+
 
 class TestBeamDescent:
     def test_wider_beam_costs_more_finds_no_less(self, database, demo_result):

@@ -7,7 +7,7 @@ import argparse
 import pytest
 
 from repro.cli import build_parser, main
-from repro.ingest.runner import DATABASE_NAME
+from repro.storage.schema import catalog_path
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +22,7 @@ class TestIngestCommand:
     def test_ingest_writes_database(self, tmp_path, capsys):
         assert main(["ingest", "demo", "--db-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert (tmp_path / DATABASE_NAME).exists()
+        assert catalog_path(tmp_path).exists()
         assert "ingest summary" in out
         assert "1 mined, 0 cached, 0 failed" in out
         assert "database:" in out

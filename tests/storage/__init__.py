@@ -1,0 +1,1 @@
+"""Durable storage subsystem: SQL catalog, feature store, lazy views."""

@@ -1,0 +1,122 @@
+"""The content-addressed mmap feature store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage import FeatureStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FeatureStore(tmp_path / "features")
+
+
+def _block(seed: int, rows: int = 4, cols: int = 6) -> np.ndarray:
+    return np.random.default_rng(seed).random((rows, cols))
+
+
+class TestPut:
+    def test_roundtrip_is_exact(self, store):
+        matrix = _block(0)
+        ref = store.put(matrix)
+        assert (ref.rows, ref.cols) == matrix.shape
+        assert ref.nbytes == matrix.size * 8
+        np.testing.assert_array_equal(store.open(ref.sha), matrix)
+
+    def test_content_addressing_deduplicates(self, store):
+        first = store.put(_block(1))
+        second = store.put(_block(1))
+        assert first.sha == second.sha
+        assert store.list_blocks() == [first.sha]
+
+    def test_distinct_content_distinct_blocks(self, store):
+        a = store.put(_block(1))
+        b = store.put(_block(2))
+        assert a.sha != b.sha
+        assert sorted(store.list_blocks()) == sorted([a.sha, b.sha])
+        assert store.total_bytes() > 0
+
+    def test_rejects_non_2d(self, store):
+        with pytest.raises(StorageError):
+            store.put(np.zeros(5))
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put(_block(3))
+        store.put(_block(3))  # dedup path unlinks its temp file too
+        assert not list(store.root.glob(".tmp-*"))
+
+
+class TestOpen:
+    def test_missing_block_is_typed(self, store):
+        with pytest.raises(StorageError):
+            store.open("0" * 64)
+
+    def test_corrupt_block_is_typed(self, store):
+        ref = store.put(_block(4))
+        path = store.path_for(ref.sha)
+        path.write_bytes(path.read_bytes()[:16])
+        with pytest.raises(IntegrityError):
+            store.open(ref.sha)
+
+    def test_open_returns_readonly_mmap(self, store):
+        ref = store.put(_block(5))
+        block = store.open(ref.sha)
+        assert isinstance(block, np.memmap)
+        assert not block.flags.writeable
+
+    def test_cache_hit_returns_same_object(self, store):
+        ref = store.put(_block(6))
+        assert store.open(ref.sha) is store.open(ref.sha)
+
+
+class TestLRU:
+    def test_max_open_must_be_positive(self, tmp_path):
+        with pytest.raises(StorageError):
+            FeatureStore(tmp_path, max_open=0)
+
+    def test_eviction_respects_bound_and_recency(self, tmp_path):
+        store = FeatureStore(tmp_path, max_open=2)
+        refs = [store.put(_block(seed)) for seed in range(3)]
+        store.open(refs[0].sha)
+        store.open(refs[1].sha)
+        store.open(refs[0].sha)  # refresh: ref 1 is now the LRU victim
+        store.open(refs[2].sha)
+        assert store.open_count == 2
+        first = store.open(refs[0].sha)
+        assert first is store.open(refs[0].sha)  # survived as a cache hit
+
+    def test_close_releases_all_handles(self, store):
+        ref = store.put(_block(7))
+        store.open(ref.sha)
+        store.close()
+        assert store.open_count == 0
+
+
+class TestVerifyDelete:
+    def test_verify_accepts_intact_block(self, store):
+        ref = store.put(_block(8))
+        store.verify(ref.sha)
+
+    def test_verify_rejects_tampering(self, store):
+        ref = store.put(_block(9))
+        path = store.path_for(ref.sha)
+        payload = bytearray(path.read_bytes())
+        payload[-1] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(IntegrityError):
+            store.verify(ref.sha)
+
+    def test_verify_missing_block(self, store):
+        with pytest.raises(StorageError):
+            store.verify("f" * 64)
+
+    def test_delete_drops_block_and_handle(self, store):
+        ref = store.put(_block(10))
+        store.open(ref.sha)
+        assert store.delete(ref.sha)
+        assert store.open_count == 0
+        assert not store.delete(ref.sha)
+        assert store.list_blocks() == []

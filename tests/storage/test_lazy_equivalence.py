@@ -1,0 +1,212 @@
+"""Out-of-core query paths must be bit-identical to the in-RAM ones.
+
+The contract under test: a corpus saved through the SQL catalog and
+opened lazily answers every query surface — flat scan, hierarchical
+descent, scene search, access-scoped search — with *exactly* the
+results the in-RAM source database gives, including tie-break order
+and search statistics.  The JSON migration pair is checked against the
+eager JSON-loaded database (the legacy loader regroups the flat index
+by leaf, so it is its own consistent ordering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.database.access import User
+from repro.database.catalog import VideoDatabase
+from repro.errors import StorageError
+from repro.serving.snapshot import _derive_scene_index, build_snapshot
+from repro.storage import SQLVideoDatabase, build_synthetic_database, migrate_db_dir
+from repro.types import EventKind
+
+
+def shot_hits(result):
+    return [(h.entry.video_title, h.entry.shot_id, h.score) for h in result.hits]
+
+
+def scene_hits(hits):
+    return [(h.entry.video_title, h.entry.scene_id, h.score) for h in hits]
+
+
+class TestFlatEquivalence:
+    def test_hits_scores_and_stats_match(self, source_db, lazy_db, probes):
+        for probe in probes:
+            a = source_db.search_flat(probe, k=10)
+            b = lazy_db.search_flat(probe, k=10)
+            assert shot_hits(a) == shot_hits(b)
+            assert a.stats.comparisons == b.stats.comparisons
+            assert a.stats.ranked == b.stats.ranked
+
+    def test_tie_break_order_matches(self, source_db, lazy_db):
+        # A saturating probe maxes the intersection kernel for every
+        # entry, so all scores tie exactly: ordering must still agree.
+        probe = np.full(source_db.flat_index.entries[0].features.shape[0], 10.0)
+        result = source_db.search_flat(probe, k=20)
+        scores = [h.score for h in result.hits]
+        assert len(set(scores)) < len(scores)  # the probe really does tie
+        assert shot_hits(result) == shot_hits(lazy_db.search_flat(probe, k=20))
+
+    def test_entry_order_and_features_match(self, source_db, lazy_db):
+        eager = source_db.flat_index.entries
+        lazy = lazy_db.flat_index.entries
+        assert [e.key for e in eager] == [e.key for e in lazy]
+        for i in (0, len(eager) // 2, len(eager) - 1):
+            np.testing.assert_array_equal(eager[i].features, lazy[i].features)
+
+    def test_out_of_core_flat_is_read_only(self, lazy_db, source_db):
+        entry = source_db.flat_index.entries[0]
+        with pytest.raises(StorageError, match="read-only"):
+            lazy_db.flat_index.insert(entry)
+
+
+class TestHierarchicalEquivalence:
+    def test_hits_and_descent_paths_match(self, source_db, lazy_db, probes):
+        for probe in probes:
+            a = source_db.search(probe, k=10)
+            b = lazy_db.search(probe, k=10)
+            assert shot_hits(a) == shot_hits(b)
+            assert a.stats.visited_path == b.stats.visited_path
+            assert a.stats.comparisons == b.stats.comparisons
+
+    def test_access_scoped_search_matches(self, source_db, lazy_db, probes):
+        public = User(name="student", clearance=1)
+        cleared = User(name="surgeon", clearance=3)
+        for probe in probes[:2]:
+            for user in (public, cleared):
+                a = source_db.search(probe, user=user, k=10)
+                b = lazy_db.search(probe, user=user, k=10)
+                assert shot_hits(a) == shot_hits(b)
+        # The scope really filters: both views enforce the same leaf set,
+        # and the public one may only surface low-sensitivity concepts.
+        assert set(source_db.controller.permitted_leaves(public)) != set(
+            source_db.controller.permitted_leaves(cleared)
+        )
+        a = lazy_db.search(probes[0], user=public, k=10)
+        for hit in a.hits:
+            event = source_db.videos[hit.entry.video_title].events[
+                hit.entry.scene_id
+            ]
+            assert event in (EventKind.PRESENTATION.value, EventKind.UNKNOWN.value)
+
+
+class TestSceneEquivalence:
+    def test_scene_search_matches_derived_index(self, source_db, lazy_db, probes):
+        eager = _derive_scene_index(source_db)
+        lazy = lazy_db.scene_index
+        assert len(lazy) == len(eager)
+        for probe in probes:
+            assert scene_hits(eager.search(probe, k=5)) == scene_hits(
+                lazy.search(probe, k=5)
+            )
+
+    def test_event_filter_and_similar_scenes_match(self, source_db, lazy_db, probes):
+        eager = _derive_scene_index(source_db)
+        lazy = lazy_db.scene_index
+        kind = EventKind.PRESENTATION
+        assert scene_hits(eager.search(probes[0], k=5, event=kind)) == scene_hits(
+            lazy.search(probes[0], k=5, event=kind)
+        )
+        anchor = eager.entries[0]
+        assert scene_hits(
+            eager.similar_scenes(anchor.video_title, anchor.scene_id, k=3)
+        ) == scene_hits(lazy.similar_scenes(anchor.video_title, anchor.scene_id, k=3))
+
+
+class TestSnapshotIntegration:
+    def test_out_of_core_snapshot_shares_indices(self, lazy_db):
+        snapshot = build_snapshot(lazy_db, 1)
+        assert snapshot.flat is lazy_db.flat_index  # no materialising copy
+        assert snapshot.shot_count == lazy_db.shot_count
+        result = snapshot.flat.search(lazy_db.flat_index.entries[0].features, k=3)
+        assert result.hits
+
+    def test_degraded_flags_roundtrip_into_snapshot(self, tmp_path):
+        database = build_synthetic_database(videos=4, shots_per_video=6, seed=3)
+        database.register_entries(
+            "degraded_video",
+            [(0, EventKind.DIALOG, [np.random.default_rng(5).random(266)])],
+            degraded_stages=("audio",),
+        )
+        from repro.storage import save_database
+
+        save_database(database, tmp_path)
+        lazy = SQLVideoDatabase.open(tmp_path)
+        try:
+            assert lazy.videos["degraded_video"].degraded_stages == ("audio",)
+            snapshot = build_snapshot(lazy, 1)
+            assert snapshot.degraded_videos == ("degraded_video",)
+        finally:
+            lazy.close()
+
+
+class TestMigrationRoundTrip:
+    @pytest.fixture(scope="class")
+    def migrated_pair(self, tmp_path_factory, source_db):
+        """(eager JSON-loaded db, lazy db migrated from the same JSON)."""
+        legacy = tmp_path_factory.mktemp("legacy")
+        source_db.save(legacy / "database.json")
+        eager = VideoDatabase.load(legacy / "database.json")
+        report = migrate_db_dir(legacy, remove_json=True)
+        migrated = SQLVideoDatabase.open(legacy)
+        yield eager, migrated, report, legacy
+        migrated.close()
+
+    def test_report_and_json_removal(self, migrated_pair, source_db):
+        _eager, _migrated, report, legacy = migrated_pair
+        assert report.source == "json"
+        assert report.videos == len(source_db.videos)
+        assert report.entries == source_db.shot_count
+        assert report.blocks > 0
+        assert report.removed_json
+        assert not (legacy / "database.json").exists()
+        assert "migrated" in report.render()
+
+    def test_registrations_identical(self, migrated_pair):
+        eager, migrated, _report, _legacy = migrated_pair
+        assert sorted(eager.videos) == sorted(migrated.videos)
+        for title, record in eager.videos.items():
+            other = migrated.videos[title]
+            assert record.degraded_stages == other.degraded_stages
+            assert record.events == other.events
+            assert record.shot_count == other.shot_count
+
+    def test_queries_identical(self, migrated_pair, probes):
+        eager, migrated, _report, _legacy = migrated_pair
+        for probe in probes:
+            assert shot_hits(eager.search_flat(probe, k=10)) == shot_hits(
+                migrated.search_flat(probe, k=10)
+            )
+            a = eager.search(probe, k=10)
+            b = migrated.search(probe, k=10)
+            assert shot_hits(a) == shot_hits(b)
+            assert a.stats.visited_path == b.stats.visited_path
+
+    def test_access_scopes_identical(self, migrated_pair, probes):
+        eager, migrated, _report, _legacy = migrated_pair
+        user = User(name="student", clearance=1)
+        for probe in probes[:2]:
+            assert shot_hits(eager.search(probe, user=user, k=10)) == shot_hits(
+                migrated.search(probe, user=user, k=10)
+            )
+
+    def test_empty_dir_is_typed(self, tmp_path):
+        with pytest.raises(StorageError, match="nothing to migrate"):
+            migrate_db_dir(tmp_path)
+
+
+class TestMaterialize:
+    def test_materialized_database_matches_source(self, stored_dir, source_db, probes):
+        lazy = SQLVideoDatabase.open(stored_dir)
+        try:
+            lazy.materialize()
+            assert lazy.out_of_core is False
+            assert [e.key for e in lazy.flat_index.entries] == [
+                e.key for e in source_db.flat_index.entries
+            ]
+            assert shot_hits(lazy.search(probes[0], k=5)) == shot_hits(
+                source_db.search(probes[0], k=5)
+            )
+        finally:
+            lazy.close()

@@ -1,0 +1,165 @@
+"""The SQL catalog: schema, readers, search, the replace writer."""
+
+from __future__ import annotations
+
+import shutil
+import sqlite3
+
+import pytest
+
+import repro.storage.sqlcatalog as sqlcatalog_module
+from repro.database.catalog import VideoDatabase
+from repro.errors import StorageError
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.storage import (
+    SQLCatalog,
+    build_synthetic_database,
+    catalog_path,
+    save_database,
+)
+
+
+@pytest.fixture()
+def catalog(stored_dir):
+    with SQLCatalog(stored_dir) as cat:
+        yield cat
+
+
+@pytest.fixture()
+def writable_dir(tmp_path, stored_dir):
+    """A private copy of the stored corpus for mutation tests."""
+    target = tmp_path / "copy"
+    shutil.copytree(stored_dir, target)
+    return target
+
+
+class TestSchema:
+    def test_missing_catalog_is_typed(self, tmp_path):
+        with pytest.raises(StorageError):
+            SQLCatalog(tmp_path)
+
+    def test_version_mismatch_points_at_migrate(self, writable_dir):
+        with sqlite3.connect(catalog_path(writable_dir)) as conn:
+            conn.execute("PRAGMA user_version = 99")
+        with pytest.raises(StorageError, match="classminer migrate"):
+            SQLCatalog(writable_dir)
+
+
+class TestReaders:
+    def test_videos_roundtrip(self, catalog, source_db):
+        records = catalog.videos()
+        assert sorted(records) == sorted(source_db.videos)
+        for title, record in records.items():
+            source = source_db.videos[title]
+            assert record.shot_count == source.shot_count
+            assert record.scene_count == source.scene_count
+            assert record.degraded_stages == source.degraded_stages
+            assert record.events == source.events
+
+    def test_counts_and_describe(self, catalog, source_db):
+        assert catalog.entry_count() == source_db.shot_count
+        assert catalog.describe() == source_db.describe()
+        assert catalog.scene_count() == sum(
+            r.scene_count for r in source_db.videos.values()
+        )
+
+    def test_subject_areas_preserve_order(self, catalog, source_db):
+        education = source_db.hierarchy.find("medical_education")
+        assert catalog.subject_areas() == [c.name for c in education.children]
+
+    def test_leaf_infos_cover_every_entry(self, catalog, source_db):
+        infos = catalog.leaf_infos()
+        assert sum(info.entry_count for info in infos) == source_db.shot_count
+        assert [info.position for info in infos] == list(range(len(infos)))
+        for info in infos:
+            rows = catalog.leaf_rows(info.name)
+            assert [r.row for r in rows] == list(range(info.entry_count))
+            assert info.block.rows == info.entry_count
+
+    def test_entries_by_ord_batches_over_bind_limit(self, catalog, source_db):
+        ords = list(range(source_db.shot_count))
+        found = catalog.entries_by_ord(ords)
+        assert sorted(found) == ords  # > _BATCH ordinals, chunked IN queries
+        entry = source_db.flat_index.entries[0]
+        assert (found[0].video_title, found[0].shot_id) == entry.key
+
+    def test_scene_row_lookup(self, catalog):
+        rows = catalog.scene_rows()
+        first = rows[0]
+        hit = catalog.scene_row_for(first.video_title, first.scene_id)
+        assert hit == first
+        assert catalog.scene_row_for("nope", 0) is None
+        by_event = catalog.scene_rows(event=first.event)
+        assert all(r.event == first.event for r in by_event)
+        assert first in by_event
+
+
+class TestSearchText:
+    def test_fts_surface_ranks_hits(self, catalog):
+        hits = catalog.search_text("synthetic", k=5)
+        assert hits
+        assert len(hits) <= 5
+        assert all(hit.kind in ("video", "scene", "concept") for hit in hits)
+
+    def test_empty_query_returns_nothing(self, catalog):
+        assert catalog.search_text("   ") == []
+
+    def test_unmatched_query_returns_nothing(self, catalog):
+        assert catalog.search_text("laparoscopic unicorn") == []
+
+    def test_like_fallback_without_fts(self, writable_dir):
+        with sqlite3.connect(catalog_path(writable_dir)) as conn:
+            conn.execute("UPDATE meta SET value = '0' WHERE key = 'fts'")
+        with SQLCatalog(writable_dir) as catalog:
+            assert not catalog.fts_enabled
+            hits = catalog.search_text("synthetic presentation", k=5)
+        assert hits
+        assert all("presentation" in hit.body for hit in hits)
+
+
+class TestWriter:
+    def test_empty_database_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="empty"):
+            save_database(VideoDatabase(), tmp_path)
+
+    def test_resave_same_corpus_writes_no_new_blocks(self, writable_dir, source_db):
+        with SQLCatalog(writable_dir) as catalog:
+            before = catalog.features.list_blocks()
+            catalog.replace_from(source_db)
+            assert catalog.features.list_blocks() == before
+
+    def test_failed_replace_keeps_previous_generation(
+        self, writable_dir, monkeypatch
+    ):
+        other = build_synthetic_database(videos=6, shots_per_video=4, seed=99)
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("doc build exploded")
+
+        monkeypatch.setattr(sqlcatalog_module, "_search_documents", boom)
+        with SQLCatalog(writable_dir) as catalog:
+            old_videos = sorted(catalog.videos())
+            old_blocks = catalog.features.list_blocks()
+            with pytest.raises(RuntimeError):
+                catalog.replace_from(other)
+            # Previous generation intact, aborted blocks cleaned up.
+            assert sorted(catalog.videos()) == old_videos
+            assert catalog.features.list_blocks() == old_blocks
+
+
+class TestLockedRetries:
+    def test_transient_lock_is_absorbed(self, catalog):
+        plan = FaultPlan(
+            [FaultSpec(point="storage.db_locked", kind="error", limit=1)], seed=0
+        )
+        with inject(plan):
+            records = catalog.videos()
+        assert records
+        assert plan.fired("storage.db_locked", "error") == 1
+
+    def test_exhausted_budget_is_typed(self, catalog):
+        plan = FaultPlan([FaultSpec(point="storage.db_locked", kind="error")], seed=0)
+        with inject(plan):
+            with pytest.raises(StorageError, match="locked"):
+                catalog.videos()
+        assert catalog.videos()  # disarmed: the connection still works
