@@ -31,6 +31,7 @@ replayed here.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 
@@ -61,6 +62,11 @@ class LazyLeafHashIndex(LeafHashIndex):
     loader then yields :class:`ShotEntry` rows in stored row order and
     each is inserted through the base class, reproducing the eager
     bucket layout exactly.
+
+    Materialisation is guarded by a lock: serving worker threads share
+    one index per leaf, so the first prober loads while later arrivals
+    wait, and ``_loaded`` flips only after every row is in place —
+    nobody ever probes a partially populated bucket.
     """
 
     def __init__(self, count: int, loader) -> None:
@@ -68,12 +74,17 @@ class LazyLeafHashIndex(LeafHashIndex):
         self._loader = loader
         self._stored_count = count
         self._loaded = False
+        self._load_lock = threading.Lock()
 
     def _ensure(self) -> None:
-        if not self._loaded:
-            self._loaded = True
+        if self._loaded:
+            return
+        with self._load_lock:
+            if self._loaded:
+                return
             for entry in self._loader():
                 super().insert(entry)
+            self._loaded = True
 
     def insert(self, entry: ShotEntry) -> None:
         """Insert after loading, so stored rows keep their bucket order."""
@@ -174,12 +185,15 @@ class OutOfCoreFlatIndex(FlatIndex):
     def entries(self) -> list[ShotEntry]:
         """Every stored shot in flat-ordinal order (materialises)."""
         flat: list[ShotEntry | None] = [None] * self._total
-        for info, _ords in self._scan_plan():
-            for entry, row in zip(
-                _leaf_entries_for(self._catalog, info),
-                self._catalog.leaf_rows(info.name),
-            ):
-                flat[row.ord] = entry
+        for info in self._leaf_infos().values():
+            block = self._catalog.features.open(info.block.sha)
+            for row in self._catalog.leaf_rows(info.name):
+                flat[row.ord] = ShotEntry(
+                    video_title=row.video_title,
+                    shot_id=row.shot_id,
+                    scene_id=row.scene_id,
+                    features=block[row.row],
+                )
         return [entry for entry in flat if entry is not None]
 
     def feature_matrix(self) -> np.ndarray:
@@ -253,26 +267,31 @@ class LazySceneIndex(SceneIndex):
         self._catalog = catalog
         self._stored_count = catalog.scene_count()
         self._loaded = False
+        self._load_lock = threading.Lock()
 
     def _ensure(self) -> None:
+        # Double-checked lock: serving workers share this index, and
+        # ``_loaded`` flips only once every centroid row is inserted.
         if self._loaded:
             return
-        self._loaded = True
-        ref = self._catalog.scene_block_ref()
-        if ref is None:
-            return
-        block = self._catalog.features.open(ref.sha)
-        for row in self._catalog.scene_rows():
-            SceneIndex.insert(
-                self,
-                SceneEntry(
-                    video_title=row.video_title,
-                    scene_id=row.scene_id,
-                    event=EventKind(row.event),
-                    shot_count=row.shot_count,
-                    centroid=block[row.row],
-                ),
-            )
+        with self._load_lock:
+            if self._loaded:
+                return
+            ref = self._catalog.scene_block_ref()
+            if ref is not None:
+                block = self._catalog.features.open(ref.sha)
+                for row in self._catalog.scene_rows():
+                    SceneIndex.insert(
+                        self,
+                        SceneEntry(
+                            video_title=row.video_title,
+                            scene_id=row.scene_id,
+                            event=EventKind(row.event),
+                            shot_count=row.shot_count,
+                            centroid=block[row.row],
+                        ),
+                    )
+            self._loaded = True
 
     def __len__(self) -> int:
         return self._stored_count if not self._loaded else super().__len__()

@@ -14,9 +14,12 @@ routing centres, discriminating dims, scene centroids, FTS documents —
 inside **one** ``BEGIN IMMEDIATE`` transaction.  A failure mid-write
 rolls the relational state back to the previous generation and deletes
 any feature blocks the aborted write introduced; readers never see a
-half-replaced catalog.  :meth:`SQLCatalog.register_bulk` layers the
-incremental API on top: materialise, register, replace — still one
-transaction.
+half-replaced catalog.  A successful commit garbage-collects the
+blocks only the superseded generation referenced (both cleanup paths
+re-check the live catalog's references before unlinking, so a block a
+concurrent writer just committed stays).  :meth:`SQLCatalog.register_bulk`
+layers the incremental API on top: materialise, register, replace —
+still one transaction.
 
 Determinism contract
 --------------------
@@ -462,11 +465,20 @@ class SQLCatalog:
 
             else:
                 clause = " AND ".join(
-                    "(body LIKE ? OR title LIKE ?)" for _ in tokens
+                    "(body LIKE ? ESCAPE '\\' OR title LIKE ? ESCAPE '\\')"
+                    for _ in tokens
                 )
                 params: list[object] = []
                 for token in tokens:
-                    like = f"%{token}%"
+                    # % and _ are LIKE wildcards: escape them (and the
+                    # escape char itself) so tokens match literally,
+                    # mirroring the FTS surface's quoted-token matching.
+                    escaped = (
+                        token.replace("\\", "\\\\")
+                        .replace("%", "\\%")
+                        .replace("_", "\\_")
+                    )
+                    like = f"%{escaped}%"
                     params.extend((like, like))
                 params.append(int(k))
 
@@ -495,7 +507,12 @@ class SQLCatalog:
         IMMEDIATE`` transaction swaps every relational table.  On any
         failure the transaction rolls back and blocks this call
         introduced are deleted — the previous catalog generation stays
-        intact.  Returns the number of shot entries stored.
+        intact.  After a successful commit, blocks only the superseded
+        generation referenced are deleted, so the feature store does
+        not grow without bound across repeated replaces.  Both cleanup
+        paths re-query the *live* catalog before unlinking, so a block
+        a concurrent writer just published and committed a reference to
+        is never removed.  Returns the number of shot entries stored.
         """
         flat_entries = database.flat_index.entries
         if not flat_entries:
@@ -505,13 +522,33 @@ class SQLCatalog:
         before = self._referenced_blocks()
         new_blocks: set[str] = set()
         try:
-            return self._replace_from(database, flat_entries, ord_of, before, new_blocks)
+            count = self._replace_from(database, flat_entries, ord_of, before, new_blocks)
         except BaseException:
             # The relational state rolled back (or was never touched);
             # drop the blocks only this aborted write introduced.
-            for sha in new_blocks:
-                self._features.delete(sha)
+            # Best-effort: never mask the original failure.
+            try:
+                self._drop_unreferenced(new_blocks)
+            except StorageError:
+                pass
             raise
+        # The commit superseded the previous generation; garbage-collect
+        # the blocks only it referenced.
+        self._drop_unreferenced(before)
+        return count
+
+    def _drop_unreferenced(self, candidates: set[str]) -> None:
+        """Delete candidate blocks the live catalog no longer references.
+
+        The reference set is re-read at deletion time rather than taken
+        from a snapshot: with WAL mode and the locked-retry loop another
+        process may have committed its own generation meanwhile, and
+        content addressing means it can legitimately share our digests.
+        """
+        if not candidates:
+            return
+        for sha in candidates - self._referenced_blocks():
+            self._features.delete(sha)
 
     def _replace_from(self, database, flat_entries, ord_of, before, new_blocks) -> int:
         # Leaf blocks + routing metadata, in leaf creation order.  The

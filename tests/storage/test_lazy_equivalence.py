@@ -11,6 +11,9 @@ by leaf, so it is its own consistent ordering).
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -112,6 +115,44 @@ class TestSceneEquivalence:
         assert scene_hits(
             eager.similar_scenes(anchor.video_title, anchor.scene_id, k=3)
         ) == scene_hits(lazy.similar_scenes(anchor.video_title, anchor.scene_id, k=3))
+
+
+class TestConcurrentColdProbes:
+    def test_racing_threads_see_fully_loaded_indexes(
+        self, stored_dir, source_db, probes
+    ):
+        """Concurrent first probes must never observe a partial load.
+
+        Serving workers share the lazy leaf/scene indexes through an
+        out-of-core snapshot; a barrier lines threads up on a cold view
+        so they race the materialisation, and every one must still get
+        the eager path's exact results.
+        """
+        expected_shots = shot_hits(source_db.search(probes[0], k=10))
+        expected_scenes = scene_hits(
+            _derive_scene_index(source_db).search(probes[1], k=5)
+        )
+        workers = 8
+        for _round in range(3):  # fresh cold view each round
+            lazy = SQLVideoDatabase.open(stored_dir)
+            barrier = threading.Barrier(workers)
+
+            def probe(i: int):
+                barrier.wait(timeout=30)
+                if i % 2:
+                    return "scene", scene_hits(
+                        lazy.scene_index.search(probes[1], k=5)
+                    )
+                return "shot", shot_hits(lazy.search(probes[0], k=10))
+
+            try:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(probe, range(workers)))
+            finally:
+                lazy.close()
+            for kind, hits in results:
+                expected = expected_scenes if kind == "scene" else expected_shots
+                assert hits == expected
 
 
 class TestSnapshotIntegration:

@@ -116,6 +116,16 @@ class TestSearchText:
         assert hits
         assert all("presentation" in hit.body for hit in hits)
 
+    def test_like_fallback_escapes_wildcards(self, writable_dir):
+        with sqlite3.connect(catalog_path(writable_dir)) as conn:
+            conn.execute("UPDATE meta SET value = '0' WHERE key = 'fts'")
+        with SQLCatalog(writable_dir) as catalog:
+            assert catalog.search_text("synthetic")  # literal tokens still hit
+            # LIKE wildcards in the query must match literally, not as
+            # any-char / match-all patterns.
+            assert catalog.search_text("s_nthetic") == []
+            assert catalog.search_text("%") == []
+
 
 class TestWriter:
     def test_empty_database_is_rejected(self, tmp_path):
@@ -127,6 +137,27 @@ class TestWriter:
             before = catalog.features.list_blocks()
             catalog.replace_from(source_db)
             assert catalog.features.list_blocks() == before
+
+    def test_successful_replace_collects_superseded_blocks(self, writable_dir):
+        other = build_synthetic_database(videos=6, shots_per_video=4, seed=99)
+        with SQLCatalog(writable_dir) as catalog:
+            old_blocks = set(catalog.features.list_blocks())
+            catalog.replace_from(other)
+            now = set(catalog.features.list_blocks())
+            # The store holds exactly the live generation's blocks: the
+            # superseded corpus was garbage-collected, no orphans remain.
+            assert now == catalog._referenced_blocks()
+            assert not old_blocks & now
+
+    def test_cleanup_spares_blocks_the_live_catalog_references(self, writable_dir):
+        with SQLCatalog(writable_dir) as catalog:
+            live = catalog._referenced_blocks()
+            assert live
+            # Even when offered every live block as a candidate, the
+            # cleanup re-checks references at deletion time and keeps
+            # them (the concurrent-writer guarantee).
+            catalog._drop_unreferenced(set(live))
+            assert live <= set(catalog.features.list_blocks())
 
     def test_failed_replace_keeps_previous_generation(
         self, writable_dir, monkeypatch
