@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke storage-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke storage-smoke net-smoke all clean
 
 install:
 	pip install -e .
@@ -28,6 +28,9 @@ chaos-smoke:
 
 storage-smoke:
 	python -m repro.storage.smoke
+
+net-smoke:
+	python -m repro.net.smoke
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,225 @@
+"""Sharded scatter-gather benchmark: cold-cache sustained QPS by shard count.
+
+Partitions one synthetic corpus into 1/2/4/8 shards, serves each layout
+with real worker subprocesses, and drives a fixed budget of closed-loop
+clients with cache-defeating queries (every probe unique).  The page
+cache is dropped before each layout when the host allows it, so the
+first touches page feature blocks in from disk — the regime where
+shard processes overlap I/O.
+
+Reported per layout: sustained QPS, client-side p50/p95 latency and
+cold start (process spawn through first answered query).  An in-process
+``QueryServer`` row is included as the no-network baseline.
+
+Scaling is CPU-bound once warm, so the >= 2x @ 4 shards acceptance gate
+is only asserted on hosts with at least 4 CPUs; the machine-readable
+summary (``benchmarks/results/BENCH_sharding.json``) always records the
+host's CPU count and the measured ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, save_result
+from repro.evaluation.report import render_table
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.shard import build_shards
+from repro.serving.server import QueryRequest, QueryServer, ServerConfig
+from repro.storage import SQLVideoDatabase, build_synthetic_database, save_database
+
+#: Corpus size (videos x shots/video).
+VIDEOS, SHOTS = 400, 6
+#: Shard counts under test.
+SHARD_COUNTS = (1, 2, 4, 8)
+#: Fixed total client budget (identical at every shard count).
+CLIENTS = 6
+#: Measured load window per layout, seconds.
+DURATION = 3.0
+#: Required aggregate speedup at 4 shards vs 1 (asserted on >= 4 CPUs).
+MIN_SPEEDUP_4X = 2.0
+
+
+def _drop_page_cache() -> bool:
+    """Best-effort cold cache; needs root, returns False when denied."""
+    try:
+        os.sync()
+        Path("/proc/sys/vm/drop_caches").write_text("3\n")
+        return True
+    except (OSError, PermissionError):
+        return False
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    rank = max(0, int(np.ceil(q * len(sorted_values))) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _drive(query, pool, seed):
+    """Closed-loop clients firing unique (uncacheable) mixed queries."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    stop_at = time.perf_counter() + DURATION
+
+    def loop(worker_id):
+        rng = np.random.default_rng(seed * 1009 + worker_id)
+        local: list[float] = []
+        while time.perf_counter() < stop_at:
+            base = pool[int(rng.integers(0, len(pool)))]
+            probe = base + rng.normal(0.0, 0.01, base.shape)
+            kind = "shot" if rng.random() < 0.6 else "shot_flat"
+            started = time.perf_counter()
+            try:
+                query(QueryRequest(kind=kind, features=probe, k=10))
+            except Exception as exc:  # noqa: BLE001 - tallied below
+                with lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            local.append((time.perf_counter() - started) * 1000.0)
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=loop, args=(i,), daemon=True)
+        for i in range(CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    ordered = sorted(latencies)
+    return {
+        "ok": len(latencies),
+        "errors": len(errors),
+        "qps": len(latencies) / wall,
+        "p50_ms": _percentile(ordered, 0.5),
+        "p95_ms": _percentile(ordered, 0.95),
+    }
+
+
+def _measure_sharded(root, spec, pool, cold_dropped):
+    started = time.perf_counter()
+    with ShardCluster(root, spec=spec) as cluster:
+        service = ShardedQueryService(
+            spec, cluster.endpoints, config=CoordinatorConfig(cache_capacity=8)
+        )
+        try:
+            service.query(QueryRequest(kind="shot", features=pool[0], k=10))
+            cold_seconds = time.perf_counter() - started
+            stats = _drive(service.query, pool, seed=spec.num_shards)
+        finally:
+            service.close()
+    return {
+        "shards": spec.num_shards,
+        "cold_first_answer_s": cold_seconds,
+        "cold_cache": cold_dropped,
+        **stats,
+    }
+
+
+def _measure_local(db_dir, pool, cold_dropped):
+    started = time.perf_counter()
+    database = SQLVideoDatabase.open(db_dir)
+    with QueryServer(
+        database=database,
+        config=ServerConfig(workers=CLIENTS, cache_capacity=8),
+    ) as server:
+        server.query(QueryRequest(kind="shot", features=pool[0], k=10))
+        cold_seconds = time.perf_counter() - started
+        stats = _drive(server.query, pool, seed=99)
+    database.close()
+    return {
+        "shards": 0,
+        "cold_first_answer_s": cold_seconds,
+        "cold_cache": cold_dropped,
+        **stats,
+    }
+
+
+def test_sharded_scaling(tmp_path, results_dir):
+    database = build_synthetic_database(
+        videos=VIDEOS, shots_per_video=SHOTS, scenes_per_video=3, seed=13
+    )
+    pool = [entry.features for entry in database.flat_index.entries[::40]]
+    single_dir = tmp_path / "single"
+    save_database(database, single_dir)
+    layouts = {
+        count: (tmp_path / f"shards-{count}", build_shards(
+            database, tmp_path / f"shards-{count}", count
+        ))
+        for count in SHARD_COUNTS
+    }
+
+    rows = []
+    measures = []
+    dropped = _drop_page_cache()
+    measures.append(_measure_local(single_dir, pool, dropped))
+    for count in SHARD_COUNTS:
+        root, spec = layouts[count]
+        dropped = _drop_page_cache()
+        measures.append(_measure_sharded(root, spec, pool, dropped))
+
+    by_shards = {m["shards"]: m for m in measures}
+    speedup_4x = by_shards[4]["qps"] / max(by_shards[1]["qps"], 1e-9)
+    cpu_count = os.cpu_count() or 1
+
+    for m in measures:
+        assert m["errors"] == 0, f"{m['shards']} shards: {m['errors']} errors"
+        assert m["ok"] > 0
+    # Aggregate scaling is a multi-core property; on fewer cores the
+    # workers time-slice one CPU and the ratio only measures overhead.
+    if cpu_count >= 4:
+        assert speedup_4x >= MIN_SPEEDUP_4X, by_shards
+
+    for m in measures:
+        rows.append(
+            [
+                "local" if m["shards"] == 0 else str(m["shards"]),
+                f"{m['qps']:.0f}",
+                f"{m['p50_ms']:.2f}",
+                f"{m['p95_ms']:.2f}",
+                f"{m['cold_first_answer_s'] * 1e3:.0f}",
+            ]
+        )
+    text = render_table(
+        ["shards", "QPS", "p50 ms", "p95 ms", "cold start ms"],
+        rows,
+        title=(
+            f"Sharded serving, {VIDEOS * SHOTS} shots, {CLIENTS} clients, "
+            f"{cpu_count} CPU(s): 4-shard speedup {speedup_4x:.2f}x"
+        ),
+    )
+    save_result(results_dir, "sharding", text)
+    (RESULTS_DIR / "BENCH_sharding.json").write_text(
+        json.dumps(
+            {
+                "videos": VIDEOS,
+                "shots": VIDEOS * SHOTS,
+                "clients": CLIENTS,
+                "duration_seconds": DURATION,
+                "cpu_count": cpu_count,
+                "min_speedup_4x": MIN_SPEEDUP_4X,
+                "speedup_4x": speedup_4x,
+                "scaling_gate": (
+                    "asserted"
+                    if cpu_count >= 4
+                    else f"not evaluable on {cpu_count} CPU(s)"
+                ),
+                "results": measures,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

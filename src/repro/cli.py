@@ -265,6 +265,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_db_dir(args: argparse.Namespace) -> None:
+    if not getattr(args, "db_dir", None):
+        raise ReproError(
+            "--db-dir is required for this mode (or pass --url/--http "
+            "to target a running server)"
+        )
+
+
 def _serving_server(args: argparse.Namespace):
     from repro.ingest import load_database
     from repro.obs import get_registry
@@ -285,6 +293,9 @@ def _serving_server(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import QueryRequest
 
+    if args.http is not None:
+        return _cmd_serve_http(args)
+    _require_db_dir(args)
     with _tracing(args), _serving_server(args) as server:
         snapshot = server.manager.current()
         entries = snapshot.flat.entries
@@ -302,9 +313,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import time as _time
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.net import (
+        CoordinatorConfig,
+        GatewayConfig,
+        HttpGateway,
+        ShardCluster,
+        ShardedQueryService,
+        build_shards,
+        load_manifest,
+    )
+    from repro.net.shard import MANIFEST_NAME
+    from repro.obs import get_registry
+    from repro.serving import ServingMetrics
+
+    sharded = bool(args.shards or args.shards_dir)
+    with ExitStack() as stack:
+        stack.enter_context(_tracing(args))
+        if sharded:
+            shards_dir = Path(args.shards_dir) if args.shards_dir else None
+            if shards_dir is None:
+                _require_db_dir(args)
+                shards_dir = Path(args.db_dir) / f"shards-{args.shards}"
+            if (shards_dir / MANIFEST_NAME).exists():
+                spec = load_manifest(shards_dir)
+                if args.shards and spec.num_shards != args.shards:
+                    raise ReproError(
+                        f"{shards_dir} holds {spec.num_shards} shards but "
+                        f"--shards {args.shards} was requested; pick a "
+                        "different --shards-dir or rebuild with "
+                        "'classminer shard build'"
+                    )
+                print(f"loaded {spec.num_shards}-shard manifest from {shards_dir}")
+            else:
+                _require_db_dir(args)
+                from repro.ingest import load_database
+
+                num_shards = args.shards or 2
+                spec = build_shards(
+                    load_database(args.db_dir), shards_dir, num_shards
+                )
+                print(f"built {num_shards} shards under {shards_dir}")
+            cluster = stack.enter_context(
+                ShardCluster(shards_dir, spec=spec, default_timeout=args.timeout)
+            )
+            backend = ShardedQueryService(
+                spec,
+                cluster.endpoints,
+                config=CoordinatorConfig(
+                    queue_depth=args.queue_depth,
+                    default_timeout=args.timeout,
+                ),
+                metrics=ServingMetrics(registry=get_registry()),
+            )
+            stack.callback(backend.close)
+        else:
+            _require_db_dir(args)
+            backend = stack.enter_context(_serving_server(args))
+        gateway = stack.enter_context(
+            HttpGateway(
+                backend,
+                GatewayConfig(port=args.http, default_timeout=args.timeout),
+            )
+        )
+        mode = f"{spec.num_shards} shards" if sharded else "single process"
+        print(f"serving on {gateway.url} ({mode})")
+        print(
+            "endpoints: POST /query /scene_search; "
+            "GET /skim/{video_id} /health /metrics /workload"
+        )
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.net import build_shards, load_manifest
+
+    if args.shard_command == "build":
+        from repro.ingest import load_database
+
+        spec = build_shards(
+            load_database(args.db_dir), Path(args.out), args.num
+        )
+        print(spec.describe())
+        return 0
+    print(load_manifest(Path(args.dir)).describe())
+    return 0
+
+
 def _cmd_health(args: argparse.Namespace) -> int:
     from repro.resilience import server_health
 
+    if args.url:
+        from repro.net import probe_health
+
+        report = probe_health(args.url)
+        print(report.render())
+        return report.exit_code
+    _require_db_dir(args)
     with _serving_server(args) as server:
         # Exercise the snapshot build so readiness reflects reality.
         server.manager.current()
@@ -316,6 +432,9 @@ def _cmd_health(args: argparse.Namespace) -> int:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.serving import LoadgenConfig, run_load
 
+    if args.http:
+        return _cmd_loadtest_http(args)
+    _require_db_dir(args)
     with _tracing(args), _serving_server(args) as server:
         config = LoadgenConfig(
             clients=args.clients,
@@ -338,6 +457,29 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         for failure in report.failures:
             print(f"invariant failure: {failure}", file=sys.stderr)
     return 0 if not report.failures and report.completed else 1
+
+
+def _cmd_loadtest_http(args: argparse.Namespace) -> int:
+    from repro.net import HttpLoadConfig, run_http_load
+
+    config = HttpLoadConfig(
+        url=args.http,
+        duration_seconds=args.duration,
+        concurrency=args.clients,
+        k=args.k,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+        token=args.token,
+    )
+    report = run_http_load(config)
+    text = report.render()
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"\nwrote {args.output}")
+    return 0 if report.ok > 0 and report.server_errors_5xx == 0 else 1
 
 
 def _cmd_obs_dump(args: argparse.Namespace) -> int:
@@ -535,7 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _serving_args(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
-            "--db-dir", required=True, help="ingested database directory"
+            "--db-dir",
+            default=None,
+            help="ingested database directory (required unless targeting "
+            "a running server via --url/--http)",
         )
         sub_parser.add_argument(
             "--workers", type=int, default=4, help="worker threads (default: 4)"
@@ -563,8 +708,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _serving_args(serve)
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve JSON over HTTP on this port (0 = ephemeral) instead "
+        "of running the canary check",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the catalog into N shard worker processes and "
+        "answer via scatter-gather (requires --http)",
+    )
+    serve.add_argument(
+        "--shards-dir",
+        default=None,
+        metavar="DIR",
+        help="shard directory to serve from (built on demand from "
+        "--db-dir when no manifest exists yet)",
+    )
     _trace_arg(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    shard = sub.add_parser(
+        "shard",
+        help="partition a database into shared-nothing shard directories",
+        description=(
+            "Build or inspect the shard layout used by "
+            "'classminer serve --http --shards'.  Each shard directory is "
+            "a complete out-of-core database holding a hash-partitioned "
+            "subset of the videos, plus a manifest.json describing the "
+            "full-corpus routing tree."
+        ),
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_build = shard_sub.add_parser(
+        "build", help="partition --db-dir into N shard directories"
+    )
+    shard_build.add_argument("--db-dir", required=True, help="source database")
+    shard_build.add_argument("--out", required=True, help="output directory")
+    shard_build.add_argument(
+        "--num", type=int, required=True, help="number of shards"
+    )
+    shard_build.set_defaults(func=_cmd_shard)
+    shard_inspect = shard_sub.add_parser(
+        "inspect", help="describe an existing shard manifest"
+    )
+    shard_inspect.add_argument("--dir", required=True, help="shard directory")
+    shard_inspect.set_defaults(func=_cmd_shard)
 
     health = sub.add_parser(
         "health",
@@ -577,6 +772,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _serving_args(health)
+    health.add_argument(
+        "--url",
+        default=None,
+        help="probe a running HTTP gateway (e.g. http://127.0.0.1:8080) "
+        "instead of standing up an in-process server",
+    )
     health.set_defaults(func=_cmd_health)
 
     loadtest = sub.add_parser(
@@ -607,6 +808,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of queries perturbed to defeat the cache (default: 0.25)",
     )
     loadtest.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadtest.add_argument(
+        "--http",
+        default=None,
+        metavar="URL",
+        help="drive a running HTTP gateway over real sockets instead of "
+        "the in-process server",
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="X-Deadline-Ms to send with every HTTP request",
+    )
+    loadtest.add_argument(
+        "--token", default=None, help="X-Auth-Token for scoped HTTP access"
+    )
     loadtest.add_argument(
         "-o", "--output", default=None, help="also write the report to a file"
     )

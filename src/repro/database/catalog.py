@@ -251,6 +251,52 @@ class VideoDatabase:
             leaf: list(entries) for leaf, entries in self._leaf_entries.items()
         }
 
+    def clone_subset(self, titles: "Iterable[str]") -> "VideoDatabase":
+        """A new in-RAM database holding only the given videos.
+
+        The shard builder's partitioning primitive.  Orderings are
+        preserved, not recomputed: each leaf keeps its surviving entries
+        in the original creation order and the flat index keeps the
+        original registration (global-ordinal) order, so within-shard
+        relative order always equals the unsharded relative order — the
+        invariant the scatter-gather merge relies on for bit-identical
+        tie-breaks.  Unknown titles raise :class:`DatabaseError`;
+        registration records (events, degradation flags) are copied.
+        """
+        wanted = set(titles)
+        missing = wanted - set(self._videos)
+        if missing:
+            raise DatabaseError(
+                f"cannot clone unregistered videos: {sorted(missing)}"
+            )
+        clone = VideoDatabase()
+        for leaf, entries in self._leaf_entries.items():
+            kept = [entry for entry in entries if entry.video_title in wanted]
+            if not kept:
+                continue
+            if "/" in leaf:
+                ensure_subject_area(clone._hierarchy, leaf.split("/", 1)[0])
+            clone._leaf_entries[leaf] = kept
+        clone._flat = FlatIndex(
+            [
+                entry
+                for entry in self._flat.entries
+                if entry.video_title in wanted
+            ]
+        )
+        for title in self._videos:
+            if title not in wanted:
+                continue
+            record = self._videos[title]
+            clone._videos[title] = RegisteredVideo(
+                title=record.title,
+                shot_count=record.shot_count,
+                scene_count=record.scene_count,
+                events=dict(record.events),
+                degraded_stages=record.degraded_stages,
+            )
+        return clone
+
     def build_index(self) -> IndexNode:
         """(Re)build the hierarchical index mirroring the concept tree."""
         if not self._videos:

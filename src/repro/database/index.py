@@ -190,7 +190,10 @@ class LeafHashIndex:
 
     def __init__(self) -> None:
         self._buckets: dict[tuple[int, ...], list[ShotEntry]] = {}
-        self._count = 0
+        # Parallel insertion-order list: the all-entries fallback must
+        # rank in registration order so a sharded merge by global
+        # ordinal reproduces the single-process tie-break exactly.
+        self._order: list[ShotEntry] = []
         # signature -> (entries, stacked features); None keys the
         # all-entries fallback block.  Rebuilt lazily, dropped on insert.
         self._blocks: dict[
@@ -201,7 +204,7 @@ class LeafHashIndex:
         """Add one shot to its signature bucket."""
         signature = leaf_signature(entry.features)
         self._buckets.setdefault(signature, []).append(entry)
-        self._count += 1
+        self._order.append(entry)
         self._blocks.clear()
 
     def probe(self, features: np.ndarray) -> list[ShotEntry]:
@@ -246,6 +249,30 @@ class LeafHashIndex:
         key = signature if self._buckets.get(signature) else None
         return self._block(key)
 
+    def bucket_block(
+        self, features: np.ndarray
+    ) -> tuple[list[ShotEntry], np.ndarray]:
+        """Signature-bucket block only — never the all-entries fallback.
+
+        A sharded probe must decide *globally* whether the bucket is
+        empty: one shard's empty bucket may be populated on another, so
+        each shard first reports just its own bucket and the coordinator
+        asks for a full leaf scan only when every shard came back empty.
+        """
+        signature = leaf_signature(features)
+        if not self._buckets.get(signature):
+            return [], np.empty((0, 0))
+        return self._block(signature)
+
+    def fallback_block(self) -> tuple[list[ShotEntry], np.ndarray]:
+        """The all-entries block, in insertion order.
+
+        What :meth:`probe_block` falls back to on an empty bucket; shard
+        workers serve it when the coordinator has established that a
+        query's bucket is empty on *every* shard.
+        """
+        return self._block(None)
+
     def warm(self) -> None:
         """Pre-build every bucket block plus the all-entries fallback."""
         for signature in self._buckets:
@@ -253,11 +280,11 @@ class LeafHashIndex:
         self._block(None)
 
     def all_entries(self) -> list[ShotEntry]:
-        """Every indexed shot."""
-        return [entry for bucket in self._buckets.values() for entry in bucket]
+        """Every indexed shot, in insertion order."""
+        return list(self._order)
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._order)
 
     @property
     def bucket_count(self) -> int:

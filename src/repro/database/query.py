@@ -126,34 +126,11 @@ def search_hierarchical(
     start = time.perf_counter()
     INDEX_STATS.descents += 1
     stats = QueryStats()
-    stats.visited_path.append(root.name)
-
-    frontier: list[IndexNode] = [root]
-    leaves: list[IndexNode] = []
-    while frontier:
-        next_frontier: list[tuple[float, IndexNode]] = []
-        for node in frontier:
-            if node.is_leaf:
-                leaves.append(node)
-                continue
-            next_frontier.extend(_child_scores(node, features, stats))
-        if not next_frontier:
-            break
-        next_frontier.sort(key=lambda item: item[0], reverse=True)
-        frontier = [child for _, child in next_frontier[:beam]]
-        for node in frontier:
-            stats.visited_path.append(node.name)
-
-    if allowed_leaves is not None:
-        leaves = [leaf for leaf in leaves if leaf.name in allowed_leaves]
-        if not leaves:
-            fallback = _best_permitted_leaf(root, features, allowed_leaves, stats)
-            if fallback is None:
-                stats.elapsed_seconds = time.perf_counter() - start
-                return QueryResult(hits=[], stats=stats)
-            leaves = [fallback]
-            stats.visited_path.append(fallback.name)
+    leaves = descend_to_leaves(root, features, stats, allowed_leaves, beam)
     if not leaves:
+        if allowed_leaves is not None:
+            stats.elapsed_seconds = time.perf_counter() - start
+            return QueryResult(hits=[], stats=stats)
         raise DatabaseError("descent reached no populated leaf")
 
     scored: list[RankedShot] = []
@@ -178,6 +155,53 @@ def search_hierarchical(
     stats.ranked = len(scored)
     stats.elapsed_seconds = time.perf_counter() - start
     return QueryResult(hits=scored[:k], stats=stats)
+
+
+def descend_to_leaves(
+    root: IndexNode,
+    features: np.ndarray,
+    stats: QueryStats,
+    allowed_leaves: set[str] | None = None,
+    beam: int = 2,
+) -> list[IndexNode]:
+    """The Eq. (25) beam descent, separated from leaf ranking.
+
+    Appends every visited node to ``stats.visited_path`` and counts the
+    centre comparisons into ``stats.comparisons``, exactly as
+    :func:`search_hierarchical` does — the scatter-gather coordinator
+    runs this same descent over its routing-metadata tree so a sharded
+    query visits (and pays for) the identical node sequence.  Returns
+    the reached leaves in visit order, or an empty list when an access
+    scope permits none of them.
+    """
+    if beam < 1:
+        raise DatabaseError("beam must be >= 1")
+    stats.visited_path.append(root.name)
+    frontier: list[IndexNode] = [root]
+    leaves: list[IndexNode] = []
+    while frontier:
+        next_frontier: list[tuple[float, IndexNode]] = []
+        for node in frontier:
+            if node.is_leaf:
+                leaves.append(node)
+                continue
+            next_frontier.extend(_child_scores(node, features, stats))
+        if not next_frontier:
+            break
+        next_frontier.sort(key=lambda item: item[0], reverse=True)
+        frontier = [child for _, child in next_frontier[:beam]]
+        for node in frontier:
+            stats.visited_path.append(node.name)
+
+    if allowed_leaves is not None:
+        leaves = [leaf for leaf in leaves if leaf.name in allowed_leaves]
+        if not leaves:
+            fallback = _best_permitted_leaf(root, features, allowed_leaves, stats)
+            if fallback is None:
+                return []
+            leaves = [fallback]
+            stats.visited_path.append(fallback.name)
+    return leaves
 
 
 def _best_permitted_leaf(

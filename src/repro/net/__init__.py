@@ -1,0 +1,59 @@
+"""Network serving: HTTP front-end + multi-process sharded scatter-gather.
+
+This package puts a wire in front of the serving stack (ROADMAP open
+item 2) using nothing but the standard library:
+
+* :mod:`repro.net.protocol` — length-prefixed JSON frames over local
+  TCP sockets, with a bit-exact base64 codec for float64 feature
+  vectors and a small pooled RPC client;
+* :mod:`repro.net.shard` — partitions a catalog into N shared-nothing
+  shard directories under a ``ShardSpec`` manifest that also replicates
+  the full-corpus routing metadata, so every shard's index tree routes
+  exactly like the unsharded one;
+* :mod:`repro.net.worker` — one process (or thread, in tests) per
+  shard, serving leaf probes, scans, flat scans and scene searches over
+  its own out-of-core :class:`~repro.storage.lazy.SQLVideoDatabase`;
+* :mod:`repro.net.cluster` — spawns/respawns worker subprocesses and
+  watches them;
+* :mod:`repro.net.coordinator` — the scatter-gather front: it runs the
+  hierarchical descent itself, fans leaf probes out to every shard,
+  and merges top-k **bit-identically** to the single-process
+  :class:`~repro.serving.server.QueryServer`, degrading per-shard via
+  circuit breakers instead of failing;
+* :mod:`repro.net.gateway` — the asyncio HTTP/1.1 JSON API
+  (``/query``, ``/scene_search``, ``/skim/{id}``, ``/health``,
+  ``/metrics``) with deadline propagation, bounded admission mapped to
+  503 + ``Retry-After``, and token auth resolved before the cache;
+* :mod:`repro.net.httpload` — a closed-loop load generator for the
+  HTTP path reporting latency percentiles and error classes.
+
+See ``docs/SHARDING.md`` for the wire protocol, the manifest format
+and the exactness argument behind the merge.
+"""
+
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.gateway import GatewayConfig, HttpGateway, probe_health
+from repro.net.httpload import HttpLoadConfig, HttpLoadReport, run_http_load
+from repro.net.protocol import ShardEndpoint, pack_array, unpack_array
+from repro.net.shard import ShardSpec, build_shards, load_manifest
+from repro.net.worker import ShardWorker
+
+__all__ = [
+    "CoordinatorConfig",
+    "GatewayConfig",
+    "HttpGateway",
+    "HttpLoadConfig",
+    "HttpLoadReport",
+    "ShardCluster",
+    "ShardEndpoint",
+    "ShardSpec",
+    "ShardWorker",
+    "ShardedQueryService",
+    "build_shards",
+    "load_manifest",
+    "pack_array",
+    "probe_health",
+    "run_http_load",
+    "unpack_array",
+]

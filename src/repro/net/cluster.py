@@ -1,0 +1,258 @@
+"""Shard cluster: spawn, watch and respawn worker subprocesses.
+
+:class:`ShardCluster` turns a shard root (the directory holding
+``manifest.json`` and the ``shard-NNNN`` catalogs) into a set of live
+worker processes, one per shard, each bound to an ephemeral localhost
+port.  Every worker announces itself with a ``READY <port>`` line on
+stdout; the cluster wraps each one in a
+:class:`~repro.net.protocol.ShardEndpoint`.
+
+A :class:`~repro.resilience.watchdog.Watchdog` polls the processes: a
+worker that died (crash, ``die`` fault op, OOM kill) is respawned on a
+fresh port and its endpoint re-pointed with
+:meth:`~repro.net.protocol.ShardEndpoint.reset` — the coordinator keeps
+running throughout and only sees the shard as missing while the
+replacement boots.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ServingError
+from repro.net.protocol import ShardEndpoint
+from repro.net.shard import ShardSpec, load_manifest
+from repro.resilience.watchdog import Watchdog
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess environment with ``repro`` importable."""
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            f"{src_dir}{os.pathsep}{existing}" if existing else src_dir
+        )
+    return env
+
+
+class ShardCluster:
+    """One subprocess worker per shard, watched and auto-respawned."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        spec: ShardSpec | None = None,
+        host: str = "127.0.0.1",
+        pool_size: int = 4,
+        default_timeout: float = 5.0,
+        spawn_timeout: float = 30.0,
+        watchdog_interval: float | None = 0.2,
+        inherit_stderr: bool = False,
+    ) -> None:
+        self._root = Path(root)
+        self.spec = spec if spec is not None else load_manifest(self._root)
+        self._host = host
+        self._pool_size = pool_size
+        self._default_timeout = default_timeout
+        self._spawn_timeout = spawn_timeout
+        self._watchdog_interval = watchdog_interval
+        self._stderr = None if inherit_stderr else subprocess.DEVNULL
+        self._procs: dict[int, subprocess.Popen] = {}
+        self.endpoints: list[ShardEndpoint] = []
+        self._watchdog: Watchdog | None = None
+        self._running = False
+        self._respawns = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ShardCluster":
+        """Spawn every worker and begin watching them (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        try:
+            for info in self.spec.shards:
+                port = self._spawn(info.shard_id)
+                self.endpoints.append(
+                    ShardEndpoint(
+                        shard_id=info.shard_id,
+                        host=self._host,
+                        port=port,
+                        pool_size=self._pool_size,
+                        default_timeout=self._default_timeout,
+                    )
+                )
+            if self._watchdog_interval is not None:
+                self._watchdog = Watchdog(
+                    self._repair,
+                    interval=self._watchdog_interval,
+                    name="shard-cluster-watchdog",
+                ).start()
+        except BaseException:
+            self._running = False
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Stop the watchdog, the workers, and close every endpoint."""
+        self._running = False
+        watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.stop()
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.perf_counter() + 5.0
+        for proc in self._procs.values():
+            remaining = max(deadline - time.perf_counter(), 0.1)
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs.clear()
+        endpoints, self.endpoints = self.endpoints, []
+        for endpoint in endpoints:
+            endpoint.close()
+
+    def __enter__(self) -> "ShardCluster":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- process management --------------------------------------------
+
+    def _spawn(self, shard_id: int) -> int:
+        """Launch one worker and wait for its ``READY <port>`` line."""
+        shard_dir = self.spec.shard_dir(self._root, shard_id)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.net.worker",
+                str(shard_dir),
+                "--host",
+                self._host,
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=self._stderr,
+            env=_worker_env(),
+            text=True,
+        )
+        try:
+            port = self._await_ready(proc, shard_id)
+        except BaseException:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            raise
+        self._procs[shard_id] = proc
+        return port
+
+    def _await_ready(self, proc: subprocess.Popen, shard_id: int) -> int:
+        # The worker writes exactly one line to stdout; a blocking
+        # readline is bounded by SIGALRM-free polling on the process
+        # itself plus the spawn timeout enforced by the caller's clock.
+        deadline = time.perf_counter() + self._spawn_timeout
+        assert proc.stdout is not None
+        while True:
+            if time.perf_counter() > deadline:
+                raise ServingError(
+                    f"shard {shard_id} worker did not report READY within "
+                    f"{self._spawn_timeout}s"
+                )
+            line = proc.stdout.readline()
+            if not line:
+                code = proc.poll()
+                raise ServingError(
+                    f"shard {shard_id} worker exited (code {code}) before READY"
+                )
+            line = line.strip()
+            if line.startswith("READY "):
+                try:
+                    return int(line.split(" ", 1)[1])
+                except ValueError as exc:
+                    raise ServingError(
+                        f"shard {shard_id} worker sent malformed READY: {line!r}"
+                    ) from exc
+
+    def _repair(self) -> int:
+        """Watchdog check: respawn dead workers on fresh ports."""
+        if not self._running:
+            return 0
+        repaired = 0
+        for endpoint in self.endpoints:
+            proc = self._procs.get(endpoint.shard_id)
+            if proc is not None and proc.poll() is None:
+                continue
+            try:
+                port = self._spawn(endpoint.shard_id)
+            except ServingError:
+                continue  # booting may fail transiently; retry next tick
+            endpoint.reset(self._host, port)
+            repaired += 1
+            self._respawns += 1
+        return repaired
+
+    # -- introspection / fault injection -------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    @property
+    def respawns(self) -> int:
+        """Workers respawned by the watchdog so far."""
+        return self._respawns
+
+    @property
+    def watchdog(self) -> Watchdog | None:
+        """The cluster watchdog (None while stopped or disabled)."""
+        return self._watchdog
+
+    def alive(self) -> list[int]:
+        """Shard ids whose worker process is currently alive."""
+        return sorted(
+            shard_id
+            for shard_id, proc in self._procs.items()
+            if proc.poll() is None
+        )
+
+    def kill(self, shard_id: int) -> None:
+        """Hard-kill one worker (fault injection for recovery tests)."""
+        proc = self._procs.get(shard_id)
+        if proc is None or proc.poll() is not None:
+            return
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+
+    def poke(self) -> int:
+        """Run one repair check synchronously (tests)."""
+        return self._repair()
+
+    def describe(self) -> str:
+        """Human-readable cluster status."""
+        alive = set(self.alive())
+        lines = [
+            f"shard cluster: {len(alive)}/{self.spec.num_shards} workers "
+            f"alive, {self._respawns} respawns"
+        ]
+        for endpoint in self.endpoints:
+            host, port = endpoint.address
+            state = "alive" if endpoint.shard_id in alive else "DEAD"
+            lines.append(
+                f"  shard {endpoint.shard_id}: {host}:{port} [{state}]"
+            )
+        return "\n".join(lines)

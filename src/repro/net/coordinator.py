@@ -1,0 +1,721 @@
+"""Scatter-gather coordinator over shard workers.
+
+:class:`ShardedQueryService` is the sharded counterpart of the
+in-process :class:`~repro.serving.server.QueryServer`: same request
+type, same result type, same cache/scope/deadline semantics — but the
+corpus lives in N shard worker processes and every feature query is a
+scatter-gather.
+
+**Exactness.**  With all shards healthy, results are bit-identical to
+the single-process path (ids, scores, tie-break order):
+
+* The coordinator itself runs the Eq. (25) beam descent over a routing
+  tree rebuilt from the manifest's full-corpus leaf metadata
+  (:func:`~repro.net.shard.build_routing_tree`), so the visited node
+  sequence and descent comparisons match the unsharded server.
+* Shards only execute leaf-level work.  A probe first returns each
+  leaf's *signature bucket* candidates; only when a leaf's bucket is
+  empty on **every** responding shard does the coordinator ask for that
+  leaf's all-entries scan — reproducing
+  :meth:`~repro.database.index.LeafHashIndex.probe_block`'s per-leaf
+  fallback decision at global scope.
+* Candidates carry global flat ordinals; within each leaf the shards'
+  sub-lists are merged by ascending ordinal, which reconstructs the
+  unsharded bucket/insertion order because hash-by-title sharding makes
+  every within-shard order an order-preserving subset of the global
+  one.  The final stable sort by descending score then ties off exactly
+  like the single-process ranking.
+* Workers ship feature payloads only for their *local* top-k: the
+  global comparator restricted to one shard's candidates equals that
+  shard's local order, so every global winner is inside its shard's
+  local top-k.
+
+**QueryStats aggregation** (documented contract, asserted by tests):
+``shot`` comparisons = coordinator descent comparisons + Σ per-leaf
+deduplicated candidates; ``shot_flat`` = Σ shard entry counts;
+``scene`` = Σ shard scene counts; ``event`` = 0.
+
+**Degradation.**  Each shard sits behind a circuit breaker; a shard
+that fails or is skipped by an open breaker is reported in
+``ServingResult.shards_missing`` with ``degraded=True`` and the answer
+covers the reachable shards.  Degraded results are never cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.database.access import User
+from repro.database.catalog import RegisteredVideo
+from repro.database.events_query import event_concept, query_event_records
+from repro.database.index import ShotEntry
+from repro.database.query import QueryStats, RankedShot, descend_to_leaves
+from repro.database.scene_search import RankedScene, SceneEntry
+from repro.errors import DatabaseError, OverloadedError, ServingError
+from repro.net.protocol import ShardEndpoint, pack_array, unpack_array
+from repro.net.shard import ShardSpec, build_routing_tree
+from repro.obs.trace import span as obs_span
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.health import HealthCheck, HealthReport
+from repro.serving.cache import CacheKey, ResultCache, request_digest, scope_token
+from repro.serving.metrics import QUERY_KINDS, ServingMetrics
+from repro.serving.server import QueryRequest, ServingResult
+from repro.types import EventKind
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Tuning knobs of one :class:`ShardedQueryService`.
+
+    Attributes
+    ----------
+    queue_depth:
+        Concurrent queries admitted; beyond it, callers get
+        :class:`~repro.errors.OverloadedError` (HTTP 503 upstream).
+    default_timeout:
+        Per-query deadline when the request carries none.
+    cache_capacity:
+        Resident entries in the LRU result cache.
+    beam:
+        Descent width (must match the single-process server for
+        bit-identical results; both default to 2).
+    breaker_threshold / breaker_reset:
+        Per-shard circuit breaker: consecutive failures to open, and
+        seconds until a half-open retry.  The reset is deliberately
+        short — a respawned worker should be folded back in quickly.
+    """
+
+    queue_depth: int = 64
+    default_timeout: float | None = 5.0
+    cache_capacity: int = 512
+    beam: int = 2
+    breaker_threshold: int = 3
+    breaker_reset: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ServingError("queue depth must be >= 1")
+        if self.beam < 1:
+            raise ServingError("beam must be >= 1")
+
+
+class ShardedQueryService:
+    """Scatter-gather query front over a set of shard endpoints.
+
+    The service does not own the worker processes — pass a
+    :class:`~repro.net.cluster.ShardCluster`'s ``endpoints`` (or any
+    other list of live :class:`~repro.net.protocol.ShardEndpoint`\\ s)
+    and manage their lifecycle outside.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        endpoints: list[ShardEndpoint],
+        config: CoordinatorConfig | None = None,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if len(endpoints) != spec.num_shards:
+            raise ServingError(
+                f"manifest names {spec.num_shards} shards but "
+                f"{len(endpoints)} endpoints were given"
+            )
+        self.spec = spec
+        self.config = config if config is not None else CoordinatorConfig()
+        self._endpoints = {ep.shard_id: ep for ep in endpoints}
+        self._metrics = metrics if metrics is not None else ServingMetrics()
+        self._hierarchy, self._root, self._controller = build_routing_tree(spec)
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._metrics.registry.register_collector(self._cache.metrics_snapshot)
+        self._breakers = {
+            ep.shard_id: CircuitBreaker(
+                name=f"shard-{ep.shard_id}",
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout=self.config.breaker_reset,
+                registry=self._metrics.registry,
+            )
+            for ep in endpoints
+        }
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 4 * len(endpoints)),
+            thread_name_prefix="scatter",
+        )
+        self._admission = threading.BoundedSemaphore(self.config.queue_depth)
+        self._generation = 1
+        self._scope_lock = threading.Lock()
+        self._scopes: dict[tuple[User, int], frozenset[str]] = {}
+        self._records_lock = threading.Lock()
+        self._records: dict[str, RegisteredVideo] = {}
+        self._records_missing: set[int] = set(self._endpoints)
+        self._last_errors: dict[int, str] = {}
+        self._closed = False
+        # Prime registration records (event queries, skims, degradation
+        # flags).  Per-shard failures are tolerated here — the fetch
+        # retries lazily once the shard comes back.
+        self._ensure_records(self._deadline(None))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the scatter pool down (endpoints are the caller's)."""
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Coordinator generation (bumped by :meth:`refresh`)."""
+        return self._generation
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """Live serving metrics."""
+        return self._metrics
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache."""
+        return self._cache
+
+    @property
+    def breakers(self) -> dict[int, CircuitBreaker]:
+        """Per-shard circuit breakers, by shard id."""
+        return dict(self._breakers)
+
+    def records(self) -> dict[str, RegisteredVideo]:
+        """Merged registration records of every reachable shard."""
+        self._ensure_records(self._deadline(None))
+        with self._records_lock:
+            return dict(self._records)
+
+    # -- scatter plumbing ----------------------------------------------
+
+    def _deadline(self, timeout: float | None) -> float | None:
+        if timeout is None:
+            timeout = self.config.default_timeout
+        return None if timeout is None else time.perf_counter() + timeout
+
+    def _scatter(
+        self,
+        request: dict,
+        deadline: float | None,
+        shard_ids: "list[int] | None" = None,
+    ) -> tuple[dict[int, dict], set[int]]:
+        """Send one op to shards; returns (responses, missing shard ids)."""
+        targets = sorted(self._endpoints) if shard_ids is None else shard_ids
+        responses: dict[int, dict] = {}
+        missing: set[int] = set()
+        futures: dict[int, Future] = {}
+        for shard_id in targets:
+            breaker = self._breakers[shard_id]
+            if not breaker.allow():
+                missing.add(shard_id)
+                continue
+            futures[shard_id] = self._executor.submit(
+                self._endpoints[shard_id].call, dict(request), deadline
+            )
+        for shard_id, future in futures.items():
+            breaker = self._breakers[shard_id]
+            try:
+                responses[shard_id] = future.result()
+            except Exception as exc:
+                breaker.record_failure()
+                missing.add(shard_id)
+                self._last_errors[shard_id] = str(exc)
+                self._metrics.registry.counter(
+                    "net_shard_failures_total",
+                    "Shard calls that failed or were skipped by a breaker.",
+                ).inc()
+            else:
+                breaker.record_success()
+        return responses, missing
+
+    def _ensure_records(self, deadline: float | None) -> set[int]:
+        """Fetch registration records from shards still missing them.
+
+        Returns the shard ids whose records are (still) missing.  Heals
+        automatically: the next event/skim query after a dead worker
+        respawns re-fetches just that shard's records.
+        """
+        with self._records_lock:
+            wanted = sorted(self._records_missing)
+        if not wanted:
+            return set()
+        responses, _failed = self._scatter(
+            {"op": "records"}, deadline, shard_ids=wanted
+        )
+        if responses:
+            with self._records_lock:
+                for shard_id, response in responses.items():
+                    for title, payload in response["records"].items():
+                        self._records[title] = RegisteredVideo(
+                            title=title,
+                            shot_count=int(payload["shot_count"]),
+                            scene_count=int(payload["scene_count"]),
+                            events={
+                                int(k): str(v)
+                                for k, v in payload["events"].items()
+                            },
+                            degraded_stages=tuple(
+                                payload["degraded_stages"]
+                            ),
+                        )
+                    self._records_missing.discard(shard_id)
+        with self._records_lock:
+            return set(self._records_missing)
+
+    # -- request validation / scope (mirrors QueryServer) --------------
+
+    def _validate(self, request: QueryRequest) -> None:
+        if request.kind not in QUERY_KINDS:
+            raise ServingError(
+                f"unknown query kind {request.kind!r}; "
+                f"expected one of {QUERY_KINDS}"
+            )
+        if request.kind == "event":
+            if request.event is None:
+                raise ServingError("event queries need an EventKind")
+        elif request.features is None:
+            raise ServingError(f"{request.kind} queries need a feature vector")
+        if request.kind == "shot_flat" and request.user is not None:
+            raise ServingError(
+                "the flat baseline does not support per-user access filtering"
+            )
+        if request.k < 1:
+            raise ServingError("k must be >= 1")
+
+    def _scope(self, user: User | None) -> tuple[frozenset[str] | None, str]:
+        if user is None:
+            return None, scope_token(None, None)
+        key = (user, self._generation)
+        with self._scope_lock:
+            leaves = self._scopes.get(key)
+        if leaves is None:
+            leaves = frozenset(self._controller.permitted_leaves(user))
+            with self._scope_lock:
+                self._scopes[key] = leaves
+        return leaves, scope_token(user, leaves)
+
+    # -- the public query path -----------------------------------------
+
+    def query(self, request: QueryRequest) -> ServingResult:
+        """Execute one query with scatter-gather; blocking.
+
+        Raises :class:`~repro.errors.OverloadedError` beyond
+        ``queue_depth`` concurrent queries, and typed errors exactly
+        like the single-process server for malformed requests.
+        """
+        self._validate(request)
+        if self._closed:
+            raise ServingError("sharded service is closed")
+        if not self._admission.acquire(blocking=False):
+            self._metrics.record_rejection()
+            raise OverloadedError(
+                f"coordinator at capacity ({self.config.queue_depth} "
+                "in flight); back off and retry"
+            )
+        try:
+            with obs_span("net.query", kind=request.kind) as sp:
+                result = self._execute(request)
+                sp.set(
+                    cache_hit=result.cache_hit,
+                    generation=result.generation,
+                    hits=len(result.hits),
+                    shards_missing=len(result.shards_missing),
+                )
+                return result
+        finally:
+            self._admission.release()
+
+    def _execute(self, request: QueryRequest) -> ServingResult:
+        start = time.perf_counter()
+        deadline = self._deadline(request.timeout)
+        leaves, scope = self._scope(request.user)
+        key = CacheKey(
+            kind=request.kind,
+            digest=request_digest(request),
+            k=request.k,
+            scope=scope,
+            generation=self._generation,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            elapsed = time.perf_counter() - start
+            self._metrics.record_query(request.kind, elapsed, cache_hit=True)
+            return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
+
+        if request.kind == "shot":
+            hits, comparisons, missing = self._shot(request, leaves, deadline)
+        elif request.kind == "shot_flat":
+            hits, comparisons, missing = self._flat(request, deadline)
+        elif request.kind == "scene":
+            hits, comparisons, missing = self._scene(request, leaves, deadline)
+        else:  # event
+            hits, comparisons, missing = self._event(request, deadline)
+
+        degraded_videos = any(
+            record.degraded_stages for record in self._records.values()
+        )
+        degraded = bool(missing) or degraded_videos
+        elapsed = time.perf_counter() - start
+        result = ServingResult(
+            kind=request.kind,
+            hits=hits,
+            generation=self._generation,
+            cache_hit=False,
+            elapsed_seconds=elapsed,
+            comparisons=comparisons,
+            degraded=degraded,
+            shards_missing=tuple(sorted(missing)),
+        )
+        if missing:
+            self._metrics.registry.counter(
+                "net_degraded_responses_total",
+                "Answers computed with at least one shard missing.",
+            ).inc()
+        else:
+            # Cache only full-strength answers: a degraded answer served
+            # from cache after the shard recovered would silently keep
+            # returning partial results.
+            self._cache.put(key, result)
+        self._metrics.record_query(
+            request.kind, elapsed, comparisons=comparisons, cache_hit=False
+        )
+        return result
+
+    def _require_responses(self, responses: dict, missing: set[int]) -> None:
+        if responses:
+            return
+        detail = "; ".join(
+            f"shard {sid}: {self._last_errors.get(sid, 'breaker open')}"
+            for sid in sorted(missing)
+        )
+        raise ServingError(f"no shard responded ({detail})")
+
+    # -- kind executors ------------------------------------------------
+
+    def _shot(
+        self,
+        request: QueryRequest,
+        scope_leaves: frozenset[str] | None,
+        deadline: float | None,
+    ) -> tuple[tuple, int, set[int]]:
+        stats = QueryStats()
+        allowed = set(scope_leaves) if scope_leaves is not None else None
+        leaves = descend_to_leaves(
+            self._root, request.features, stats, allowed, self.config.beam
+        )
+        if not leaves:
+            if allowed is not None:
+                return (), stats.comparisons, set()
+            raise DatabaseError("descent reached no populated leaf")
+        names = [leaf.name for leaf in leaves]
+        base = {
+            "features": pack_array(request.features),
+            "k": int(request.k),
+            "leaves": names,
+        }
+        probe, missing = self._scatter(dict(base, op="probe"), deadline)
+        self._require_responses(probe, missing)
+
+        # Per-leaf fallback decision at *global* scope: a leaf scans all
+        # entries only when its signature bucket is empty on every
+        # responding shard — the sharded equivalent of probe_block.
+        empty = [
+            name
+            for name in names
+            if all(
+                response["leaves"][name]["bucket"] == 0
+                for response in probe.values()
+            )
+        ]
+        scan: dict[int, dict] = {}
+        if empty:
+            scan, scan_missing = self._scatter(
+                dict(base, op="scan", leaves=empty),
+                deadline,
+                shard_ids=sorted(probe),
+            )
+            missing |= scan_missing
+            # Keep the per-leaf view consistent: only shards that
+            # answered both phases contribute candidates.
+            probe = {sid: probe[sid] for sid in probe if sid in scan}
+            self._require_responses(probe, missing)
+
+        features_by_ord: dict[str, np.ndarray] = {}
+        for source in (probe, scan):
+            for response in source.values():
+                for ordinal, packed in response["features"].items():
+                    features_by_ord[ordinal] = unpack_array(packed)
+
+        merged: list[list] = []
+        seen: set[tuple[str, int]] = set()
+        comparisons = stats.comparisons
+        for name in names:
+            source = scan if name in empty else probe
+            candidates: list[list] = []
+            for response in source.values():
+                candidates.extend(response["leaves"][name]["candidates"])
+            # Ascending global ordinal == the unsharded bucket/insertion
+            # order (within-shard orders are order-preserving subsets).
+            candidates.sort(key=lambda item: item[0])
+            kept = 0
+            for item in candidates:
+                shot_key = (item[1], int(item[2]))
+                if shot_key in seen:
+                    continue
+                seen.add(shot_key)
+                merged.append(item)
+                kept += 1
+            comparisons += kept
+        merged.sort(key=lambda item: item[4], reverse=True)  # stable
+        hits = tuple(
+            RankedShot(
+                entry=ShotEntry(
+                    video_title=item[1],
+                    shot_id=int(item[2]),
+                    scene_id=int(item[3]),
+                    features=self._shipped(features_by_ord, item[0]),
+                ),
+                score=float(item[4]),
+            )
+            for item in merged[: request.k]
+        )
+        return hits, comparisons, missing
+
+    def _flat(
+        self, request: QueryRequest, deadline: float | None
+    ) -> tuple[tuple, int, set[int]]:
+        responses, missing = self._scatter(
+            {
+                "op": "flat",
+                "features": pack_array(request.features),
+                "k": int(request.k),
+            },
+            deadline,
+        )
+        self._require_responses(responses, missing)
+        candidates: list[list] = []
+        features_by_ord: dict[str, np.ndarray] = {}
+        total = 0
+        for response in responses.values():
+            candidates.extend(response["candidates"])
+            total += int(response["total"])
+            for ordinal, packed in response["features"].items():
+                features_by_ord[ordinal] = unpack_array(packed)
+        # The flat baseline's stable sort over registration order is
+        # exactly (-score, global ordinal).
+        candidates.sort(key=lambda item: (-item[4], item[0]))
+        hits = tuple(
+            RankedShot(
+                entry=ShotEntry(
+                    video_title=item[1],
+                    shot_id=int(item[2]),
+                    scene_id=int(item[3]),
+                    features=self._shipped(features_by_ord, item[0]),
+                ),
+                score=float(item[4]),
+            )
+            for item in candidates[: request.k]
+        )
+        return hits, total, missing
+
+    def _scene(
+        self,
+        request: QueryRequest,
+        scope_leaves: frozenset[str] | None,
+        deadline: float | None,
+    ) -> tuple[tuple, int, set[int]]:
+        message = {
+            "op": "scene",
+            "features": pack_array(request.features),
+            "k": int(request.k),
+        }
+        if request.event is not None:
+            message["event"] = request.event.value
+        responses, missing = self._scatter(message, deadline)
+        self._require_responses(responses, missing)
+        candidates: list[list] = []
+        centroids: dict[str, np.ndarray] = {}
+        count = 0
+        for response in responses.values():
+            candidates.extend(response["candidates"])
+            count += int(response["count"])
+            for key, packed in response["centroids"].items():
+                centroids[key] = unpack_array(packed)
+        if count == 0 and not missing:
+            raise DatabaseError("scene index is empty")
+        # Scene insertion order is sorted (title, scene_id) on every
+        # path, so the stable tie-break is (-score, (title, scene_id)).
+        candidates.sort(key=lambda item: (-item[4], (item[0], int(item[1]))))
+        hits = []
+        for item in candidates[: request.k]:
+            entry = SceneEntry(
+                video_title=item[0],
+                scene_id=int(item[1]),
+                event=EventKind(item[2]),
+                shot_count=int(item[3]),
+                centroid=centroids[f"{item[0]}\x00{int(item[1])}"],
+            )
+            hits.append(RankedScene(entry=entry, score=float(item[4])))
+        if scope_leaves is not None:
+            hits = [
+                hit
+                for hit in hits
+                if event_concept(hit.entry.video_title, hit.entry.event)
+                in scope_leaves
+            ]
+        return tuple(hits), count, missing
+
+    def _event(
+        self, request: QueryRequest, deadline: float | None
+    ) -> tuple[tuple, int, set[int]]:
+        missing = self._ensure_records(deadline)
+        with self._records_lock:
+            records = dict(self._records)
+        hits = tuple(
+            query_event_records(
+                records,
+                self._controller,
+                request.event,
+                user=request.user,
+                video_title=request.video_title,
+            )
+        )
+        return hits, 0, missing
+
+    @staticmethod
+    def _shipped(
+        features_by_ord: dict[str, np.ndarray], ordinal: int
+    ) -> np.ndarray:
+        payload = features_by_ord.get(str(ordinal))
+        if payload is None:
+            raise ServingError(
+                f"shard shipped no features for winning candidate {ordinal}"
+            )
+        return payload
+
+    # -- maintenance ---------------------------------------------------
+
+    def refresh(self) -> int:
+        """Reload every shard's database and bump the generation.
+
+        The sharded analogue of :meth:`QueryServer.refresh
+        <repro.serving.server.QueryServer>`: shards reopen their SQL
+        catalogs, the coordinator's cache drops the old generation, and
+        registration records are re-fetched.
+        """
+        deadline = self._deadline(None)
+        responses, missing = self._scatter({"op": "reload"}, deadline)
+        self._require_responses(responses, missing)
+        self._generation += 1
+        self._cache.evict_other_generations(self._generation)
+        with self._scope_lock:
+            self._scopes = {}
+        with self._records_lock:
+            self._records = {}
+            self._records_missing = set(self._endpoints)
+        self._ensure_records(deadline)
+        self._metrics.record_generation_swap()
+        return self._generation
+
+    def sample_features(self, n: int = 16) -> list[np.ndarray]:
+        """Corpus feature vectors sampled across shards (loadgen pools)."""
+        per_shard = max(1, -(-n // max(1, len(self._endpoints))))
+        responses, _missing = self._scatter(
+            {"op": "sample", "n": per_shard}, self._deadline(None)
+        )
+        pools = [
+            [unpack_array(packed) for packed in response["features"]]
+            for _, response in sorted(responses.items())
+        ]
+        merged: list[np.ndarray] = []
+        while pools and len(merged) < n:
+            for pool in pools:
+                if pool:
+                    merged.append(pool.pop(0))
+            pools = [pool for pool in pools if pool]
+        return merged[:n]
+
+    def health_report(self) -> HealthReport:
+        """Live/ready/degraded verdict over the shard fleet."""
+        responses, missing = self._scatter(
+            {"op": "ping"}, self._deadline(None)
+        )
+        checks = []
+        for shard_id in sorted(self._endpoints):
+            endpoint = self._endpoints[shard_id]
+            host, port = endpoint.address
+            if shard_id in responses:
+                generation = responses[shard_id].get("generation")
+                checks.append(
+                    HealthCheck(
+                        name=f"shard-{shard_id}",
+                        ok=True,
+                        detail=f"{host}:{port} generation {generation}",
+                    )
+                )
+            else:
+                checks.append(
+                    HealthCheck(
+                        name=f"shard-{shard_id}",
+                        ok=False,
+                        detail=self._last_errors.get(
+                            shard_id, "breaker open"
+                        ),
+                    )
+                )
+        degraded_videos = any(
+            record.degraded_stages for record in self._records.values()
+        )
+        checks.append(
+            HealthCheck(
+                name="corpus",
+                ok=not degraded_videos,
+                detail=f"{len(self._records)} videos known",
+            )
+        )
+        return HealthReport(
+            live=True,
+            ready=bool(responses),
+            degraded=bool(missing) or degraded_videos,
+            checks=checks,
+        )
+
+    def describe(self) -> str:
+        """Plain-text status: shards, breakers, cache, metrics."""
+        report = self.health_report()
+        stats = self._cache.stats()
+        lines = [
+            f"sharded service: {self.spec.num_shards} shards, "
+            f"generation {self._generation}, status {report.status}",
+        ]
+        for check in report.checks:
+            lines.append(
+                f"  {check.name}: {'ok' if check.ok else 'FAIL'} "
+                f"({check.detail})"
+            )
+        lines.append(
+            f"  cache: {len(self._cache)}/{self._cache.capacity} entries, "
+            f"hit rate {stats.hit_rate * 100:.1f}%"
+        )
+        lines.append(
+            "  breakers: "
+            + "; ".join(
+                self._breakers[sid].describe() for sid in sorted(self._breakers)
+            )
+        )
+        lines.append(self._metrics.render())
+        return "\n".join(lines)

@@ -1,0 +1,732 @@
+"""Asyncio HTTP/1.1 JSON gateway over a query backend.
+
+Pure standard library: one daemon thread runs an asyncio event loop
+with :func:`asyncio.start_server`; blocking backend calls are pushed to
+a bounded thread pool so the loop itself never stalls.  The gateway can
+front either the in-process :class:`~repro.serving.server.QueryServer`
+or the sharded :class:`~repro.net.coordinator.ShardedQueryService` —
+both are wrapped in a tiny backend adapter.
+
+Endpoints (all JSON):
+
+=============================  =======================================
+``POST /query``                full query surface (``kind``,
+                               ``features``, ``k``, ``event``,
+                               ``video_title``)
+``POST /scene_search``         shorthand for ``kind: scene``
+``GET  /skim/{video_id}``      a video's scene/event outline
+``GET  /health``               200 ok / 207 degraded / 503 down
+``GET  /metrics``              Prometheus text (``repro.obs`` registry)
+``GET  /workload?n=N``         corpus feature vectors for loadgen
+=============================  =======================================
+
+Contract details the tests pin down:
+
+* ``X-Deadline-Ms`` propagates a per-request deadline; a request whose
+  deadline is already spent on arrival gets 504 without executing.
+* Admission is bounded (``max_inflight``); beyond it the gateway sheds
+  load with 503 + ``Retry-After`` instead of queueing unboundedly.
+  Backend :class:`~repro.errors.OverloadedError` maps to the same 503.
+* ``X-Auth-Token`` resolves to a :class:`~repro.database.access.User`
+  *before* any cache interaction (the scope is part of the backend's
+  cache key, so cached results can never cross tokens).  Unknown
+  tokens get 401; no token means anonymous.
+* Bodies above ``max_body`` get 413; malformed JSON gets 400; unknown
+  paths get 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.database.access import User
+from repro.errors import (
+    DatabaseError,
+    OverloadedError,
+    ReproError,
+    ServingError,
+)
+from repro.obs.export import render_prometheus
+from repro.resilience.health import HealthCheck, HealthReport, server_health
+from repro.serving.server import QueryRequest, QueryServer, ServingResult
+from repro.types import EventKind
+
+_REASONS = {
+    200: "OK",
+    207: "Multi-Status",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Validation-failure message prefixes the backend raises as
+#: :class:`ServingError`; the gateway maps these to 400, everything
+#: else to 500/504.
+_CLIENT_ERRORS = (
+    "unknown query kind",
+    "event queries need",
+    "shot queries need",
+    "shot_flat queries need",
+    "scene queries need",
+    "the flat baseline does not support",
+    "k must be",
+)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tuning knobs of one :class:`HttpGateway`.
+
+    ``tokens`` maps ``X-Auth-Token`` values to users; an empty map
+    means the gateway only serves anonymous traffic.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    tokens: dict[str, User] = field(default_factory=dict)
+    max_body: int = 1024 * 1024
+    max_inflight: int = 64
+    default_timeout: float | None = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ServingError("max_inflight must be >= 1")
+        if self.max_body < 1:
+            raise ServingError("max_body must be >= 1")
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status + JSON error payload."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class _Backend:
+    """Adapter surface the gateway needs from a query backend."""
+
+    def query(self, request: QueryRequest) -> ServingResult:
+        """Execute one blocking query."""
+        raise NotImplementedError
+
+    def records(self) -> dict:
+        """Registration records by title (skim endpoint)."""
+        raise NotImplementedError
+
+    def health(self) -> HealthReport:
+        """Current health verdict."""
+        raise NotImplementedError
+
+    def sample_features(self, n: int) -> list[np.ndarray]:
+        """Corpus feature vectors (workload endpoint)."""
+        raise NotImplementedError
+
+    def metrics_registry(self):
+        """The metrics registry to expose on ``/metrics``."""
+        raise NotImplementedError
+
+
+class _LocalBackend(_Backend):
+    """Adapter over the in-process :class:`QueryServer`."""
+
+    def __init__(self, server: QueryServer) -> None:
+        self._server = server
+
+    def query(self, request: QueryRequest) -> ServingResult:
+        """Delegate to :meth:`QueryServer.query`."""
+        return self._server.query(request)
+
+    def records(self) -> dict:
+        """Records of the current snapshot."""
+        return dict(self._server.manager.current().records)
+
+    def health(self) -> HealthReport:
+        """Standard single-server health probe."""
+        return server_health(self._server)
+
+    def sample_features(self, n: int) -> list[np.ndarray]:
+        """Evenly spaced entries of the snapshot's flat index."""
+        entries = self._server.manager.current().flat.entries
+        if not entries:
+            return []
+        picks = sorted(
+            {int(i) for i in np.linspace(0, len(entries) - 1, min(n, len(entries)))}
+        )
+        return [entries[i].features for i in picks]
+
+    def metrics_registry(self):
+        """The server's metrics registry."""
+        return self._server.metrics.registry
+
+
+class _ShardedBackend(_Backend):
+    """Adapter over the scatter-gather coordinator."""
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def query(self, request: QueryRequest) -> ServingResult:
+        """Delegate to :meth:`ShardedQueryService.query`."""
+        return self._service.query(request)
+
+    def records(self) -> dict:
+        """Merged shard records."""
+        return self._service.records()
+
+    def health(self) -> HealthReport:
+        """Fleet health verdict."""
+        return self._service.health_report()
+
+    def sample_features(self, n: int) -> list[np.ndarray]:
+        """Cross-shard feature sample."""
+        return self._service.sample_features(n)
+
+    def metrics_registry(self):
+        """The coordinator's metrics registry."""
+        return self._service.metrics.registry
+
+
+def _wrap_backend(backend) -> _Backend:
+    if isinstance(backend, _Backend):
+        return backend
+    if isinstance(backend, QueryServer):
+        return _LocalBackend(backend)
+    return _ShardedBackend(backend)
+
+
+def _serialize_hit(kind: str, hit) -> dict:
+    if kind in ("shot", "shot_flat"):
+        return {
+            "video_title": hit.entry.video_title,
+            "shot_id": hit.entry.shot_id,
+            "scene_id": hit.entry.scene_id,
+            "score": hit.score,
+        }
+    if kind == "scene":
+        return {
+            "video_title": hit.entry.video_title,
+            "scene_id": hit.entry.scene_id,
+            "event": hit.entry.event.value,
+            "shot_count": hit.entry.shot_count,
+            "score": hit.score,
+        }
+    return {
+        "video_title": hit.video_title,
+        "scene_id": hit.scene_id,
+        "event": hit.event.value,
+        "concept": hit.concept,
+    }
+
+
+def _serialize_result(result: ServingResult) -> dict:
+    return {
+        "kind": result.kind,
+        "hits": [_serialize_hit(result.kind, hit) for hit in result.hits],
+        "generation": result.generation,
+        "cache_hit": result.cache_hit,
+        "elapsed_ms": result.elapsed_seconds * 1000.0,
+        "comparisons": result.comparisons,
+        "degraded": result.degraded,
+        "shards_missing": list(result.shards_missing),
+    }
+
+
+class HttpGateway:
+    """HTTP/1.1 JSON front-end on a dedicated asyncio thread."""
+
+    def __init__(self, backend, config: GatewayConfig | None = None) -> None:
+        self._backend = _wrap_backend(backend)
+        self.config = config if config is not None else GatewayConfig()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._port: int | None = None
+        self._inflight = threading.BoundedSemaphore(self.config.max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="gateway",
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "HttpGateway":
+        """Bind the socket and start serving (returns once listening)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="http-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise ServingError(
+                f"gateway failed to start: {self._startup_error}"
+            )
+        if self._port is None:
+            raise ServingError("gateway did not come up within 10s")
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the loop thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "HttpGateway":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        if self._port is None:
+            raise ServingError("gateway is not running")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the gateway."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle_connection,
+                    host=self.config.host,
+                    port=self.config.port,
+                )
+            )
+            self._server = server
+            self._port = server.sockets[0].getsockname()[1]
+            self._started.set()
+            loop.run_forever()
+        except BaseException as exc:  # surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+        finally:
+            if self._server is not None:
+                self._server.close()
+                try:
+                    loop.run_until_complete(self._server.wait_closed())
+                except Exception:
+                    pass
+            # Idle keep-alive connections hold parked _handle_connection
+            # tasks; cancel them or loop.close() warns about pending tasks.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                try:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                except Exception:
+                    pass
+            loop.close()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return False
+        if not request_line or request_line.strip() == b"":
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request line"}, close=True
+            )
+            return False
+
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if b":" in line:
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+
+        keep_alive = version.upper() != "HTTP/1.0" and (
+            headers.get("connection", "").lower() != "close"
+        )
+
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "invalid Content-Length"}, close=True
+            )
+            return False
+        if length > self.config.max_body:
+            await self._respond(
+                writer,
+                413,
+                {
+                    "error": (
+                        f"body of {length} bytes exceeds limit of "
+                        f"{self.config.max_body}"
+                    )
+                },
+                close=True,
+            )
+            # Drain what the client already committed to sending, so it
+            # can finish writing and read the 413 instead of an EPIPE;
+            # then close (unbounded keep-alive after a refused body
+            # would let a client stream forever).
+            drained = 0
+            while drained < length:
+                chunk = await reader.read(min(65536, length - drained))
+                if not chunk:
+                    break
+                drained += len(chunk)
+            return False
+        body = await reader.readexactly(length) if length else b""
+
+        status, payload, extra = await self._route(
+            method, target, headers, body
+        )
+        text = payload if isinstance(payload, str) else None
+        await self._respond(
+            writer,
+            status,
+            payload if text is None else None,
+            text=text,
+            extra=extra,
+            close=not keep_alive,
+        )
+        return keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | None,
+        text: str | None = None,
+        extra: dict | None = None,
+        close: bool = False,
+    ) -> None:
+        if text is not None:
+            body = text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload if payload is not None else {}).encode(
+                "utf-8"
+            )
+            content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict | str, dict]:
+        path, _, query_string = target.partition("?")
+        try:
+            if path == "/health":
+                self._require_method(method, "GET")
+                return await self._ep_health()
+            if path == "/metrics":
+                self._require_method(method, "GET")
+                return 200, render_prometheus(self._backend.metrics_registry()), {}
+            if path == "/workload":
+                self._require_method(method, "GET")
+                return await self._ep_workload(query_string)
+            if path.startswith("/skim/"):
+                self._require_method(method, "GET")
+                return await self._ep_skim(path[len("/skim/") :], headers)
+            if path in ("/query", "/scene_search"):
+                self._require_method(method, "POST")
+                return await self._ep_query(path, headers, body)
+            raise _HttpError(404, f"no such endpoint: {path}")
+        except _HttpError as exc:
+            extra = {}
+            if exc.retry_after is not None:
+                extra["Retry-After"] = f"{exc.retry_after:g}"
+            return exc.status, {"error": exc.message}, extra
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method.upper() != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    def _resolve_user(self, headers: dict[str, str]) -> User | None:
+        token = headers.get("x-auth-token")
+        if token is None:
+            return None
+        user = self.config.tokens.get(token)
+        if user is None:
+            raise _HttpError(401, "unknown auth token")
+        return user
+
+    def _resolve_timeout(self, headers: dict[str, str]) -> float | None:
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            return self.config.default_timeout
+        try:
+            deadline_ms = float(raw)
+        except ValueError:
+            raise _HttpError(400, f"invalid X-Deadline-Ms: {raw!r}") from None
+        if deadline_ms <= 0:
+            raise _HttpError(504, "deadline expired on arrival")
+        return deadline_ms / 1000.0
+
+    async def _offload(self, fn, *args):
+        """Run a blocking backend call on the bounded gateway pool."""
+        if not self._inflight.acquire(blocking=False):
+            raise _HttpError(
+                503,
+                f"gateway at capacity ({self.config.max_inflight} in flight)",
+                retry_after=1.0,
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._executor, fn, *args)
+        finally:
+            self._inflight.release()
+
+    # -- endpoints -----------------------------------------------------
+
+    async def _ep_query(
+        self, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict, dict]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        user = self._resolve_user(headers)
+        timeout = self._resolve_timeout(headers)
+
+        kind = payload.get("kind", "shot")
+        if path == "/scene_search":
+            kind = "scene"
+        features = None
+        if payload.get("features") is not None:
+            try:
+                features = np.asarray(payload["features"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise _HttpError(400, f"invalid features: {exc}") from None
+            if features.ndim != 1:
+                raise _HttpError(400, "features must be a flat number list")
+        event = None
+        if payload.get("event") is not None:
+            try:
+                event = EventKind(payload["event"])
+            except ValueError:
+                raise _HttpError(
+                    400, f"unknown event kind: {payload['event']!r}"
+                ) from None
+        try:
+            k = int(payload.get("k", 10))
+        except (TypeError, ValueError):
+            raise _HttpError(400, "k must be an integer") from None
+
+        request = QueryRequest(
+            kind=str(kind),
+            features=features,
+            k=k,
+            user=user,
+            event=event,
+            video_title=payload.get("video_title"),
+            timeout=timeout,
+        )
+        try:
+            result = await self._offload(self._backend.query, request)
+        except OverloadedError as exc:
+            raise _HttpError(503, str(exc), retry_after=1.0) from None
+        except ServingError as exc:
+            message = str(exc)
+            if message.startswith(_CLIENT_ERRORS):
+                raise _HttpError(400, message) from None
+            if "deadline" in message:
+                raise _HttpError(504, message) from None
+            raise _HttpError(500, message) from None
+        except DatabaseError as exc:
+            message = str(exc)
+            if "not registered" in message:
+                raise _HttpError(404, message) from None
+            raise _HttpError(500, message) from None
+        except ReproError as exc:
+            raise _HttpError(500, str(exc)) from None
+        return 200, _serialize_result(result), {}
+
+    async def _ep_skim(
+        self, video_id: str, headers: dict[str, str]
+    ) -> tuple[int, dict, dict]:
+        self._resolve_user(headers)  # auth applies, scope does not: skims
+        # expose only registration metadata, never feature content.
+        if not video_id:
+            raise _HttpError(404, "missing video id")
+        records = await self._offload(self._backend.records)
+        record = records.get(video_id)
+        if record is None:
+            raise _HttpError(404, f"video {video_id!r} is not registered")
+        scenes = [
+            {"scene_id": scene_id, "event": value}
+            for scene_id, value in sorted(record.events.items())
+        ]
+        return (
+            200,
+            {
+                "video_id": video_id,
+                "shot_count": record.shot_count,
+                "scene_count": record.scene_count,
+                "scenes": scenes,
+                "degraded_stages": list(record.degraded_stages),
+            },
+            {},
+        )
+
+    async def _ep_health(self) -> tuple[int, dict, dict]:
+        report = await self._offload(self._backend.health)
+        status_code = {"ok": 200, "degraded": 207, "down": 503}[report.status]
+        return (
+            status_code,
+            {
+                "status": report.status,
+                "live": report.live,
+                "ready": report.ready,
+                "degraded": report.degraded,
+                "exit_code": report.exit_code,
+                "checks": [
+                    {"name": c.name, "ok": c.ok, "detail": c.detail}
+                    for c in report.checks
+                ],
+            },
+            {},
+        )
+
+    async def _ep_workload(self, query_string: str) -> tuple[int, dict, dict]:
+        n = 16
+        for part in query_string.split("&"):
+            if part.startswith("n="):
+                try:
+                    n = max(1, min(int(part[2:]), 512))
+                except ValueError:
+                    raise _HttpError(400, "n must be an integer") from None
+        pool = await self._offload(self._backend.sample_features, n)
+        return (
+            200,
+            {"features": [[float(x) for x in vector] for vector in pool]},
+            {},
+        )
+
+
+def probe_health(url: str, timeout: float = 5.0) -> HealthReport:
+    """Probe a running gateway's ``/health`` (``classminer health --url``).
+
+    Maps transport failures to a ``down`` report rather than raising,
+    so the CLI's 0/1/2 exit-code contract holds for dead servers too.
+    """
+    target = url.rstrip("/") + "/health"
+    try:
+        with urllib.request.urlopen(target, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        # 503 carries the JSON verdict too; other codes mean "down".
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            return HealthReport(
+                live=False,
+                ready=False,
+                degraded=True,
+                checks=[
+                    HealthCheck("http", False, f"HTTP {exc.code} from {target}")
+                ],
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return HealthReport(
+            live=False,
+            ready=False,
+            degraded=True,
+            checks=[HealthCheck("http", False, f"unreachable: {exc}")],
+        )
+    try:
+        return HealthReport(
+            live=bool(payload["live"]),
+            ready=bool(payload["ready"]),
+            degraded=bool(payload["degraded"]),
+            checks=[
+                HealthCheck(
+                    name=str(check["name"]),
+                    ok=bool(check["ok"]),
+                    detail=str(check.get("detail", "")),
+                )
+                for check in payload.get("checks", [])
+            ],
+        )
+    except (KeyError, TypeError) as exc:
+        return HealthReport(
+            live=False,
+            ready=False,
+            degraded=True,
+            checks=[HealthCheck("http", False, f"malformed health body: {exc}")],
+        )

@@ -1,0 +1,303 @@
+"""Closed-loop HTTP load generator for the gateway.
+
+``classminer loadtest --http URL`` drives a *running* gateway over real
+sockets — unlike :mod:`repro.serving.loadgen`, which exercises the
+in-process server.  Query vectors come from the gateway's own
+``GET /workload`` endpoint, so the client needs no local database.
+
+Error classes are counted separately, because they mean different
+things under saturation: ``503`` is the admission control working
+(shed load, honour ``Retry-After``), ``timeout`` (socket timeouts and
+504) is the latency budget failing, and other ``5xx`` is the server
+actually breaking.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import random
+import socket
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+
+#: Query-kind mix, matching the in-process loadgen's default.
+DEFAULT_HTTP_MIX = {"shot": 0.55, "shot_flat": 0.15, "scene": 0.2, "event": 0.1}
+
+_EVENT_VALUES = ("presentation", "dialog", "clinical_operation")
+
+
+@dataclass(frozen=True)
+class HttpLoadConfig:
+    """One HTTP load run.
+
+    ``deadline_ms`` is sent as ``X-Deadline-Ms`` on every request;
+    ``None`` leaves the server's default in place.
+    """
+
+    url: str
+    duration_seconds: float = 5.0
+    concurrency: int = 8
+    k: int = 10
+    mix: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_HTTP_MIX)
+    )
+    deadline_ms: float | None = None
+    pool_size: int = 64
+    seed: int = 0
+    token: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ServingError("duration must be > 0")
+        if self.concurrency < 1:
+            raise ServingError("concurrency must be >= 1")
+        if not self.mix or not math.isclose(
+            sum(self.mix.values()), 1.0, abs_tol=1e-6
+        ):
+            raise ServingError("mix weights must sum to 1")
+
+
+@dataclass
+class HttpLoadReport:
+    """What one HTTP load run measured."""
+
+    duration_seconds: float
+    total: int = 0
+    ok: int = 0
+    rejected_503: int = 0
+    timeouts: int = 0
+    server_errors_5xx: int = 0
+    other_errors: int = 0
+    degraded: int = 0
+    cache_hits: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def qps(self) -> float:
+        """Completed (2xx) requests per second."""
+        return self.ok / self.duration_seconds if self.duration_seconds else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Non-2xx fraction of all attempts."""
+        failures = self.total - self.ok
+        return failures / self.total if self.total else 0.0
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (benchmarks, CI artifacts)."""
+        return {
+            "duration_seconds": self.duration_seconds,
+            "total": self.total,
+            "ok": self.ok,
+            "qps": self.qps,
+            "rejected_503": self.rejected_503,
+            "timeouts": self.timeouts,
+            "server_errors_5xx": self.server_errors_5xx,
+            "other_errors": self.other_errors,
+            "degraded": self.degraded,
+            "cache_hits": self.cache_hits,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI output)."""
+        return "\n".join(
+            [
+                f"http load: {self.ok}/{self.total} ok in "
+                f"{self.duration_seconds:.1f}s ({self.qps:.1f} qps, "
+                f"{self.error_rate * 100:.1f}% errors)",
+                f"  latency: p50 {self.p50_ms:.2f}ms, "
+                f"p95 {self.p95_ms:.2f}ms, p99 {self.p99_ms:.2f}ms",
+                f"  errors: {self.rejected_503} x 503 (shed), "
+                f"{self.timeouts} timeouts, "
+                f"{self.server_errors_5xx} x 5xx, "
+                f"{self.other_errors} other",
+                f"  degraded responses: {self.degraded}, "
+                f"cache hits: {self.cache_hits}",
+            ]
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _split_url(url: str) -> tuple[str, int, str]:
+    parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+    if parsed.scheme not in ("http", ""):
+        raise ServingError(f"only http:// urls are supported, got {url!r}")
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    return host, port, parsed.path.rstrip("/")
+
+
+def _fetch_pool(
+    host: str, port: int, base: str, n: int, timeout: float
+) -> list[list[float]]:
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", f"{base}/workload?n={n}")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise ServingError(
+                f"workload fetch failed: HTTP {response.status} "
+                f"{body[:200]!r}"
+            )
+        payload = json.loads(body.decode("utf-8"))
+        pool = payload.get("features", [])
+    finally:
+        connection.close()
+    if not pool:
+        raise ServingError("gateway returned an empty workload pool")
+    return pool
+
+
+class _Counters:
+    """Mutable tallies shared by the client threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.total = 0
+        self.ok = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.fivexx = 0
+        self.other = 0
+        self.degraded = 0
+        self.cache_hits = 0
+        self.latencies: list[float] = []
+
+
+def _client_loop(
+    config: HttpLoadConfig,
+    host: str,
+    port: int,
+    base: str,
+    pool: list[list[float]],
+    stop_at: float,
+    counters: _Counters,
+    worker_id: int,
+) -> None:
+    rng = random.Random(config.seed * 10_007 + worker_id)
+    kinds = list(config.mix)
+    weights = [config.mix[kind] for kind in kinds]
+    timeout = (
+        config.deadline_ms / 1000.0 + 1.0
+        if config.deadline_ms is not None
+        else 10.0
+    )
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    headers = {"Content-Type": "application/json"}
+    if config.token is not None:
+        headers["X-Auth-Token"] = config.token
+    if config.deadline_ms is not None:
+        headers["X-Deadline-Ms"] = f"{config.deadline_ms:g}"
+    try:
+        while time.perf_counter() < stop_at:
+            kind = rng.choices(kinds, weights=weights)[0]
+            body: dict = {"kind": kind, "k": config.k}
+            if kind == "event":
+                body["event"] = rng.choice(_EVENT_VALUES)
+            else:
+                body["features"] = rng.choice(pool)
+            started = time.perf_counter()
+            try:
+                connection.request(
+                    "POST", f"{base}/query", json.dumps(body), headers
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                status = response.status
+            except (TimeoutError, socket.timeout):
+                connection.close()
+                with counters.lock:
+                    counters.total += 1
+                    counters.timeouts += 1
+                continue
+            except (http.client.HTTPException, OSError):
+                connection.close()
+                with counters.lock:
+                    counters.total += 1
+                    counters.other += 1
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            degraded = cache_hit = False
+            if status == 200:
+                try:
+                    parsed = json.loads(payload.decode("utf-8"))
+                    degraded = bool(parsed.get("degraded"))
+                    cache_hit = bool(parsed.get("cache_hit"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    pass
+            with counters.lock:
+                counters.total += 1
+                if status == 200:
+                    counters.ok += 1
+                    counters.latencies.append(elapsed_ms)
+                    counters.degraded += int(degraded)
+                    counters.cache_hits += int(cache_hit)
+                elif status == 503:
+                    counters.rejected += 1
+                elif status == 504:
+                    counters.timeouts += 1
+                elif 500 <= status < 600:
+                    counters.fivexx += 1
+                else:
+                    counters.other += 1
+            if status == 503:
+                # Honour the shed signal briefly instead of hammering.
+                time.sleep(min(0.01, max(stop_at - time.perf_counter(), 0)))
+    finally:
+        connection.close()
+
+
+def run_http_load(config: HttpLoadConfig) -> HttpLoadReport:
+    """Drive a running gateway and measure latency + error classes."""
+    host, port, base = _split_url(config.url)
+    pool = _fetch_pool(host, port, base, config.pool_size, timeout=10.0)
+    counters = _Counters()
+    stop_at = time.perf_counter() + config.duration_seconds
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(config, host, port, base, pool, stop_at, counters, i),
+            name=f"http-load-{i}",
+            daemon=True,
+        )
+        for i in range(config.concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    latencies = sorted(counters.latencies)
+    return HttpLoadReport(
+        duration_seconds=wall,
+        total=counters.total,
+        ok=counters.ok,
+        rejected_503=counters.rejected,
+        timeouts=counters.timeouts,
+        server_errors_5xx=counters.fivexx,
+        other_errors=counters.other,
+        degraded=counters.degraded,
+        cache_hits=counters.cache_hits,
+        p50_ms=_percentile(latencies, 0.50),
+        p95_ms=_percentile(latencies, 0.95),
+        p99_ms=_percentile(latencies, 0.99),
+    )

@@ -1,0 +1,269 @@
+"""Wire protocol: length-prefixed JSON frames + bit-exact array codec.
+
+Every message between the coordinator and a shard worker is one frame:
+a 4-byte big-endian unsigned length followed by that many bytes of
+UTF-8 JSON.  Feature vectors ride inside the JSON as base64 of their
+raw float64 bytes — JSON numbers would round-trip through ``repr`` and
+are slower to parse, and the merge-exactness guarantee needs the exact
+bits either way.
+
+The :class:`RpcClient` keeps one persistent connection and serialises
+calls on it; :class:`ShardEndpoint` pools several clients per shard so
+concurrent queries fan out without queueing behind each other, and can
+be re-pointed at a new address when the cluster respawns a dead worker.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.resilience.faults import fault_point
+
+#: Frames larger than this are refused on both ends (corrupt length
+#: prefixes must not trigger gigabyte allocations).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+def pack_array(array: np.ndarray) -> dict:
+    """Encode an array as base64 of its contiguous float64 bytes.
+
+    The decoded array is bit-identical to the input — the property the
+    sharded merge relies on for exact scores and cache digests.
+    """
+    array = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+    return {
+        "shape": list(array.shape),
+        "b64": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def unpack_array(payload: dict) -> np.ndarray:
+    """Decode an array packed by :func:`pack_array`."""
+    try:
+        raw = base64.b64decode(payload["b64"], validate=True)
+        shape = tuple(int(n) for n in payload["shape"])
+        array = np.frombuffer(raw, dtype=np.float64)
+        return array.reshape(shape).copy()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServingError(f"malformed packed array: {exc}") from exc
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialise ``message`` and write one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServingError(f"frame of {len(payload)} bytes exceeds protocol limit")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame; raises :class:`ServingError` on EOF or garbage."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServingError(f"frame of {length} bytes exceeds protocol limit")
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServingError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServingError("frame payload must be a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ServingError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class RpcClient:
+    """One persistent connection to a shard worker.
+
+    ``call`` sends a request frame and waits for the response frame,
+    bounding the wait by the query's remaining deadline (propagated as
+    a socket timeout *and* inside the request as ``deadline_ms``).  Any
+    transport error tears the connection down so the next call starts
+    clean; the caller's circuit breaker decides whether to keep trying.
+    """
+
+    def __init__(
+        self, host: str, port: int, default_timeout: float = 5.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._default_timeout = default_timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._default_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def close(self) -> None:
+        """Drop the connection (reconnects lazily on the next call)."""
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                self._sock = None
+
+    def call(self, request: dict, deadline: float | None = None) -> dict:
+        """One request/response round-trip.
+
+        ``deadline`` is absolute ``time.perf_counter()`` time; ``None``
+        falls back to the client's default timeout.  Raises
+        :class:`ServingError` on expiry, transport failure, or a
+        worker-side error response (``ok: false``).
+        """
+        fault_point("net.rpc")
+        if deadline is None:
+            timeout = self._default_timeout
+        else:
+            timeout = deadline - time.perf_counter()
+            if timeout <= 0:
+                raise ServingError("deadline expired before shard call")
+            request = dict(request, deadline_ms=timeout * 1000.0)
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                self._sock.settimeout(timeout)
+                send_frame(self._sock, request)
+                response = recv_frame(self._sock)
+            except ServingError:
+                self._drop_locked()
+                raise
+            except OSError as exc:
+                self._drop_locked()
+                raise ServingError(f"shard rpc failed: {exc}") from exc
+        if not response.get("ok", False):
+            raise ServingError(
+                f"shard error: {response.get('error', 'unknown failure')}"
+            )
+        return response
+
+    def _drop_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._sock = None
+
+
+class ShardEndpoint:
+    """Address + bounded connection pool for one shard.
+
+    Connections are created lazily up to ``pool_size`` and reused LIFO;
+    when every connection is busy a caller waits (bounded by its
+    deadline) rather than opening more.  :meth:`reset` re-points the
+    endpoint after the cluster respawns a worker on a new port, closing
+    every pooled connection so nothing keeps talking to the corpse.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        default_timeout: float = 5.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ServingError("endpoint pool size must be >= 1")
+        self.shard_id = shard_id
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._idle: list[RpcClient] = []
+        self._created = 0
+        self._available = threading.Semaphore(pool_size)
+        self._epoch = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Current ``(host, port)`` of the worker."""
+        with self._lock:
+            return (self._host, self._port)
+
+    def reset(self, host: str, port: int) -> None:
+        """Re-point at a respawned worker, discarding pooled connections."""
+        with self._lock:
+            self._host = host
+            self._port = port
+            self._epoch += 1
+            stale, self._idle = self._idle, []
+            self._created = 0
+        for client in stale:
+            client.close()
+
+    def _acquire(self, deadline: float | None) -> tuple[RpcClient, int]:
+        timeout = (
+            self._default_timeout
+            if deadline is None
+            else max(deadline - time.perf_counter(), 0.0)
+        )
+        if not self._available.acquire(timeout=timeout):
+            raise ServingError("no shard connection available before deadline")
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), self._epoch
+            self._created += 1
+            return (
+                RpcClient(self._host, self._port, self._default_timeout),
+                self._epoch,
+            )
+
+    def _release(self, client: RpcClient, epoch: int) -> None:
+        with self._lock:
+            if epoch == self._epoch:
+                self._idle.append(client)
+                client = None  # type: ignore[assignment]
+        if client is not None:  # endpoint was reset while we held it
+            client.close()
+        self._available.release()
+
+    def call(self, request: dict, deadline: float | None = None) -> dict:
+        """Round-trip through a pooled connection."""
+        client, epoch = self._acquire(deadline)
+        try:
+            return client.call(request, deadline=deadline)
+        except BaseException:
+            client.close()
+            raise
+        finally:
+            self._release(client, epoch)
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        with self._lock:
+            stale, self._idle = self._idle, []
+            self._created = 0
+            self._epoch += 1
+        for client in stale:
+            client.close()

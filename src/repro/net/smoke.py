@@ -1,0 +1,283 @@
+"""Network smoke: HTTP gateway over a live 2-shard cluster.
+
+``make net-smoke`` exercises the whole serving wire end to end with
+real subprocess workers and real sockets:
+
+1. a synthetic corpus is saved unsharded *and* partitioned into two
+   shard directories; a worker subprocess serves each shard;
+2. scripted queries through the scatter-gather coordinator must match
+   the single-process :class:`~repro.serving.server.QueryServer`
+   bit for bit (ids, scores, tie-break order, comparison counts);
+3. the same queries via HTTP return 200 with identical ranked ids;
+4. protocol edges behave: malformed JSON 400, unknown endpoint 404,
+   expired deadline 504, oversized body 413, unknown token 401,
+   ``/metrics`` parses as Prometheus text;
+5. one worker is hard-killed mid-traffic: answers keep flowing with
+   ``degraded: true`` and the dead shard listed in ``shards_missing``
+   (never an error), and after the cluster watchdog respawns it the
+   service returns full-strength, bit-identical answers again without
+   a coordinator or gateway restart.
+
+Everything is seeded and deterministic; any check failure exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.gateway import GatewayConfig, HttpGateway
+from repro.net.shard import build_shards
+from repro.obs.export import validate_prometheus_text
+from repro.serving.server import QueryRequest, QueryServer, ServerConfig
+from repro.storage.lazy import SQLVideoDatabase
+from repro.storage.sqlcatalog import save_database
+from repro.storage.synthetic import build_synthetic_database
+from repro.types import EventKind
+
+
+def _report(name: str, ok: bool, detail: str) -> bool:
+    print(f"net-smoke: [{'ok ' if ok else 'FAIL'}] {name} — {detail}")
+    return ok
+
+
+def _keys(result) -> list[tuple]:
+    out = []
+    for hit in result.hits:
+        entry = getattr(hit, "entry", hit)
+        out.append(
+            (
+                entry.video_title,
+                getattr(entry, "shot_id", getattr(entry, "scene_id", None)),
+                getattr(hit, "score", None),
+            )
+        )
+    return out
+
+
+def _http(url: str, method: str = "GET", body: bytes | None = None, headers=None):
+    request = urllib.request.Request(
+        url, data=body, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=15.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post_query(base: str, payload: dict, headers=None):
+    body = json.dumps(payload).encode("utf-8")
+    merged = {"Content-Type": "application/json"}
+    merged.update(headers or {})
+    return _http(f"{base}/query", "POST", body, merged)
+
+
+def run_smoke(videos: int = 120, shots: int = 8, seed: int = 0) -> int:
+    """Run the network smoke; returns a process exit code."""
+    started = time.perf_counter()
+    tmp = Path(tempfile.mkdtemp(prefix="net_smoke_"))
+    ok = True
+    server = service = gateway = cluster = single = None
+    try:
+        database = build_synthetic_database(
+            videos=videos, shots_per_video=shots, scenes_per_video=3, seed=seed
+        )
+        save_database(database, tmp / "single")
+        spec = build_shards(database, tmp / "shards", 2)
+        ok &= _report(
+            "shard build",
+            spec.num_shards == 2
+            and sum(info.entry_count for info in spec.shards)
+            == spec.entry_count,
+            spec.describe().splitlines()[0],
+        )
+
+        single = SQLVideoDatabase.open(tmp / "single")
+        server = QueryServer(
+            database=single, config=ServerConfig(workers=2)
+        ).start()
+        cluster = ShardCluster(tmp / "shards", spec=spec).start()
+        service = ShardedQueryService(
+            spec, cluster.endpoints, config=CoordinatorConfig(breaker_reset=0.5)
+        )
+        gateway = HttpGateway(service, GatewayConfig(tokens={})).start()
+        base = gateway.url
+
+        # -- scripted equivalence: sharded vs single-process ----------
+        rng = np.random.default_rng(seed + 1)
+        entries = single.flat_index.entries
+        probes = [
+            entries[int(rng.integers(0, len(entries)))].features
+            + rng.normal(0.0, 0.01, entries[0].features.shape)
+            for _ in range(8)
+        ] + [rng.random(entries[0].features.shape)]
+        mismatches = []
+        for p, probe in enumerate(probes):
+            for kind in ("shot", "shot_flat", "scene"):
+                a = server.query(QueryRequest(kind=kind, features=probe, k=10))
+                b = service.query(QueryRequest(kind=kind, features=probe, k=10))
+                if _keys(a) != _keys(b) or a.comparisons != b.comparisons:
+                    mismatches.append((p, kind))
+        for event in EventKind.known_kinds():
+            a = server.query(QueryRequest(kind="event", event=event))
+            b = service.query(QueryRequest(kind="event", event=event))
+            if _keys(a) != _keys(b):
+                mismatches.append(("event", event.value))
+        ok &= _report(
+            "scatter-gather equivalence",
+            not mismatches,
+            f"{len(probes)} probes x shot/flat/scene + events, "
+            + ("bit-identical" if not mismatches else f"diverged: {mismatches}"),
+        )
+
+        # -- the same answers over HTTP --------------------------------
+        http_ok = True
+        probe = probes[0]
+        direct = service.query(QueryRequest(kind="shot", features=probe, k=5))
+        status, body = _post_query(
+            base, {"kind": "shot", "features": [float(x) for x in probe], "k": 5}
+        )
+        parsed = json.loads(body)
+        http_ok &= status == 200 and not parsed["degraded"]
+        http_ok &= [
+            (hit["video_title"], hit["shot_id"]) for hit in parsed["hits"]
+        ] == [(h.entry.video_title, h.entry.shot_id) for h in direct.hits]
+        title = next(iter(single.videos))
+        status, body = _http(f"{base}/skim/{title}")
+        skim = json.loads(body)
+        http_ok &= status == 200 and skim["scene_count"] == 3
+        ok &= _report(
+            "http query + skim",
+            http_ok,
+            f"/query matches coordinator, /skim/{title} has "
+            f"{len(skim.get('scenes', []))} scenes",
+        )
+
+        # -- protocol edges --------------------------------------------
+        edges = []
+        status, _ = _http(f"{base}/health")
+        edges.append(("health-200", status == 200))
+        status, body = _http(f"{base}/metrics")
+        try:
+            validate_prometheus_text(body.decode("utf-8"))
+            edges.append(("metrics-valid", status == 200))
+        except Exception as exc:
+            edges.append((f"metrics-invalid:{exc}", False))
+        status, _ = _http(f"{base}/query", "POST", b"{not json",
+                          {"Content-Type": "application/json"})
+        edges.append(("malformed-json-400", status == 400))
+        status, _ = _http(f"{base}/nope")
+        edges.append(("unknown-endpoint-404", status == 404))
+        status, _ = _post_query(
+            base,
+            {"kind": "shot", "features": [0.0]},
+            {"X-Deadline-Ms": "0"},
+        )
+        edges.append(("expired-deadline-504", status == 504))
+        status, _ = _post_query(
+            base, {"kind": "shot", "features": [0.0] * 300_000}
+        )
+        edges.append(("oversized-body-413", status == 413))
+        status, _ = _post_query(
+            base,
+            {"kind": "shot", "features": [float(x) for x in probe]},
+            {"X-Auth-Token": "who-is-this"},
+        )
+        edges.append(("unknown-token-401", status == 401))
+        failed = [name for name, good in edges if not good]
+        ok &= _report(
+            "protocol edges",
+            not failed,
+            "all behaved" if not failed else f"failed: {failed}",
+        )
+
+        # -- kill one shard: degraded answers, then full recovery ------
+        victim = cluster.endpoints[0].shard_id
+        cluster.kill(victim)
+        degraded_seen = False
+        deadline = time.perf_counter() + 30.0
+        while time.perf_counter() < deadline:
+            # Fresh probes every time: a cached answer would not scatter.
+            fresh = rng.normal(0.0, 1.0, entries[0].features.shape)
+            result = service.query(
+                QueryRequest(kind="shot", features=np.abs(fresh), k=10)
+            )
+            if result.shards_missing:
+                degraded_seen = (
+                    degraded_seen or victim in result.shards_missing
+                )
+            time.sleep(0.05)
+            if degraded_seen:
+                break
+        ok &= _report(
+            "degraded under shard loss",
+            degraded_seen,
+            f"shard {victim} reported in shards_missing, answers kept flowing",
+        )
+
+        recovered = False
+        recovery_probe = np.abs(rng.normal(0.0, 1.0, entries[0].features.shape))
+        expect = _keys(
+            server.query(QueryRequest(kind="shot", features=recovery_probe, k=10))
+        )
+        deadline = time.perf_counter() + 30.0
+        while time.perf_counter() < deadline:
+            result = service.query(
+                QueryRequest(kind="shot", features=recovery_probe, k=10)
+            )
+            if not result.shards_missing and _keys(result) == expect:
+                recovered = True
+                break
+            time.sleep(0.1)
+        ok &= _report(
+            "watchdog recovery",
+            recovered,
+            f"{cluster.respawns} respawn(s); full bit-identical answers "
+            "restored without restarting coordinator or gateway",
+        )
+
+        status, body = _http(f"{base}/health")
+        verdict = json.loads(body)
+        ok &= _report(
+            "health after recovery",
+            status == 200 and verdict["status"] == "ok",
+            f"HTTP {status}, status={verdict.get('status')}",
+        )
+    except Exception as exc:  # smoke must fail loudly, not crash silently
+        ok = _report("unexpected error", False, f"{type(exc).__name__}: {exc}")
+    finally:
+        for closable in (gateway, server):
+            if closable is not None:
+                closable.stop()
+        if service is not None:
+            service.close()
+        if cluster is not None:
+            cluster.stop()
+        if single is not None:
+            single.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(
+        f"net-smoke: {'PASS' if ok else 'FAIL'} "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    return 0 if ok else 1
+
+
+def main() -> int:
+    """Entry point of ``python -m repro.net.smoke``."""
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

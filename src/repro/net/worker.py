@@ -1,0 +1,420 @@
+"""Shard worker: serves one shard's database over local TCP.
+
+A worker owns one out-of-core
+:class:`~repro.storage.lazy.SQLVideoDatabase` (plus the shard's
+``global_ords.npy`` sidecar) and answers framed JSON requests:
+
+========== =========================================================
+op          semantics
+========== =========================================================
+``ping``    liveness probe
+``health``  entry/video counts + generation
+``records`` the shard's registration records (coordinator metadata)
+``probe``   per-leaf *bucket-only* candidates for a query vector
+``scan``    per-leaf *all-entries* candidates (global bucket fallback)
+``flat``    local Eq. (24) top-k under global ordinals
+``scene``   local scene-centroid top-k
+``sample``  evenly spaced feature vectors (loadgen pools)
+``reload``  reopen the shard database (new generation on disk)
+``stop``    shut the worker down
+``die``     ``os._exit`` hard-kill (fault injection only)
+========== =========================================================
+
+Candidates always carry **global** identities (flat ordinal, title,
+shot/scene ids) and kernel-exact scores; feature payloads ship only for
+the shard-local top-k, which provably covers every global winner the
+shard can contribute (see ``docs/SHARDING.md``).
+
+The worker runs threaded (one thread per coordinator connection) and
+can be embedded in-process for tests or launched as
+``python -m repro.net.worker SHARD_DIR`` — the subprocess prints
+``READY <port>`` on stdout once it accepts connections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socketserver
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.database.index import IndexNode, feature_similarity_batch
+from repro.errors import DatabaseError, ReproError
+from repro.net.protocol import (
+    pack_array,
+    recv_frame,
+    send_frame,
+    unpack_array,
+)
+from repro.net.shard import GLOBAL_ORDS_NAME
+from repro.storage.lazy import SQLVideoDatabase
+from repro.types import EventKind
+
+
+class _ShardState:
+    """One opened generation of the shard database (immutable once built)."""
+
+    def __init__(self, shard_dir: Path) -> None:
+        self.database = SQLVideoDatabase.open(shard_dir)
+        ords_path = shard_dir / GLOBAL_ORDS_NAME
+        if ords_path.exists():
+            self.global_ords = np.load(ords_path)
+        else:  # an unsharded dir served as a single "shard"
+            self.global_ords = np.arange(
+                self.database.catalog.entry_count(), dtype=np.int64
+            )
+        catalog = self.database.catalog
+        self.global_ord_of: dict[tuple[str, int], int] = {}
+        for info in catalog.leaf_infos():
+            for row in catalog.leaf_rows(info.name):
+                self.global_ord_of[(row.video_title, row.shot_id)] = int(
+                    self.global_ords[row.ord]
+                )
+        self.leaves: dict[str, IndexNode] = {}
+        if self.database.videos:
+            self._collect(self.database.index_root)
+
+    def _collect(self, node: IndexNode) -> None:
+        if node.is_leaf:
+            self.leaves[node.name] = node
+            return
+        for child in node.children:
+            self._collect(child)
+
+
+class ShardWorker:
+    """Threaded TCP server answering shard RPCs for one shard directory."""
+
+    def __init__(
+        self, shard_dir: str | Path, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._shard_dir = Path(shard_dir)
+        self._state = _ShardState(self._shard_dir)
+        self._generation = 1
+        self._state_lock = threading.Lock()
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        worker = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            """One coordinator connection: a loop of request frames."""
+
+            def setup(self) -> None:  # noqa: D102 - socketserver hook
+                with worker._connections_lock:
+                    worker._connections.add(self.request)
+
+            def finish(self) -> None:  # noqa: D102 - socketserver hook
+                with worker._connections_lock:
+                    worker._connections.discard(self.request)
+
+            def handle(self) -> None:  # noqa: D102 - socketserver hook
+                while True:
+                    try:
+                        request = recv_frame(self.request)
+                    except ReproError:
+                        return  # connection closed or garbage: drop it
+                    try:
+                        response = worker._dispatch(request)
+                    except ReproError as exc:
+                        response = {"ok": False, "error": str(exc)}
+                    except Exception as exc:  # never kill the connection
+                        response = {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    try:
+                        send_frame(self.request, response)
+                    except (ReproError, OSError):
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._server.server_address[:2]
+        return (str(host), int(port))
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self.address[1]
+
+    @property
+    def generation(self) -> int:
+        """Reload counter (1 for a freshly opened shard)."""
+        return self._generation
+
+    def start(self) -> "ShardWorker":
+        """Serve in a daemon thread (the in-process/test mode)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"shard-worker-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the subprocess mode)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting connections and close the database."""
+        self._server.shutdown()
+        self._server.server_close()
+        # Sever live coordinator connections too: a SIGKILLed subprocess
+        # drops them implicitly, and the in-process mode must look the
+        # same to pooled clients (handler threads would otherwise keep
+        # answering a "stopped" worker).
+        with self._connections_lock:
+            live = list(self._connections)
+        for conn in live:
+            try:
+                conn.shutdown(2)  # socket.SHUT_RDWR
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._state.database.close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and float(deadline_ms) <= 0:
+            return {"ok": False, "error": "deadline expired on arrival"}
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        return handler(request)
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "generation": self._generation}
+
+    def _op_health(self, request: dict) -> dict:
+        state = self._state
+        return {
+            "ok": True,
+            "generation": self._generation,
+            "videos": len(state.database.videos),
+            "entries": int(state.global_ords.shape[0]),
+            "scenes": len(state.database.scene_index),
+        }
+
+    def _op_records(self, request: dict) -> dict:
+        records = {
+            title: {
+                "shot_count": record.shot_count,
+                "scene_count": record.scene_count,
+                "events": {str(k): v for k, v in record.events.items()},
+                "degraded_stages": list(record.degraded_stages),
+            }
+            for title, record in self._state.database.videos.items()
+        }
+        return {"ok": True, "generation": self._generation, "records": records}
+
+    def _op_probe(self, request: dict) -> dict:
+        return self._leaf_candidates(request, fallback=False)
+
+    def _op_scan(self, request: dict) -> dict:
+        return self._leaf_candidates(request, fallback=True)
+
+    def _leaf_candidates(self, request: dict, fallback: bool) -> dict:
+        """Per-leaf candidates, plus features for the shard-local top-k.
+
+        Leaves are processed in the coordinator's visit order and each
+        leaf's candidates in ascending global ordinal (the natural
+        local order), so the shard-local ranking used to pick which
+        feature payloads to ship is the exact restriction of the global
+        ranking to this shard.
+        """
+        state = self._state
+        features = unpack_array(request["features"])
+        k = int(request.get("k", 10))
+        per_leaf: dict[str, dict] = {}
+        combined: list[tuple[int, object, float]] = []
+        for name in request.get("leaves", []):
+            node = state.leaves.get(name)
+            if node is None:
+                per_leaf[name] = {"bucket": 0, "candidates": []}
+                continue
+            leaf = node.leaf
+            assert leaf is not None
+            if fallback:
+                entries, matrix = leaf.fallback_block()
+            else:
+                entries, matrix = leaf.bucket_block(features)
+            if not entries:
+                per_leaf[name] = {"bucket": 0, "candidates": []}
+                continue
+            scores = feature_similarity_batch(features, matrix, dims=node.dims)
+            candidates = []
+            for entry, score in zip(entries, scores):
+                global_ord = state.global_ord_of[entry.key]
+                candidates.append(
+                    [
+                        global_ord,
+                        entry.video_title,
+                        entry.shot_id,
+                        entry.scene_id,
+                        float(score),
+                    ]
+                )
+                combined.append((global_ord, entry, float(score)))
+            per_leaf[name] = {"bucket": len(entries), "candidates": candidates}
+        top = sorted(combined, key=lambda item: item[2], reverse=True)[:k]
+        payload = {
+            str(global_ord): pack_array(entry.features)
+            for global_ord, entry, _score in top
+        }
+        return {
+            "ok": True,
+            "generation": self._generation,
+            "leaves": per_leaf,
+            "features": payload,
+        }
+
+    def _op_flat(self, request: dict) -> dict:
+        state = self._state
+        features = unpack_array(request["features"])
+        k = int(request.get("k", 10))
+        total = len(state.database.flat_index)
+        result = state.database.search_flat(features, k=k)
+        candidates = []
+        payload = {}
+        for hit in result.hits:
+            entry = hit.entry
+            global_ord = state.global_ord_of[entry.key]
+            candidates.append(
+                [
+                    global_ord,
+                    entry.video_title,
+                    entry.shot_id,
+                    entry.scene_id,
+                    float(hit.score),
+                ]
+            )
+            payload[str(global_ord)] = pack_array(entry.features)
+        return {
+            "ok": True,
+            "generation": self._generation,
+            "total": total,
+            "candidates": candidates,
+            "features": payload,
+        }
+
+    def _op_scene(self, request: dict) -> dict:
+        state = self._state
+        features = unpack_array(request["features"])
+        k = int(request.get("k", 5))
+        event = request.get("event")
+        kind = EventKind(event) if event is not None else None
+        index = state.database.scene_index
+        count = len(index)
+        try:
+            hits = index.search(features, k=k, event=kind)
+        except DatabaseError:
+            hits = []  # an empty local index is not an error under sharding
+        candidates = []
+        centroids = {}
+        for hit in hits:
+            entry = hit.entry
+            candidates.append(
+                [
+                    entry.video_title,
+                    entry.scene_id,
+                    entry.event.value,
+                    entry.shot_count,
+                    float(hit.score),
+                ]
+            )
+            centroids[f"{entry.video_title}\x00{entry.scene_id}"] = pack_array(
+                entry.centroid
+            )
+        return {
+            "ok": True,
+            "generation": self._generation,
+            "count": count,
+            "candidates": candidates,
+            "centroids": centroids,
+        }
+
+    def _op_sample(self, request: dict) -> dict:
+        state = self._state
+        n = max(1, int(request.get("n", 16)))
+        total = int(state.global_ords.shape[0])
+        if not total:
+            return {"ok": True, "features": []}
+        catalog = state.database.catalog
+        infos = {info.name: info for info in catalog.leaf_infos()}
+        ords = sorted(
+            {int(i) for i in np.linspace(0, total - 1, min(n, total))}
+        )
+        rows = catalog.entries_by_ord(ords)
+        payload = []
+        for ordinal in ords:
+            row = rows[ordinal]
+            block = catalog.features.open(infos[row.leaf].block.sha)
+            payload.append(pack_array(block[row.row]))
+        return {"ok": True, "features": payload}
+
+    def _op_reload(self, request: dict) -> dict:
+        fresh = _ShardState(self._shard_dir)
+        with self._state_lock:
+            previous = self._state
+            self._state = fresh
+            self._generation += 1
+        # In-flight requests on other threads may still read the old
+        # state object; its handles are released when they finish and
+        # the reference drops.  Closing eagerly would race them.
+        del previous
+        return {"ok": True, "generation": self._generation}
+
+    def _op_stop(self, request: dict) -> dict:
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+        return {"ok": True}
+
+    def _op_die(self, request: dict) -> dict:
+        # Fault injection: simulate a crashed worker process.  Flushing
+        # nothing is the point — the coordinator must cope.
+        os._exit(17)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.net.worker``."""
+    parser = argparse.ArgumentParser(description="classminer shard worker")
+    parser.add_argument("shard_dir", help="shard directory (SQL catalog)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    worker = ShardWorker(args.shard_dir, host=args.host, port=args.port)
+    print(f"READY {worker.port}", flush=True)
+    print(
+        f"shard worker serving {args.shard_dir} on {args.host}:{worker.port} "
+        f"(opened in {time.perf_counter() - started:.2f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

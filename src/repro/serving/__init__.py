@@ -22,6 +22,7 @@ from repro.serving.cache import (
     CacheStats,
     ResultCache,
     feature_digest,
+    request_digest,
     scope_token,
 )
 from repro.serving.loadgen import (
@@ -69,6 +70,7 @@ __all__ = [
     "build_query_pool",
     "build_snapshot",
     "feature_digest",
+    "request_digest",
     "format_seconds",
     "run_load",
     "scope_token",

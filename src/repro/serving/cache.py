@@ -60,6 +60,26 @@ def scope_token(user: User | None, permitted_leaves: frozenset[str] | None) -> s
     return f"c{user.clearance}:{digest}"
 
 
+def request_digest(request) -> str:
+    """Kind-specific content digest of one query request.
+
+    Accepts any object shaped like
+    :class:`repro.serving.server.QueryRequest` (duck-typed to avoid an
+    import cycle).  Both the in-process :class:`QueryServer` and the
+    sharded :class:`repro.net.coordinator.ShardedQueryService` build
+    their cache keys through this one function, so the two paths can
+    never drift into keying the same logical query differently.
+    """
+    if request.kind == "event":
+        assert request.event is not None
+        return f"event:{request.event.value}:{request.video_title or '*'}"
+    assert request.features is not None
+    digest = feature_digest(request.features)
+    if request.kind == "scene" and request.event is not None:
+        digest = f"{digest}:{request.event.value}"
+    return digest
+
+
 @dataclass(frozen=True)
 class CacheKey:
     """Complete identity of one cacheable query."""

@@ -41,7 +41,7 @@ from repro.resilience.watchdog import Watchdog
 from repro.serving.cache import (
     CacheKey,
     ResultCache,
-    feature_digest,
+    request_digest,
     scope_token,
 )
 from repro.serving.metrics import QUERY_KINDS, ServingMetrics
@@ -121,6 +121,13 @@ class ServingResult:
     <repro.serving.snapshot.Snapshot>`).  The answer is still correct
     for the data the snapshot holds — the flag tells the caller the
     evidence is not at full strength.
+
+    ``shards_missing`` is only ever non-empty on answers produced by
+    the sharded scatter-gather path
+    (:class:`repro.net.coordinator.ShardedQueryService`): it lists the
+    shard ids whose worker could not contribute, in which case
+    ``degraded`` is also True and the hits cover the reachable shards
+    only.  The single-process server always leaves it empty.
     """
 
     kind: str
@@ -130,6 +137,7 @@ class ServingResult:
     elapsed_seconds: float
     comparisons: int = 0
     degraded: bool = False
+    shards_missing: tuple[int, ...] = ()
 
 
 _SENTINEL = object()
@@ -480,14 +488,7 @@ class QueryServer:
         return leaves, scope_token(user, leaves)
 
     def _request_digest(self, request: QueryRequest) -> str:
-        if request.kind == "event":
-            assert request.event is not None
-            return f"event:{request.event.value}:{request.video_title or '*'}"
-        assert request.features is not None
-        digest = feature_digest(request.features)
-        if request.kind == "scene" and request.event is not None:
-            digest = f"{digest}:{request.event.value}"
-        return digest
+        return request_digest(request)
 
     def _execute(self, request: QueryRequest) -> ServingResult:
         with obs_span("serve.query", kind=request.kind) as sp:

@@ -241,6 +241,17 @@ def build_snapshot(database: VideoDatabase, generation: int) -> Snapshot:
     )
 
 
+def _close_quietly(database: VideoDatabase) -> None:
+    """Close a database's storage handles if it has any; never raise."""
+    close = getattr(database, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        _LOGGER.warning("retired database close failed", exc_info=True)
+
+
 #: Callback invoked with the freshly installed snapshot after a swap.
 SnapshotListener = Callable[[Snapshot], None]
 
@@ -272,15 +283,28 @@ class SnapshotManager:
     that keeps failing stops being hammered
     (:class:`~repro.errors.CircuitOpenError`) until its cooldown lets a
     probe through.
+
+    When ``reopen`` is given, :meth:`refresh` does not rebuild from the
+    held database object: it calls ``reopen()`` for a *freshly opened*
+    one (for SQL catalogs, new connection + new mmap handles) and swaps
+    to that.  A catalog rewritten on disk (``classminer migrate``, an
+    external ingest) is therefore actually picked up — reusing stale
+    mmap views of superseded feature blocks is exactly the headroom
+    ROADMAP item 1 left open.  The immediately superseded database is
+    kept open until the *next* successful swap (in-flight queries may
+    still hold its lazy loaders); anything older is closed.
     """
 
     def __init__(
         self,
         database: VideoDatabase,
         breaker: CircuitBreaker | None = None,
+        reopen: Callable[[], VideoDatabase] | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._state = _ManagerState(database=database)
+        self._reopen = reopen
+        self._retired: list[VideoDatabase] = []
         self._breaker = (
             breaker
             if breaker is not None
@@ -327,15 +351,52 @@ class SnapshotManager:
         return self.refresh()
 
     def refresh(self) -> Snapshot:
-        """Build the next generation from the live database and swap it in."""
+        """Build the next generation from the live database and swap it in.
+
+        With a ``reopen`` callable configured, the generation is built
+        against freshly opened handles instead; the superseded database
+        is retired (see :meth:`_retire`).  A failed build closes the
+        fresh handles and leaves everything as it was.
+        """
         with self._lock:
-            return self._swap(self._state.database)
+            if self._reopen is None:
+                return self._swap(self._state.database)
+            fresh = self._reopen()
+            previous = self._state.database
+            try:
+                snapshot = self._swap(fresh)
+            except BaseException:
+                if fresh is not previous:
+                    _close_quietly(fresh)
+                raise
+            self._state.database = fresh
+            if fresh is not previous:
+                self._retire(previous)
+            return snapshot
 
     def install(self, database: VideoDatabase) -> Snapshot:
         """Replace the backing database (ingest rebuilds one) and refresh."""
         with self._lock:
+            previous = self._state.database
             self._state.database = database
-            return self._swap(database)
+            snapshot = self._swap(database)
+            # Only after a successful swap: a failed one leaves readers
+            # on the previous generation, whose handles must stay open.
+            if self._reopen is not None and database is not previous:
+                self._retire(previous)
+            return snapshot
+
+    def _retire(self, database: VideoDatabase) -> None:
+        """Queue a superseded database's handles for closing.
+
+        The most recently retired database stays open — worker threads
+        racing the swap may still resolve lazy loaders against it —
+        and is closed on the following retirement, by which point no
+        reader can still reach its snapshot.
+        """
+        self._retired.append(database)
+        while len(self._retired) > 1:
+            _close_quietly(self._retired.pop(0))
 
     def _swap(self, database: VideoDatabase) -> Snapshot:
         if not self._breaker.allow():

@@ -99,6 +99,14 @@ class LazyLeafHashIndex(LeafHashIndex):
         self._ensure()
         return super().probe_block(features)
 
+    def bucket_block(self, features: np.ndarray):
+        self._ensure()
+        return super().bucket_block(features)
+
+    def fallback_block(self):
+        self._ensure()
+        return super().fallback_block()
+
     def warm(self) -> None:
         self._ensure()
         super().warm()
@@ -108,7 +116,7 @@ class LazyLeafHashIndex(LeafHashIndex):
         return super().all_entries()
 
     def __len__(self) -> int:
-        return self._stored_count if not self._loaded else self._count
+        return self._stored_count if not self._loaded else super().__len__()
 
     @property
     def bucket_count(self) -> int:
@@ -438,6 +446,11 @@ class SQLVideoDatabase(VideoDatabase):
         """
         self._materialize()
         return self
+
+    def clone_subset(self, titles):
+        """Materialise, then clone the subset (see base class)."""
+        self._materialize()
+        return super().clone_subset(titles)
 
     def register(self, result):
         self._materialize()

@@ -499,7 +499,11 @@ class SQLCatalog:
 
     # -- writer --------------------------------------------------------
 
-    def replace_from(self, database: VideoDatabase) -> int:
+    def replace_from(
+        self,
+        database: VideoDatabase,
+        routing_override: dict[str, tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> int:
         """Replace the whole catalog with ``database``'s state.
 
         Feature blocks are written (content-addressed, so re-saving an
@@ -513,6 +517,13 @@ class SQLCatalog:
         paths re-query the *live* catalog before unlinking, so a block
         a concurrent writer just published and committed a reference to
         is never removed.  Returns the number of shot entries stored.
+
+        ``routing_override`` maps a leaf name to the ``(centers, dims)``
+        pair to store for it instead of recomputing them from the local
+        population.  Shard builders pass the *full-corpus* routing
+        metadata here so every shard's index tree routes — and scores
+        leaves in the same discriminating sub-space — exactly like the
+        unsharded catalog.
         """
         flat_entries = database.flat_index.entries
         if not flat_entries:
@@ -522,7 +533,10 @@ class SQLCatalog:
         before = self._referenced_blocks()
         new_blocks: set[str] = set()
         try:
-            count = self._replace_from(database, flat_entries, ord_of, before, new_blocks)
+            count = self._replace_from(
+                database, flat_entries, ord_of, before, new_blocks,
+                routing_override or {},
+            )
         except BaseException:
             # The relational state rolled back (or was never touched);
             # drop the blocks only this aborted write introduced.
@@ -550,7 +564,9 @@ class SQLCatalog:
         for sha in candidates - self._referenced_blocks():
             self._features.delete(sha)
 
-    def _replace_from(self, database, flat_entries, ord_of, before, new_blocks) -> int:
+    def _replace_from(
+        self, database, flat_entries, ord_of, before, new_blocks, routing_override
+    ) -> int:
         # Leaf blocks + routing metadata, in leaf creation order.  The
         # centres and dims are computed exactly as build_node() would,
         # so the lazy index tree routes identically to the eager one.
@@ -561,8 +577,13 @@ class SQLCatalog:
             ref = self._features.put(population)
             if ref.sha not in before:
                 new_blocks.add(ref.sha)
-            centers = _kcenters(population, DEFAULT_CENTERS)
-            dims = discriminating_dimensions(population, DEFAULT_REDUCED_DIM)
+            if name in routing_override:
+                centers, dims = routing_override[name]
+                centers = np.asarray(centers, dtype=np.float64)
+                dims = np.asarray(dims, dtype=np.int64)
+            else:
+                centers = _kcenters(population, DEFAULT_CENTERS)
+                dims = discriminating_dimensions(population, DEFAULT_REDUCED_DIM)
             leaves_payload.append(
                 (
                     name, position, len(entries), ref.sha, ref.rows, ref.cols,
@@ -753,13 +774,19 @@ def _search_documents(
     return docs
 
 
-def save_database(database: VideoDatabase, db_dir: str | Path) -> Path:
+def save_database(
+    database: VideoDatabase,
+    db_dir: str | Path,
+    routing_override: dict[str, tuple[np.ndarray, np.ndarray]] | None = None,
+) -> Path:
     """Persist ``database`` as ``<db_dir>/catalog.sqlite`` + feature blocks.
 
     The SQLite counterpart of :meth:`VideoDatabase.save`; returns the
-    catalog path.  Creates the schema on first use.
+    catalog path.  Creates the schema on first use.  ``routing_override``
+    is forwarded to :meth:`SQLCatalog.replace_from` (shard builders use
+    it to pin full-corpus routing metadata).
     """
     with obs_span("storage.save", videos=len(database.videos)):
         with SQLCatalog(db_dir, create=True) as catalog:
-            catalog.replace_from(database)
+            catalog.replace_from(database, routing_override=routing_override)
     return catalog_path(db_dir)

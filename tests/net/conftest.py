@@ -1,0 +1,106 @@
+"""Shared net fixtures: one corpus, served sharded and unsharded.
+
+Workers run in-process (daemon threads over real localhost sockets) so
+the equivalence and degradation tests pay no subprocess spawn cost; the
+smoke and the cluster test cover the real-subprocess path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.protocol import ShardEndpoint
+from repro.net.shard import build_shards
+from repro.net.worker import ShardWorker
+from repro.serving.server import QueryServer, ServerConfig
+from repro.storage.lazy import SQLVideoDatabase
+from repro.storage.sqlcatalog import save_database
+from repro.storage.synthetic import build_synthetic_database
+
+
+@pytest.fixture(scope="module")
+def net_db():
+    """The in-RAM corpus every sharded answer is compared against."""
+    return build_synthetic_database(
+        videos=36, shots_per_video=6, scenes_per_video=3, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def single_dir(tmp_path_factory, net_db):
+    """The unsharded stored form of the corpus."""
+    db_dir = tmp_path_factory.mktemp("net-single")
+    save_database(net_db, db_dir)
+    return db_dir
+
+
+@pytest.fixture(scope="module")
+def reference(single_dir):
+    """The single-process QueryServer the merge must match bit for bit."""
+    database = SQLVideoDatabase.open(single_dir)
+    server = QueryServer(
+        database=database, config=ServerConfig(workers=2)
+    ).start()
+    yield server
+    server.stop()
+    database.close()
+
+
+class NetHarness:
+    """One sharded deployment: spec + in-process workers + coordinator."""
+
+    def __init__(self, net_db, root, num_shards, **config_kwargs):
+        self.spec = build_shards(net_db, root, num_shards)
+        self.workers = [
+            ShardWorker(self.spec.shard_dir(root, info.shard_id)).start()
+            for info in self.spec.shards
+        ]
+        self.endpoints = [
+            ShardEndpoint(info.shard_id, "127.0.0.1", worker.port)
+            for info, worker in zip(self.spec.shards, self.workers)
+        ]
+        self.service = ShardedQueryService(
+            self.spec,
+            self.endpoints,
+            config=CoordinatorConfig(**config_kwargs),
+        )
+
+    def close(self):
+        self.service.close()
+        for worker in self.workers:
+            worker.stop()
+        for endpoint in self.endpoints:
+            endpoint.close()
+
+
+@pytest.fixture(scope="module")
+def make_harness(tmp_path_factory, net_db):
+    """Factory building (and tearing down) sharded deployments."""
+    created = []
+
+    def _make(num_shards: int, **config_kwargs) -> NetHarness:
+        root = tmp_path_factory.mktemp(f"net-shards{num_shards}")
+        harness = NetHarness(net_db, root, num_shards, **config_kwargs)
+        created.append(harness)
+        return harness
+
+    yield _make
+    for harness in created:
+        harness.close()
+
+
+@pytest.fixture(scope="module")
+def probes(net_db):
+    """Corpus-near probes (bucket hits) plus unseen ones (fallbacks)."""
+    entries = net_db.flat_index.entries
+    rng = np.random.default_rng(42)
+    shape = entries[0].features.shape
+    near = [
+        entries[int(rng.integers(0, len(entries)))].features
+        + rng.normal(0.0, 0.01, shape)
+        for _ in range(6)
+    ]
+    unseen = [rng.random(shape) for _ in range(3)]
+    return near + unseen

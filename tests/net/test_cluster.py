@@ -1,0 +1,60 @@
+"""Subprocess workers: spawn, kill, watchdog respawn."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.shard import build_shards
+from repro.serving.server import QueryRequest
+
+
+@pytest.fixture(scope="module")
+def live_cluster(tmp_path_factory, net_db):
+    root = tmp_path_factory.mktemp("cluster")
+    spec = build_shards(net_db, root, 2)
+    cluster = ShardCluster(root, spec=spec, watchdog_interval=0.1).start()
+    service = ShardedQueryService(
+        spec,
+        cluster.endpoints,
+        config=CoordinatorConfig(breaker_threshold=2, breaker_reset=0.2),
+    )
+    yield cluster, service
+    service.close()
+    cluster.stop()
+
+
+class TestCluster:
+    def test_spawns_one_worker_per_shard(self, live_cluster):
+        cluster, service = live_cluster
+        assert cluster.running
+        assert sorted(cluster.alive()) == [0, 1]
+        report = service.health_report()
+        assert report.exit_code == 0
+
+    def test_kill_then_watchdog_respawn(self, live_cluster, net_db):
+        cluster, service = live_cluster
+        rng = np.random.default_rng(5)
+        shape = net_db.flat_index.entries[0].features.shape
+        before = cluster.respawns
+        cluster.kill(0)
+
+        saw_degraded = False
+        deadline = time.perf_counter() + 20.0
+        while time.perf_counter() < deadline:
+            result = service.query(
+                QueryRequest(kind="shot", features=rng.random(shape), k=5)
+            )
+            if 0 in result.shards_missing:
+                saw_degraded = True
+            if saw_degraded and not result.shards_missing:
+                break
+            time.sleep(0.05)
+        assert saw_degraded, "killed shard never surfaced in shards_missing"
+        assert not result.shards_missing, "watchdog never restored the shard"
+        assert cluster.respawns > before
+        assert sorted(cluster.alive()) == [0, 1]

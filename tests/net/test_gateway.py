@@ -1,0 +1,248 @@
+"""HTTP gateway: endpoint contracts, protocol edges, auth scoping."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.database.access import User
+from repro.net.gateway import GatewayConfig, HttpGateway, _Backend, probe_health
+from repro.obs import get_registry
+from repro.obs.export import validate_prometheus_text
+from repro.serving.server import QueryRequest, ServingResult
+
+TOKENS = {
+    "tok-public": User(name="public", clearance=0),
+    "tok-surgeon": User(name="surgeon", clearance=3),
+}
+
+
+def request(url, method="GET", body=None, headers=None):
+    """(status, parsed-or-raw body, headers) of one HTTP exchange."""
+    req = urllib.request.Request(
+        url, data=body, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10.0) as response:
+            raw = response.read()
+            status, resp_headers = response.status, response.headers
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        status, resp_headers = exc.code, exc.headers
+    try:
+        parsed = json.loads(raw)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        parsed = raw
+    return status, parsed, resp_headers
+
+
+def post_query(base, payload, headers=None):
+    merged = {"Content-Type": "application/json"}
+    merged.update(headers or {})
+    return request(
+        f"{base}/query", "POST", json.dumps(payload).encode("utf-8"), merged
+    )
+
+
+@pytest.fixture(scope="module")
+def gw(reference):
+    gateway = HttpGateway(
+        reference, GatewayConfig(tokens=dict(TOKENS), max_body=256 * 1024)
+    ).start()
+    yield gateway
+    gateway.stop()
+
+
+class TestEndpoints:
+    def test_query_returns_ranked_hits(self, gw, reference, probes):
+        features = [float(x) for x in probes[0]]
+        status, body, _ = post_query(
+            gw.url, {"kind": "shot", "features": features, "k": 5}
+        )
+        direct = reference.query(
+            QueryRequest(kind="shot", features=probes[0], k=5)
+        )
+        assert status == 200
+        assert [
+            (hit["video_title"], hit["shot_id"], hit["score"])
+            for hit in body["hits"]
+        ] == [
+            (h.entry.video_title, h.entry.shot_id, h.score)
+            for h in direct.hits
+        ]
+        assert body["kind"] == "shot"
+        assert not body["degraded"] and not body["shards_missing"]
+
+    def test_scene_search_forces_scene_kind(self, gw, probes):
+        features = [float(x) for x in probes[0]]
+        status, body, _ = request(
+            f"{gw.url}/scene_search",
+            "POST",
+            json.dumps({"features": features, "k": 3}).encode(),
+            {"Content-Type": "application/json"},
+        )
+        assert status == 200
+        assert body["kind"] == "scene"
+        assert all("event" in hit for hit in body["hits"])
+
+    def test_skim_lists_scenes(self, gw, reference):
+        title = next(iter(reference.manager.current().records))
+        status, body, _ = request(f"{gw.url}/skim/{title}")
+        assert status == 200
+        assert body["video_id"] == title
+        assert len(body["scenes"]) == body["scene_count"]
+
+    def test_health_and_metrics(self, gw):
+        status, body, _ = request(f"{gw.url}/health")
+        assert status == 200 and body["status"] == "ok"
+        status, text, _ = request(f"{gw.url}/metrics")
+        assert status == 200
+        validate_prometheus_text(text.decode("utf-8"))
+
+    def test_workload_pool(self, gw):
+        status, body, _ = request(f"{gw.url}/workload?n=5")
+        assert status == 200
+        assert 1 <= len(body["features"]) <= 5
+
+    def test_probe_health_helper(self, gw):
+        report = probe_health(gw.url)
+        assert report.live and report.ready
+        assert report.exit_code == 0
+
+    def test_probe_health_reports_down_on_dead_server(self):
+        report = probe_health("http://127.0.0.1:9")  # discard port
+        assert not report.live and not report.ready
+        assert report.exit_code == 2
+
+
+class TestProtocolEdges:
+    def test_malformed_json_is_400(self, gw):
+        status, body, _ = request(
+            f"{gw.url}/query", "POST", b"{nope",
+            {"Content-Type": "application/json"},
+        )
+        assert status == 400 and "error" in body
+
+    def test_unknown_endpoint_is_404(self, gw):
+        assert request(f"{gw.url}/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, gw):
+        assert request(f"{gw.url}/query", "GET")[0] == 405
+        assert request(f"{gw.url}/health", "POST", b"{}")[0] == 405
+
+    def test_expired_deadline_on_arrival_is_504(self, gw, probes):
+        status, body, _ = post_query(
+            gw.url,
+            {"kind": "shot", "features": [float(x) for x in probes[0]]},
+            {"X-Deadline-Ms": "0"},
+        )
+        assert status == 504
+        assert "deadline" in body["error"]
+
+    def test_oversized_body_is_413(self, gw):
+        status, body, _ = post_query(
+            gw.url, {"kind": "shot", "features": [0.0] * 200_000}
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+
+    def test_unknown_video_is_404(self, gw):
+        assert request(f"{gw.url}/skim/no-such-video")[0] == 404
+
+    def test_missing_features_is_400(self, gw):
+        status, body, _ = post_query(gw.url, {"kind": "shot", "k": 5})
+        assert status == 400
+
+    def test_unknown_kind_is_400(self, gw):
+        status, _, _ = post_query(gw.url, {"kind": "sideways", "features": [0.0]})
+        assert status == 400
+
+
+class TestAuthScoping:
+    def test_unknown_token_is_401(self, gw, probes):
+        status, _, _ = post_query(
+            gw.url,
+            {"kind": "shot", "features": [float(x) for x in probes[0]]},
+            {"X-Auth-Token": "intruder"},
+        )
+        assert status == 401
+
+    def test_tokens_resolve_to_scoped_answers(self, gw, reference, probes):
+        """Results per token match the same user's direct query — and a
+        low-clearance token can never see a cached high-clearance answer."""
+        features = [float(x) for x in probes[0]]
+        for token in ("tok-surgeon", "tok-public", "tok-surgeon"):
+            status, body, _ = post_query(
+                gw.url,
+                {"kind": "shot", "features": features, "k": 10},
+                {"X-Auth-Token": token},
+            )
+            direct = reference.query(
+                QueryRequest(
+                    kind="shot", features=probes[0], k=10, user=TOKENS[token]
+                )
+            )
+            assert status == 200
+            assert [
+                (hit["video_title"], hit["shot_id"]) for hit in body["hits"]
+            ] == [(h.entry.video_title, h.entry.shot_id) for h in direct.hits]
+
+
+class _StallBackend(_Backend):
+    """Backend whose queries park until released (saturation tests)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def query(self, request):
+        self.release.wait(10.0)
+        return ServingResult(
+            kind=request.kind,
+            hits=(),
+            generation=1,
+            cache_hit=False,
+            elapsed_seconds=0.0,
+        )
+
+    def metrics_registry(self):
+        return get_registry()
+
+
+class TestSaturation:
+    def test_admission_overflow_is_503_with_retry_after(self):
+        backend = _StallBackend()
+        gateway = HttpGateway(
+            backend, GatewayConfig(max_inflight=1)
+        ).start()
+        try:
+            first = {}
+
+            def occupy():
+                first["response"] = post_query(
+                    gateway.url, {"kind": "shot", "features": [0.0]}
+                )
+
+            thread = threading.Thread(target=occupy, daemon=True)
+            thread.start()
+            deadline = threading.Event()
+            # Wait until the stalled request holds the only slot.
+            for _ in range(100):
+                if gateway._inflight._value == 0:  # noqa: SLF001
+                    break
+                deadline.wait(0.02)
+            status, body, headers = post_query(
+                gateway.url, {"kind": "shot", "features": [0.0]}
+            )
+            assert status == 503
+            assert headers.get("Retry-After") is not None
+            assert "capacity" in body["error"]
+            backend.release.set()
+            thread.join(timeout=5.0)
+            assert first["response"][0] == 200
+        finally:
+            backend.release.set()
+            gateway.stop()

@@ -1,0 +1,174 @@
+"""Wire protocol: framing, the array codec, pooled endpoints."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    ShardEndpoint,
+    pack_array,
+    recv_frame,
+    send_frame,
+    unpack_array,
+)
+
+
+class TestArrayCodec:
+    def test_roundtrip_is_bit_identical(self, rng):
+        array = rng.normal(0.0, 1.0, 57)
+        decoded = unpack_array(pack_array(array))
+        assert decoded.dtype == np.float64
+        assert decoded.tobytes() == array.astype(np.float64).tobytes()
+
+    def test_roundtrip_preserves_shape(self, rng):
+        array = rng.random((3, 4))
+        assert unpack_array(pack_array(array)).shape == (3, 4)
+
+    def test_special_values_survive(self):
+        array = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1e-308])
+        decoded = unpack_array(pack_array(array))
+        assert decoded.tobytes() == array.tobytes()
+
+    def test_malformed_payload_is_typed(self):
+        with pytest.raises(ServingError, match="malformed packed array"):
+            unpack_array({"shape": [2], "b64": "!!not base64!!"})
+        with pytest.raises(ServingError):
+            unpack_array({"shape": [2]})
+
+
+class TestFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "ping", "vec": pack_array(np.arange(4.0))}
+            send_frame(a, message)
+            received = recv_frame(b)
+            assert received["op"] == "ping"
+            assert np.array_equal(
+                unpack_array(received["vec"]), np.arange(4.0)
+            )
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_length_prefix_is_refused(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ServingError, match="exceeds protocol limit"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_is_typed(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"\xff\xfe not json"
+            a.sendall(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(ServingError, match="malformed frame"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_is_typed(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", 100) + b"short")
+            a.close()
+            with pytest.raises(ServingError, match="closed mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_object_frame_is_refused(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"[1, 2, 3]"
+            a.sendall(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(ServingError, match="JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class _EchoServer:
+    """Answers every frame with ``{"ok": true, "echo": <request>}``."""
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        with conn:
+            while True:
+                try:
+                    request = recv_frame(conn)
+                    send_frame(conn, {"ok": True, "echo": request})
+                except (ServingError, OSError):
+                    return
+
+    def close(self):
+        self._listener.close()
+
+
+@pytest.fixture()
+def echo():
+    server = _EchoServer()
+    yield server
+    server.close()
+
+
+class TestShardEndpoint:
+    def test_call_roundtrips(self, echo):
+        endpoint = ShardEndpoint(0, "127.0.0.1", echo.port)
+        try:
+            response = endpoint.call({"op": "ping", "n": 7})
+            assert response["echo"]["n"] == 7
+        finally:
+            endpoint.close()
+
+    def test_connections_are_pooled_and_reused(self, echo):
+        endpoint = ShardEndpoint(0, "127.0.0.1", echo.port, pool_size=2)
+        try:
+            for _ in range(8):
+                endpoint.call({"op": "ping"})
+            assert len(endpoint._idle) <= 2
+        finally:
+            endpoint.close()
+
+    def test_reset_repoints_at_new_address(self, echo):
+        endpoint = ShardEndpoint(0, "127.0.0.1", 1)  # nothing listens here
+        with pytest.raises(ServingError):
+            endpoint.call({"op": "ping"})
+        endpoint.reset("127.0.0.1", echo.port)
+        try:
+            assert endpoint.call({"op": "ping"})["ok"] is True
+            assert endpoint.address == ("127.0.0.1", echo.port)
+        finally:
+            endpoint.close()
+
+    def test_pool_size_must_be_positive(self):
+        with pytest.raises(ServingError):
+            ShardEndpoint(0, "127.0.0.1", 1234, pool_size=0)

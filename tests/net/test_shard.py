@@ -1,0 +1,134 @@
+"""Shard layout: partitioning, the manifest, global ordinals."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.net.shard import (
+    GLOBAL_ORDS_NAME,
+    MANIFEST_NAME,
+    ShardSpec,
+    build_shards,
+    load_manifest,
+    shard_of,
+)
+from repro.storage.lazy import SQLVideoDatabase
+from repro.storage.synthetic import build_synthetic_database
+
+
+@pytest.fixture(scope="module")
+def shard_root(tmp_path_factory, net_db):
+    root = tmp_path_factory.mktemp("layout")
+    spec = build_shards(net_db, root, 3)
+    return root, spec
+
+
+class TestPartitioning:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        for title in ("video-000", "video-001", "über-video"):
+            first = shard_of(title, 5)
+            assert first == shard_of(title, 5)
+            assert 0 <= first < 5
+
+    def test_every_video_lands_on_exactly_one_shard(self, shard_root, net_db):
+        _, spec = shard_root
+        placed = [title for info in spec.shards for title in info.titles]
+        assert sorted(placed) == sorted(net_db.videos)
+        for info in spec.shards:
+            assert all(
+                shard_of(title, spec.num_shards) == info.shard_id
+                for title in info.titles
+            )
+
+    def test_counts_add_up(self, shard_root, net_db):
+        _, spec = shard_root
+        assert sum(i.entry_count for i in spec.shards) == spec.entry_count
+        assert sum(i.video_count for i in spec.shards) == spec.video_count
+        assert spec.entry_count == len(net_db.flat_index.entries)
+
+    def test_too_many_shards_is_refused(self, tmp_path):
+        tiny = build_synthetic_database(
+            videos=2, shots_per_video=4, scenes_per_video=2, seed=1
+        )
+        with pytest.raises(StorageError, match="fewer shards"):
+            build_shards(tiny, tmp_path / "t", 64)
+
+
+class TestManifest:
+    def test_round_trips_through_json(self, shard_root):
+        _, spec = shard_root
+        clone = ShardSpec.from_json(
+            json.loads(json.dumps(spec.to_json()))
+        )
+        assert clone.num_shards == spec.num_shards
+        assert clone.shards == spec.shards
+        assert [leaf.name for leaf in clone.leaves] == [
+            leaf.name for leaf in spec.leaves
+        ]
+        for mine, theirs in zip(spec.leaves, clone.leaves):
+            assert np.array_equal(mine.centers, theirs.centers)
+            assert np.array_equal(mine.dims, theirs.dims)
+
+    def test_load_manifest_reads_what_build_saved(self, shard_root):
+        root, spec = shard_root
+        loaded = load_manifest(root)
+        assert loaded.shards == spec.shards
+        assert loaded.version == spec.version
+
+    def test_missing_or_garbage_manifest_is_typed(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot load"):
+            load_manifest(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StorageError, match="cannot load"):
+            load_manifest(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text('{"version": 1}')
+        with pytest.raises(StorageError, match="malformed shard manifest"):
+            load_manifest(tmp_path)
+
+
+class TestShardDirectories:
+    def test_each_shard_is_a_complete_database(self, shard_root):
+        root, spec = shard_root
+        for info in spec.shards:
+            database = SQLVideoDatabase.open(spec.shard_dir(root, info.shard_id))
+            try:
+                assert sorted(database.videos) == sorted(info.titles)
+                assert len(database.flat_index.entries) == info.entry_count
+            finally:
+                database.close()
+
+    def test_global_ords_map_back_to_corpus_entries(self, shard_root, net_db):
+        root, spec = shard_root
+        corpus = net_db.flat_index.entries
+        seen: set[int] = set()
+        for info in spec.shards:
+            ords = np.load(spec.shard_dir(root, info.shard_id) / GLOBAL_ORDS_NAME)
+            assert len(ords) == info.entry_count
+            database = SQLVideoDatabase.open(spec.shard_dir(root, info.shard_id))
+            try:
+                for local, entry in enumerate(database.flat_index.entries):
+                    source = corpus[int(ords[local])]
+                    assert (entry.video_title, entry.shot_id) == (
+                        source.video_title,
+                        source.shot_id,
+                    )
+                    assert np.array_equal(entry.features, source.features)
+            finally:
+                database.close()
+            seen.update(int(o) for o in ords)
+        assert seen == set(range(len(corpus)))
+
+    def test_manifest_leaves_carry_full_corpus_routing(self, shard_root, net_db):
+        _, spec = shard_root
+        # Routing metadata in the manifest must describe the *whole*
+        # corpus, not any one shard — that is what makes every shard's
+        # descent identical to the unsharded one.
+        leaf_names = {leaf.name for leaf in spec.leaves}
+        assert leaf_names  # corpus has populated leaves
+        for leaf in spec.leaves:
+            assert leaf.centers.ndim == 2
+            assert leaf.dims.ndim == 1
