@@ -1,0 +1,214 @@
+"""ANN tier benchmark: recall@10 and leaf-scan speedup vs exact.
+
+Builds one synthetic corpus, takes the exact hierarchical top-10 as
+ground truth, then sweeps ``nprobe`` with the default re-rank tail and
+measures
+
+* **recall@10** per knob (fraction of exact top-10 ids recovered),
+* **bit-identity** at ``nprobe`` covering every cell (the contract the
+  unit tests pin — re-checked here at bench scale),
+* the **leaf-scan speedup** on the largest leaf: exact
+  ``feature_similarity_batch`` over the full block vs the quantized
+  scan + exact re-rank tail at the default knob.
+
+Acceptance gates (ISSUE criteria): recall@10 >= 0.95 at the default
+``(nprobe, rerank_k)`` and >= 1.5x leaf-scan speedup.  Both are
+skipped — with honest numbers still recorded in
+``benchmarks/results/BENCH_ann.json`` — only when the corpus is
+degenerate for pruning (leaves too small for the re-rank tail to cut
+anything).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, save_result
+from repro.ann.index import resolve_ann
+from repro.ann.quantizer import DEFAULT_ANN_CELLS
+from repro.ann.index import DEFAULT_NPROBE, DEFAULT_RERANK_K
+from repro.database.index import feature_similarity_batch
+from repro.database.query import search_hierarchical
+from repro.evaluation.report import render_table
+from repro.storage.synthetic import build_synthetic_database
+
+#: Corpus size (videos x shots/video).
+VIDEOS, SHOTS = 1000, 12
+#: Probes measured (corpus-near perturbations + unseen uniform).
+NEAR_PROBES, UNSEEN_PROBES = 40, 8
+#: The nprobe sweep; every point uses the default re-rank tail.
+NPROBE_SWEEP = (1, 2, 4, 8, 16)
+#: An nprobe no leaf's cell count can reach: the exactness regime.
+NPROBE_ALL = 1_000_000
+
+#: ISSUE acceptance gates.
+MIN_RECALL_AT_10 = 0.95
+MIN_LEAF_SPEEDUP = 1.5
+
+
+def _hit_ids(result):
+    return [(h.entry.video_title, h.entry.shot_id) for h in result.hits]
+
+
+def _leaves(node):
+    if node.is_leaf:
+        yield node
+        return
+    for child in node.children:
+        yield from _leaves(child)
+
+
+def _probe_pool(database, seed=7):
+    rng = np.random.default_rng(seed)
+    entries = database.flat_index.entries
+    width = entries[0].features.shape[0]
+    pool = [
+        np.clip(
+            entries[int(rng.integers(0, len(entries)))].features
+            + rng.normal(0.0, 0.01, width),
+            0.0,
+            None,
+        )
+        for _ in range(NEAR_PROBES)
+    ]
+    pool.extend(rng.random(width) for _ in range(UNSEEN_PROBES))
+    return pool
+
+
+def _leaf_scan_speedup(node, probes, repeats=20, best_of=3):
+    """Exact full-block scan vs quantized scan + exact tail, best-of."""
+    _entries, matrix = node.leaf.fallback_block()
+    ann, degraded = resolve_ann(node)
+    assert ann is not None and not degraded
+
+    def exact_round():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for probe in probes:
+                feature_similarity_batch(probe, matrix, dims=node.dims)
+        return time.perf_counter() - start
+
+    def ann_round():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for probe in probes:
+                rows, _evals = ann.search_rows(
+                    probe,
+                    nprobe=DEFAULT_NPROBE,
+                    rerank_k=DEFAULT_RERANK_K,
+                    mode="all",
+                )
+                feature_similarity_batch(probe, matrix[rows], dims=node.dims)
+        return time.perf_counter() - start
+
+    exact_s = min(exact_round() for _ in range(best_of))
+    ann_s = min(ann_round() for _ in range(best_of))
+    return exact_s / max(ann_s, 1e-9), exact_s, ann_s
+
+
+def test_ann_recall_and_speedup(results_dir):
+    database = build_synthetic_database(
+        videos=VIDEOS, shots_per_video=SHOTS, seed=3
+    )
+    root = database.index_root
+    probes = _probe_pool(database)
+    truth = [_hit_ids(search_hierarchical(root, p, k=10)) for p in probes]
+
+    # 1. Bit-identity with no cell pruned and no re-rank cap.
+    identical = all(
+        _hit_ids(search_hierarchical(root, p, k=10, nprobe=NPROBE_ALL))
+        == ids
+        for p, ids in zip(probes, truth)
+    )
+    assert identical
+
+    # 2. Recall sweep at the default re-rank tail.
+    sweep = []
+    for nprobe in NPROBE_SWEEP:
+        recalls = []
+        approx_evals = 0
+        reranked = 0
+        for probe, ids in zip(probes, truth):
+            result = search_hierarchical(
+                root, probe, k=10, nprobe=nprobe, rerank_k=DEFAULT_RERANK_K
+            )
+            got = set(_hit_ids(result))
+            recalls.append(len(got & set(ids)) / max(len(ids), 1))
+            approx_evals += result.stats.approx_comparisons
+            reranked += result.stats.reranked
+        sweep.append(
+            {
+                "nprobe": nprobe,
+                "rerank_k": DEFAULT_RERANK_K,
+                "recall_at_10": float(np.mean(recalls)),
+                "approx_evals_per_query": approx_evals / len(probes),
+                "reranked_per_query": reranked / len(probes),
+            }
+        )
+    by_nprobe = {row["nprobe"]: row for row in sweep}
+    default_recall = by_nprobe[DEFAULT_NPROBE]["recall_at_10"]
+
+    # 3. Leaf-scan speedup on the largest leaf at the default knob.
+    largest = max(_leaves(root), key=lambda node: len(node.leaf))
+    leaf_rows = len(largest.leaf)
+    speedup, exact_s, ann_s = _leaf_scan_speedup(largest, probes[:16])
+
+    # The gates assume the tail can actually prune; a corpus whose
+    # leaves barely exceed the tail is degenerate for this measurement.
+    degenerate = leaf_rows < 4 * DEFAULT_RERANK_K
+    gates = (
+        f"skipped (degenerate corpus: largest leaf {leaf_rows} rows "
+        f"< {4 * DEFAULT_RERANK_K})"
+        if degenerate
+        else "asserted"
+    )
+    if not degenerate:
+        assert default_recall >= MIN_RECALL_AT_10, by_nprobe
+        assert speedup >= MIN_LEAF_SPEEDUP, (speedup, exact_s, ann_s)
+
+    rows = [
+        [
+            str(r["nprobe"]),
+            f"{r['recall_at_10']:.3f}",
+            f"{r['approx_evals_per_query']:.0f}",
+            f"{r['reranked_per_query']:.0f}",
+        ]
+        for r in sweep
+    ]
+    text = render_table(
+        ["nprobe", "recall@10", "uint8 evals/q", "reranked/q"],
+        rows,
+        title=(
+            f"ANN tier, {VIDEOS * SHOTS} shots, {DEFAULT_ANN_CELLS} cells, "
+            f"rerank_k={DEFAULT_RERANK_K}: leaf-scan speedup "
+            f"{speedup:.2f}x on {leaf_rows}-row leaf (gates {gates})"
+        ),
+    )
+    save_result(results_dir, "ann", text)
+    (RESULTS_DIR / "BENCH_ann.json").write_text(
+        json.dumps(
+            {
+                "videos": VIDEOS,
+                "shots": VIDEOS * SHOTS,
+                "cells": DEFAULT_ANN_CELLS,
+                "default_nprobe": DEFAULT_NPROBE,
+                "default_rerank_k": DEFAULT_RERANK_K,
+                "probes": len(probes),
+                "nprobe_all_identical": identical,
+                "recall_sweep": sweep,
+                "recall_at_default": default_recall,
+                "min_recall_at_10": MIN_RECALL_AT_10,
+                "largest_leaf_rows": leaf_rows,
+                "leaf_scan_speedup": speedup,
+                "leaf_scan_exact_seconds": exact_s,
+                "leaf_scan_ann_seconds": ann_s,
+                "min_leaf_speedup": MIN_LEAF_SPEEDUP,
+                "gates": gates,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

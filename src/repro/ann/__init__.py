@@ -1,0 +1,49 @@
+"""Approximate retrieval tier: IVF-quantized leaf scans + exact re-rank.
+
+The hierarchical descent (Eqs. 24-25) is exact but still scans every
+leaf candidate at full float64 precision; at millions of scenes those
+leaf scans dominate query latency.  This package adds a per-leaf
+IVF-style tier:
+
+* a seeded pure-NumPy k-means **coarse quantizer** over the leaf's
+  packed feature rows, restricted to the leaf's discriminating
+  sub-space (:mod:`repro.ann.quantizer`);
+* per-cell inverted lists with **scalar-quantized uint8 codes**
+  (per-dim scale/offset), scanned by
+  :func:`repro.core.kernels.quantized_intersection_to_many`;
+* an **exact re-rank tail** that recomputes the true sub-space score on
+  the top ``rerank_k`` survivors, so ``nprobe=all`` (with an unbounded
+  tail) reproduces the exact path bit-identically — same candidates,
+  same scores, same tie-break order (:mod:`repro.ann.index`).
+
+``nprobe=None`` disables the tier entirely; every existing call site
+keeps its exact semantics untouched.
+"""
+
+from repro.ann.index import (
+    DEFAULT_NPROBE,
+    DEFAULT_RERANK_K,
+    AnnLeafIndex,
+    build_leaf_ann,
+    resolve_ann,
+)
+from repro.ann.quantizer import (
+    ANN_SEED,
+    DEFAULT_ANN_CELLS,
+    kmeans_cells,
+    quantize_queries,
+    scalar_quantize,
+)
+
+__all__ = [
+    "ANN_SEED",
+    "DEFAULT_ANN_CELLS",
+    "DEFAULT_NPROBE",
+    "DEFAULT_RERANK_K",
+    "AnnLeafIndex",
+    "build_leaf_ann",
+    "kmeans_cells",
+    "quantize_queries",
+    "resolve_ann",
+    "scalar_quantize",
+]

@@ -1,0 +1,241 @@
+"""ANN tier smoke: exactness, recall, persistence, degrade paths.
+
+``make ann-smoke`` drives the approximate retrieval tier end to end on
+a seeded synthetic corpus and checks its contracts:
+
+1. ``nprobe`` covering every cell with an unbounded re-rank tail is
+   *bit-identical* to the exact hierarchical scan (ids, scores,
+   comparison counts, visited paths);
+2. recall@10 is monotonically non-decreasing in ``nprobe`` and reaches
+   1.0 at full probe, and pruning really reduces exact work;
+3. a saved catalog round-trips every leaf's quantizer bit for bit
+   (stored state reproduces a fresh deterministic build), and the lazy
+   out-of-core reader answers ANN queries identically to the eager
+   database;
+4. a missing ANN code block (the ``storage.ann_block_missing`` fault
+   point) degrades to the exact scan — same hits, ``ann_degraded``
+   raised — and recovers once the fault clears.
+
+Everything is seeded and deterministic; any check failure exits 1.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.index import DEFAULT_RERANK_K, build_leaf_ann
+from repro.database.query import search_hierarchical
+from repro.errors import ReproError
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.storage.lazy import SQLVideoDatabase
+from repro.storage.sqlcatalog import save_database
+from repro.storage.synthetic import build_synthetic_database
+
+#: An nprobe no leaf's cell count can reach: the exactness regime.
+NPROBE_ALL = 1_000_000
+
+
+def _report(name: str, ok: bool, detail: str) -> bool:
+    print(f"ann-smoke: [{'ok ' if ok else 'FAIL'}] {name} — {detail}")
+    return ok
+
+
+def _hits(result) -> list[tuple[str, int, float]]:
+    return [
+        (h.entry.video_title, h.entry.shot_id, h.score) for h in result.hits
+    ]
+
+
+def _probes(database, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    entries = database.flat_index.entries
+    width = entries[0].features.shape[0]
+    near = [
+        np.clip(
+            entries[int(rng.integers(0, len(entries)))].features
+            + rng.normal(0.0, 0.01, width),
+            0.0,
+            None,
+        )
+        for _ in range(6)
+    ]
+    return near + [rng.random(width) for _ in range(2)]
+
+
+def _exactness(database, probes) -> bool:
+    for probe in probes:
+        exact = search_hierarchical(database.index_root, probe, k=10)
+        ann = search_hierarchical(
+            database.index_root, probe, k=10, nprobe=NPROBE_ALL
+        )
+        if _hits(ann) != _hits(exact):
+            return _report("nprobe-all-identity", False, "hits diverged")
+        if ann.stats.comparisons != exact.stats.comparisons:
+            return _report(
+                "nprobe-all-identity", False, "comparison counts diverged"
+            )
+        if ann.stats.visited_path != exact.stats.visited_path:
+            return _report("nprobe-all-identity", False, "paths diverged")
+        if ann.stats.approx_comparisons != 0:
+            return _report(
+                "nprobe-all-identity", False, "uint8 scan ran without pruning"
+            )
+    return _report(
+        "nprobe-all-identity",
+        True,
+        f"{len(probes)} probes bit-identical to the exact scan",
+    )
+
+
+def _recall(database, probes) -> bool:
+    root = database.index_root
+    truth = [
+        {(t, s) for t, s, _ in _hits(search_hierarchical(root, p, k=10))}
+        for p in probes
+    ]
+    recalls = []
+    comparisons = []
+    for nprobe in (1, 2, 4, 8, NPROBE_ALL):
+        per_probe = []
+        work = 0
+        for probe, ids in zip(probes, truth):
+            result = search_hierarchical(
+                root, probe, k=10, nprobe=nprobe, rerank_k=DEFAULT_RERANK_K
+            )
+            got = {(t, s) for t, s, _ in _hits(result)}
+            per_probe.append(len(got & ids) / max(len(ids), 1))
+            work += result.stats.reranked
+        recalls.append(float(np.mean(per_probe)))
+        comparisons.append(work)
+    monotone = all(a <= b + 1e-12 for a, b in zip(recalls, recalls[1:]))
+    ok = monotone and recalls[-1] == 1.0 and comparisons[0] < comparisons[-1]
+    return _report(
+        "recall-monotone",
+        ok,
+        f"recall@10 {['%.2f' % r for r in recalls]} over nprobe sweep, "
+        f"reranked {comparisons[0]} -> {comparisons[-1]}",
+    )
+
+
+def _roundtrip(database, db_dir: Path, probes) -> bool:
+    from repro.storage.lazy import _ann_index_for
+
+    lazy = SQLVideoDatabase.open(db_dir)
+    try:
+        catalog = lazy.catalog
+        for info in catalog.leaf_infos():
+            row = catalog.ann_leaf_row(info.name)
+            if row is None:
+                return _report(
+                    "sql-roundtrip", False, f"no stored quantizer: {info.name}"
+                )
+            loaded = _ann_index_for(catalog, info)
+            population = np.asarray(catalog.features.open(info.block.sha))
+            if loaded.digest() != build_leaf_ann(population, info.dims).digest():
+                return _report(
+                    "sql-roundtrip", False, f"digest drift: {info.name}"
+                )
+        for probe in probes[:4]:
+            eager = search_hierarchical(
+                database.index_root, probe, k=10, nprobe=4, rerank_k=16
+            )
+            cold = search_hierarchical(
+                lazy.index_root, probe, k=10, nprobe=4, rerank_k=16
+            )
+            if _hits(cold) != _hits(eager):
+                return _report("sql-roundtrip", False, "lazy/eager diverged")
+        leaves = len(catalog.leaf_infos())
+    finally:
+        lazy.close()
+    return _report(
+        "sql-roundtrip",
+        True,
+        f"{leaves} stored quantizers deterministic, lazy == eager",
+    )
+
+
+def _degrade(database, db_dir: Path, probes) -> bool:
+    lazy = SQLVideoDatabase.open(db_dir)
+    try:
+        probe = probes[0]
+        exact = search_hierarchical(database.index_root, probe, k=10)
+        plan = FaultPlan(
+            [FaultSpec(point="storage.ann_block_missing", kind="error")],
+            seed=0,
+        )
+        with inject(plan):
+            degraded = search_hierarchical(
+                lazy.index_root, probe, k=10, nprobe=NPROBE_ALL
+            )
+        recovered = search_hierarchical(
+            lazy.index_root, probe, k=10, nprobe=NPROBE_ALL
+        )
+    finally:
+        lazy.close()
+    ok = (
+        degraded.stats.ann_degraded
+        and _hits(degraded) == _hits(exact)
+        and not recovered.stats.ann_degraded
+        and _hits(recovered) == _hits(exact)
+    )
+    return _report(
+        "degrade-and-recover",
+        ok,
+        "missing block fell back to the exact scan, then healed",
+    )
+
+
+def run_smoke(videos: int = 120, shots: int = 10, seed: int = 0) -> int:
+    """Run the ANN smoke; returns a process exit code."""
+    root = Path(tempfile.mkdtemp(prefix="ann-smoke-"))
+    failures = 0
+    try:
+        database = build_synthetic_database(videos, shots, seed=seed)
+        db_dir = root / "db"
+        db_dir.mkdir()
+        save_database(database, db_dir)
+        probes = _probes(database, seed=seed + 7)
+        failures += not _exactness(database, probes)
+        failures += not _recall(database, probes)
+        failures += not _roundtrip(database, db_dir, probes)
+        failures += not _degrade(database, db_dir, probes)
+    except ReproError as exc:
+        print(
+            f"ann-smoke: [FAIL] typed {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        failures += 1
+    except Exception as exc:  # noqa: BLE001 — must never escape a public API
+        print(
+            f"ann-smoke: [FAIL] UNTYPED {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        failures += 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        print(f"ann-smoke: FAIL ({failures} checks)", file=sys.stderr)
+        return 1
+    print(f"ann-smoke: OK (videos={videos}, seed={seed})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.ann.smoke [--videos N]`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="ANN tier smoke test")
+    parser.add_argument("--videos", type=int, default=120)
+    parser.add_argument("--shots", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    return run_smoke(videos=args.videos, shots=args.shots, seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

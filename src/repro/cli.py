@@ -283,6 +283,8 @@ def _serving_server(args: argparse.Namespace):
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_timeout=args.timeout,
+        ann_nprobe=getattr(args, "nprobe", None),
+        ann_rerank_k=getattr(args, "rerank_k", None),
     )
     # CLI servers report through the process-global registry so
     # ``classminer obs export`` and the Prometheus text cover them.
@@ -367,6 +369,8 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                 config=CoordinatorConfig(
                     queue_depth=args.queue_depth,
                     default_timeout=args.timeout,
+                    ann_nprobe=getattr(args, "nprobe", None),
+                    ann_rerank_k=getattr(args, "rerank_k", None),
                 ),
                 metrics=ServingMetrics(registry=get_registry()),
             )
@@ -443,6 +447,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             unique_fraction=args.unique_fraction,
             seed=args.seed,
+            nprobe=getattr(args, "nprobe", None),
+            rerank_k=getattr(args, "rerank_k", None),
         )
         report = run_load(server, config)
         text = report.render(f"loadtest against {args.db_dir}")
@@ -696,6 +702,20 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=5.0,
             help="per-query deadline in seconds (default: 5.0)",
+        )
+        sub_parser.add_argument(
+            "--nprobe",
+            type=int,
+            default=None,
+            help="ANN cells probed per leaf for shot queries "
+            "(default: exact scans)",
+        )
+        sub_parser.add_argument(
+            "--rerank-k",
+            type=int,
+            default=None,
+            help="exact re-rank tail used with --nprobe "
+            "(default: re-rank every survivor)",
         )
 
     serve = sub.add_parser(

@@ -442,3 +442,35 @@ def intersection_to_many(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     KERNEL_STATS.chunks += 1
     KERNEL_STATS.pair_evals += matrix.shape[0]
     return np.minimum(query[None, :], matrix).sum(axis=1)
+
+
+def quantized_intersection_to_many(
+    query_codes: np.ndarray,
+    codes: np.ndarray,
+    scale: np.ndarray,
+    offset_total: float,
+) -> np.ndarray:
+    """Approximate ``min``-sum over per-dimension affine uint8 codes.
+
+    Both sides carry the same scalar quantization
+    ``value ≈ offset[d] + scale[d] * code`` with ``scale >= 0``, so the
+    affine map commutes with the minimum and the intersection score
+    decomposes exactly over the codes::
+
+        sum_d min(deq(q_d), deq(x_d)) = sum_d scale_d * min(q_d, x_d)
+                                      + sum_d offset_d
+
+    The scan therefore touches only uint8 bytes (an 8x bandwidth
+    reduction against the float64 sub-space scan) plus one matvec
+    against the per-dim scales; ``offset_total`` is the precomputed
+    ``sum_d offset_d``.  The result approximates
+    :func:`intersection_to_many` up to quantization error — the ANN
+    tier re-ranks survivors with the exact kernel.
+    """
+    query_codes = np.asarray(query_codes, dtype=np.uint8)
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    KERNEL_STATS.chunks += 1
+    KERNEL_STATS.pair_evals += codes.shape[0]
+    mins = np.minimum(query_codes[None, :], codes)
+    scale = np.asarray(scale, dtype=np.float64)
+    return mins.astype(np.float64) @ scale + float(offset_total)

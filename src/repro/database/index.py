@@ -320,6 +320,11 @@ class IndexNode:
     dims: np.ndarray | None = field(default=None, repr=False)
     leaf: LeafHashIndex | None = None
     _center_block: CenterBlock | None = field(default=None, repr=False, compare=False)
+    # The leaf's approximate-retrieval tier: an AnnLeafIndex, a loader
+    # thunk (the SQL catalog's lazy path), or None.  Resolved through
+    # repro.ann.index.resolve_ann; kept untyped so the database layer
+    # does not import the ANN package at module load.
+    ann: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:

@@ -38,7 +38,7 @@ class QueryStats:
     Attributes
     ----------
     comparisons:
-        Feature-similarity evaluations performed.
+        Exact feature-similarity evaluations performed.
     ranked:
         Candidates that entered the ranking step.
     visited_path:
@@ -48,12 +48,23 @@ class QueryStats:
         The clock is monotonic and sub-millisecond accurate, so serving
         latency histograms built from it can never go negative when the
         system wall clock steps (NTP adjustments, DST).
+    approx_comparisons:
+        Quantized-code (uint8) evaluations performed by the ANN tier
+        (0 whenever ``nprobe`` is off or the scan could not prune).
+    reranked:
+        Leaf candidates the ANN tier's exact re-rank tail scored.
+    ann_degraded:
+        True when at least one leaf's ANN state failed to load and the
+        query fell back to that leaf's exact scan.
     """
 
     comparisons: int = 0
     ranked: int = 0
     visited_path: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    approx_comparisons: int = 0
+    reranked: int = 0
+    ann_degraded: bool = False
 
 
 @dataclass
@@ -92,12 +103,78 @@ def _child_scores(
     ]
 
 
+def _rank_leaf_exact(
+    leaf: IndexNode,
+    features: np.ndarray,
+    scored: list[RankedShot],
+    seen: set[tuple[str, int]],
+    stats: QueryStats,
+) -> None:
+    """Exact leaf ranking: probe the bucket, dedup, batch-score."""
+    # One kernel call ranks the whole candidate block of this leaf
+    # (in its discriminating sub-space); each scored entry still
+    # counts as one logical comparison.
+    entries, matrix = leaf.leaf.probe_block(features)  # type: ignore[union-attr]
+    keep = [i for i, entry in enumerate(entries) if entry.key not in seen]
+    if not keep:
+        return
+    seen.update(entries[i].key for i in keep)
+    block = matrix if len(keep) == len(entries) else matrix[keep]
+    scores = feature_similarity_batch(features, block, dims=leaf.dims)
+    scored.extend(
+        RankedShot(entry=entries[i], score=float(score))
+        for i, score in zip(keep, scores)
+    )
+    stats.comparisons += len(keep)
+
+
+def _rank_leaf_ann(
+    leaf: IndexNode,
+    ann,
+    features: np.ndarray,
+    nprobe: int,
+    rerank_k: int | None,
+    scored: list[RankedShot],
+    seen: set[tuple[str, int]],
+    stats: QueryStats,
+) -> None:
+    """ANN leaf ranking: IVF-pruned candidates, exact re-rank tail.
+
+    Survivor rows arrive in ascending row order — the same sequence the
+    exact probe visits — so dedup order, exact scores (computed by the
+    same kernel over the same stored float64 rows) and the global
+    stable sort reproduce the exact path bit-identically whenever no
+    cell or survivor was pruned (``nprobe >= cells``, unbounded tail).
+    """
+    rows, approx_evals = ann.search_rows(
+        features, nprobe=nprobe, rerank_k=rerank_k, mode="auto"
+    )
+    stats.approx_comparisons += approx_evals
+    if rows.size == 0:
+        return
+    entries = leaf.leaf.all_entries()  # type: ignore[union-attr]
+    _all_entries, matrix = leaf.leaf.fallback_block()  # type: ignore[union-attr]
+    kept = [int(row) for row in rows if entries[int(row)].key not in seen]
+    if not kept:
+        return
+    seen.update(entries[row].key for row in kept)
+    scores = feature_similarity_batch(features, matrix[kept], dims=leaf.dims)
+    scored.extend(
+        RankedShot(entry=entries[row], score=float(score))
+        for row, score in zip(kept, scores)
+    )
+    stats.comparisons += len(kept)
+    stats.reranked += len(kept)
+
+
 def search_hierarchical(
     root: IndexNode,
     features: np.ndarray,
     k: int = 10,
     allowed_leaves: set[str] | None = None,
     beam: int = 2,
+    nprobe: int | None = None,
+    rerank_k: int | None = None,
 ) -> QueryResult:
     """Descend the index and rank shots in the most relevant leaves.
 
@@ -120,9 +197,27 @@ def search_hierarchical(
         level.  Width 1 is the cheapest greedy descent; the default of
         2 recovers almost all the exhaustive scan's accuracy on
         visually overlapping subject areas for a small extra cost.
+    nprobe:
+        None (the default) keeps every leaf scan exact.  An integer
+        enables the ANN tier: only candidates in the query's best
+        ``nprobe`` coarse cells are considered per leaf, and survivors
+        are re-ranked with the exact kernel.  ``nprobe >= cells``
+        prunes nothing, so (with ``rerank_k=None``) results are
+        bit-identical to the exact path.  A leaf whose ANN state cannot
+        load falls back to its exact scan and flags
+        ``stats.ann_degraded``.
+    rerank_k:
+        Length of the exact re-rank tail per leaf.  None re-ranks every
+        surviving candidate exactly — which makes the final ranking the
+        exact ranking restricted to the probed candidate set, so recall
+        grows monotonically in ``nprobe``.
     """
     if beam < 1:
         raise DatabaseError("beam must be >= 1")
+    if nprobe is not None and nprobe < 1:
+        raise DatabaseError("nprobe must be >= 1 (or None for exact)")
+    if rerank_k is not None and rerank_k < 1:
+        raise DatabaseError("rerank_k must be >= 1 (or None for all)")
     start = time.perf_counter()
     INDEX_STATS.descents += 1
     stats = QueryStats()
@@ -136,21 +231,19 @@ def search_hierarchical(
     scored: list[RankedShot] = []
     seen: set[tuple[str, int]] = set()
     for leaf in leaves:
-        # One kernel call ranks the whole candidate block of this leaf
-        # (in its discriminating sub-space); each scored entry still
-        # counts as one logical comparison.
-        entries, matrix = leaf.leaf.probe_block(features)  # type: ignore[union-attr]
-        keep = [i for i, entry in enumerate(entries) if entry.key not in seen]
-        if not keep:
-            continue
-        seen.update(entries[i].key for i in keep)
-        block = matrix if len(keep) == len(entries) else matrix[keep]
-        scores = feature_similarity_batch(features, block, dims=leaf.dims)
-        scored.extend(
-            RankedShot(entry=entries[i], score=float(score))
-            for i, score in zip(keep, scores)
-        )
-        stats.comparisons += len(keep)
+        ann = None
+        if nprobe is not None:
+            from repro.ann.index import resolve_ann
+
+            ann, degraded = resolve_ann(leaf)
+            if degraded:
+                stats.ann_degraded = True
+        if ann is None:
+            _rank_leaf_exact(leaf, features, scored, seen, stats)
+        else:
+            _rank_leaf_ann(
+                leaf, ann, features, nprobe, rerank_k, scored, seen, stats
+            )
     scored.sort(key=lambda hit: hit.score, reverse=True)
     stats.ranked = len(scored)
     stats.elapsed_seconds = time.perf_counter() - start

@@ -88,6 +88,14 @@ class CoordinatorConfig:
         Per-shard circuit breaker: consecutive failures to open, and
         seconds until a half-open retry.  The reset is deliberately
         short — a respawned worker should be folded back in quickly.
+    ann_nprobe / ann_rerank_k:
+        Default ANN knobs folded into ``shot`` requests that carry no
+        ``nprobe`` of their own — the sharded mirror of
+        :class:`~repro.serving.server.ServerConfig`'s knobs.  Each
+        shard prunes with its *own* trained quantizer; candidate
+        scores stay kernel-exact, so ``nprobe`` covering every cell
+        with an unbounded re-rank tail reproduces the exact answer
+        bit for bit.
     """
 
     queue_depth: int = 64
@@ -96,12 +104,18 @@ class CoordinatorConfig:
     beam: int = 2
     breaker_threshold: int = 3
     breaker_reset: float = 1.0
+    ann_nprobe: int | None = None
+    ann_rerank_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise ServingError("queue depth must be >= 1")
         if self.beam < 1:
             raise ServingError("beam must be >= 1")
+        if self.ann_nprobe is not None and self.ann_nprobe < 1:
+            raise ServingError("ann_nprobe must be >= 1 (or None for exact)")
+        if self.ann_rerank_k is not None and self.ann_rerank_k < 1:
+            raise ServingError("ann_rerank_k must be >= 1 (or None for all)")
 
 
 class ShardedQueryService:
@@ -295,6 +309,37 @@ class ShardedQueryService:
             )
         if request.k < 1:
             raise ServingError("k must be >= 1")
+        if request.nprobe is not None or request.rerank_k is not None:
+            if request.kind != "shot":
+                raise ServingError(
+                    "nprobe/rerank_k only apply to hierarchical shot queries"
+                )
+            if request.nprobe is not None and request.nprobe < 1:
+                raise ServingError("nprobe must be >= 1 (or None for exact)")
+            if request.rerank_k is not None and request.rerank_k < 1:
+                raise ServingError("rerank_k must be >= 1 (or None for all)")
+
+    def _effective_request(self, request: QueryRequest) -> QueryRequest:
+        """Fold the configured ANN defaults into the request.
+
+        Mirrors :meth:`QueryServer._effective_request
+        <repro.serving.server.QueryServer>`: resolved before the cache
+        key so a configured default and an explicit per-request knob
+        with the same values share entries.
+        """
+        if request.kind != "shot" or request.nprobe is not None:
+            return request
+        if self.config.ann_nprobe is None:
+            return request
+        return replace(
+            request,
+            nprobe=self.config.ann_nprobe,
+            rerank_k=(
+                request.rerank_k
+                if request.rerank_k is not None
+                else self.config.ann_rerank_k
+            ),
+        )
 
     def _scope(self, user: User | None) -> tuple[frozenset[str] | None, str]:
         if user is None:
@@ -341,6 +386,7 @@ class ShardedQueryService:
 
     def _execute(self, request: QueryRequest) -> ServingResult:
         start = time.perf_counter()
+        request = self._effective_request(request)
         deadline = self._deadline(request.timeout)
         leaves, scope = self._scope(request.user)
         key = CacheKey(
@@ -356,8 +402,14 @@ class ShardedQueryService:
             self._metrics.record_query(request.kind, elapsed, cache_hit=True)
             return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
 
+        approx_comparisons = 0
+        reranked = 0
+        ann_degraded = False
         if request.kind == "shot":
-            hits, comparisons, missing = self._shot(request, leaves, deadline)
+            hits, comparisons, missing, ann_stats = self._shot(
+                request, leaves, deadline
+            )
+            approx_comparisons, reranked, ann_degraded = ann_stats
         elif request.kind == "shot_flat":
             hits, comparisons, missing = self._flat(request, deadline)
         elif request.kind == "scene":
@@ -368,7 +420,7 @@ class ShardedQueryService:
         degraded_videos = any(
             record.degraded_stages for record in self._records.values()
         )
-        degraded = bool(missing) or degraded_videos
+        degraded = bool(missing) or degraded_videos or ann_degraded
         elapsed = time.perf_counter() - start
         result = ServingResult(
             kind=request.kind,
@@ -379,16 +431,18 @@ class ShardedQueryService:
             comparisons=comparisons,
             degraded=degraded,
             shards_missing=tuple(sorted(missing)),
+            approx_comparisons=approx_comparisons,
+            reranked=reranked,
         )
         if missing:
             self._metrics.registry.counter(
                 "net_degraded_responses_total",
                 "Answers computed with at least one shard missing.",
             ).inc()
-        else:
+        elif not ann_degraded:
             # Cache only full-strength answers: a degraded answer served
-            # from cache after the shard recovered would silently keep
-            # returning partial results.
+            # from cache after the shard recovered (or its ANN block was
+            # restored) would silently keep returning weakened results.
             self._cache.put(key, result)
         self._metrics.record_query(
             request.kind, elapsed, comparisons=comparisons, cache_hit=False
@@ -411,15 +465,16 @@ class ShardedQueryService:
         request: QueryRequest,
         scope_leaves: frozenset[str] | None,
         deadline: float | None,
-    ) -> tuple[tuple, int, set[int]]:
+    ) -> tuple[tuple, int, set[int], tuple[int, int, bool]]:
         stats = QueryStats()
         allowed = set(scope_leaves) if scope_leaves is not None else None
         leaves = descend_to_leaves(
             self._root, request.features, stats, allowed, self.config.beam
         )
+        ann_active = request.nprobe is not None
         if not leaves:
             if allowed is not None:
-                return (), stats.comparisons, set()
+                return (), stats.comparisons, set(), (0, 0, False)
             raise DatabaseError("descent reached no populated leaf")
         names = [leaf.name for leaf in leaves]
         base = {
@@ -427,6 +482,10 @@ class ShardedQueryService:
             "k": int(request.k),
             "leaves": names,
         }
+        if ann_active:
+            base["nprobe"] = int(request.nprobe)
+            if request.rerank_k is not None:
+                base["rerank_k"] = int(request.rerank_k)
         probe, missing = self._scatter(dict(base, op="probe"), deadline)
         self._require_responses(probe, missing)
 
@@ -455,8 +514,16 @@ class ShardedQueryService:
             self._require_responses(probe, missing)
 
         features_by_ord: dict[str, np.ndarray] = {}
+        approx_comparisons = 0
+        ann_degraded = False
         for source in (probe, scan):
             for response in source.values():
+                approx_comparisons += int(
+                    response.get("approx_comparisons", 0)
+                )
+                ann_degraded = ann_degraded or bool(
+                    response.get("ann_degraded", False)
+                )
                 for ordinal, packed in response["features"].items():
                     features_by_ord[ordinal] = unpack_array(packed)
 
@@ -493,7 +560,16 @@ class ShardedQueryService:
             )
             for item in merged[: request.k]
         )
-        return hits, comparisons, missing
+        # ``reranked`` is computed at merge (deduplicated kept
+        # candidates = the exact tail's scored rows), matching the
+        # single-process QueryStats contract.
+        reranked = comparisons - stats.comparisons if ann_active else 0
+        return (
+            hits,
+            comparisons,
+            missing,
+            (approx_comparisons, reranked, ann_degraded),
+        )
 
     def _flat(
         self, request: QueryRequest, deadline: float | None

@@ -12,7 +12,8 @@ Endpoints (all JSON):
 =============================  =======================================
 ``POST /query``                full query surface (``kind``,
                                ``features``, ``k``, ``event``,
-                               ``video_title``)
+                               ``video_title``, ANN knobs ``nprobe``
+                               and ``rerank_k``)
 ``POST /scene_search``         shorthand for ``kind: scene``
 ``GET  /skim/{video_id}``      a video's scene/event outline
 ``GET  /health``               200 ok / 207 degraded / 503 down
@@ -83,6 +84,9 @@ _CLIENT_ERRORS = (
     "scene queries need",
     "the flat baseline does not support",
     "k must be",
+    "nprobe must be",
+    "rerank_k must be",
+    "nprobe/rerank_k only apply",
 )
 
 
@@ -246,6 +250,8 @@ def _serialize_result(result: ServingResult) -> dict:
         "comparisons": result.comparisons,
         "degraded": result.degraded,
         "shards_missing": list(result.shards_missing),
+        "approx_comparisons": result.approx_comparisons,
+        "reranked": result.reranked,
     }
 
 
@@ -588,6 +594,15 @@ class HttpGateway:
         except (TypeError, ValueError):
             raise _HttpError(400, "k must be an integer") from None
 
+        def _int_knob(name: str) -> int | None:
+            value = payload.get(name)
+            if value is None:
+                return None
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                raise _HttpError(400, f"{name} must be an integer") from None
+
         request = QueryRequest(
             kind=str(kind),
             features=features,
@@ -596,6 +611,8 @@ class HttpGateway:
             event=event,
             video_title=payload.get("video_title"),
             timeout=timeout,
+            nprobe=_int_knob("nprobe"),
+            rerank_k=_int_knob("rerank_k"),
         )
         try:
             result = await self._offload(self._backend.query, request)

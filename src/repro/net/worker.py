@@ -43,7 +43,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.database.index import IndexNode, feature_similarity_batch
+from repro.ann.index import resolve_ann
+from repro.database.index import (
+    IndexNode,
+    feature_similarity_batch,
+    leaf_signature,
+)
 from repro.errors import DatabaseError, ReproError
 from repro.net.protocol import (
     pack_array,
@@ -240,10 +245,24 @@ class ShardWorker:
         local order), so the shard-local ranking used to pick which
         feature payloads to ship is the exact restriction of the global
         ranking to this shard.
+
+        When the request carries ``nprobe``, the per-shard ANN tier
+        prunes the candidate set before exact scoring.  The reported
+        ``bucket`` stays the *true* bucket size (not the survivor
+        count) so the coordinator's global empty-bucket fallback
+        decision is unchanged, and survivors keep their kernel-exact
+        scores — with ``nprobe`` covering every cell and no re-rank
+        cap, the response is byte-identical to the exact one.  A leaf
+        whose ANN state cannot load answers exactly with
+        ``ann_degraded`` set.
         """
         state = self._state
         features = unpack_array(request["features"])
         k = int(request.get("k", 10))
+        nprobe = request.get("nprobe")
+        rerank_k = request.get("rerank_k")
+        approx_comparisons = 0
+        ann_degraded = False
         per_leaf: dict[str, dict] = {}
         combined: list[tuple[int, object, float]] = []
         for name in request.get("leaves", []):
@@ -253,12 +272,37 @@ class ShardWorker:
                 continue
             leaf = node.leaf
             assert leaf is not None
-            if fallback:
-                entries, matrix = leaf.fallback_block()
-            else:
-                entries, matrix = leaf.bucket_block(features)
+            entries = matrix = None
+            bucket_size = None
+            if nprobe is not None:
+                ann, degraded = resolve_ann(node)
+                ann_degraded = ann_degraded or degraded
+                if ann is not None:
+                    rows, evals = ann.search_rows(
+                        features,
+                        nprobe=int(nprobe),
+                        rerank_k=None if rerank_k is None else int(rerank_k),
+                        mode="all" if fallback else "bucket",
+                    )
+                    approx_comparisons += evals
+                    if fallback:
+                        bucket_size = ann.n_rows
+                    else:
+                        bucket_size = int(
+                            ann.bucket_rows(leaf_signature(features)).size
+                        )
+                    all_entries, block = leaf.fallback_block()
+                    picked = [int(row) for row in rows]
+                    entries = [all_entries[row] for row in picked]
+                    matrix = block[picked]
+            if bucket_size is None:
+                if fallback:
+                    entries, matrix = leaf.fallback_block()
+                else:
+                    entries, matrix = leaf.bucket_block(features)
+                bucket_size = len(entries)
             if not entries:
-                per_leaf[name] = {"bucket": 0, "candidates": []}
+                per_leaf[name] = {"bucket": int(bucket_size), "candidates": []}
                 continue
             scores = feature_similarity_batch(features, matrix, dims=node.dims)
             candidates = []
@@ -274,7 +318,10 @@ class ShardWorker:
                     ]
                 )
                 combined.append((global_ord, entry, float(score)))
-            per_leaf[name] = {"bucket": len(entries), "candidates": candidates}
+            per_leaf[name] = {
+                "bucket": int(bucket_size),
+                "candidates": candidates,
+            }
         top = sorted(combined, key=lambda item: item[2], reverse=True)[:k]
         payload = {
             str(global_ord): pack_array(entry.features)
@@ -285,6 +332,8 @@ class ShardWorker:
             "generation": self._generation,
             "leaves": per_leaf,
             "features": payload,
+            "approx_comparisons": approx_comparisons,
+            "ann_degraded": ann_degraded,
         }
 
     def _op_flat(self, request: dict) -> dict:

@@ -63,6 +63,7 @@ KNOWN_FAULT_POINTS = (
     "serve.cache",
     "storage.db_locked",
     "storage.mmap_truncated",
+    "storage.ann_block_missing",
     "net.rpc",
 )
 

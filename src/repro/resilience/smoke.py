@@ -21,7 +21,10 @@ contracts hold:
    :class:`~repro.errors.StorageError` and a clean reopen recovers;
 7. an injected mmap read fault surfaces typed and the next read
    recovers; a genuinely truncated feature block is caught by
-   content-digest verification.
+   content-digest verification;
+8. a missing ANN code block (``storage.ann_block_missing``) degrades
+   the approximate tier to the exact leaf scan — same hits, with the
+   ``degraded`` flag raised — and recovers once the fault clears.
 
 Throughout, nothing but :class:`~repro.errors.ReproError` subclasses
 may escape a public API — any other exception fails the smoke run.
@@ -294,6 +297,48 @@ def _storage_mmap_truncated(db_dir: Path, seed: int) -> bool:
     )
 
 
+def _storage_ann_block_missing(db_dir: Path, seed: int) -> bool:
+    """A missing ANN block degrades to the exact scan, then recovers."""
+    from repro.database.query import search_hierarchical
+    from repro.storage import SQLVideoDatabase
+
+    def shot_keys(result):
+        return [
+            (h.entry.video_title, h.entry.shot_id, h.score)
+            for h in result.hits
+        ]
+
+    database = SQLVideoDatabase.open(db_dir)
+    try:
+        probe = database.flat_index.entries[0].features
+        exact = search_hierarchical(database.index_root, probe, k=3)
+        plan = FaultPlan(
+            [FaultSpec(point="storage.ann_block_missing", kind="error")],
+            seed=seed,
+        )
+        with inject(plan):
+            degraded = search_hierarchical(
+                database.index_root, probe, k=3, nprobe=1_000_000
+            )
+        recovered = search_hierarchical(
+            database.index_root, probe, k=3, nprobe=1_000_000
+        )
+    finally:
+        database.close()
+    ok = (
+        degraded.stats.ann_degraded
+        and shot_keys(degraded) == shot_keys(exact)
+        and not recovered.stats.ann_degraded
+        and shot_keys(recovered) == shot_keys(exact)
+    )
+    return _report(
+        "storage-ann-block-missing",
+        ok,
+        f"degraded scan matched exact ({len(degraded.hits)} hits), "
+        f"recovered clean once the fault cleared",
+    )
+
+
 def run_smoke(seed: int = 0) -> int:
     """Run the seeded fault matrix; returns a process exit code."""
     root = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
@@ -305,6 +350,7 @@ def run_smoke(seed: int = 0) -> int:
         ("query", _query_fault_survival, root / "transient"),
         ("storage-locked", _storage_db_locked, root / "transient"),
         ("storage-truncated", _storage_mmap_truncated, root / "transient"),
+        ("storage-ann", _storage_ann_block_missing, root / "transient"),
     )
     failures = 0
     try:

@@ -77,6 +77,13 @@ def request_digest(request) -> str:
     digest = feature_digest(request.features)
     if request.kind == "scene" and request.event is not None:
         digest = f"{digest}:{request.event.value}"
+    nprobe = getattr(request, "nprobe", None)
+    if request.kind == "shot" and nprobe is not None:
+        # The ANN knobs change the answer, so they are part of the
+        # identity; exact queries (nprobe=None) keep their historic
+        # digests and stay shareable across server configurations.
+        rerank_k = getattr(request, "rerank_k", None)
+        digest = f"{digest}:ann{int(nprobe)}:{'all' if rerank_k is None else int(rerank_k)}"
     return digest
 
 

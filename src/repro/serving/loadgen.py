@@ -48,7 +48,8 @@ class LoadgenConfig:
     (when set) stops each client earlier once it has completed that
     many attempts.  ``unique_fraction`` controls cache pressure: 0.0
     replays the same few queries (cache-friendly), 1.0 perturbs every
-    query so almost nothing repeats.
+    query so almost nothing repeats.  ``nprobe``/``rerank_k`` (when
+    set) put the pool's ``shot`` queries on the approximate leaf tier.
     """
 
     clients: int = 4
@@ -61,6 +62,8 @@ class LoadgenConfig:
     unique_fraction: float = 0.25
     seed: int = 0
     backoff: float = 0.002
+    nprobe: int | None = None
+    rerank_k: int | None = None
 
 
 @dataclass
@@ -162,6 +165,8 @@ def build_query_pool(
                 k=config.k,
                 user=None if kind == "shot_flat" else user,
                 timeout=config.timeout,
+                nprobe=config.nprobe if kind == "shot" else None,
+                rerank_k=config.rerank_k if kind == "shot" else None,
             )
         )
     return requests

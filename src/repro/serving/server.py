@@ -68,6 +68,14 @@ class ServerConfig:
     watchdog_interval:
         Seconds between worker-pool repair checks (a dead worker thread
         is resurrected); ``None`` disables the watchdog.
+    ann_nprobe:
+        Default coarse cells probed per leaf for ``shot`` queries that
+        carry no ``nprobe`` of their own.  ``None`` (the default) keeps
+        leaf scans exact unless a request opts in.  Enabling this also
+        pre-warms per-leaf ANN indexes on every generation swap.
+    ann_rerank_k:
+        Default exact re-rank tail applied with :attr:`ann_nprobe`
+        (``None`` re-ranks every surviving candidate).
     """
 
     workers: int = 4
@@ -75,6 +83,8 @@ class ServerConfig:
     default_timeout: float | None = 5.0
     cache_capacity: int = 512
     watchdog_interval: float | None = 0.2
+    ann_nprobe: int | None = None
+    ann_rerank_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -83,6 +93,10 @@ class ServerConfig:
             raise ServingError("queue depth must be >= 1")
         if self.watchdog_interval is not None and self.watchdog_interval <= 0:
             raise ServingError("watchdog interval must be > 0 (or None)")
+        if self.ann_nprobe is not None and self.ann_nprobe < 1:
+            raise ServingError("ann_nprobe must be >= 1 (or None for exact)")
+        if self.ann_rerank_k is not None and self.ann_rerank_k < 1:
+            raise ServingError("ann_rerank_k must be >= 1 (or None for all)")
 
 
 @dataclass(frozen=True)
@@ -93,6 +107,10 @@ class QueryRequest:
     descent), ``shot_flat`` (Eq. 24 linear-scan baseline), ``scene``
     (centroid search) or ``event`` (registration-record walk).  Shot and
     scene kinds need ``features``; event kind needs ``event``.
+
+    ``nprobe`` / ``rerank_k`` (``shot`` kind only) opt this query into
+    the approximate leaf tier; unset, the server's configured defaults
+    apply, and with neither the scan stays exact.
     """
 
     kind: str
@@ -102,6 +120,8 @@ class QueryRequest:
     event: EventKind | None = None
     video_title: str | None = None
     timeout: float | None = None
+    nprobe: int | None = None
+    rerank_k: int | None = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +148,10 @@ class ServingResult:
     shard ids whose worker could not contribute, in which case
     ``degraded`` is also True and the hits cover the reachable shards
     only.  The single-process server always leaves it empty.
+
+    ``approx_comparisons`` counts quantized-code (uint8) evaluations the
+    ANN tier performed and ``reranked`` the candidates its exact tail
+    scored; both stay 0 on exact queries.
     """
 
     kind: str
@@ -138,6 +162,8 @@ class ServingResult:
     comparisons: int = 0
     degraded: bool = False
     shards_missing: tuple[int, ...] = ()
+    approx_comparisons: int = 0
+    reranked: int = 0
 
 
 _SENTINEL = object()
@@ -317,6 +343,10 @@ class QueryServer:
         return register_corpus_hook(self._manager.ingest_hook())
 
     def _on_snapshot(self, snapshot: Snapshot) -> None:
+        if self.config.ann_nprobe is not None:
+            from repro.serving.snapshot import warm_ann_indexes
+
+            warm_ann_indexes(snapshot)
         self._cache.evict_other_generations(snapshot.generation)
         with self._scope_lock:
             self._scopes = {
@@ -404,6 +434,15 @@ class QueryServer:
             )
         if request.k < 1:
             raise ServingError("k must be >= 1")
+        if request.nprobe is not None or request.rerank_k is not None:
+            if request.kind != "shot":
+                raise ServingError(
+                    "nprobe/rerank_k only apply to hierarchical shot queries"
+                )
+            if request.nprobe is not None and request.nprobe < 1:
+                raise ServingError("nprobe must be >= 1 (or None for exact)")
+            if request.rerank_k is not None and request.rerank_k < 1:
+                raise ServingError("rerank_k must be >= 1 (or None for all)")
 
     # ------------------------------------------------------------------
     # Execution (worker side).
@@ -526,9 +565,32 @@ class QueryServer:
             return
         self._cache_breaker.record_success()
 
+    def _effective_request(self, request: QueryRequest) -> QueryRequest:
+        """Fold the server's configured ANN defaults into the request.
+
+        Resolved *before* the cache key is computed, so a configured
+        default and an explicit per-request knob with the same values
+        share cache entries (and an exact query never collides with an
+        approximate one).
+        """
+        if request.kind != "shot" or request.nprobe is not None:
+            return request
+        if self.config.ann_nprobe is None:
+            return request
+        return replace(
+            request,
+            nprobe=self.config.ann_nprobe,
+            rerank_k=(
+                request.rerank_k
+                if request.rerank_k is not None
+                else self.config.ann_rerank_k
+            ),
+        )
+
     def _execute_unspanned(self, request: QueryRequest) -> ServingResult:
         start = time.perf_counter()
         fault_point("serve.query")
+        request = self._effective_request(request)
         snapshot = self._manager.current()
         degraded = self._manager.degraded or bool(snapshot.degraded_videos)
         leaves, scope = self._scope(request.user, snapshot)
@@ -549,15 +611,24 @@ class QueryServer:
 
         hits: tuple
         comparisons = 0
+        approx_comparisons = 0
+        reranked = 0
+        ann_degraded = False
         if request.kind == "shot":
             result = snapshot.search(
                 request.features,
                 user=request.user,
                 k=request.k,
                 allowed_leaves=leaves,
+                nprobe=request.nprobe,
+                rerank_k=request.rerank_k,
             )
             hits = tuple(result.hits)
             comparisons = result.stats.comparisons
+            approx_comparisons = result.stats.approx_comparisons
+            reranked = result.stats.reranked
+            ann_degraded = result.stats.ann_degraded
+            degraded = degraded or ann_degraded
         elif request.kind == "shot_flat":
             result = snapshot.search_flat(request.features, k=request.k)
             hits = tuple(result.hits)
@@ -592,8 +663,14 @@ class QueryServer:
             elapsed_seconds=elapsed,
             comparisons=comparisons,
             degraded=degraded,
+            approx_comparisons=approx_comparisons,
+            reranked=reranked,
         )
-        self._cache_put(key, result)
+        if not ann_degraded:
+            # An ANN-degraded answer came from a fallback scan that may
+            # heal on the very next query (the loader thunk is retried);
+            # caching it would pin the weakened answer for a generation.
+            self._cache_put(key, result)
         self._metrics.record_query(
             request.kind, elapsed, comparisons=comparisons, cache_hit=False
         )

@@ -104,17 +104,29 @@ class Snapshot:
         user: User | None = None,
         k: int = 10,
         allowed_leaves: frozenset[str] | set[str] | None = None,
+        nprobe: int | None = None,
+        rerank_k: int | None = None,
     ) -> QueryResult:
         """Hierarchical shot search against this generation.
 
         ``allowed_leaves`` short-circuits the access computation when the
         caller (the server) already resolved the user's permitted set —
-        passing both is fine, the explicit set wins.
+        passing both is fine, the explicit set wins.  ``nprobe`` /
+        ``rerank_k`` enable the approximate leaf tier (see
+        :func:`~repro.database.query.search_hierarchical`); None keeps
+        every leaf scan exact.
         """
         if user is not None and allowed_leaves is None:
             allowed_leaves = self.permitted_leaves(user)
         allowed = set(allowed_leaves) if allowed_leaves is not None else None
-        return search_hierarchical(self.index_root, features, k=k, allowed_leaves=allowed)
+        return search_hierarchical(
+            self.index_root,
+            features,
+            k=k,
+            allowed_leaves=allowed,
+            nprobe=nprobe,
+            rerank_k=rerank_k,
+        )
 
     def search_flat(self, features: np.ndarray, k: int = 10) -> QueryResult:
         """Linear-scan baseline search (no access filter — see server)."""
@@ -198,6 +210,29 @@ def _warm_feature_blocks(root: IndexNode) -> None:
     root.center_block()
     for child in root.children:
         _warm_feature_blocks(child)
+
+
+def warm_ann_indexes(snapshot: Snapshot) -> int:
+    """Resolve (load or build) every leaf's ANN index ahead of queries.
+
+    Called by servers configured with a default ``nprobe`` so the first
+    ANN query after a generation swap pays no loading cost.  A leaf
+    whose persisted state cannot load right now is skipped — the query
+    path degrades (and retries) per leaf.  Returns the number of leaves
+    with a ready index.
+    """
+    from repro.ann.index import resolve_ann
+
+    ready = 0
+    stack = [snapshot.index_root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            index, _degraded = resolve_ann(node)
+            ready += index is not None
+        else:
+            stack.extend(node.children)
+    return ready
 
 
 def build_snapshot(database: VideoDatabase, generation: int) -> Snapshot:

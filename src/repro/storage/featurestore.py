@@ -52,7 +52,9 @@ class BlockRef:
 
     @property
     def nbytes(self) -> int:
-        """Payload size of the block (float64 cells)."""
+        """Payload size of the block at float64 width (the feature-matrix
+        common case; quantized uint8 code blocks are 8x smaller on disk,
+        which the ANN docs quote from file sizes, not this property)."""
         return self.rows * self.cols * 8
 
 
@@ -94,16 +96,19 @@ class FeatureStore:
         """File a block with digest ``sha`` lives in (may not exist)."""
         return self._root / sha[:2] / f"{sha}.npy"
 
-    def put(self, matrix: np.ndarray) -> BlockRef:
-        """Store one 2-D float64 block; returns its content address.
+    def put(self, matrix: np.ndarray, dtype=np.float64) -> BlockRef:
+        """Store one 2-D block; returns its content address.
 
         Idempotent: a block whose bytes are already stored is not
         rewritten (content addressing deduplicates identical leaf
         populations for free).  The write is atomic — the bytes land in
         a temp file first and are renamed into place — so a crash can
         never leave a half-written block under a valid digest name.
+        ``dtype`` defaults to the float64 feature-matrix layout; the ANN
+        tier stores uint8 code blocks through the same path (``np.save``
+        records the dtype, so :meth:`open` needs no hint).
         """
-        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        matrix = np.ascontiguousarray(matrix, dtype=dtype)
         if matrix.ndim != 2:
             raise StorageError(
                 f"feature blocks are 2-D, got shape {matrix.shape}"

@@ -50,6 +50,7 @@ from repro.database.index import (
 from repro.database.query import QueryResult, QueryStats, RankedShot
 from repro.database.scene_search import SceneEntry, SceneIndex
 from repro.errors import StorageError
+from repro.resilience.faults import fault_point
 from repro.storage.featurestore import DEFAULT_MAX_OPEN
 from repro.storage.sqlcatalog import LeafInfo, SQLCatalog
 from repro.types import EventKind
@@ -128,6 +129,35 @@ class LazyLeafHashIndex(LeafHashIndex):
     def loaded(self) -> bool:
         """Whether the entries have been materialised yet."""
         return self._loaded
+
+
+def _ann_index_for(catalog: SQLCatalog, info: LeafInfo):
+    """Load one leaf's persisted ANN index out-of-core (None when absent).
+
+    The small trained arrays come from the catalog row; the uint8 code
+    matrix stays a read-only mmap from the feature store, so enabling
+    the ANN tier adds ~1/8th of a leaf block's bytes to the working
+    set, paged in on demand.  The ``storage.ann_block_missing`` fault
+    point (and any real missing/truncated code block) surfaces as the
+    store's typed errors, which the query layer degrades on.
+    """
+    from repro.ann.index import AnnLeafIndex
+
+    fault_point("storage.ann_block_missing")
+    row = catalog.ann_leaf_row(info.name)
+    if row is None:
+        return None
+    codes = catalog.features.open(row.code_sha)
+    return AnnLeafIndex(
+        dims=info.dims,
+        centroids=row.centroids,
+        assign=row.assign,
+        codes=codes,
+        scale=row.scale,
+        offset=row.offset,
+        sigs=row.sigs,
+        seed=row.seed,
+    )
 
 
 def _leaf_entries_for(catalog: SQLCatalog, info: LeafInfo) -> list[ShotEntry]:
@@ -403,6 +433,10 @@ class SQLVideoDatabase(VideoDatabase):
             )
             node.centers = info.centers
             node.dims = info.dims
+            # Loader thunk, resolved (and cached) on the first ANN query
+            # by repro.ann.index.resolve_ann; a load failure keeps the
+            # thunk so a later query can recover.
+            node.ann = lambda info=info: _ann_index_for(catalog, info)
             return node
         children = [
             child_node

@@ -32,7 +32,9 @@ from pathlib import Path
 from repro.errors import StorageError
 
 #: Current on-disk schema generation (``PRAGMA user_version``).
-SCHEMA_VERSION = 1
+#: v2 added the additive ``ann_leaves`` table (per-leaf IVF quantizer
+#: state); v1 catalogs are upgraded in place on open.
+SCHEMA_VERSION = 2
 
 #: File name of the SQL catalog inside a database directory.
 CATALOG_NAME = "catalog.sqlite"
@@ -117,7 +119,31 @@ SCHEMA_STATEMENTS = (
         body   TEXT NOT NULL
     )
     """,
+    # Per-leaf ANN tier (schema v2).  The small trained arrays live
+    # inline as BLOBs; the bulky uint8 code matrix is a content-addressed
+    # feature-store block referenced by code_sha, GC'd like any other.
+    """
+    CREATE TABLE IF NOT EXISTS ann_leaves (
+        leaf      TEXT PRIMARY KEY,
+        cells     INTEGER NOT NULL,
+        seed      INTEGER NOT NULL,
+        code_sha  TEXT NOT NULL,
+        rows      INTEGER NOT NULL,
+        cols      INTEGER NOT NULL,
+        centroids BLOB NOT NULL,
+        "assign"  BLOB NOT NULL,
+        scale     BLOB NOT NULL,
+        "offset"  BLOB NOT NULL,
+        sigs      BLOB NOT NULL
+    )
+    """,
 )
+
+#: DDL added by each schema generation after its predecessor, applied
+#: additively when :func:`connect` opens an older catalog.
+_UPGRADE_STATEMENTS: dict[int, tuple[str, ...]] = {
+    2: (SCHEMA_STATEMENTS[-1],),
+}
 
 #: Every data table, in deletion order for a full catalog replace.
 DATA_TABLES = (
@@ -128,6 +154,7 @@ DATA_TABLES = (
     "scenes",
     "scene_block",
     "search_docs",
+    "ann_leaves",
 )
 
 _FTS_PROBED: bool | None = None
@@ -195,6 +222,16 @@ def connect(path: str | Path, create: bool = False) -> sqlite3.Connection:
                     "INSERT OR REPLACE INTO meta (key, value) VALUES ('fts', ?)",
                     ("1" if fts5_available() else "0",),
                 )
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        elif 0 < version < SCHEMA_VERSION:
+            # Forward upgrades are purely additive: apply each newer
+            # generation's DDL in order and stamp the new version.  A
+            # v1 catalog keeps serving (leaves without ann_leaves rows
+            # fall back to deterministic in-process ANN builds).
+            with conn:
+                for target in range(version + 1, SCHEMA_VERSION + 1):
+                    for statement in _UPGRADE_STATEMENTS.get(target, ()):
+                        conn.execute(statement)
                 conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         elif version != SCHEMA_VERSION:
             raise StorageError(

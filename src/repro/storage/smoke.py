@@ -15,12 +15,21 @@ its contracts:
    parsing the JSON catalog (the measured ratio is printed; the hard
    >= 10x acceptance gate lives in ``benchmarks/bench_storage.py``).
 
+Setting ``CLASSMINER_SMOKE_SCALE=<videos>`` (e.g. ``100000``) switches
+to the *scale* smoke instead: the corpus is built and persisted by a
+subprocess, then a fresh reader child answers exact and ANN queries
+out-of-core and reports its ``VmHWM`` peak — which must stay far below
+the on-disk feature bytes (flat RSS).  The CI default stays small.
+
 Everything is seeded and deterministic; any check failure exits 1.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -188,6 +197,168 @@ def run_smoke(videos: int = 1000, shots: int = 12, seed: int = 0) -> int:
     return 0
 
 
+#: Environment knob selecting the out-of-core scale smoke.
+SCALE_ENV = "CLASSMINER_SMOKE_SCALE"
+
+_SCALE_BUILDER = """\
+import sys
+from repro.storage.sqlcatalog import save_database
+from repro.storage.synthetic import build_synthetic_database
+
+videos, shots, seed, db_dir = sys.argv[1:5]
+database = build_synthetic_database(
+    int(videos), int(shots), seed=int(seed)
+)
+save_database(database, db_dir)
+print(database.shot_count)
+"""
+
+_SCALE_READER = """\
+import json, resource, sys
+
+from repro.database.query import search_hierarchical
+from repro.storage.lazy import SQLVideoDatabase
+
+
+def peak_rss_kb():
+    # VmHWM is reset on exec, so it measures only this reader's peak;
+    # ru_maxrss is the non-Linux fallback.
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+db_dir, out_path = sys.argv[1:3]
+database = SQLVideoDatabase.open(db_dir)
+info = database.catalog.leaf_infos()[0]
+probe = database.catalog.features.open(info.block.sha)[0].copy()
+
+
+def keys(result):
+    return [
+        [h.entry.video_title, h.entry.shot_id, h.score] for h in result.hits
+    ]
+
+
+exact = search_hierarchical(database.index_root, probe, k=10)
+full = search_hierarchical(
+    database.index_root, probe, k=10, nprobe=1_000_000
+)
+pruned = search_hierarchical(
+    database.index_root, probe, k=10, nprobe=4, rerank_k=32
+)
+payload = {
+    "rss_kb": peak_rss_kb(),
+    "hits": len(exact.hits),
+    "ann_identical": keys(exact) == keys(full),
+    "ann_degraded": bool(full.stats.ann_degraded or pruned.stats.ann_degraded),
+    "approx_comparisons": pruned.stats.approx_comparisons,
+}
+database.close()
+with open(out_path, "w") as handle:
+    json.dump(payload, handle)
+"""
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_scale_smoke(videos: int, shots: int = 12, seed: int = 0) -> int:
+    """The ``CLASSMINER_SMOKE_SCALE`` path: flat-RSS out-of-core reads.
+
+    The corpus is built and saved by one child process (so its build
+    memory never pollutes the measurement) and queried by another; the
+    reader's ``VmHWM`` must stay far below the on-disk feature bytes,
+    proving the ANN and exact paths both stream from the store instead
+    of materialising the corpus.
+    """
+    root = Path(tempfile.mkdtemp(prefix="storage-smoke-scale-"))
+    failures = 0
+    env = _subprocess_env()
+    try:
+        db_dir = root / "db"
+        db_dir.mkdir()
+        start = time.perf_counter()
+        build = subprocess.run(
+            [
+                sys.executable, "-c", _SCALE_BUILDER,
+                str(videos), str(shots), str(seed), str(db_dir),
+            ],
+            env=env, check=True, capture_output=True, text=True,
+            timeout=3600,
+        )
+        entries = int(build.stdout.strip().splitlines()[-1])
+        build_seconds = time.perf_counter() - start
+        feature_bytes = sum(
+            path.stat().st_size for path in db_dir.rglob("*.npy")
+        )
+        failures += not _report(
+            "scale-build",
+            entries == videos * shots,
+            f"{videos} videos / {entries} entries in {build_seconds:.0f}s, "
+            f"{feature_bytes / 2**20:.0f} MiB of feature blocks",
+        )
+
+        out_path = root / "reader.json"
+        reader = subprocess.run(
+            [sys.executable, "-c", _SCALE_READER, str(db_dir), str(out_path)],
+            env=env, check=True, timeout=3600,
+        )
+        assert reader.returncode == 0
+        payload = json.loads(out_path.read_text())
+        failures += not _report(
+            "scale-queries",
+            payload["hits"] > 0
+            and payload["ann_identical"]
+            and not payload["ann_degraded"]
+            and payload["approx_comparisons"] > 0,
+            f"{payload['hits']} hits, nprobe=all identical to exact, "
+            f"{payload['approx_comparisons']} quantized evals when pruning",
+        )
+
+        # Flat RSS: the reader may keep the interpreter + catalog rows
+        # resident, but never a corpus-sized fraction of the blocks.
+        rss_bytes = payload["rss_kb"] * 1024
+        budget = 400 * 2**20 + feature_bytes // 8
+        failures += not _report(
+            "scale-flat-rss",
+            rss_bytes < budget,
+            f"reader VmHWM {rss_bytes / 2**20:.0f} MiB vs "
+            f"{feature_bytes / 2**20:.0f} MiB of blocks "
+            f"(budget {budget / 2**20:.0f} MiB)",
+        )
+    except subprocess.CalledProcessError as exc:
+        print(
+            f"storage-smoke: [FAIL] child exited {exc.returncode}: "
+            f"{(exc.stderr or '')[-500:]}",
+            file=sys.stderr,
+        )
+        failures += 1
+    except Exception as exc:  # noqa: BLE001 — must never escape a public API
+        print(
+            f"storage-smoke: [FAIL] UNTYPED {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        failures += 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        print(f"storage-smoke: FAIL ({failures} scale checks)", file=sys.stderr)
+        return 1
+    print(f"storage-smoke: OK (scale videos={videos}, seed={seed})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.storage.smoke [--videos N]`` entry point."""
     import argparse
@@ -197,6 +368,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shots", type=int, default=12)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    scale = os.environ.get(SCALE_ENV)
+    if scale:
+        return run_scale_smoke(
+            videos=int(scale), shots=args.shots, seed=args.seed
+        )
     return run_smoke(videos=args.videos, shots=args.shots, seed=args.seed)
 
 

@@ -52,6 +52,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ann.index import build_leaf_ann
+from repro.ann.quantizer import ANN_SEED, DEFAULT_ANN_CELLS
 from repro.database.catalog import RegisteredVideo, VideoDatabase
 from repro.database.index import (
     DEFAULT_CENTERS,
@@ -109,6 +111,23 @@ class LeafInfo:
     block: BlockRef
     centers: np.ndarray
     dims: np.ndarray
+
+
+@dataclass(frozen=True)
+class AnnLeafRow:
+    """Stored ANN quantizer state of one leaf (codes live in a block)."""
+
+    leaf: str
+    cells: int
+    seed: int
+    code_sha: str
+    rows: int
+    cols: int
+    centroids: np.ndarray
+    assign: np.ndarray
+    scale: np.ndarray
+    offset: np.ndarray
+    sigs: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -345,6 +364,39 @@ class SQLCatalog:
 
         return self._run(op)
 
+    def ann_leaf_row(self, name: str) -> AnnLeafRow | None:
+        """One leaf's stored ANN quantizer state (None when absent).
+
+        Catalogs written before schema v2 (or whose write predates the
+        ANN tier) simply have no row; callers fall back to an in-process
+        deterministic build.
+        """
+        def op(conn: sqlite3.Connection):
+            return conn.execute(
+                "SELECT cells, seed, code_sha, rows, cols, centroids, "
+                '"assign", scale, "offset", sigs FROM ann_leaves WHERE leaf = ?',
+                (name,),
+            ).fetchone()
+
+        row = self._run(op)
+        if row is None:
+            return None
+        cells, seed, code_sha, rows, cols, centroids, assign, scale, offset, sigs = row
+        rows, cols, cells = int(rows), int(cols), int(cells)
+        return AnnLeafRow(
+            leaf=name,
+            cells=cells,
+            seed=int(seed),
+            code_sha=str(code_sha),
+            rows=rows,
+            cols=cols,
+            centroids=_unpack_f64(centroids, cells, cols),
+            assign=_unpack_i64(assign, rows),
+            scale=np.frombuffer(scale, dtype=np.float64).copy(),
+            offset=np.frombuffer(offset, dtype=np.float64).copy(),
+            sigs=np.frombuffer(sigs, dtype=np.int64).reshape(rows, -1).copy(),
+        )
+
     def leaf_rows(self, name: str) -> list[EntryRow]:
         """A leaf's entries in block-row order."""
         def op(conn: sqlite3.Connection):
@@ -572,6 +624,7 @@ class SQLCatalog:
         # so the lazy index tree routes identically to the eager one.
         leaves_payload = []
         entry_payload = []
+        ann_payload = []
         for position, (name, entries) in enumerate(database.leaf_entries().items()):
             population = np.stack([entry.features for entry in entries])
             ref = self._features.put(population)
@@ -597,6 +650,25 @@ class SQLCatalog:
                     entry.video_title, entry.shot_id, entry.scene_id,
                 )
                 for row, entry in enumerate(entries)
+            )
+            # ANN tier: train this leaf's quantizer here so every saved
+            # catalog (including each shard's, which trains over its own
+            # rows) carries a ready index.  Deterministic in the leaf
+            # population, so re-saving an unchanged corpus re-derives
+            # the same codes block and content addressing dedups it.
+            ann = build_leaf_ann(
+                population, dims, cells=DEFAULT_ANN_CELLS, seed=ANN_SEED
+            )
+            code_ref = self._features.put(ann.codes, dtype=np.uint8)
+            if code_ref.sha not in before:
+                new_blocks.add(code_ref.sha)
+            ann_payload.append(
+                (
+                    name, ann.n_cells, ANN_SEED, code_ref.sha,
+                    code_ref.rows, code_ref.cols,
+                    _pack(ann.centroids), _pack(ann.assign),
+                    _pack(ann.scale), _pack(ann.offset), _pack(ann.sigs),
+                )
             )
 
         # Scene centroids: same grouping, ordering and mean() op as the
@@ -682,6 +754,12 @@ class SQLCatalog:
                         (scene_ref.sha, scene_ref.rows, scene_ref.cols),
                     )
                 conn.executemany(
+                    "INSERT INTO ann_leaves (leaf, cells, seed, code_sha, "
+                    'rows, cols, centroids, "assign", scale, "offset", sigs) '
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    ann_payload,
+                )
+                conn.executemany(
                     "INSERT INTO search_docs (kind, title, body) VALUES (?, ?, ?)",
                     docs,
                 )
@@ -739,6 +817,10 @@ class SQLCatalog:
             shas.update(
                 str(row[0])
                 for row in conn.execute("SELECT block_sha FROM scene_block")
+            )
+            shas.update(
+                str(row[0])
+                for row in conn.execute("SELECT code_sha FROM ann_leaves")
             )
             return shas
 

@@ -1,0 +1,30 @@
+"""Shared corpus + probes for the ANN tier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import build_synthetic_database
+
+
+@pytest.fixture(scope="module")
+def ann_db():
+    """Eager synthetic corpus large enough for multi-cell leaves."""
+    return build_synthetic_database(videos=24, shots_per_video=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def probes(ann_db):
+    """Near-duplicate entry probes plus unseen vectors."""
+    entries = ann_db.flat_index.entries
+    rng = np.random.default_rng(7)
+    near = [
+        np.clip(entries[i].features + rng.normal(0, 0.01, 266), 0, None)
+        for i in (0, len(entries) // 3, len(entries) - 1)
+    ]
+    return near + [
+        entries[len(entries) // 2].features,
+        rng.random(266),
+        rng.random(266),
+    ]

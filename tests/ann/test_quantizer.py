@@ -1,0 +1,141 @@
+"""Quantizer determinism + code fidelity.
+
+The ANN tier only stays trustworthy if training is a pure function of
+``(data, cells, seed)`` — including across processes, which is what
+lets every shard train its own quantizer and still agree with a
+rebuild.  These tests pin that, plus the scalar codes' error bound and
+the monotone decomposition the uint8 kernel relies on.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.ann.index import build_leaf_ann
+from repro.ann.quantizer import (
+    kmeans_cells,
+    quantize_queries,
+    scalar_quantize,
+)
+from repro.core.kernels import (
+    intersection_to_many,
+    quantized_intersection_to_many,
+)
+from repro.errors import DatabaseError
+
+_DIGEST_SCRIPT = """
+import numpy as np
+from repro.ann.index import build_leaf_ann
+from repro.database.index import discriminating_dimensions
+
+rng = np.random.default_rng(7)
+population = rng.random((80, 266))
+dims = discriminating_dimensions(population, 64)
+print(build_leaf_ann(population, dims, cells=8, seed=3).digest())
+"""
+
+
+def _population(n=80, seed=7):
+    return np.random.default_rng(seed).random((n, 266))
+
+
+class TestKMeans:
+    def test_same_inputs_same_output(self):
+        data = _population()[:, :64]
+        c1, a1 = kmeans_cells(data, cells=8, seed=3)
+        c2, a2 = kmeans_cells(data, cells=8, seed=3)
+        assert c1.tobytes() == c2.tobytes()
+        assert a1.tobytes() == a2.tobytes()
+
+    def test_seed_changes_clustering(self):
+        data = _population()[:, :64]
+        _, a1 = kmeans_cells(data, cells=8, seed=0)
+        _, a2 = kmeans_cells(data, cells=8, seed=99)
+        assert not np.array_equal(a1, a2)
+
+    def test_cells_clamp_to_population(self):
+        data = _population(n=3)[:, :10]
+        centroids, assign = kmeans_cells(data, cells=16)
+        assert centroids.shape[0] == 3
+        assert assign.shape == (3,)
+        assert set(assign) <= {0, 1, 2}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(DatabaseError):
+            kmeans_cells(np.empty((0, 8)))
+
+    def test_assignment_is_nearest_centroid(self):
+        data = _population()[:, :32]
+        centroids, assign = kmeans_cells(data, cells=6, seed=1)
+        d2 = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(assign, np.argmin(d2, axis=1))
+
+
+class TestScalarCodes:
+    def test_reconstruction_error_bounded(self):
+        data = _population()[:, :64]
+        codes, scale, offset = scalar_quantize(data)
+        rebuilt = offset[None, :] + codes.astype(np.float64) * scale[None, :]
+        # Round-to-nearest: at most half a scale step per dimension.
+        assert np.all(np.abs(rebuilt - data) <= scale[None, :] / 2 + 1e-12)
+
+    def test_constant_dimension_is_exact(self):
+        data = _population()[:, :8].copy()
+        data[:, 3] = 0.25
+        codes, scale, offset = scalar_quantize(data)
+        assert scale[3] == 0.0
+        assert np.all(codes[:, 3] == 0)
+        assert offset[3] == 0.25
+
+    def test_quantized_kernel_matches_dequantized_interserction(self):
+        data = _population()[:, :64]
+        codes, scale, offset = scalar_quantize(data)
+        query = _population(n=1, seed=11)[0, :64]
+        qcodes = quantize_queries(query, scale, offset)[0]
+        approx = quantized_intersection_to_many(
+            qcodes, codes, scale, float(offset.sum())
+        )
+        # The monotone decomposition must equal the min-sum computed on
+        # the dequantized values to float precision.
+        deq_rows = offset[None, :] + codes.astype(np.float64) * scale[None, :]
+        deq_query = offset + qcodes.astype(np.float64) * scale
+        expected = intersection_to_many(deq_query, deq_rows)
+        assert np.allclose(approx, expected, atol=1e-9)
+
+    def test_approximation_tracks_exact_scores(self):
+        data = _population(n=200)[:, :64]
+        codes, scale, offset = scalar_quantize(data)
+        query = data[17] + np.random.default_rng(0).normal(0, 0.01, 64)
+        qcodes = quantize_queries(query, scale, offset)[0]
+        approx = quantized_intersection_to_many(
+            qcodes, codes, scale, float(offset.sum())
+        )
+        exact = intersection_to_many(query, data)
+        # Within the summed quantization error bound of the exact score.
+        assert np.all(np.abs(approx - exact) <= scale.sum() + 1e-9)
+
+
+class TestCrossProcessDeterminism:
+    def test_leaf_index_digest_matches_across_processes(self):
+        import repro
+
+        src = str(next(iter(repro.__path__)))
+        local = None
+        rng = np.random.default_rng(7)
+        population = rng.random((80, 266))
+        from repro.database.index import discriminating_dimensions
+
+        dims = discriminating_dimensions(population, 64)
+        local = build_leaf_ann(population, dims, cells=8, seed=3).digest()
+        out = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SCRIPT],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src.rsplit("/repro", 1)[0], "PATH": "/usr/bin:/bin"},
+        )
+        assert out.stdout.strip() == local
