@@ -361,7 +361,14 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                 )
                 print(f"built {num_shards} shards under {shards_dir}")
             cluster = stack.enter_context(
-                ShardCluster(shards_dir, spec=spec, default_timeout=args.timeout)
+                ShardCluster(
+                    shards_dir,
+                    spec=spec,
+                    default_timeout=args.timeout,
+                    # With logging on, worker stderr flows through too —
+                    # each line prefixed "[shard N]" by the worker itself.
+                    inherit_stderr=getattr(args, "access_log", False),
+                )
             )
             backend = ShardedQueryService(
                 spec,
@@ -381,14 +388,18 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         gateway = stack.enter_context(
             HttpGateway(
                 backend,
-                GatewayConfig(port=args.http, default_timeout=args.timeout),
+                GatewayConfig(
+                    port=args.http,
+                    default_timeout=args.timeout,
+                    access_log=getattr(args, "access_log", False),
+                ),
             )
         )
         mode = f"{spec.num_shards} shards" if sharded else "single process"
         print(f"serving on {gateway.url} ({mode})")
         print(
             "endpoints: POST /query /scene_search; "
-            "GET /skim/{video_id} /health /metrics /workload"
+            "GET /skim/{video_id} /health /metrics /debug/slow /workload"
         )
         try:
             while True:
@@ -518,6 +529,38 @@ def _cmd_obs_render(args: argparse.Namespace) -> int:
     from repro.obs import load_trace, render_spans
 
     print(render_spans(load_trace(args.trace_file), max_spans=args.max_spans))
+    return 0
+
+
+def _cmd_obs_slow(args: argparse.Namespace) -> int:
+    from repro.obs import SlowQuery, SlowQueryLog, get_slow_log
+
+    if not args.url:
+        print(get_slow_log().render())
+        return 0
+    import json
+    import urllib.request
+
+    target = args.url.rstrip("/") + "/debug/slow"
+    with urllib.request.urlopen(target, timeout=5.0) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    log = SlowQueryLog(capacity=max(1, int(payload.get("capacity", 32))))
+    for entry in payload.get("slow", []):
+        log.record(
+            SlowQuery(
+                kind=str(entry.get("kind", "?")),
+                elapsed_seconds=float(entry.get("elapsed_ms", 0.0)) / 1e3,
+                backend=str(entry.get("backend", "?")),
+                comparisons=int(entry.get("comparisons", 0)),
+                approx_comparisons=int(entry.get("approx_comparisons", 0)),
+                cache_hit=bool(entry.get("cache_hit", False)),
+                degraded=bool(entry.get("degraded", False)),
+                shards_missing=tuple(entry.get("shards_missing", ())),
+                trace_id=entry.get("trace_id"),
+            )
+        )
+    print(f"{target}: {payload.get('recorded', 0)} queries recorded")
+    print(log.render())
     return 0
 
 
@@ -751,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard directory to serve from (built on demand from "
         "--db-dir when no manifest exists yet)",
     )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per HTTP request "
+        "on stderr (trace id, path, status, shard fan-out, latency)",
+    )
     _trace_arg(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -888,6 +937,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="elide children beyond this many rendered spans (default: 200)",
     )
     obs_render.set_defaults(func=_cmd_obs_render)
+    obs_slow = obs_sub.add_parser(
+        "slow",
+        help="show the slow-query log (this process, or a gateway via --url)",
+    )
+    obs_slow.add_argument(
+        "--url",
+        default=None,
+        help="fetch GET /debug/slow from a running gateway "
+        "(e.g. http://127.0.0.1:8080) instead of the local process",
+    )
+    obs_slow.set_defaults(func=_cmd_obs_slow)
     return parser
 
 

@@ -144,6 +144,8 @@ class ShardCluster:
                 self._host,
                 "--port",
                 "0",
+                "--shard-id",
+                str(shard_id),
             ],
             stdout=subprocess.PIPE,
             stderr=self._stderr,

@@ -59,7 +59,14 @@ from repro.database.scene_search import RankedScene, SceneEntry
 from repro.errors import DatabaseError, OverloadedError, ServingError
 from repro.net.protocol import ShardEndpoint, pack_array, unpack_array
 from repro.net.shard import ShardSpec, build_routing_tree
-from repro.obs.trace import span as obs_span
+from repro.obs.slowlog import SlowQuery, get_slow_log
+from repro.obs.trace import (
+    Span,
+    active_tracer,
+    current_trace_id,
+    new_trace_id,
+    span as obs_span,
+)
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.health import HealthCheck, HealthReport
 from repro.serving.cache import CacheKey, ResultCache, request_digest, scope_token
@@ -118,6 +125,61 @@ class CoordinatorConfig:
             raise ServingError("ann_rerank_k must be >= 1 (or None for all)")
 
 
+class _ExplainSink:
+    """Accumulates the per-query evidence an ``explain`` response ships.
+
+    ``phases`` maps phase name -> seconds; ``shard_ops`` records one
+    entry per shard RPC (appended from scatter threads — list.append is
+    atomic, and the sink is sorted once at assembly).
+    """
+
+    __slots__ = ("phases", "shard_ops")
+
+    def __init__(self) -> None:
+        self.phases: dict[str, float] = {}
+        self.shard_ops: list[dict] = []
+
+    def phases_ms(self, total: float) -> dict[str, float]:
+        """Phase timings in milliseconds, plus the end-to-end total."""
+        out = {name: round(secs * 1e3, 3) for name, secs in self.phases.items()}
+        out["total"] = round(total * 1e3, 3)
+        return out
+
+    def ops(self) -> list[dict]:
+        """Shard RPC records, deterministically ordered."""
+        return sorted(
+            self.shard_ops, key=lambda op: (op["shard"], op["op"], op["ms"])
+        )
+
+
+class _Phase:
+    """One coordinator query phase: a trace span + explain timing.
+
+    Context manager; with tracing disabled and no explain sink it costs
+    two clock reads and a no-op span handle.
+    """
+
+    __slots__ = ("_name", "_sink", "_span", "_start")
+
+    def __init__(self, name: str, sink: _ExplainSink | None) -> None:
+        self._name = name
+        self._sink = sink
+        self._span = obs_span(f"coord.{name}")
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._span.__exit__(*exc)
+        if self._sink is not None:
+            elapsed = time.perf_counter() - self._start
+            self._sink.phases[self._name] = (
+                self._sink.phases.get(self._name, 0.0) + elapsed
+            )
+
+
 class ShardedQueryService:
     """Scatter-gather query front over a set of shard endpoints.
 
@@ -167,6 +229,7 @@ class ShardedQueryService:
         self._records: dict[str, RegisteredVideo] = {}
         self._records_missing: set[int] = set(self._endpoints)
         self._last_errors: dict[int, str] = {}
+        self._slow_log = get_slow_log()
         self._closed = False
         # Prime registration records (event queries, skims, degradation
         # flags).  Per-shard failures are tolerated here — the fetch
@@ -221,24 +284,108 @@ class ShardedQueryService:
             timeout = self.config.default_timeout
         return None if timeout is None else time.perf_counter() + timeout
 
+    def _shard_call(
+        self,
+        shard_id: int,
+        request: dict,
+        deadline: float | None,
+        trace_parent: int | None,
+        trace_id: str | None,
+        sink: _ExplainSink | None,
+    ) -> dict:
+        """One shard RPC on a scatter thread: trace + time + stitch.
+
+        When a trace is active the frame carries ``trace_id`` /
+        ``parent_span``, the round-trip records as ``rpc.<op>`` under
+        the coordinator phase span, and the worker's returned spans are
+        grafted beneath it (remote ids remapped, starts offset by the
+        RPC's start — a small skew bounded by the one-way latency).
+        """
+        tracer = active_tracer()
+        op = str(request.get("op"))
+        started = time.perf_counter()
+        try:
+            # Trace kwargs ride only on traced calls, so an untraced
+            # scatter exercises the exact historic endpoint.call shape
+            # (and duck-typed call wrappers keep working).
+            if trace_id is not None:
+                response = self._endpoints[shard_id].call(
+                    request,
+                    deadline,
+                    trace_id=trace_id,
+                    parent_span=trace_parent,
+                )
+            else:
+                response = self._endpoints[shard_id].call(request, deadline)
+        except Exception:
+            if sink is not None:
+                sink.shard_ops.append(
+                    {
+                        "shard": shard_id,
+                        "op": op,
+                        "ms": round((time.perf_counter() - started) * 1e3, 3),
+                        "ok": False,
+                    }
+                )
+            raise
+        elapsed = time.perf_counter() - started
+        if sink is not None:
+            sink.shard_ops.append(
+                {
+                    "shard": shard_id,
+                    "op": op,
+                    "ms": round(elapsed * 1e3, 3),
+                    "ok": True,
+                }
+            )
+        if tracer.enabled:
+            start_rel = tracer.now() - elapsed
+            rpc_span = tracer.add_span_at(
+                f"rpc.{op}",
+                start_rel,
+                elapsed,
+                parent_id=trace_parent,
+                shard=shard_id,
+            )
+            remote = response.pop("spans", None)
+            if remote:
+                tracer.attach_remote_spans(
+                    [Span.from_json(item) for item in remote],
+                    rpc_span.span_id,
+                    start_rel,
+                )
+        return response
+
     def _scatter(
         self,
         request: dict,
         deadline: float | None,
         shard_ids: "list[int] | None" = None,
+        sink: _ExplainSink | None = None,
     ) -> tuple[dict[int, dict], set[int]]:
         """Send one op to shards; returns (responses, missing shard ids)."""
         targets = sorted(self._endpoints) if shard_ids is None else shard_ids
         responses: dict[int, dict] = {}
         missing: set[int] = set()
         futures: dict[int, Future] = {}
+        # Trace context is read on the calling thread (the phase span)
+        # and handed to the scatter threads explicitly.
+        tracer = active_tracer()
+        trace_parent = tracer.current_span_id()
+        trace_id = tracer.current_trace_id()
         for shard_id in targets:
             breaker = self._breakers[shard_id]
             if not breaker.allow():
                 missing.add(shard_id)
                 continue
             futures[shard_id] = self._executor.submit(
-                self._endpoints[shard_id].call, dict(request), deadline
+                self._shard_call,
+                shard_id,
+                dict(request),
+                deadline,
+                trace_parent,
+                trace_id,
+                sink,
             )
         for shard_id, future in futures.items():
             breaker = self._breakers[shard_id]
@@ -372,15 +519,26 @@ class ShardedQueryService:
                 "in flight); back off and retry"
             )
         try:
-            with obs_span("net.query", kind=request.kind) as sp:
-                result = self._execute(request)
-                sp.set(
-                    cache_hit=result.cache_hit,
-                    generation=result.generation,
-                    hits=len(result.hits),
-                    shards_missing=len(result.shards_missing),
-                )
-                return result
+            # Inside an adopted trace (the gateway's) keep its id; as
+            # the entry point, mint one so worker spans stay consistent.
+            tracer = active_tracer()
+            trace_id = (
+                (tracer.current_trace_id() or new_trace_id())
+                if tracer.enabled
+                else None
+            )
+            with tracer.adopt(None, trace_id):
+                with obs_span("net.query", kind=request.kind) as sp:
+                    if trace_id is not None:
+                        sp.set(trace_id=trace_id)
+                    result = self._execute(request)
+                    sp.set(
+                        cache_hit=result.cache_hit,
+                        generation=result.generation,
+                        hits=len(result.hits),
+                        shards_missing=len(result.shards_missing),
+                    )
+                    return result
         finally:
             self._admission.release()
 
@@ -396,26 +554,48 @@ class ShardedQueryService:
             scope=scope,
             generation=self._generation,
         )
-        cached = self._cache.get(key)
-        if cached is not None:
-            elapsed = time.perf_counter() - start
-            self._metrics.record_query(request.kind, elapsed, cache_hit=True)
-            return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
+        explain = _ExplainSink() if request.explain else None
+        if explain is None:
+            # Explain queries bypass the cache in both directions: the
+            # evidence must describe *this* execution, and an explain
+            # payload must never be replayed to a non-explain caller.
+            cached = self._cache.get(key)
+            if cached is not None:
+                elapsed = time.perf_counter() - start
+                self._metrics.record_query(
+                    request.kind, elapsed, cache_hit=True
+                )
+                self._slow_log.record(
+                    SlowQuery(
+                        kind=request.kind,
+                        elapsed_seconds=elapsed,
+                        backend="sharded",
+                        comparisons=cached.comparisons,
+                        approx_comparisons=cached.approx_comparisons,
+                        cache_hit=True,
+                        degraded=cached.degraded,
+                        shards_missing=cached.shards_missing,
+                        trace_id=current_trace_id(),
+                    )
+                )
+                return replace(cached, cache_hit=True, elapsed_seconds=elapsed)
 
         approx_comparisons = 0
         reranked = 0
         ann_degraded = False
         if request.kind == "shot":
             hits, comparisons, missing, ann_stats = self._shot(
-                request, leaves, deadline
+                request, leaves, deadline, explain
             )
             approx_comparisons, reranked, ann_degraded = ann_stats
         elif request.kind == "shot_flat":
-            hits, comparisons, missing = self._flat(request, deadline)
+            hits, comparisons, missing = self._flat(request, deadline, explain)
         elif request.kind == "scene":
-            hits, comparisons, missing = self._scene(request, leaves, deadline)
+            hits, comparisons, missing = self._scene(
+                request, leaves, deadline, explain
+            )
         else:  # event
-            hits, comparisons, missing = self._event(request, deadline)
+            hits, comparisons, missing = self._event(request, deadline, explain)
 
         degraded_videos = any(
             record.degraded_stages for record in self._records.values()
@@ -439,7 +619,7 @@ class ShardedQueryService:
                 "net_degraded_responses_total",
                 "Answers computed with at least one shard missing.",
             ).inc()
-        elif not ann_degraded:
+        elif explain is None and not ann_degraded:
             # Cache only full-strength answers: a degraded answer served
             # from cache after the shard recovered (or its ANN block was
             # restored) would silently keep returning weakened results.
@@ -447,7 +627,62 @@ class ShardedQueryService:
         self._metrics.record_query(
             request.kind, elapsed, comparisons=comparisons, cache_hit=False
         )
+        self._slow_log.record(
+            SlowQuery(
+                kind=request.kind,
+                elapsed_seconds=elapsed,
+                backend="sharded",
+                comparisons=comparisons,
+                approx_comparisons=approx_comparisons,
+                cache_hit=False,
+                degraded=degraded,
+                shards_missing=tuple(sorted(missing)),
+                trace_id=current_trace_id(),
+            )
+        )
+        if explain is not None:
+            result = replace(result, explain=self._explain_payload(
+                request, key, explain, result
+            ))
         return result
+
+    def _explain_payload(
+        self,
+        request: QueryRequest,
+        key: CacheKey,
+        explain: _ExplainSink,
+        result: ServingResult,
+    ) -> dict:
+        """Assemble the evidence dict attached to an explain response."""
+        return {
+            "backend": "sharded",
+            "kind": request.kind,
+            "generation": self._generation,
+            "phases_ms": explain.phases_ms(result.elapsed_seconds),
+            "shards": explain.ops(),
+            "counts": {
+                "comparisons": result.comparisons,
+                "approx_comparisons": result.approx_comparisons,
+                "reranked": result.reranked,
+            },
+            "cache": {
+                "disposition": "bypassed (explain)",
+                "would_hit": self._cache.peek(key) is not None,
+                "entries": len(self._cache),
+                "capacity": self._cache.capacity,
+            },
+            "breakers": {
+                str(sid): self._breakers[sid].state.value
+                for sid in sorted(self._breakers)
+            },
+            "shards_missing": sorted(result.shards_missing),
+            "degraded": result.degraded,
+            "ann": {
+                "nprobe": request.nprobe,
+                "rerank_k": request.rerank_k,
+            },
+            "trace_id": current_trace_id(),
+        }
 
     def _require_responses(self, responses: dict, missing: set[int]) -> None:
         if responses:
@@ -465,12 +700,14 @@ class ShardedQueryService:
         request: QueryRequest,
         scope_leaves: frozenset[str] | None,
         deadline: float | None,
+        explain: _ExplainSink | None = None,
     ) -> tuple[tuple, int, set[int], tuple[int, int, bool]]:
         stats = QueryStats()
         allowed = set(scope_leaves) if scope_leaves is not None else None
-        leaves = descend_to_leaves(
-            self._root, request.features, stats, allowed, self.config.beam
-        )
+        with _Phase("descend", explain):
+            leaves = descend_to_leaves(
+                self._root, request.features, stats, allowed, self.config.beam
+            )
         ann_active = request.nprobe is not None
         if not leaves:
             if allowed is not None:
@@ -486,7 +723,10 @@ class ShardedQueryService:
             base["nprobe"] = int(request.nprobe)
             if request.rerank_k is not None:
                 base["rerank_k"] = int(request.rerank_k)
-        probe, missing = self._scatter(dict(base, op="probe"), deadline)
+        with _Phase("probe", explain):
+            probe, missing = self._scatter(
+                dict(base, op="probe"), deadline, sink=explain
+            )
         self._require_responses(probe, missing)
 
         # Per-leaf fallback decision at *global* scope: a leaf scans all
@@ -502,64 +742,68 @@ class ShardedQueryService:
         ]
         scan: dict[int, dict] = {}
         if empty:
-            scan, scan_missing = self._scatter(
-                dict(base, op="scan", leaves=empty),
-                deadline,
-                shard_ids=sorted(probe),
-            )
+            with _Phase("scan", explain):
+                scan, scan_missing = self._scatter(
+                    dict(base, op="scan", leaves=empty),
+                    deadline,
+                    shard_ids=sorted(probe),
+                    sink=explain,
+                )
             missing |= scan_missing
             # Keep the per-leaf view consistent: only shards that
             # answered both phases contribute candidates.
             probe = {sid: probe[sid] for sid in probe if sid in scan}
             self._require_responses(probe, missing)
 
-        features_by_ord: dict[str, np.ndarray] = {}
-        approx_comparisons = 0
-        ann_degraded = False
-        for source in (probe, scan):
-            for response in source.values():
-                approx_comparisons += int(
-                    response.get("approx_comparisons", 0)
-                )
-                ann_degraded = ann_degraded or bool(
-                    response.get("ann_degraded", False)
-                )
-                for ordinal, packed in response["features"].items():
-                    features_by_ord[ordinal] = unpack_array(packed)
+        with _Phase("merge", explain):
+            features_by_ord: dict[str, np.ndarray] = {}
+            approx_comparisons = 0
+            ann_degraded = False
+            for source in (probe, scan):
+                for response in source.values():
+                    approx_comparisons += int(
+                        response.get("approx_comparisons", 0)
+                    )
+                    ann_degraded = ann_degraded or bool(
+                        response.get("ann_degraded", False)
+                    )
+                    for ordinal, packed in response["features"].items():
+                        features_by_ord[ordinal] = unpack_array(packed)
 
-        merged: list[list] = []
-        seen: set[tuple[str, int]] = set()
-        comparisons = stats.comparisons
-        for name in names:
-            source = scan if name in empty else probe
-            candidates: list[list] = []
-            for response in source.values():
-                candidates.extend(response["leaves"][name]["candidates"])
-            # Ascending global ordinal == the unsharded bucket/insertion
-            # order (within-shard orders are order-preserving subsets).
-            candidates.sort(key=lambda item: item[0])
-            kept = 0
-            for item in candidates:
-                shot_key = (item[1], int(item[2]))
-                if shot_key in seen:
-                    continue
-                seen.add(shot_key)
-                merged.append(item)
-                kept += 1
-            comparisons += kept
-        merged.sort(key=lambda item: item[4], reverse=True)  # stable
-        hits = tuple(
-            RankedShot(
-                entry=ShotEntry(
-                    video_title=item[1],
-                    shot_id=int(item[2]),
-                    scene_id=int(item[3]),
-                    features=self._shipped(features_by_ord, item[0]),
-                ),
-                score=float(item[4]),
+            merged: list[list] = []
+            seen: set[tuple[str, int]] = set()
+            comparisons = stats.comparisons
+            for name in names:
+                source = scan if name in empty else probe
+                candidates: list[list] = []
+                for response in source.values():
+                    candidates.extend(response["leaves"][name]["candidates"])
+                # Ascending global ordinal == the unsharded bucket/
+                # insertion order (within-shard orders are
+                # order-preserving subsets).
+                candidates.sort(key=lambda item: item[0])
+                kept = 0
+                for item in candidates:
+                    shot_key = (item[1], int(item[2]))
+                    if shot_key in seen:
+                        continue
+                    seen.add(shot_key)
+                    merged.append(item)
+                    kept += 1
+                comparisons += kept
+            merged.sort(key=lambda item: item[4], reverse=True)  # stable
+            hits = tuple(
+                RankedShot(
+                    entry=ShotEntry(
+                        video_title=item[1],
+                        shot_id=int(item[2]),
+                        scene_id=int(item[3]),
+                        features=self._shipped(features_by_ord, item[0]),
+                    ),
+                    score=float(item[4]),
+                )
+                for item in merged[: request.k]
             )
-            for item in merged[: request.k]
-        )
         # ``reranked`` is computed at merge (deduplicated kept
         # candidates = the exact tail's scored rows), matching the
         # single-process QueryStats contract.
@@ -572,16 +816,21 @@ class ShardedQueryService:
         )
 
     def _flat(
-        self, request: QueryRequest, deadline: float | None
+        self,
+        request: QueryRequest,
+        deadline: float | None,
+        explain: _ExplainSink | None = None,
     ) -> tuple[tuple, int, set[int]]:
-        responses, missing = self._scatter(
-            {
-                "op": "flat",
-                "features": pack_array(request.features),
-                "k": int(request.k),
-            },
-            deadline,
-        )
+        with _Phase("scatter", explain):
+            responses, missing = self._scatter(
+                {
+                    "op": "flat",
+                    "features": pack_array(request.features),
+                    "k": int(request.k),
+                },
+                deadline,
+                sink=explain,
+            )
         self._require_responses(responses, missing)
         candidates: list[list] = []
         features_by_ord: dict[str, np.ndarray] = {}
@@ -613,6 +862,7 @@ class ShardedQueryService:
         request: QueryRequest,
         scope_leaves: frozenset[str] | None,
         deadline: float | None,
+        explain: _ExplainSink | None = None,
     ) -> tuple[tuple, int, set[int]]:
         message = {
             "op": "scene",
@@ -621,7 +871,8 @@ class ShardedQueryService:
         }
         if request.event is not None:
             message["event"] = request.event.value
-        responses, missing = self._scatter(message, deadline)
+        with _Phase("scatter", explain):
+            responses, missing = self._scatter(message, deadline, sink=explain)
         self._require_responses(responses, missing)
         candidates: list[list] = []
         centroids: dict[str, np.ndarray] = {}
@@ -656,9 +907,13 @@ class ShardedQueryService:
         return tuple(hits), count, missing
 
     def _event(
-        self, request: QueryRequest, deadline: float | None
+        self,
+        request: QueryRequest,
+        deadline: float | None,
+        explain: _ExplainSink | None = None,
     ) -> tuple[tuple, int, set[int]]:
-        missing = self._ensure_records(deadline)
+        with _Phase("records", explain):
+            missing = self._ensure_records(deadline)
         with self._records_lock:
             records = dict(self._records)
         hits = tuple(
@@ -724,6 +979,59 @@ class ShardedQueryService:
                     merged.append(pool.pop(0))
             pools = [pool for pool in pools if pool]
         return merged[:n]
+
+    def scrape_metrics(self) -> tuple[dict[int, dict], set[int]]:
+        """Scrape every worker's registry via the ``metrics`` wire op.
+
+        Returns ``(dumps_by_shard, missing_shard_ids)``; a dead or
+        breaker-open shard is simply missing — the merged view degrades
+        instead of failing.
+        """
+        responses, missing = self._scatter(
+            {"op": "metrics"}, self._deadline(None)
+        )
+        dumps = {
+            shard_id: response.get("metrics", {})
+            for shard_id, response in responses.items()
+        }
+        return dumps, missing
+
+    def metrics_dumps(self) -> list[tuple[dict[str, str], dict]]:
+        """The ``(extra_labels, dump)`` pairs behind merged ``/metrics``.
+
+        The coordinator's own registry comes first (no extra labels);
+        every shard contributes a ``net_shard_up`` gauge and — when its
+        scrape succeeded — its registry dump under ``shard="<id>"``.
+        Feed to :func:`repro.obs.export.render_prometheus_dumps`.
+        """
+        dumps, _missing = self.scrape_metrics()
+        items: list[tuple[dict[str, str], dict]] = [
+            ({}, self._metrics.registry.dump())
+        ]
+        for shard_id in sorted(self._endpoints):
+            label = {"shard": str(shard_id)}
+            up = 1.0 if shard_id in dumps else 0.0
+            items.append(
+                (
+                    label,
+                    {
+                        "families": [
+                            {
+                                "name": "net_shard_up",
+                                "kind": "gauge",
+                                "help": "1 when the shard's metrics "
+                                "scrape succeeded.",
+                                "labelnames": [],
+                                "samples": [{"labels": [], "value": up}],
+                            }
+                        ],
+                        "collected": {},
+                    },
+                )
+            )
+            if shard_id in dumps:
+                items.append((label, dumps[shard_id]))
+        return items
 
     def health_report(self) -> HealthReport:
         """Live/ready/degraded verdict over the shard fleet."""

@@ -13,11 +13,14 @@ Endpoints (all JSON):
 ``POST /query``                full query surface (``kind``,
                                ``features``, ``k``, ``event``,
                                ``video_title``, ANN knobs ``nprobe``
-                               and ``rerank_k``)
+                               and ``rerank_k``, ``explain``)
 ``POST /scene_search``         shorthand for ``kind: scene``
 ``GET  /skim/{video_id}``      a video's scene/event outline
 ``GET  /health``               200 ok / 207 degraded / 503 down
-``GET  /metrics``              Prometheus text (``repro.obs`` registry)
+``GET  /metrics``              Prometheus text; a sharded backend
+                               merges every worker's registry with a
+                               ``shard`` label per family
+``GET  /debug/slow``           the slow-query log, slowest first
 ``GET  /workload?n=N``         corpus feature vectors for loadgen
 =============================  =======================================
 
@@ -34,13 +37,21 @@ Contract details the tests pin down:
   tokens get 401; no token means anonymous.
 * Bodies above ``max_body`` get 413; malformed JSON gets 400; unknown
   paths get 404.
+* Every response carries ``X-Trace-Id`` — the value of the request's
+  ``X-Trace-Id`` header if one came in, a fresh id otherwise.  When
+  tracing is enabled the id rides the RPC frames to the shard workers
+  and the stitched flame tree carries it end to end.
+* ``--access-log`` turns on one structured JSON line per request
+  (trace id, method, path, status, shard fan-out, latency).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -55,7 +66,9 @@ from repro.errors import (
     ReproError,
     ServingError,
 )
-from repro.obs.export import render_prometheus
+from repro.obs.export import render_prometheus, render_prometheus_dumps
+from repro.obs.slowlog import get_slow_log
+from repro.obs.trace import active_tracer, new_trace_id
 from repro.resilience.health import HealthCheck, HealthReport, server_health
 from repro.serving.server import QueryRequest, QueryServer, ServingResult
 from repro.types import EventKind
@@ -95,7 +108,9 @@ class GatewayConfig:
     """Tuning knobs of one :class:`HttpGateway`.
 
     ``tokens`` maps ``X-Auth-Token`` values to users; an empty map
-    means the gateway only serves anonymous traffic.
+    means the gateway only serves anonymous traffic.  ``access_log``
+    turns on one structured JSON line per request on stderr (or the
+    sink passed to :class:`HttpGateway`).
     """
 
     host: str = "127.0.0.1"
@@ -104,6 +119,7 @@ class GatewayConfig:
     max_body: int = 1024 * 1024
     max_inflight: int = 64
     default_timeout: float | None = 5.0
+    access_log: bool = False
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -122,6 +138,20 @@ class _HttpError(Exception):
         self.status = status
         self.message = message
         self.retry_after = retry_after
+
+
+class _RequestContext:
+    """Per-request trace/accounting state threaded through routing."""
+
+    __slots__ = ("trace_id", "span_id", "start_rel", "fanout")
+
+    def __init__(
+        self, trace_id: str, span_id: int | None, start_rel: float
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id  # reserved gateway span (None: tracing off)
+        self.start_rel = start_rel
+        self.fanout = 0  # shards the request fanned out to (access log)
 
 
 class _Backend:
@@ -146,6 +176,14 @@ class _Backend:
     def metrics_registry(self):
         """The metrics registry to expose on ``/metrics``."""
         raise NotImplementedError
+
+    def metrics_text(self) -> str:
+        """Prometheus text for ``GET /metrics``."""
+        return render_prometheus(self.metrics_registry())
+
+    def shard_count(self) -> int:
+        """Shards a query fans out to (1 for the in-process server)."""
+        return 1
 
 
 class _LocalBackend(_Backend):
@@ -207,6 +245,19 @@ class _ShardedBackend(_Backend):
         """The coordinator's metrics registry."""
         return self._service.metrics.registry
 
+    def metrics_text(self) -> str:
+        """Coordinator registry merged with every worker's scrape.
+
+        Each worker family arrives with a ``shard`` label; a shard
+        whose scrape failed contributes ``net_shard_up 0`` instead of
+        taking the endpoint down.
+        """
+        return render_prometheus_dumps(self._service.metrics_dumps())
+
+    def shard_count(self) -> int:
+        """The fleet width queries scatter across."""
+        return self._service.spec.num_shards
+
 
 def _wrap_backend(backend) -> _Backend:
     if isinstance(backend, _Backend):
@@ -241,7 +292,7 @@ def _serialize_hit(kind: str, hit) -> dict:
 
 
 def _serialize_result(result: ServingResult) -> dict:
-    return {
+    payload = {
         "kind": result.kind,
         "hits": [_serialize_hit(result.kind, hit) for hit in result.hits],
         "generation": result.generation,
@@ -253,14 +304,28 @@ def _serialize_result(result: ServingResult) -> dict:
         "approx_comparisons": result.approx_comparisons,
         "reranked": result.reranked,
     }
+    if result.explain is not None:
+        payload["explain"] = result.explain
+    return payload
 
 
 class HttpGateway:
     """HTTP/1.1 JSON front-end on a dedicated asyncio thread."""
 
-    def __init__(self, backend, config: GatewayConfig | None = None) -> None:
+    def __init__(
+        self,
+        backend,
+        config: GatewayConfig | None = None,
+        access_sink=None,
+    ) -> None:
         self._backend = _wrap_backend(backend)
         self.config = config if config is not None else GatewayConfig()
+        # One JSON dict per request when config.access_log is on; the
+        # default sink writes one line to stderr, tests inject a list
+        # appender.
+        self._access_sink = (
+            access_sink if access_sink is not None else self._stderr_access_line
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._thread: threading.Thread | None = None
@@ -443,9 +508,46 @@ class HttpGateway:
             return False
         body = await reader.readexactly(length) if length else b""
 
-        status, payload, extra = await self._route(
-            method, target, headers, body
+        start = time.perf_counter()
+        tracer = active_tracer()
+        trace_id = headers.get("x-trace-id", "").strip() or new_trace_id()
+        ctx = _RequestContext(
+            trace_id=trace_id,
+            # The gateway span's id is reserved up front so backend work
+            # offloaded mid-request can nest under it; the span itself
+            # is recorded once the response is ready (add_span_at).
+            span_id=tracer.new_span_id() if tracer.enabled else None,
+            start_rel=tracer.now(),
         )
+        status, payload, extra = await self._route(
+            method, target, headers, body, ctx
+        )
+        extra = dict(extra)
+        extra.setdefault("X-Trace-Id", trace_id)
+        path = target.partition("?")[0]
+        if ctx.span_id is not None:
+            tracer.add_span_at(
+                "gateway.request",
+                ctx.start_rel,
+                tracer.now() - ctx.start_rel,
+                span_id=ctx.span_id,
+                method=method,
+                path=path,
+                status=status,
+                trace_id=trace_id,
+            )
+        if self.config.access_log:
+            self._access_log(
+                {
+                    "ts": round(time.time(), 6),
+                    "trace_id": trace_id,
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "fanout": ctx.fanout,
+                    "latency_ms": round((time.perf_counter() - start) * 1e3, 3),
+                }
+            )
         text = payload if isinstance(payload, str) else None
         await self._respond(
             writer,
@@ -456,6 +558,16 @@ class HttpGateway:
             close=not keep_alive,
         )
         return keep_alive
+
+    @staticmethod
+    def _stderr_access_line(record: dict) -> None:
+        print(json.dumps(record, separators=(",", ":")), file=sys.stderr, flush=True)
+
+    def _access_log(self, record: dict) -> None:
+        try:
+            self._access_sink(record)
+        except Exception:  # a broken sink must never fail the request
+            pass
 
     async def _respond(
         self,
@@ -475,13 +587,21 @@ class HttpGateway:
             )
             content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'close' if close else 'keep-alive'}",
-        ]
+        # Extra headers override the defaults (matched case-insensitively)
+        # instead of duplicating them — e.g. the /metrics route pins its
+        # own Content-Type.
+        header_map: dict[str, str] = {
+            "Content-Type": content_type,
+            "Content-Length": str(len(body)),
+            "Connection": "close" if close else "keep-alive",
+        }
         for name, value in (extra or {}).items():
+            for existing in list(header_map):
+                if existing.lower() == name.lower():
+                    del header_map[existing]
+            header_map[name] = str(value)
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        for name, value in header_map.items():
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
@@ -490,25 +610,38 @@ class HttpGateway:
     # -- routing -------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, headers: dict[str, str], body: bytes
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        ctx: _RequestContext,
     ) -> tuple[int, dict | str, dict]:
         path, _, query_string = target.partition("?")
         try:
             if path == "/health":
                 self._require_method(method, "GET")
-                return await self._ep_health()
+                return await self._ep_health(ctx)
             if path == "/metrics":
                 self._require_method(method, "GET")
-                return 200, render_prometheus(self._backend.metrics_registry()), {}
+                text = await self._offload(self._backend.metrics_text, ctx=ctx)
+                return (
+                    200,
+                    text,
+                    {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                )
+            if path == "/debug/slow":
+                self._require_method(method, "GET")
+                return self._ep_slow()
             if path == "/workload":
                 self._require_method(method, "GET")
-                return await self._ep_workload(query_string)
+                return await self._ep_workload(query_string, ctx)
             if path.startswith("/skim/"):
                 self._require_method(method, "GET")
-                return await self._ep_skim(path[len("/skim/") :], headers)
+                return await self._ep_skim(path[len("/skim/") :], headers, ctx)
             if path in ("/query", "/scene_search"):
                 self._require_method(method, "POST")
-                return await self._ep_query(path, headers, body)
+                return await self._ep_query(path, headers, body, ctx)
             raise _HttpError(404, f"no such endpoint: {path}")
         except _HttpError as exc:
             extra = {}
@@ -542,8 +675,13 @@ class HttpGateway:
             raise _HttpError(504, "deadline expired on arrival")
         return deadline_ms / 1000.0
 
-    async def _offload(self, fn, *args):
-        """Run a blocking backend call on the bounded gateway pool."""
+    async def _offload(self, fn, *args, ctx: _RequestContext | None = None):
+        """Run a blocking backend call on the bounded gateway pool.
+
+        With ``ctx`` the executor thread adopts the request's gateway
+        span and trace id for the duration of the call, so backend
+        spans nest under the gateway span despite the thread hop.
+        """
         if not self._inflight.acquire(blocking=False):
             raise _HttpError(
                 503,
@@ -551,15 +689,32 @@ class HttpGateway:
                 retry_after=1.0,
             )
         loop = asyncio.get_running_loop()
+        if ctx is not None:
+            tracer = active_tracer()
+            span_id, trace_id = ctx.span_id, ctx.trace_id
+
+            def work():
+                with tracer.adopt(span_id, trace_id):
+                    return fn(*args)
+
+        else:
+
+            def work():
+                return fn(*args)
+
         try:
-            return await loop.run_in_executor(self._executor, fn, *args)
+            return await loop.run_in_executor(self._executor, work)
         finally:
             self._inflight.release()
 
     # -- endpoints -----------------------------------------------------
 
     async def _ep_query(
-        self, path: str, headers: dict[str, str], body: bytes
+        self,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
+        ctx: _RequestContext,
     ) -> tuple[int, dict, dict]:
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
@@ -613,9 +768,11 @@ class HttpGateway:
             timeout=timeout,
             nprobe=_int_knob("nprobe"),
             rerank_k=_int_knob("rerank_k"),
+            explain=bool(payload.get("explain", False)),
         )
+        ctx.fanout = self._backend.shard_count()
         try:
-            result = await self._offload(self._backend.query, request)
+            result = await self._offload(self._backend.query, request, ctx=ctx)
         except OverloadedError as exc:
             raise _HttpError(503, str(exc), retry_after=1.0) from None
         except ServingError as exc:
@@ -635,13 +792,13 @@ class HttpGateway:
         return 200, _serialize_result(result), {}
 
     async def _ep_skim(
-        self, video_id: str, headers: dict[str, str]
+        self, video_id: str, headers: dict[str, str], ctx: _RequestContext
     ) -> tuple[int, dict, dict]:
         self._resolve_user(headers)  # auth applies, scope does not: skims
         # expose only registration metadata, never feature content.
         if not video_id:
             raise _HttpError(404, "missing video id")
-        records = await self._offload(self._backend.records)
+        records = await self._offload(self._backend.records, ctx=ctx)
         record = records.get(video_id)
         if record is None:
             raise _HttpError(404, f"video {video_id!r} is not registered")
@@ -661,8 +818,20 @@ class HttpGateway:
             {},
         )
 
-    async def _ep_health(self) -> tuple[int, dict, dict]:
-        report = await self._offload(self._backend.health)
+    def _ep_slow(self) -> tuple[int, dict, dict]:
+        log = get_slow_log()
+        return (
+            200,
+            {
+                "slow": [entry.to_json() for entry in log.entries()],
+                "recorded": log.recorded,
+                "capacity": log.capacity,
+            },
+            {},
+        )
+
+    async def _ep_health(self, ctx: _RequestContext) -> tuple[int, dict, dict]:
+        report = await self._offload(self._backend.health, ctx=ctx)
         status_code = {"ok": 200, "degraded": 207, "down": 503}[report.status]
         return (
             status_code,
@@ -680,7 +849,9 @@ class HttpGateway:
             {},
         )
 
-    async def _ep_workload(self, query_string: str) -> tuple[int, dict, dict]:
+    async def _ep_workload(
+        self, query_string: str, ctx: _RequestContext
+    ) -> tuple[int, dict, dict]:
         n = 16
         for part in query_string.split("&"):
             if part.startswith("n="):
@@ -688,7 +859,7 @@ class HttpGateway:
                     n = max(1, min(int(part[2:]), 512))
                 except ValueError:
                     raise _HttpError(400, "n must be an integer") from None
-        pool = await self._offload(self._backend.sample_features, n)
+        pool = await self._offload(self._backend.sample_features, n, ctx=ctx)
         return (
             200,
             {"features": [[float(x) for x in vector] for vector in pool]},

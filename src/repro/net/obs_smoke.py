@@ -1,0 +1,234 @@
+"""Observability smoke: tracing + metrics over a live 2-shard cluster.
+
+``make obs-net-smoke`` exercises the distributed-observability surface
+end to end with real subprocess workers and real sockets:
+
+1. a 2-shard cluster is built and served behind the HTTP gateway;
+2. a query sent with an ``X-Trace-Id`` header must come back with the
+   same id echoed, and the process tracer must hold ONE stitched flame
+   tree: ``gateway.request`` over ``net.query`` over the coordinator
+   phases, with both shards' ``rpc.probe`` round-trips and the remote
+   ``worker.probe`` spans (shipped back in the response frames) grafted
+   beneath them — every span carrying the same trace id;
+3. ``GET /metrics`` merges both worker registries: per-shard
+   ``net_worker_*`` families labelled ``shard="0"``/``shard="1"``,
+   ``net_shard_up`` gauges, the Prometheus 0.0.4 content type;
+4. ``{"explain": true}`` returns per-shard evidence with hits identical
+   to the plain answer and never touches the result cache;
+5. ``GET /debug/slow`` serves the bounded slow-query ring.
+
+Everything is seeded and deterministic; any check failure exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.gateway import GatewayConfig, HttpGateway
+from repro.net.shard import build_shards
+from repro.obs import (
+    Tracer,
+    get_slow_log,
+    install_tracer,
+    render_spans,
+    validate_prometheus_text,
+)
+from repro.storage.synthetic import build_synthetic_database
+
+TRACE_ID = "0b5e9ab1e0b5e9ab"
+
+
+def _report(name: str, ok: bool, detail: str) -> bool:
+    print(f"obs-net-smoke: [{'ok ' if ok else 'FAIL'}] {name} — {detail}")
+    return ok
+
+
+def _http(url: str, method: str = "GET", body: bytes | None = None, headers=None):
+    request = urllib.request.Request(
+        url, data=body, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=15.0) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def _post_query(base: str, payload: dict, headers=None):
+    body = json.dumps(payload).encode("utf-8")
+    merged = {"Content-Type": "application/json"}
+    merged.update(headers or {})
+    return _http(f"{base}/query", "POST", body, merged)
+
+
+def run_smoke(videos: int = 60, shots: int = 6, seed: int = 3) -> int:
+    """Run the observability network smoke; returns a process exit code."""
+    started = time.perf_counter()
+    tmp = Path(tempfile.mkdtemp(prefix="obs_net_smoke_"))
+    ok = True
+    service = gateway = cluster = None
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    get_slow_log().clear()
+    try:
+        database = build_synthetic_database(
+            videos=videos, shots_per_video=shots, scenes_per_video=3, seed=seed
+        )
+        spec = build_shards(database, tmp / "shards", 2)
+        cluster = ShardCluster(tmp / "shards", spec=spec).start()
+        service = ShardedQueryService(
+            spec, cluster.endpoints, config=CoordinatorConfig()
+        )
+        gateway = HttpGateway(service, GatewayConfig(tokens={})).start()
+        base = gateway.url
+
+        rng = np.random.default_rng(seed + 1)
+        entries = database.flat_index.entries
+        probe = entries[int(rng.integers(0, len(entries)))].features + rng.normal(
+            0.0, 0.01, entries[0].features.shape
+        )
+        features = [float(x) for x in probe]
+
+        # -- one traced query: a single stitched flame tree ------------
+        tracer.clear()  # drop startup spans; trace just this request
+        status, body, headers = _post_query(
+            base,
+            {"kind": "shot", "features": features, "k": 5},
+            {"X-Trace-Id": TRACE_ID},
+        )
+        parsed = json.loads(body)
+        echoed = headers.get("X-Trace-Id")
+        spans = tracer.spans()
+        grouped: dict[str, list] = {}
+        for span in spans:
+            grouped.setdefault(span.name, []).append(span)
+        by_id = {span.span_id: span for span in spans}
+
+        def _rooted_in_gateway(span) -> bool:
+            while span.parent_id is not None and span.parent_id in by_id:
+                span = by_id[span.parent_id]
+            return span.name == "gateway.request"
+
+        tree_ok = status == 200 and bool(parsed.get("hits"))
+        tree_ok &= echoed == TRACE_ID
+        tree_ok &= len(grouped.get("gateway.request", [])) == 1
+        tree_ok &= len(grouped.get("net.query", [])) == 1
+        tree_ok &= {
+            sp.attributes.get("shard") for sp in grouped.get("rpc.probe", [])
+        } == {0, 1}
+        workers = grouped.get("worker.probe", [])
+        tree_ok &= {sp.attributes.get("shard") for sp in workers} == {0, 1}
+        tree_ok &= all(
+            sp.attributes.get("trace_id") == TRACE_ID for sp in workers
+        )
+        tree_ok &= all(_rooted_in_gateway(sp) for sp in spans)
+        rendered = render_spans(spans)
+        tree_ok &= all(
+            name in rendered
+            for name in (
+                "gateway.request",
+                "net.query",
+                "rpc.probe",
+                "worker.probe",
+            )
+        )
+        ok &= _report(
+            "stitched flame tree",
+            tree_ok,
+            f"{len(spans)} spans, every one rooted in gateway.request, "
+            f"trace id {TRACE_ID} echoed and stamped on both worker spans",
+        )
+
+        # -- cluster-wide /metrics -------------------------------------
+        status, body, headers = _http(f"{base}/metrics")
+        text = body.decode("utf-8")
+        metrics_ok = status == 200
+        metrics_ok &= validate_prometheus_text(text) == []
+        for shard_id in (0, 1):
+            metrics_ok &= (
+                f'net_worker_requests_total{{shard="{shard_id}",op="probe"}}'
+                in text
+            )
+            metrics_ok &= f'net_shard_up{{shard="{shard_id}"}} 1.0' in text
+        content_type = headers.get("Content-Type", "")
+        metrics_ok &= content_type.startswith("text/plain; version=0.0.4")
+        ok &= _report(
+            "merged cluster metrics",
+            metrics_ok,
+            f"per-shard worker families + net_shard_up, {content_type!r}",
+        )
+
+        # -- explain: same answer, evidence attached, never cached -----
+        payload = {"kind": "shot", "features": features, "k": 5}
+        status, body, _ = _post_query(base, payload)
+        plain = json.loads(body)
+        status2, body2, _ = _post_query(base, dict(payload, explain=True))
+        explained = json.loads(body2)
+        evidence = explained.get("explain") or {}
+        explain_ok = status == 200 and status2 == 200
+        explain_ok &= "explain" not in plain
+        explain_ok &= explained["hits"] == plain["hits"]
+        explain_ok &= evidence.get("backend") == "sharded"
+        explain_ok &= {
+            op.get("shard") for op in evidence.get("shards", [])
+        } == {0, 1}
+        explain_ok &= not explained.get("cache_hit", False)
+        explain_ok &= (
+            evidence.get("cache", {}).get("disposition") == "bypassed (explain)"
+        )
+        ok &= _report(
+            "explain surface",
+            explain_ok,
+            "hits identical to plain answer, per-shard evidence, "
+            "cache bypassed",
+        )
+
+        # -- slow-query ring over HTTP ---------------------------------
+        status, body, _ = _http(f"{base}/debug/slow")
+        slow = json.loads(body)
+        slow_ok = status == 200 and slow.get("recorded", 0) >= 1
+        slow_ok &= all(
+            entry["backend"] == "sharded" for entry in slow.get("slow", [])
+        )
+        ok &= _report(
+            "slow-query log",
+            slow_ok,
+            f"{slow.get('recorded', 0)} queries recorded, "
+            f"{len(slow.get('slow', []))} retained",
+        )
+    except Exception as exc:  # smoke must fail loudly, not crash silently
+        ok = _report("unexpected error", False, f"{type(exc).__name__}: {exc}")
+    finally:
+        install_tracer(previous)
+        if gateway is not None:
+            gateway.stop()
+        if service is not None:
+            service.close()
+        if cluster is not None:
+            cluster.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(
+        f"obs-net-smoke: {'PASS' if ok else 'FAIL'} "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    return 0 if ok else 1
+
+
+def main() -> int:
+    """Entry point of ``python -m repro.net.obs_smoke``."""
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,15 +130,28 @@ class RpcClient:
                     pass
                 self._sock = None
 
-    def call(self, request: dict, deadline: float | None = None) -> dict:
+    def call(
+        self,
+        request: dict,
+        deadline: float | None = None,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
+    ) -> dict:
         """One request/response round-trip.
 
         ``deadline`` is absolute ``time.perf_counter()`` time; ``None``
-        falls back to the client's default timeout.  Raises
+        falls back to the client's default timeout.  ``trace_id`` /
+        ``parent_span`` stamp distributed-trace context onto the frame:
+        a worker that sees them records spans under that parent and
+        ships them back as ``spans`` in the response.  Raises
         :class:`ServingError` on expiry, transport failure, or a
         worker-side error response (``ok: false``).
         """
         fault_point("net.rpc")
+        if trace_id is not None:
+            request = dict(request, trace_id=trace_id)
+            if parent_span is not None:
+                request["parent_span"] = parent_span
         if deadline is None:
             timeout = self._default_timeout
         else:
@@ -248,11 +261,23 @@ class ShardEndpoint:
             client.close()
         self._available.release()
 
-    def call(self, request: dict, deadline: float | None = None) -> dict:
-        """Round-trip through a pooled connection."""
+    def call(
+        self,
+        request: dict,
+        deadline: float | None = None,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
+    ) -> dict:
+        """Round-trip through a pooled connection (trace context rides
+        the frame — see :meth:`RpcClient.call`)."""
         client, epoch = self._acquire(deadline)
         try:
-            return client.call(request, deadline=deadline)
+            return client.call(
+                request,
+                deadline=deadline,
+                trace_id=trace_id,
+                parent_span=parent_span,
+            )
         except BaseException:
             client.close()
             raise

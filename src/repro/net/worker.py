@@ -15,10 +15,20 @@ op          semantics
 ``flat``    local Eq. (24) top-k under global ordinals
 ``scene``   local scene-centroid top-k
 ``sample``  evenly spaced feature vectors (loadgen pools)
+``metrics`` the worker registry's wire dump (cluster-metrics scrape)
 ``reload``  reopen the shard database (new generation on disk)
 ``stop``    shut the worker down
 ``die``     ``os._exit`` hard-kill (fault injection only)
 ========== =========================================================
+
+A request frame carrying ``trace_id`` gets a private per-request
+:class:`~repro.obs.trace.Tracer` (epoch = request arrival): the worker
+opens ``worker.<op>`` under the frame's ``parent_span``, records
+per-leaf spans including ANN prune / exact re-rank splits, and ships
+the finished spans back as ``spans`` in the response frame for the
+coordinator to stitch.  Dispatch also counts every op into the worker
+registry (``net_worker_requests_total`` / ``net_worker_op_seconds``),
+which the ``metrics`` op exposes for cluster-wide scraping.
 
 Candidates always carry **global** identities (flat ordinal, title,
 shot/scene ids) and kernel-exact scores; feature payloads ship only for
@@ -35,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import socketserver
 import sys
 import threading
@@ -57,6 +68,8 @@ from repro.net.protocol import (
     unpack_array,
 )
 from repro.net.shard import GLOBAL_ORDS_NAME
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.storage.lazy import SQLVideoDatabase
 from repro.types import EventKind
 
@@ -96,9 +109,32 @@ class ShardWorker:
     """Threaded TCP server answering shard RPCs for one shard directory."""
 
     def __init__(
-        self, shard_dir: str | Path, host: str = "127.0.0.1", port: int = 0
+        self,
+        shard_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_id: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._shard_dir = Path(shard_dir)
+        if shard_id is None:
+            match = re.fullmatch(r"shard-(\d+)", self._shard_dir.name)
+            shard_id = int(match.group(1)) if match else 0
+        self.shard_id = shard_id
+        # Subprocess workers report into their process-global registry
+        # (so storage/kernel metrics ride along in the scrape); embedded
+        # test workers pass a private registry to stay distinguishable.
+        self._registry = registry if registry is not None else get_registry()
+        self._op_requests = self._registry.counter(
+            "net_worker_requests_total",
+            "Shard worker RPC requests served, by op.",
+            labelnames=("op",),
+        )
+        self._op_latency = self._registry.histogram(
+            "net_worker_op_seconds",
+            "Shard worker RPC handler latency, by op.",
+            labelnames=("op",),
+        )
         self._state = _ShardState(self._shard_dir)
         self._generation = 1
         self._state_lock = threading.Lock()
@@ -204,12 +240,45 @@ class ShardWorker:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
-        return handler(request)
+        trace_id = request.get("trace_id")
+        # Each traced request gets its own tracer (epoch = arrival) so
+        # concurrent handler threads never interleave span trees; the
+        # finished spans ship back in the response frame.  The frame's
+        # parent_span is kept as an attribute — remote ids must not mix
+        # with local ones; the coordinator re-parents on attach.
+        tracer: Tracer | NullTracer
+        attrs: dict = {}
+        if trace_id is not None:
+            tracer = Tracer()
+            attrs = {"shard": self.shard_id, "trace_id": trace_id}
+            if request.get("parent_span") is not None:
+                attrs["parent_span"] = request["parent_span"]
+        else:
+            tracer = NULL_TRACER
+        started = time.perf_counter()
+        try:
+            with tracer.span(f"worker.{op}", **attrs):
+                response = handler(request, tracer)
+        finally:
+            elapsed = time.perf_counter() - started
+            self._op_requests.labels(op=str(op)).inc()
+            self._op_latency.labels(op=str(op)).record(elapsed)
+        if trace_id is not None and response.get("ok"):
+            response["spans"] = [span.to_json() for span in tracer.spans()]
+        return response
 
-    def _op_ping(self, request: dict) -> dict:
+    def _op_ping(self, request: dict, tracer=NULL_TRACER) -> dict:
         return {"ok": True, "generation": self._generation}
 
-    def _op_health(self, request: dict) -> dict:
+    def _op_metrics(self, request: dict, tracer=NULL_TRACER) -> dict:
+        return {
+            "ok": True,
+            "generation": self._generation,
+            "shard": self.shard_id,
+            "metrics": self._registry.dump(),
+        }
+
+    def _op_health(self, request: dict, tracer=NULL_TRACER) -> dict:
         state = self._state
         return {
             "ok": True,
@@ -219,7 +288,7 @@ class ShardWorker:
             "scenes": len(state.database.scene_index),
         }
 
-    def _op_records(self, request: dict) -> dict:
+    def _op_records(self, request: dict, tracer=NULL_TRACER) -> dict:
         records = {
             title: {
                 "shot_count": record.shot_count,
@@ -231,13 +300,15 @@ class ShardWorker:
         }
         return {"ok": True, "generation": self._generation, "records": records}
 
-    def _op_probe(self, request: dict) -> dict:
-        return self._leaf_candidates(request, fallback=False)
+    def _op_probe(self, request: dict, tracer=NULL_TRACER) -> dict:
+        return self._leaf_candidates(request, fallback=False, tracer=tracer)
 
-    def _op_scan(self, request: dict) -> dict:
-        return self._leaf_candidates(request, fallback=True)
+    def _op_scan(self, request: dict, tracer=NULL_TRACER) -> dict:
+        return self._leaf_candidates(request, fallback=True, tracer=tracer)
 
-    def _leaf_candidates(self, request: dict, fallback: bool) -> dict:
+    def _leaf_candidates(
+        self, request: dict, fallback: bool, tracer=NULL_TRACER
+    ) -> dict:
         """Per-leaf candidates, plus features for the shard-local top-k.
 
         Leaves are processed in the coordinator's visit order and each
@@ -270,58 +341,70 @@ class ShardWorker:
             if node is None:
                 per_leaf[name] = {"bucket": 0, "candidates": []}
                 continue
-            leaf = node.leaf
-            assert leaf is not None
-            entries = matrix = None
-            bucket_size = None
-            if nprobe is not None:
-                ann, degraded = resolve_ann(node)
-                ann_degraded = ann_degraded or degraded
-                if ann is not None:
-                    rows, evals = ann.search_rows(
-                        features,
-                        nprobe=int(nprobe),
-                        rerank_k=None if rerank_k is None else int(rerank_k),
-                        mode="all" if fallback else "bucket",
-                    )
-                    approx_comparisons += evals
+            with tracer.span("worker.leaf", leaf=name) as leaf_span:
+                leaf = node.leaf
+                assert leaf is not None
+                entries = matrix = None
+                bucket_size = None
+                if nprobe is not None:
+                    ann, degraded = resolve_ann(node)
+                    ann_degraded = ann_degraded or degraded
+                    if ann is not None:
+                        with tracer.span("ann.prune") as prune_span:
+                            rows, evals = ann.search_rows(
+                                features,
+                                nprobe=int(nprobe),
+                                rerank_k=(
+                                    None if rerank_k is None else int(rerank_k)
+                                ),
+                                mode="all" if fallback else "bucket",
+                            )
+                            prune_span.set(evals=evals, survivors=len(rows))
+                        approx_comparisons += evals
+                        if fallback:
+                            bucket_size = ann.n_rows
+                        else:
+                            bucket_size = int(
+                                ann.bucket_rows(leaf_signature(features)).size
+                            )
+                        all_entries, block = leaf.fallback_block()
+                        picked = [int(row) for row in rows]
+                        entries = [all_entries[row] for row in picked]
+                        matrix = block[picked]
+                if bucket_size is None:
                     if fallback:
-                        bucket_size = ann.n_rows
+                        entries, matrix = leaf.fallback_block()
                     else:
-                        bucket_size = int(
-                            ann.bucket_rows(leaf_signature(features)).size
-                        )
-                    all_entries, block = leaf.fallback_block()
-                    picked = [int(row) for row in rows]
-                    entries = [all_entries[row] for row in picked]
-                    matrix = block[picked]
-            if bucket_size is None:
-                if fallback:
-                    entries, matrix = leaf.fallback_block()
-                else:
-                    entries, matrix = leaf.bucket_block(features)
-                bucket_size = len(entries)
-            if not entries:
-                per_leaf[name] = {"bucket": int(bucket_size), "candidates": []}
-                continue
-            scores = feature_similarity_batch(features, matrix, dims=node.dims)
-            candidates = []
-            for entry, score in zip(entries, scores):
-                global_ord = state.global_ord_of[entry.key]
-                candidates.append(
-                    [
-                        global_ord,
-                        entry.video_title,
-                        entry.shot_id,
-                        entry.scene_id,
-                        float(score),
-                    ]
-                )
-                combined.append((global_ord, entry, float(score)))
-            per_leaf[name] = {
-                "bucket": int(bucket_size),
-                "candidates": candidates,
-            }
+                        entries, matrix = leaf.bucket_block(features)
+                    bucket_size = len(entries)
+                leaf_span.set(bucket=int(bucket_size))
+                if not entries:
+                    per_leaf[name] = {
+                        "bucket": int(bucket_size),
+                        "candidates": [],
+                    }
+                    continue
+                with tracer.span("score.exact", rows=len(entries)):
+                    scores = feature_similarity_batch(
+                        features, matrix, dims=node.dims
+                    )
+                candidates = []
+                for entry, score in zip(entries, scores):
+                    global_ord = state.global_ord_of[entry.key]
+                    candidates.append(
+                        [
+                            global_ord,
+                            entry.video_title,
+                            entry.shot_id,
+                            entry.scene_id,
+                            float(score),
+                        ]
+                    )
+                    combined.append((global_ord, entry, float(score)))
+                per_leaf[name] = {
+                    "bucket": int(bucket_size),
+                    "candidates": candidates,
+                }
         top = sorted(combined, key=lambda item: item[2], reverse=True)[:k]
         payload = {
             str(global_ord): pack_array(entry.features)
@@ -336,12 +419,13 @@ class ShardWorker:
             "ann_degraded": ann_degraded,
         }
 
-    def _op_flat(self, request: dict) -> dict:
+    def _op_flat(self, request: dict, tracer=NULL_TRACER) -> dict:
         state = self._state
         features = unpack_array(request["features"])
         k = int(request.get("k", 10))
         total = len(state.database.flat_index)
-        result = state.database.search_flat(features, k=k)
+        with tracer.span("score.exact", rows=total):
+            result = state.database.search_flat(features, k=k)
         candidates = []
         payload = {}
         for hit in result.hits:
@@ -365,7 +449,7 @@ class ShardWorker:
             "features": payload,
         }
 
-    def _op_scene(self, request: dict) -> dict:
+    def _op_scene(self, request: dict, tracer=NULL_TRACER) -> dict:
         state = self._state
         features = unpack_array(request["features"])
         k = int(request.get("k", 5))
@@ -374,7 +458,8 @@ class ShardWorker:
         index = state.database.scene_index
         count = len(index)
         try:
-            hits = index.search(features, k=k, event=kind)
+            with tracer.span("scene.search", scenes=count):
+                hits = index.search(features, k=k, event=kind)
         except DatabaseError:
             hits = []  # an empty local index is not an error under sharding
         candidates = []
@@ -401,7 +486,7 @@ class ShardWorker:
             "centroids": centroids,
         }
 
-    def _op_sample(self, request: dict) -> dict:
+    def _op_sample(self, request: dict, tracer=NULL_TRACER) -> dict:
         state = self._state
         n = max(1, int(request.get("n", 16)))
         total = int(state.global_ords.shape[0])
@@ -420,7 +505,7 @@ class ShardWorker:
             payload.append(pack_array(block[row.row]))
         return {"ok": True, "features": payload}
 
-    def _op_reload(self, request: dict) -> dict:
+    def _op_reload(self, request: dict, tracer=NULL_TRACER) -> dict:
         fresh = _ShardState(self._shard_dir)
         with self._state_lock:
             previous = self._state
@@ -432,14 +517,44 @@ class ShardWorker:
         del previous
         return {"ok": True, "generation": self._generation}
 
-    def _op_stop(self, request: dict) -> dict:
+    def _op_stop(self, request: dict, tracer=NULL_TRACER) -> dict:
         threading.Thread(target=self._server.shutdown, daemon=True).start()
         return {"ok": True}
 
-    def _op_die(self, request: dict) -> dict:
+    def _op_die(self, request: dict, tracer=NULL_TRACER) -> dict:
         # Fault injection: simulate a crashed worker process.  Flushing
         # nothing is the point — the coordinator must cope.
         os._exit(17)
+
+
+class _PrefixWriter:
+    """Wraps a text stream, prefixing every line with a shard tag.
+
+    Installed over the worker subprocess's stderr so interleaved
+    cluster logs stay attributable (``[shard 2] …``).
+    """
+
+    def __init__(self, stream, prefix: str) -> None:
+        self._stream = stream
+        self._prefix = prefix
+        self._midline = False
+
+    def write(self, text: str) -> int:
+        out = []
+        for chunk in text.splitlines(keepends=True):
+            if not self._midline:
+                out.append(self._prefix)
+            out.append(chunk)
+            self._midline = not chunk.endswith("\n")
+        self._stream.write("".join(out))
+        return len(text)
+
+    def flush(self) -> None:
+        """Pass flushes through to the wrapped stream."""
+        self._stream.flush()
+
+    def __getattr__(self, name):
+        return getattr(self._stream, name)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -448,9 +563,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("shard_dir", help="shard directory (SQL catalog)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--shard-id",
+        type=int,
+        default=None,
+        help="shard id for log prefixes and span attributes "
+        "(default: parsed from the directory name)",
+    )
     args = parser.parse_args(argv)
     started = time.perf_counter()
-    worker = ShardWorker(args.shard_dir, host=args.host, port=args.port)
+    worker = ShardWorker(
+        args.shard_dir, host=args.host, port=args.port, shard_id=args.shard_id
+    )
+    sys.stderr = _PrefixWriter(sys.stderr, f"[shard {worker.shard_id}] ")
     print(f"READY {worker.port}", flush=True)
     print(
         f"shard worker serving {args.shard_dir} on {args.host}:{worker.port} "

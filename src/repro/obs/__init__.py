@@ -18,6 +18,13 @@ reports through one surface:
   exporters (``classminer obs export``), with a line-format checker.
 * :mod:`repro.obs.bridge` — ingest ``JobEvent`` → span/counter bridge
   and the default registry collectors.
+* :mod:`repro.obs.slowlog` — bounded slow-query log retaining the N
+  slowest queries (``GET /debug/slow``, ``classminer obs slow``).
+
+Traces also cross process boundaries: the gateway accepts/generates
+``X-Trace-Id``, RPC frames carry ``trace_id``/``parent_span``, workers
+ship their spans back in response frames, and the coordinator stitches
+them into one flame tree (see docs/OBSERVABILITY.md).
 
 Instrumented call sites write::
 
@@ -36,6 +43,7 @@ from repro.obs.export import (
     check_prometheus_text,
     render_json,
     render_prometheus,
+    render_prometheus_dumps,
     validate_prometheus_text,
 )
 from repro.obs.metrics import BUCKET_BOUNDS, LatencyHistogram, format_seconds
@@ -46,14 +54,17 @@ from repro.obs.registry import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.slowlog import SlowQuery, SlowQueryLog, get_slow_log
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
     active_tracer,
+    current_trace_id,
     install_tracer,
     load_trace,
+    new_trace_id,
     render_spans,
     span,
 )
@@ -68,17 +79,23 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
     "Tracer",
     "active_tracer",
     "check_prometheus_text",
+    "current_trace_id",
     "format_seconds",
     "get_registry",
+    "get_slow_log",
     "install_tracer",
     "load_trace",
+    "new_trace_id",
     "register_default_collectors",
     "render_json",
     "render_prometheus",
+    "render_prometheus_dumps",
     "render_spans",
     "span",
     "validate_prometheus_text",

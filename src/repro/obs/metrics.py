@@ -132,6 +132,38 @@ class LatencyHistogram:
         self._count += other._count
         self._max = max(self._max, other._max)
 
+    def state(self) -> dict:
+        """Plain-data snapshot (one consistent cut) for the wire.
+
+        The shape :meth:`from_state` rebuilds — how worker registries
+        ship their histograms to the coordinator for merging.
+        """
+        with self._lock:
+            return {
+                "buckets": list(self._counts),
+                "total": self._total,
+                "count": self._count,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`state` output.
+
+        Bucket lists from a different ``BUCKET_BOUNDS`` vintage are
+        truncated/zero-padded to the local layout so a mixed-version
+        cluster degrades to coarse counts instead of crashing.
+        """
+        histogram = cls()
+        buckets = [int(b) for b in state.get("buckets", [])]
+        width = len(histogram._counts)
+        buckets = (buckets + [0] * width)[:width]
+        histogram._counts = buckets
+        histogram._total = float(state.get("total", 0.0))
+        histogram._count = int(state.get("count", sum(buckets)))
+        histogram._max = float(state.get("max", 0.0))
+        return histogram
+
     def reset(self) -> None:
         """Zero all buckets and totals."""
         with self._lock:

@@ -315,6 +315,38 @@ class MetricsRegistry:
         view.update(self.collect())
         return view
 
+    def dump(self) -> dict:
+        """Wire-format state of every family plus collector values.
+
+        The shape a shard worker returns for the ``metrics`` RPC op:
+        JSON-safe plain data the coordinator can merge into a
+        cluster-wide view (histograms carry their
+        :meth:`~repro.obs.metrics.LatencyHistogram.state` and are
+        rebuilt on the far side so merging reuses
+        :meth:`~repro.obs.metrics.LatencyHistogram.merge`).
+        """
+        families = []
+        with self._lock:
+            for family in self.families():
+                samples = []
+                for labelpairs, child in family.samples():
+                    sample: dict = {"labels": [list(pair) for pair in labelpairs]}
+                    if family.kind == "histogram":
+                        sample["histogram"] = child.state()  # type: ignore[attr-defined]
+                    else:
+                        sample["value"] = child.value  # type: ignore[attr-defined]
+                    samples.append(sample)
+                families.append(
+                    {
+                        "name": family.name,
+                        "kind": family.kind,
+                        "help": family.help,
+                        "labelnames": list(family.labelnames),
+                        "samples": samples,
+                    }
+                )
+        return {"families": families, "collected": self.collect()}
+
     def reset(self) -> None:
         """Reset every metric value (families and collectors are kept)."""
         with self._lock:

@@ -18,6 +18,15 @@ locks, no clock reads, no allocation per span
 Finished traces serialise one JSON object per span to a JSONL file and
 render as a flame-style text tree (:func:`render_spans`), with each
 span's share of its root's wall time.
+
+Spans can also cross process boundaries: a caller stamps
+``trace_id``/``parent_span`` onto an RPC frame, the remote side records
+spans on its own private tracer (its epoch is the request's arrival
+time, so starts are request-relative), ships them back as JSON in the
+response frame, and the caller grafts them into its own trace with
+:meth:`Tracer.attach_remote_spans` — remote span ids are remapped onto
+the local id sequence and remote roots are re-parented under the local
+RPC span, so the stitched tree renders as one flame.
 """
 
 from __future__ import annotations
@@ -26,10 +35,16 @@ import itertools
 import json
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ObservabilityError
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (the ``X-Trace-Id`` wire shape)."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass
@@ -144,6 +159,45 @@ class _NullHandle:
 _NULL_HANDLE = _NullHandle()
 
 
+class _AdoptHandle:
+    """Context manager that adopts a foreign span id / trace id.
+
+    Pushing an existing span id onto the calling thread's stack makes
+    subsequent spans on this thread nest under it — the glue that keeps
+    a trace connected across executor threads and worker queues.
+    """
+
+    __slots__ = ("_tracer", "_parent_id", "_trace_id", "_pushed", "_previous")
+
+    def __init__(
+        self, tracer: "Tracer", parent_id: int | None, trace_id: str | None
+    ) -> None:
+        self._tracer = tracer
+        self._parent_id = parent_id
+        self._trace_id = trace_id
+        self._pushed = False
+        self._previous: str | None = None
+
+    def __enter__(self) -> "_AdoptHandle":
+        tracer = self._tracer
+        if self._parent_id is not None:
+            tracer._stack().append(self._parent_id)
+            self._pushed = True
+        if self._trace_id is not None:
+            self._previous = getattr(tracer._local, "trace_id", None)
+            tracer._local.trace_id = self._trace_id
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        tracer = self._tracer
+        if self._trace_id is not None:
+            tracer._local.trace_id = self._previous
+        if self._pushed:
+            stack = tracer._stack()
+            if stack and stack[-1] == self._parent_id:
+                stack.pop()
+
+
 class Tracer:
     """Collects spans from any thread; monotonic clock; JSONL output."""
 
@@ -200,6 +254,95 @@ class Tracer:
         self._record(span)
         return span
 
+    def now(self) -> float:
+        """Seconds since this tracer's epoch, on its monotonic clock."""
+        return self._clock() - self._epoch
+
+    def new_span_id(self) -> int:
+        """Reserve a span id without opening a span.
+
+        Callers that must hand out a parent id *before* the span's
+        timings are known (the gateway wraps async work it only times
+        at completion) reserve the id up front and record the span
+        later via :meth:`add_span_at`.
+        """
+        return next(self._ids)
+
+    def current_span_id(self) -> int | None:
+        """The calling thread's innermost open (or adopted) span id."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str | None:
+        """The trace id adopted on the calling thread, if any."""
+        return getattr(self._local, "trace_id", None)
+
+    def adopt(self, parent_id: int | None, trace_id: str | None = None):
+        """Continue an existing span/trace on the calling thread.
+
+        Context manager: while active, spans opened on this thread nest
+        under ``parent_id`` and :meth:`current_trace_id` reports
+        ``trace_id``. Either may be ``None`` to adopt only the other.
+        """
+        return _AdoptHandle(self, parent_id, trace_id)
+
+    def add_span_at(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent_id: int | None = None,
+        span_id: int | None = None,
+        **attributes,
+    ) -> Span:
+        """Record a finished span from epoch-relative timestamps.
+
+        Unlike :meth:`add_span`, ``start`` is already relative to this
+        tracer's epoch (pair with :meth:`now`), and the parent is
+        explicit rather than read from the thread's stack — the shape
+        cross-thread and cross-process stitching needs.
+        """
+        span = Span(
+            span_id=next(self._ids) if span_id is None else span_id,
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            duration=duration,
+            thread=threading.current_thread().name,
+            attributes=attributes,
+        )
+        self._record(span)
+        return span
+
+    def attach_remote_spans(
+        self, spans: list[Span], parent_id: int | None, base_start: float
+    ) -> int:
+        """Graft spans recorded by a remote tracer into this trace.
+
+        Remote span ids are remapped onto this tracer's id sequence (two
+        shards both numbering from 1 must not collide), remote roots are
+        re-parented under ``parent_id`` (normally the local RPC span),
+        and starts shift by ``base_start`` — the remote epoch (request
+        arrival) expressed on this tracer's clock. Returns the number of
+        spans attached.
+        """
+        if not spans:
+            return 0
+        mapping = {sp.span_id: next(self._ids) for sp in spans}
+        for sp in spans:
+            self._record(
+                Span(
+                    span_id=mapping[sp.span_id],
+                    parent_id=mapping.get(sp.parent_id, parent_id),
+                    name=sp.name,
+                    start=base_start + sp.start,
+                    duration=sp.duration,
+                    thread=sp.thread,
+                    attributes=dict(sp.attributes),
+                )
+            )
+        return len(spans)
+
     def spans(self) -> list[Span]:
         """Finished spans, in completion order."""
         with self._lock:
@@ -234,6 +377,34 @@ class NullTracer:
     def add_span(self, *_args, **_kwargs) -> None:
         """Ignore bridged spans."""
         return None
+
+    def now(self) -> float:
+        """No clock while disabled."""
+        return 0.0
+
+    def new_span_id(self) -> int:
+        """No ids while disabled."""
+        return 0
+
+    def current_span_id(self) -> None:
+        """No open spans while disabled."""
+        return None
+
+    def current_trace_id(self) -> None:
+        """No trace context while disabled."""
+        return None
+
+    def adopt(self, _parent_id=None, _trace_id=None) -> _NullHandle:
+        """A shared no-op context (nothing to adopt)."""
+        return _NULL_HANDLE
+
+    def add_span_at(self, *_args, **_kwargs) -> None:
+        """Ignore explicit spans."""
+        return None
+
+    def attach_remote_spans(self, *_args, **_kwargs) -> int:
+        """Ignore remote spans."""
+        return 0
 
     def spans(self) -> list[Span]:
         """Always empty."""
@@ -273,6 +444,11 @@ def install_tracer(tracer: Tracer | NullTracer | None):
 def span(name: str, **attributes):
     """Open a span on the active tracer (no-op while tracing is off)."""
     return _active.span(name, **attributes)
+
+
+def current_trace_id() -> str | None:
+    """The trace id adopted on the calling thread (None while off)."""
+    return _active.current_trace_id()
 
 
 def load_trace(path: str | Path) -> list[Span]:

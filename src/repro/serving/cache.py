@@ -151,6 +151,16 @@ class ResultCache:
             self._hits += 1
             return value
 
+    def peek(self, key: CacheKey) -> Any | None:
+        """The cached value without touching LRU order or hit/miss stats.
+
+        The explain surface uses this to report whether a query *would*
+        have hit the cache; an observation must not perturb the state it
+        reports on.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: CacheKey, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail if full."""
         with self._lock:

@@ -34,7 +34,8 @@ from repro.database.access import User
 from repro.database.catalog import VideoDatabase
 from repro.database.events_query import event_concept
 from repro.errors import OverloadedError, ReproError, ServingError
-from repro.obs.trace import span as obs_span
+from repro.obs.slowlog import SlowQuery, get_slow_log
+from repro.obs.trace import active_tracer, current_trace_id, span as obs_span
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.faults import fault_point
 from repro.resilience.watchdog import Watchdog
@@ -111,6 +112,14 @@ class QueryRequest:
     ``nprobe`` / ``rerank_k`` (``shot`` kind only) opt this query into
     the approximate leaf tier; unset, the server's configured defaults
     apply, and with neither the scan stays exact.
+
+    ``explain`` asks for per-phase timings and execution metadata on
+    the result.  An explain query computes the same answer (the result
+    fields are bit-identical) but bypasses the result cache in both
+    directions — it is never served from cache and never written to it
+    — so the reported timings describe a real execution.  ``explain``
+    is deliberately *not* part of the cache identity
+    (:func:`~repro.serving.cache.request_digest` ignores it).
     """
 
     kind: str
@@ -122,6 +131,7 @@ class QueryRequest:
     timeout: float | None = None
     nprobe: int | None = None
     rerank_k: int | None = None
+    explain: bool = False
 
 
 @dataclass(frozen=True)
@@ -152,6 +162,12 @@ class ServingResult:
     ``approx_comparisons`` counts quantized-code (uint8) evaluations the
     ANN tier performed and ``reranked`` the candidates its exact tail
     scored; both stay 0 on exact queries.
+
+    ``explain`` is populated only on ``explain=True`` requests: a plain
+    dict of per-phase timings, comparison counts, cache disposition and
+    breaker states.  It is metadata *about* the execution — the other
+    fields are bit-identical to what the same request would return
+    without explain.
     """
 
     kind: str
@@ -164,6 +180,7 @@ class ServingResult:
     shards_missing: tuple[int, ...] = ()
     approx_comparisons: int = 0
     reranked: int = 0
+    explain: dict | None = None
 
 
 _SENTINEL = object()
@@ -204,6 +221,7 @@ class QueryServer:
         )
         self._watchdog: Watchdog | None = None
         self._worker_serial = 0
+        self._slow_log = get_slow_log()
         self._manager.subscribe(self._on_snapshot)
 
     # ------------------------------------------------------------------
@@ -378,8 +396,15 @@ class QueryServer:
         )
         deadline = None if timeout is None else time.perf_counter() + timeout
         future: Future[ServingResult] = Future()
+        # Trace context is captured on the *submitting* thread: the
+        # worker that dequeues this request adopts the span/trace ids so
+        # the serve.query span nests under the caller (e.g. the HTTP
+        # gateway's request span) despite crossing the queue.
+        tracer = active_tracer()
+        trace_parent = tracer.current_span_id()
+        trace_id = tracer.current_trace_id()
         try:
-            self._queue.put_nowait((request, future, deadline))
+            self._queue.put_nowait((request, future, deadline, trace_parent, trace_id))
         except queue.Full:
             self._metrics.record_rejection()
             raise OverloadedError(
@@ -467,7 +492,7 @@ class QueryServer:
                 ).inc()
                 self._metrics.record_error()
                 try:
-                    _request, future, _deadline = item
+                    future = item[1]
                     self._fail(future, ServingError(f"worker failed: {exc}"))
                 except Exception:  # malformed item; nothing to answer
                     pass
@@ -481,7 +506,7 @@ class QueryServer:
             pass
 
     def _process(self, item) -> None:
-        request, future, deadline = item
+        request, future, deadline, trace_parent, trace_id = item
         if not future.set_running_or_notify_cancel():
             return
         if deadline is not None and time.perf_counter() > deadline:
@@ -492,7 +517,8 @@ class QueryServer:
             )
             return
         try:
-            result = self._execute(request)
+            with active_tracer().adopt(trace_parent, trace_id):
+                result = self._execute(request)
         except ReproError as exc:
             self._metrics.record_error()
             self._fail(future, exc)
@@ -538,6 +564,9 @@ class QueryServer:
                 hits=len(result.hits),
                 comparisons=result.comparisons,
             )
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                sp.set(trace_id=trace_id)
             return result
 
     def _cache_get(self, key: CacheKey) -> ServingResult | None:
@@ -587,6 +616,59 @@ class QueryServer:
             ),
         )
 
+    def _record_slow(self, result: ServingResult) -> None:
+        self._slow_log.record(
+            SlowQuery(
+                kind=result.kind,
+                elapsed_seconds=result.elapsed_seconds,
+                backend="single",
+                comparisons=result.comparisons,
+                approx_comparisons=result.approx_comparisons,
+                cache_hit=result.cache_hit,
+                degraded=result.degraded,
+                shards_missing=result.shards_missing,
+                trace_id=current_trace_id(),
+            )
+        )
+
+    def _explain_payload(
+        self,
+        request: QueryRequest,
+        key: CacheKey,
+        result: ServingResult,
+        scope_seconds: float,
+        search_seconds: float,
+    ) -> dict:
+        """Execution metadata for one explain query (never cached)."""
+        return {
+            "backend": "single",
+            "kind": request.kind,
+            "generation": result.generation,
+            "phases_ms": {
+                "scope": round(scope_seconds * 1e3, 3),
+                "search": round(search_seconds * 1e3, 3),
+                "total": round(result.elapsed_seconds * 1e3, 3),
+            },
+            "counts": {
+                "comparisons": result.comparisons,
+                "approx_comparisons": result.approx_comparisons,
+                "reranked": result.reranked,
+            },
+            "cache": {
+                "disposition": "bypassed (explain)",
+                "would_hit": self._cache.peek(key) is not None,
+                "entries": len(self._cache),
+                "capacity": self._cache.capacity,
+            },
+            "breakers": {
+                "result-cache": self._cache_breaker.state.value,
+                "snapshot": self._manager.breaker.state.value,
+            },
+            "degraded": result.degraded,
+            "ann": {"nprobe": request.nprobe, "rerank_k": request.rerank_k},
+            "trace_id": current_trace_id(),
+        }
+
     def _execute_unspanned(self, request: QueryRequest) -> ServingResult:
         start = time.perf_counter()
         fault_point("serve.query")
@@ -594,6 +676,7 @@ class QueryServer:
         snapshot = self._manager.current()
         degraded = self._manager.degraded or bool(snapshot.degraded_videos)
         leaves, scope = self._scope(request.user, snapshot)
+        scope_seconds = time.perf_counter() - start
         key = CacheKey(
             kind=request.kind,
             digest=self._request_digest(request),
@@ -601,14 +684,21 @@ class QueryServer:
             scope=scope,
             generation=snapshot.generation,
         )
-        cached = self._cache_get(key)
+        # Explain queries bypass the cache in both directions: the
+        # reported timings must describe a real execution, and a result
+        # carrying explain metadata must never be served to a caller
+        # that did not ask for it.
+        cached = None if request.explain else self._cache_get(key)
         if cached is not None:
             elapsed = time.perf_counter() - start
             self._metrics.record_query(request.kind, elapsed, cache_hit=True)
-            return replace(
+            result = replace(
                 cached, cache_hit=True, elapsed_seconds=elapsed, degraded=degraded
             )
+            self._record_slow(result)
+            return result
 
+        search_start = time.perf_counter()
         hits: tuple
         comparisons = 0
         approx_comparisons = 0
@@ -654,6 +744,7 @@ class QueryServer:
                 )
             )
 
+        search_seconds = time.perf_counter() - search_start
         elapsed = time.perf_counter() - start
         result = ServingResult(
             kind=request.kind,
@@ -666,7 +757,14 @@ class QueryServer:
             approx_comparisons=approx_comparisons,
             reranked=reranked,
         )
-        if not ann_degraded:
+        if request.explain:
+            result = replace(
+                result,
+                explain=self._explain_payload(
+                    request, key, result, scope_seconds, search_seconds
+                ),
+            )
+        elif not ann_degraded:
             # An ANN-degraded answer came from a fallback scan that may
             # heal on the very next query (the loader thunk is retried);
             # caching it would pin the weakened answer for a generation.
@@ -674,6 +772,7 @@ class QueryServer:
         self._metrics.record_query(
             request.kind, elapsed, comparisons=comparisons, cache_hit=False
         )
+        self._record_slow(result)
         return result
 
     # ------------------------------------------------------------------

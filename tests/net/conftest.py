@@ -14,6 +14,7 @@ from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
 from repro.net.protocol import ShardEndpoint
 from repro.net.shard import build_shards
 from repro.net.worker import ShardWorker
+from repro.obs.registry import MetricsRegistry
 from repro.serving.server import QueryServer, ServerConfig
 from repro.storage.lazy import SQLVideoDatabase
 from repro.storage.sqlcatalog import save_database
@@ -53,8 +54,14 @@ class NetHarness:
 
     def __init__(self, net_db, root, num_shards, **config_kwargs):
         self.spec = build_shards(net_db, root, num_shards)
+        # Each in-process worker gets a private registry — subprocess
+        # workers get this isolation for free, and the merged /metrics
+        # tests need per-shard counters to stay distinguishable.
         self.workers = [
-            ShardWorker(self.spec.shard_dir(root, info.shard_id)).start()
+            ShardWorker(
+                self.spec.shard_dir(root, info.shard_id),
+                registry=MetricsRegistry(),
+            ).start()
             for info in self.spec.shards
         ]
         self.endpoints = [

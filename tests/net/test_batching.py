@@ -23,9 +23,9 @@ def record_calls(service):
         originals[shard_id] = endpoint.call
 
         def wrapped(request, deadline=None, _orig=originals[shard_id],
-                    _sid=shard_id):
+                    _sid=shard_id, **kwargs):
             calls.append((_sid, request.get("op"), dict(request)))
-            return _orig(request, deadline)
+            return _orig(request, deadline, **kwargs)
 
         endpoint.call = wrapped
     try:
