@@ -1,6 +1,6 @@
 # ClassMiner reproduction — developer entry points.
 
-.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke storage-smoke net-smoke obs-net-smoke ann-smoke all clean
+.PHONY: install test bench bench-kernels examples report ingest-smoke serve-smoke obs-smoke chaos-smoke storage-smoke net-smoke obs-net-smoke chaos-net-smoke ann-smoke all clean
 
 install:
 	pip install -e .
@@ -34,6 +34,9 @@ net-smoke:
 
 obs-net-smoke:
 	python -m repro.net.obs_smoke
+
+chaos-net-smoke:
+	python -m repro.net.chaos_smoke
 
 ann-smoke:
 	python -m repro.ann.smoke

@@ -384,6 +384,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             stack.callback(backend.close)
         else:
             _require_db_dir(args)
+            cluster = None
             backend = stack.enter_context(_serving_server(args))
         gateway = stack.enter_context(
             HttpGateway(
@@ -393,13 +394,15 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                     default_timeout=args.timeout,
                     access_log=getattr(args, "access_log", False),
                 ),
+                cluster=cluster,
             )
         )
         mode = f"{spec.num_shards} shards" if sharded else "single process"
         print(f"serving on {gateway.url} ({mode})")
         print(
-            "endpoints: POST /query /scene_search; "
-            "GET /skim/{video_id} /health /metrics /debug/slow /workload"
+            "endpoints: POST /query /scene_search"
+            + (" /admin/restart" if sharded else "")
+            + "; GET /skim/{video_id} /health /metrics /debug/slow /workload"
         )
         try:
             while True:
@@ -421,6 +424,27 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             load_database(args.db_dir), Path(args.out), args.num
         )
         print(spec.describe())
+        return 0
+    if args.shard_command == "restart":
+        from repro.net import request_restart
+
+        if args.rolling == (args.shard is not None):
+            raise ReproError(
+                "pick exactly one of --rolling or --shard N"
+            )
+        result = request_restart(
+            args.url,
+            rolling=args.rolling,
+            shard=args.shard,
+            graceful=not args.hard,
+            token=args.token,
+        )
+        for entry in result.get("restarted", []):
+            mode = "graceful" if entry.get("graceful") else "hard"
+            print(
+                f"shard {entry.get('shard')}: {mode} restart "
+                f"in {entry.get('seconds')}s"
+            )
         return 0
     print(load_manifest(Path(args.dir)).describe())
     return 0
@@ -829,6 +853,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_inspect.add_argument("--dir", required=True, help="shard directory")
     shard_inspect.set_defaults(func=_cmd_shard)
+    shard_restart = shard_sub.add_parser(
+        "restart",
+        help="restart shard workers behind a running gateway",
+        description=(
+            "Cycle shard worker processes through the gateway's "
+            "/admin/restart endpoint.  --rolling drains and restarts "
+            "workers one at a time, waiting for each replacement to "
+            "answer pings before moving on, so in-flight and new "
+            "queries keep completing throughout."
+        ),
+    )
+    shard_restart.add_argument(
+        "--url", required=True, help="gateway base URL, e.g. http://host:port"
+    )
+    shard_restart.add_argument(
+        "--rolling",
+        action="store_true",
+        help="restart every shard, one at a time",
+    )
+    shard_restart.add_argument(
+        "--shard", type=int, default=None, help="restart one shard by id"
+    )
+    shard_restart.add_argument(
+        "--hard",
+        action="store_true",
+        help="skip the drain and terminate workers outright",
+    )
+    shard_restart.add_argument(
+        "--token", default=None, help="X-Auth-Token for the gateway"
+    )
+    shard_restart.set_defaults(func=_cmd_shard)
 
     health = sub.add_parser(
         "health",

@@ -18,9 +18,22 @@ fans out by subsystem:
     ├── ``ServingError`` — the concurrent query-serving runtime.
     │   ├── ``OverloadedError`` — bounded admission queue full; shed
     │   │   and retry instead of queueing without bound.
-    │   └── ``CircuitOpenError`` — a circuit breaker is open; the
-    │       protected operation was not attempted (fail fast, retry
-    │       after the breaker's reset timeout).
+    │   ├── ``CircuitOpenError`` — a circuit breaker is open; the
+    │   │   protected operation was not attempted (fail fast, retry
+    │   │   after the breaker's reset timeout).
+    │   ├── ``RpcTransportError`` — a shard RPC failed in transit
+    │   │   (reset, refused connect, truncated frame).  Transient and
+    │   │   retry-safe: every shard op is idempotent.
+    │   │   ├── ``FrameCorruptError`` — a frame failed its CRC32
+    │   │   │   checksum (corruption detected, never decoded).
+    │   │   └── ``WorkerDrainingError`` — the worker is draining and
+    │   │       refused new work; retry lands on its replacement.
+    │   ├── ``DeadlineExpiredError`` — the query's deadline ran out
+    │   │   before (or during) a shard call.  *Not* transient: there
+    │   │   is no budget left to retry with.
+    │   └── ``NoShardAnsweredError`` — a scatter phase got no response
+    │       from any shard; the coordinator re-executes the query once
+    │       before letting it propagate.
     ├── ``FaultInjectedError`` — raised only by an armed
     │   :class:`repro.resilience.FaultPlan`; production code never
     │   raises it, but must contain it like any other failure.
@@ -106,6 +119,54 @@ class CircuitOpenError(ServingError):
     Carries no partial result — the caller should fall back to the last
     good value (the serving layer keeps answering from the previous
     snapshot generation) or retry after the breaker's reset timeout.
+    """
+
+
+class RpcTransportError(ServingError):
+    """A shard RPC failed in transit: reset, refused connect, or a
+    connection that closed mid-frame.
+
+    Transient by contract — every shard op is idempotent (reads,
+    ``reload``, ``drain``), so the coordinator retries these within the
+    query's remaining deadline before charging the shard's breaker.
+    """
+
+
+class FrameCorruptError(RpcTransportError):
+    """A received frame failed its CRC32 checksum.
+
+    The payload is never JSON-decoded: corruption is detected at the
+    framing layer and the connection is torn down so the retry starts
+    on a clean one.
+    """
+
+
+class WorkerDrainingError(RpcTransportError):
+    """The shard worker is draining and refused new work.
+
+    Raised from the typed ``draining`` error response; retrying is safe
+    and lands on the respawned replacement once the cluster cycles it.
+    """
+
+
+class DeadlineExpiredError(ServingError):
+    """The query deadline ran out before (or during) a shard call.
+
+    Deliberately *not* an :class:`RpcTransportError`: with no budget
+    left there is nothing to retry with, so the coordinator fails the
+    shard immediately and the gateway maps it to HTTP 504.
+    """
+
+
+class NoShardAnsweredError(ServingError):
+    """A scatter phase got no response from any shard.
+
+    A multi-phase query can straddle a rolling restart — the first
+    phase answered by a shard that drained before the second phase ran,
+    while the restarted shard is healthy again by then.  The
+    coordinator therefore re-executes the query once (deadline
+    permitting) before letting this propagate; a genuine full outage
+    fails identically on the second pass.
     """
 
 

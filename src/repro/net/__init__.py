@@ -31,9 +31,14 @@ See ``docs/SHARDING.md`` for the wire protocol, the manifest format
 and the exactness argument behind the merge.
 """
 
-from repro.net.cluster import ShardCluster
+from repro.net.cluster import RestartReport, ShardCluster
 from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
-from repro.net.gateway import GatewayConfig, HttpGateway, probe_health
+from repro.net.gateway import (
+    GatewayConfig,
+    HttpGateway,
+    probe_health,
+    request_restart,
+)
 from repro.net.httpload import HttpLoadConfig, HttpLoadReport, run_http_load
 from repro.net.protocol import ShardEndpoint, pack_array, unpack_array
 from repro.net.shard import ShardSpec, build_shards, load_manifest
@@ -45,6 +50,7 @@ __all__ = [
     "HttpGateway",
     "HttpLoadConfig",
     "HttpLoadReport",
+    "RestartReport",
     "ShardCluster",
     "ShardEndpoint",
     "ShardSpec",
@@ -54,6 +60,7 @@ __all__ = [
     "load_manifest",
     "pack_array",
     "probe_health",
+    "request_restart",
     "run_http_load",
     "unpack_array",
 ]

@@ -1,0 +1,373 @@
+"""Network chaos smoke: wire faults, hedging, rolling restart under load.
+
+``make chaos-net-smoke`` drives the sharded serving stack through the
+failure modes ``docs/RELIABILITY.md`` promises it survives:
+
+1. **Wire chaos** — a seeded :class:`~repro.resilience.faults.FaultPlan`
+   injects frame corruption, mid-frame truncation, connection resets and
+   refused connects into live shard RPCs.  Every completed query must be
+   bit-identical to the fault-free answer or honestly degraded
+   (``shards_missing`` set, never served from cache), and the retry
+   counter must show the transport layer actually absorbed faults.
+2. **Hedging** — with ``net.slow_shard`` latency armed and
+   ``hedge_after_ms`` set, backup requests fire against slow shards and
+   answers stay bit-identical (a hedge may only hide latency, never
+   change a result).
+3. **Rolling restart under load** — real subprocess workers are drained
+   and restarted one at a time while closed-loop clients keep querying:
+   zero queries may fail (degraded answers are allowed mid-cycle), the
+   watchdog must not fight the deliberate restarts, and full-strength
+   bit-identical answers must return once the cycle completes.
+
+Everything is seeded and deterministic; any check failure exits 1.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.cluster import ShardCluster
+from repro.net.coordinator import CoordinatorConfig, ShardedQueryService
+from repro.net.shard import build_shards
+from repro.net.worker import ShardWorker
+from repro.net.protocol import ShardEndpoint
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.serving.metrics import ServingMetrics
+from repro.serving.server import QueryRequest, QueryServer, ServerConfig
+from repro.storage.lazy import SQLVideoDatabase
+from repro.storage.sqlcatalog import save_database
+from repro.storage.synthetic import build_synthetic_database
+
+
+def _report(name: str, ok: bool, detail: str) -> bool:
+    print(f"chaos-net-smoke: [{'ok ' if ok else 'FAIL'}] {name} — {detail}")
+    return ok
+
+
+def _keys(result) -> list[tuple]:
+    out = []
+    for hit in result.hits:
+        entry = getattr(hit, "entry", hit)
+        out.append(
+            (
+                entry.video_title,
+                getattr(entry, "shot_id", getattr(entry, "scene_id", None)),
+                getattr(hit, "score", None),
+            )
+        )
+    return out
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> float:
+    for family in registry.families():
+        if family.name == name:
+            return sum(child.value for _, child in family.samples())
+    return 0.0
+
+
+def run_smoke(videos: int = 60, shots: int = 6, seed: int = 0) -> int:
+    """Run the network chaos smoke; returns a process exit code."""
+    started = time.perf_counter()
+    tmp = Path(tempfile.mkdtemp(prefix="chaos_net_smoke_"))
+    ok = True
+    server = single = None
+    workers: list[ShardWorker] = []
+    endpoints: list[ShardEndpoint] = []
+    services: list[ShardedQueryService] = []
+    try:
+        database = build_synthetic_database(
+            videos=videos, shots_per_video=shots, scenes_per_video=3, seed=seed
+        )
+        save_database(database, tmp / "single")
+        spec = build_shards(database, tmp / "shards", 2)
+        single = SQLVideoDatabase.open(tmp / "single")
+        server = QueryServer(
+            database=single, config=ServerConfig(workers=2)
+        ).start()
+
+        rng = np.random.default_rng(seed + 1)
+        entries = single.flat_index.entries
+        shape = entries[0].features.shape
+        probes = [
+            entries[int(rng.integers(0, len(entries)))].features
+            + rng.normal(0.0, 0.01, shape)
+            for _ in range(10)
+        ] + [rng.random(shape) for _ in range(2)]
+        expected = {}
+        for p, probe in enumerate(probes):
+            for kind in ("shot", "shot_flat", "scene"):
+                result = server.query(
+                    QueryRequest(kind=kind, features=probe, k=10)
+                )
+                expected[(p, kind)] = (_keys(result), result.comparisons)
+
+        # -- phase 1: wire chaos against in-process workers ------------
+        workers = [
+            ShardWorker(
+                spec.shard_dir(tmp / "shards", info.shard_id),
+                registry=MetricsRegistry(),
+            ).start()
+            for info in spec.shards
+        ]
+        endpoints = [
+            ShardEndpoint(info.shard_id, "127.0.0.1", worker.port)
+            for info, worker in zip(spec.shards, workers)
+        ]
+        registry = MetricsRegistry()
+        service = ShardedQueryService(
+            spec,
+            endpoints,
+            config=CoordinatorConfig(
+                rpc_retries=3, breaker_threshold=5, breaker_reset=0.3
+            ),
+            metrics=ServingMetrics(registry=registry),
+        )
+        services.append(service)
+
+        plan = FaultPlan(
+            [
+                FaultSpec("net.frame_corrupt", kind="corruption", probability=0.05),
+                FaultSpec("net.frame_truncated", probability=0.03),
+                FaultSpec("net.conn_reset", probability=0.03),
+                FaultSpec("net.connect_refused", probability=0.02),
+            ],
+            seed=seed + 2,
+        )
+        exact = degraded = cached_degraded = diverged = 0
+        degraded_probes = []
+        with inject(plan):
+            for p, probe in enumerate(probes):
+                for kind in ("shot", "shot_flat", "scene"):
+                    result = service.query(
+                        QueryRequest(kind=kind, features=probe, k=10)
+                    )
+                    if result.shards_missing:
+                        degraded += 1
+                        degraded_probes.append((p, kind))
+                        if result.cache_hit:
+                            cached_degraded += 1
+                    elif (
+                        _keys(result),
+                        result.comparisons,
+                    ) == expected[(p, kind)]:
+                        exact += 1
+                    else:
+                        diverged += 1
+        retries = _counter_total(registry, "net_rpc_retries_total")
+        injected = plan.fired()
+        ok &= _report(
+            "wire chaos",
+            diverged == 0 and cached_degraded == 0 and retries > 0,
+            f"{injected} faults fired, {retries:.0f} rpc retries; "
+            f"{exact} bit-identical, {degraded} honestly degraded, "
+            f"{diverged} diverged, {cached_degraded} cached-degraded",
+        )
+
+        # Faults off again: every answer that degraded must come back
+        # full strength, proving no degraded result was cached.
+        time.sleep(0.4)  # let any opened breaker reach half-open
+        healed = True
+        recheck = degraded_probes or [(0, "shot")]
+        deadline = time.perf_counter() + 10.0
+        for p, kind in recheck:
+            while time.perf_counter() < deadline:
+                result = service.query(
+                    QueryRequest(kind=kind, features=probes[p], k=10)
+                )
+                if not result.shards_missing and (
+                    _keys(result),
+                    result.comparisons,
+                ) == expected[(p, kind)]:
+                    break
+                time.sleep(0.1)
+            else:
+                healed = False
+        ok &= _report(
+            "recovery after disarm",
+            healed,
+            f"{len(recheck)} degraded queries re-answered bit-identically",
+        )
+
+        # -- phase 2: hedging hides slow shards ------------------------
+        hedge_registry = MetricsRegistry()
+        hedged_service = ShardedQueryService(
+            spec,
+            endpoints,
+            config=CoordinatorConfig(
+                rpc_retries=2, hedge_after_ms=30.0, breaker_threshold=5
+            ),
+            metrics=ServingMetrics(registry=hedge_registry),
+        )
+        services.append(hedged_service)
+        slow_plan = FaultPlan(
+            [
+                FaultSpec(
+                    "net.slow_shard",
+                    kind="latency",
+                    delay=0.25,
+                    probability=0.5,
+                )
+            ],
+            seed=seed + 3,
+        )
+        hedge_exact = hedge_bad = 0
+        with inject(slow_plan):
+            for p, probe in enumerate(probes[:6]):
+                result = hedged_service.query(
+                    QueryRequest(kind="shot", features=probe, k=10)
+                )
+                if not result.shards_missing and (
+                    _keys(result),
+                    result.comparisons,
+                ) == expected[(p, "shot")]:
+                    hedge_exact += 1
+                else:
+                    hedge_bad += 1
+        hedges = _counter_total(hedge_registry, "net_rpc_hedges_total")
+        ok &= _report(
+            "hedged slow shards",
+            hedge_bad == 0 and hedges > 0,
+            f"{slow_plan.fired():.0f} latency faults, {hedges:.0f} hedges "
+            f"launched, {hedge_exact} bit-identical answers",
+        )
+
+        for service in services:
+            service.close()
+        services.clear()
+        for endpoint in endpoints:
+            endpoint.close()
+        endpoints = []
+        for worker in workers:
+            worker.stop()
+        workers = []
+
+        # -- phase 3: rolling restart under closed-loop load -----------
+        with ShardCluster(
+            tmp / "shards", spec=spec, watchdog_interval=0.2
+        ) as cluster:
+            load_registry = MetricsRegistry()
+            load_service = ShardedQueryService(
+                spec,
+                cluster.endpoints,
+                config=CoordinatorConfig(
+                    rpc_retries=3, breaker_threshold=3, breaker_reset=0.25
+                ),
+                metrics=ServingMetrics(registry=load_registry),
+            )
+            services.append(load_service)
+            stop = threading.Event()
+            failures: list[str] = []
+            counts = {"total": 0, "degraded": 0, "cached_degraded": 0}
+            lock = threading.Lock()
+
+            def _client(worker_seed: int) -> None:
+                client_rng = np.random.default_rng(worker_seed)
+                while not stop.is_set():
+                    probe = np.abs(client_rng.normal(0.0, 1.0, shape))
+                    try:
+                        result = load_service.query(
+                            QueryRequest(kind="shot", features=probe, k=10)
+                        )
+                    except Exception as exc:  # any raise is a failed query
+                        with lock:
+                            failures.append(f"{type(exc).__name__}: {exc}")
+                        continue
+                    with lock:
+                        counts["total"] += 1
+                        if result.shards_missing:
+                            counts["degraded"] += 1
+                            if result.cache_hit:
+                                counts["cached_degraded"] += 1
+
+            clients = [
+                threading.Thread(target=_client, args=(seed + 10 + i,))
+                for i in range(4)
+            ]
+            for thread in clients:
+                thread.start()
+            time.sleep(0.5)  # steady-state traffic before the cycle
+            # Generous drain budget: under 4 client threads of closed-loop
+            # load (and slow CI machines) a drain ack can take seconds;
+            # an expired budget falls back to a hard kill, which this
+            # phase asserts never happens.
+            reports = cluster.restart_rolling(drain_timeout=20.0)
+            time.sleep(0.5)  # and after it
+            stop.set()
+            for thread in clients:
+                thread.join(timeout=10.0)
+
+            rolled = all(r.graceful for r in reports)
+            ok &= _report(
+                "rolling restart under load",
+                not failures
+                and counts["total"] > 0
+                and counts["cached_degraded"] == 0
+                and rolled
+                and cluster.respawns == 0,
+                f"{len(reports)} workers cycled "
+                f"({'all graceful' if rolled else 'NOT all graceful'}), "
+                f"{counts['total']} queries completed, "
+                f"{counts['degraded']} degraded "
+                f"({counts['cached_degraded']} from cache), "
+                f"{len(failures)} failed, "
+                f"{cluster.respawns} watchdog respawns",
+            )
+            if failures:
+                for line in failures[:5]:
+                    print(f"chaos-net-smoke:   failed query: {line}")
+
+            # Full strength, bit for bit, once the cycle is done.
+            healed = False
+            deadline = time.perf_counter() + 15.0
+            while time.perf_counter() < deadline:
+                result = load_service.query(
+                    QueryRequest(kind="shot", features=probes[0], k=10)
+                )
+                if not result.shards_missing and (
+                    _keys(result),
+                    result.comparisons,
+                ) == expected[(0, "shot")]:
+                    healed = True
+                    break
+                time.sleep(0.1)
+            ok &= _report(
+                "full strength after cycle",
+                healed,
+                "post-restart answers bit-identical to fault-free",
+            )
+    except Exception as exc:  # smoke must fail loudly, not crash silently
+        ok = _report("unexpected error", False, f"{type(exc).__name__}: {exc}")
+    finally:
+        for service in services:
+            service.close()
+        for endpoint in endpoints:
+            endpoint.close()
+        for worker in workers:
+            worker.stop()
+        if server is not None:
+            server.stop()
+        if single is not None:
+            single.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(
+        f"chaos-net-smoke: {'PASS' if ok else 'FAIL'} "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    return 0 if ok else 1
+
+
+def main() -> int:
+    """Entry point of ``python -m repro.net.chaos_smoke``."""
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

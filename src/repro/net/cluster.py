@@ -13,6 +13,14 @@ fresh port and its endpoint re-pointed with
 :meth:`~repro.net.protocol.ShardEndpoint.reset` — the coordinator keeps
 running throughout and only sees the shard as missing while the
 replacement boots.
+
+:meth:`ShardCluster.restart` is the *deliberate* counterpart: it sends
+the worker a ``drain`` op (finish in-flight work, refuse new, exit 0),
+waits for the clean exit, then spawns the replacement — while a guard
+set keeps the watchdog from double-spawning the shard it sees dying.
+:meth:`restart_rolling` cycles every shard this way one at a time,
+waiting for each replacement to answer ``ping`` before moving on, so a
+coordinator retrying around the one-shard gap serves every query.
 """
 
 from __future__ import annotations
@@ -21,13 +29,32 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ServingError
-from repro.net.protocol import ShardEndpoint
+from repro.net.protocol import RpcClient, ShardEndpoint
 from repro.net.shard import ShardSpec, load_manifest
 from repro.resilience.watchdog import Watchdog
+
+
+@dataclass(frozen=True)
+class RestartReport:
+    """Outcome of one worker restart."""
+
+    shard_id: int
+    graceful: bool
+    seconds: float
+
+    def to_json(self) -> dict:
+        """Wire shape for the gateway's admin endpoint."""
+        return {
+            "shard": self.shard_id,
+            "graceful": self.graceful,
+            "seconds": round(self.seconds, 3),
+        }
 
 
 def _worker_env() -> dict[str, str]:
@@ -69,6 +96,13 @@ class ShardCluster:
         self._watchdog: Watchdog | None = None
         self._running = False
         self._respawns = 0
+        self._respawn_counts: dict[int, int] = {}
+        self._restarts = 0
+        # Spawn decisions (watchdog repair vs deliberate restart)
+        # serialise on this lock; shards in ``_restarting`` are being
+        # cycled on purpose and must not be repaired concurrently.
+        self._lifecycle_lock = threading.Lock()
+        self._restarting: set[int] = set()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -194,18 +228,134 @@ class ShardCluster:
         if not self._running:
             return 0
         repaired = 0
-        for endpoint in self.endpoints:
-            proc = self._procs.get(endpoint.shard_id)
-            if proc is not None and proc.poll() is None:
-                continue
-            try:
-                port = self._spawn(endpoint.shard_id)
-            except ServingError:
-                continue  # booting may fail transiently; retry next tick
-            endpoint.reset(self._host, port)
-            repaired += 1
-            self._respawns += 1
+        with self._lifecycle_lock:
+            for endpoint in self.endpoints:
+                if endpoint.shard_id in self._restarting:
+                    continue  # a deliberate restart owns this shard
+                proc = self._procs.get(endpoint.shard_id)
+                if proc is not None and proc.poll() is None:
+                    continue
+                try:
+                    port = self._spawn(endpoint.shard_id)
+                except ServingError:
+                    continue  # booting may fail transiently; retry next tick
+                endpoint.reset(self._host, port)
+                repaired += 1
+                self._respawns += 1
+                self._respawn_counts[endpoint.shard_id] = (
+                    self._respawn_counts.get(endpoint.shard_id, 0) + 1
+                )
         return repaired
+
+    # -- graceful restart ----------------------------------------------
+
+    def restart(
+        self,
+        shard_id: int,
+        graceful: bool = True,
+        drain_timeout: float = 10.0,
+    ) -> RestartReport:
+        """Cycle one worker: drain (or terminate), wait, respawn.
+
+        ``graceful`` sends the ``drain`` wire op so the worker finishes
+        in-flight requests and exits 0; a worker that cannot be reached
+        (already dead/hung) falls back to terminate/kill.  The watchdog
+        is fenced off the shard for the duration, so exactly one
+        replacement is spawned.
+        """
+        started = time.perf_counter()
+        endpoint = next(
+            (ep for ep in self.endpoints if ep.shard_id == shard_id), None
+        )
+        if not self._running or endpoint is None:
+            raise ServingError(f"no running worker for shard {shard_id}")
+        with self._lifecycle_lock:
+            if shard_id in self._restarting:
+                raise ServingError(f"shard {shard_id} is already restarting")
+            self._restarting.add(shard_id)
+        try:
+            proc = self._procs.get(shard_id)
+            drained = False
+            if proc is not None and proc.poll() is None:
+                if graceful:
+                    drained = self._drain_worker(endpoint, drain_timeout)
+                if drained:
+                    try:
+                        proc.wait(timeout=drain_timeout)
+                    except subprocess.TimeoutExpired:
+                        drained = False
+                if not drained:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+            with self._lifecycle_lock:
+                port = self._spawn(shard_id)
+                endpoint.reset(self._host, port)
+                self._restarts += 1
+            return RestartReport(
+                shard_id=shard_id,
+                graceful=drained,
+                seconds=time.perf_counter() - started,
+            )
+        finally:
+            with self._lifecycle_lock:
+                self._restarting.discard(shard_id)
+
+    def _drain_worker(
+        self, endpoint: ShardEndpoint, drain_timeout: float
+    ) -> bool:
+        """Send ``drain`` on a fresh connection; True when accepted."""
+        host, port = endpoint.address
+        client = RpcClient(
+            host, port, default_timeout=min(2.0, drain_timeout)
+        )
+        try:
+            response = client.call({"op": "drain", "grace": drain_timeout})
+            return bool(response.get("draining"))
+        except ServingError:
+            return False  # dead or wedged: the hard path takes over
+        finally:
+            client.close()
+
+    def restart_rolling(
+        self,
+        graceful: bool = True,
+        drain_timeout: float = 10.0,
+        ready_timeout: float = 30.0,
+    ) -> list[RestartReport]:
+        """Restart every worker one at a time (ascending shard id).
+
+        Each replacement must answer ``ping`` before the next shard is
+        touched, so at most one shard is ever down and a retrying
+        coordinator serves every query throughout.
+        """
+        reports = []
+        for endpoint in sorted(self.endpoints, key=lambda ep: ep.shard_id):
+            report = self.restart(
+                endpoint.shard_id,
+                graceful=graceful,
+                drain_timeout=drain_timeout,
+            )
+            self._await_ping(endpoint, ready_timeout)
+            reports.append(report)
+        return reports
+
+    def _await_ping(self, endpoint: ShardEndpoint, timeout: float) -> None:
+        deadline = time.perf_counter() + timeout
+        while True:
+            try:
+                endpoint.call({"op": "ping"}, deadline)
+                return
+            except ServingError:
+                if time.perf_counter() >= deadline:
+                    raise ServingError(
+                        f"shard {endpoint.shard_id} replacement did not "
+                        f"answer ping within {timeout}s"
+                    )
+                time.sleep(0.05)
 
     # -- introspection / fault injection -------------------------------
 
@@ -218,6 +368,16 @@ class ShardCluster:
     def respawns(self) -> int:
         """Workers respawned by the watchdog so far."""
         return self._respawns
+
+    @property
+    def restarts(self) -> int:
+        """Deliberate (drain-based) worker restarts so far."""
+        return self._restarts
+
+    def respawn_counts(self) -> dict[int, int]:
+        """Watchdog respawns per shard id (shards never respawned omitted)."""
+        with self._lifecycle_lock:
+            return dict(self._respawn_counts)
 
     @property
     def watchdog(self) -> Watchdog | None:
@@ -249,7 +409,7 @@ class ShardCluster:
         alive = set(self.alive())
         lines = [
             f"shard cluster: {len(alive)}/{self.spec.num_shards} workers "
-            f"alive, {self._respawns} respawns"
+            f"alive, {self._respawns} respawns, {self._restarts} restarts"
         ]
         for endpoint in self.endpoints:
             host, port = endpoint.address

@@ -43,9 +43,16 @@ covers the reachable shards.  Degraded results are never cached.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+    wait as wait_futures,
+)
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -56,7 +63,14 @@ from repro.database.events_query import event_concept, query_event_records
 from repro.database.index import ShotEntry
 from repro.database.query import QueryStats, RankedShot, descend_to_leaves
 from repro.database.scene_search import RankedScene, SceneEntry
-from repro.errors import DatabaseError, OverloadedError, ServingError
+from repro.errors import (
+    DatabaseError,
+    NoShardAnsweredError,
+    OverloadedError,
+    RpcTransportError,
+    ServingError,
+)
+from repro.ingest.executor import RetryPolicy
 from repro.net.protocol import ShardEndpoint, pack_array, unpack_array
 from repro.net.shard import ShardSpec, build_routing_tree
 from repro.obs.slowlog import SlowQuery, get_slow_log
@@ -103,6 +117,21 @@ class CoordinatorConfig:
         scores stay kernel-exact, so ``nprobe`` covering every cell
         with an unbounded re-rank tail reproduces the exact answer
         bit for bit.
+    rpc_retries / rpc_backoff / rpc_max_delay:
+        Retry budget for *transient* shard-call failures
+        (:class:`~repro.errors.RpcTransportError`: reset, refused
+        connect, truncated/corrupt frame, draining worker).  Attempts
+        beyond the first back off with the ingest layer's seeded
+        decorrelated jitter, every sleep bounded by the query's
+        remaining deadline; only an exhausted budget charges the
+        shard's circuit breaker.
+    hedge_after_ms:
+        Opt-in tail-latency hedge: when a shard call is still pending
+        after this many milliseconds, launch one backup request to the
+        same shard and take the first valid answer (both compute the
+        same bytes, so results stay bit-identical to the unhedged
+        path).  ``None`` (the default) disables hedging and skips its
+        executor entirely — the disarmed path is the plain direct call.
     """
 
     queue_depth: int = 64
@@ -113,6 +142,10 @@ class CoordinatorConfig:
     breaker_reset: float = 1.0
     ann_nprobe: int | None = None
     ann_rerank_k: int | None = None
+    rpc_retries: int = 2
+    rpc_backoff: float = 0.02
+    rpc_max_delay: float = 0.25
+    hedge_after_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -123,6 +156,12 @@ class CoordinatorConfig:
             raise ServingError("ann_nprobe must be >= 1 (or None for exact)")
         if self.ann_rerank_k is not None and self.ann_rerank_k < 1:
             raise ServingError("ann_rerank_k must be >= 1 (or None for all)")
+        if self.rpc_retries < 0:
+            raise ServingError("rpc_retries must be >= 0")
+        if self.rpc_backoff <= 0 or self.rpc_max_delay <= 0:
+            raise ServingError("rpc backoff/max delay must be > 0")
+        if self.hedge_after_ms is not None and self.hedge_after_ms < 0:
+            raise ServingError("hedge_after_ms must be >= 0 (or None to disable)")
 
 
 class _ExplainSink:
@@ -221,6 +260,34 @@ class ShardedQueryService:
             max_workers=max(4, 4 * len(endpoints)),
             thread_name_prefix="scatter",
         )
+        self._retry_policy = RetryPolicy(
+            retries=self.config.rpc_retries,
+            backoff=self.config.rpc_backoff,
+            max_delay=self.config.rpc_max_delay,
+        )
+        # One seeded stream for the decorrelated jitter: replayable in
+        # chaos runs, and never the process-global random state.
+        self._retry_rng = random.Random(0x5EED)
+        self._rpc_retries_total = self._metrics.registry.counter(
+            "net_rpc_retries_total",
+            "Transient shard-call failures retried, by op.",
+            labelnames=("op",),
+        )
+        self._rpc_hedges_total = self._metrics.registry.counter(
+            "net_rpc_hedges_total",
+            "Backup shard calls launched against slow primaries, by op.",
+            labelnames=("op",),
+        )
+        # The hedge pool exists only when hedging is armed, so the
+        # default path stays a plain direct call (no future, no queue).
+        self._hedge_pool = (
+            ThreadPoolExecutor(
+                max_workers=max(4, 2 * len(endpoints)),
+                thread_name_prefix="hedge",
+            )
+            if self.config.hedge_after_ms is not None
+            else None
+        )
         self._admission = threading.BoundedSemaphore(self.config.queue_depth)
         self._generation = 1
         self._scope_lock = threading.Lock()
@@ -242,6 +309,8 @@ class ShardedQueryService:
         """Shut the scatter pool down (endpoints are the caller's)."""
         self._closed = True
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "ShardedQueryService":
         return self
@@ -293,7 +362,14 @@ class ShardedQueryService:
         trace_id: str | None,
         sink: _ExplainSink | None,
     ) -> dict:
-        """One shard RPC on a scatter thread: trace + time + stitch.
+        """One shard RPC on a scatter thread: retry + trace + stitch.
+
+        Transient failures (:class:`~repro.errors.RpcTransportError`)
+        retry up to ``rpc_retries`` times with seeded decorrelated
+        jitter, every backoff sleep bounded by the query's remaining
+        deadline; each retried attempt records an ``rpc.retry.<op>``
+        span and counts into ``net_rpc_retries_total``.  Only an
+        exhausted budget propagates to the breaker in ``_scatter``.
 
         When a trace is active the frame carries ``trace_id`` /
         ``parent_span``, the round-trip records as ``rpc.<op>`` under
@@ -303,31 +379,62 @@ class ShardedQueryService:
         """
         tracer = active_tracer()
         op = str(request.get("op"))
-        started = time.perf_counter()
-        try:
-            # Trace kwargs ride only on traced calls, so an untraced
-            # scatter exercises the exact historic endpoint.call shape
-            # (and duck-typed call wrappers keep working).
-            if trace_id is not None:
-                response = self._endpoints[shard_id].call(
-                    request,
-                    deadline,
-                    trace_id=trace_id,
-                    parent_span=trace_parent,
+        attempt = 0
+        previous_delay = 0.0
+        while True:
+            started = time.perf_counter()
+            try:
+                response, hedged = self._attempt_call(
+                    shard_id, request, deadline, trace_parent, trace_id, op
                 )
-            else:
-                response = self._endpoints[shard_id].call(request, deadline)
-        except Exception:
-            if sink is not None:
-                sink.shard_ops.append(
-                    {
-                        "shard": shard_id,
-                        "op": op,
-                        "ms": round((time.perf_counter() - started) * 1e3, 3),
-                        "ok": False,
-                    }
+            except RpcTransportError as exc:
+                elapsed = time.perf_counter() - started
+                if sink is not None:
+                    sink.shard_ops.append(
+                        {
+                            "shard": shard_id,
+                            "op": op,
+                            "ms": round(elapsed * 1e3, 3),
+                            "ok": False,
+                        }
+                    )
+                if tracer.enabled:
+                    tracer.add_span_at(
+                        f"rpc.retry.{op}",
+                        tracer.now() - elapsed,
+                        elapsed,
+                        parent_id=trace_parent,
+                        shard=shard_id,
+                        attempt=attempt,
+                        error=str(exc),
+                    )
+                attempt += 1
+                if attempt > self.config.rpc_retries:
+                    raise
+                delay = self._retry_policy.next_delay(
+                    attempt, previous_delay, self._retry_rng
                 )
-            raise
+                if (
+                    deadline is not None
+                    and time.perf_counter() + delay >= deadline
+                ):
+                    raise  # no budget left to retry with
+                self._rpc_retries_total.labels(op=op).inc()
+                time.sleep(delay)
+                previous_delay = delay
+                continue
+            except Exception:
+                if sink is not None:
+                    sink.shard_ops.append(
+                        {
+                            "shard": shard_id,
+                            "op": op,
+                            "ms": round((time.perf_counter() - started) * 1e3, 3),
+                            "ok": False,
+                        }
+                    )
+                raise
+            break
         elapsed = time.perf_counter() - started
         if sink is not None:
             sink.shard_ops.append(
@@ -340,12 +447,17 @@ class ShardedQueryService:
             )
         if tracer.enabled:
             start_rel = tracer.now() - elapsed
+            attrs: dict = {"shard": shard_id}
+            if attempt:
+                attrs["retries"] = attempt
+            if hedged:
+                attrs["hedged"] = True
             rpc_span = tracer.add_span_at(
                 f"rpc.{op}",
                 start_rel,
                 elapsed,
                 parent_id=trace_parent,
-                shard=shard_id,
+                **attrs,
             )
             remote = response.pop("spans", None)
             if remote:
@@ -355,6 +467,79 @@ class ShardedQueryService:
                     start_rel,
                 )
         return response
+
+    def _attempt_call(
+        self,
+        shard_id: int,
+        request: dict,
+        deadline: float | None,
+        trace_parent: int | None,
+        trace_id: str | None,
+        op: str,
+    ) -> tuple[dict, bool]:
+        """One attempt at a shard, hedged when configured.
+
+        Returns ``(response, hedged)``.  With hedging disarmed (the
+        default) this is a plain direct call.  Armed, the primary runs
+        on the hedge pool; if it is still pending after
+        ``hedge_after_ms`` one backup request goes to the *same* shard
+        and the first valid answer wins — both compute the same bytes,
+        so the result is bit-identical either way.
+        """
+        endpoint = self._endpoints[shard_id]
+        hedge_after = self.config.hedge_after_ms
+        if hedge_after is None or self._hedge_pool is None:
+            # Disarmed fast path: call directly, no closure, no future —
+            # this is every RPC in the default config, and
+            # bench_net_resilience gates its overhead.  Trace kwargs
+            # ride only on traced calls, so an untraced scatter
+            # exercises the exact historic endpoint.call shape (and
+            # duck-typed call wrappers keep working).
+            if trace_id is not None:
+                return (
+                    endpoint.call(
+                        request,
+                        deadline,
+                        trace_id=trace_id,
+                        parent_span=trace_parent,
+                    ),
+                    False,
+                )
+            return endpoint.call(request, deadline), False
+
+        def once() -> dict:
+            if trace_id is not None:
+                return endpoint.call(
+                    request,
+                    deadline,
+                    trace_id=trace_id,
+                    parent_span=trace_parent,
+                )
+            return endpoint.call(request, deadline)
+
+        primary = self._hedge_pool.submit(once)
+        try:
+            return primary.result(timeout=hedge_after / 1e3), False
+        except FutureTimeout:
+            pass  # primary is slow, not failed: hedge it
+        self._rpc_hedges_total.labels(op=op).inc()
+        backup = self._hedge_pool.submit(once)
+        pending = {primary, backup}
+        failure: BaseException | None = None
+        while pending:
+            done, pending = wait_futures(
+                pending, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                exc = future.exception()
+                if exc is None:
+                    # The loser keeps its pooled connection until its
+                    # own (deadline-bounded) call returns, then releases
+                    # it; nothing waits on its result.
+                    return future.result(), True
+                failure = exc
+        assert failure is not None
+        raise failure
 
     def _scatter(
         self,
@@ -367,40 +552,59 @@ class ShardedQueryService:
         targets = sorted(self._endpoints) if shard_ids is None else shard_ids
         responses: dict[int, dict] = {}
         missing: set[int] = set()
-        futures: dict[int, Future] = {}
         # Trace context is read on the calling thread (the phase span)
         # and handed to the scatter threads explicitly.
         tracer = active_tracer()
         trace_parent = tracer.current_span_id()
         trace_id = tracer.current_trace_id()
+        def _submit(ids: list[int]) -> dict[int, Future]:
+            return {
+                shard_id: self._executor.submit(
+                    self._shard_call,
+                    shard_id,
+                    dict(request),
+                    deadline,
+                    trace_parent,
+                    trace_id,
+                    sink,
+                )
+                for shard_id in ids
+            }
+
+        def _collect(submitted: dict[int, Future]) -> None:
+            for shard_id, future in submitted.items():
+                breaker = self._breakers[shard_id]
+                try:
+                    responses[shard_id] = future.result()
+                except Exception as exc:
+                    breaker.record_failure()
+                    missing.add(shard_id)
+                    self._last_errors[shard_id] = str(exc)
+                    self._metrics.registry.counter(
+                        "net_shard_failures_total",
+                        "Shard calls that failed or were skipped by a breaker.",
+                    ).inc()
+                else:
+                    breaker.record_success()
+                    missing.discard(shard_id)
+
+        skipped: list[int] = []
+        attempted: list[int] = []
         for shard_id in targets:
-            breaker = self._breakers[shard_id]
-            if not breaker.allow():
-                missing.add(shard_id)
-                continue
-            futures[shard_id] = self._executor.submit(
-                self._shard_call,
-                shard_id,
-                dict(request),
-                deadline,
-                trace_parent,
-                trace_id,
-                sink,
-            )
-        for shard_id, future in futures.items():
-            breaker = self._breakers[shard_id]
-            try:
-                responses[shard_id] = future.result()
-            except Exception as exc:
-                breaker.record_failure()
-                missing.add(shard_id)
-                self._last_errors[shard_id] = str(exc)
-                self._metrics.registry.counter(
-                    "net_shard_failures_total",
-                    "Shard calls that failed or were skipped by a breaker.",
-                ).inc()
+            if self._breakers[shard_id].allow():
+                attempted.append(shard_id)
             else:
-                breaker.record_success()
+                missing.add(shard_id)
+                skipped.append(shard_id)
+        _collect(_submit(attempted))
+        if not responses and skipped:
+            # Nothing answered and the rest were breaker-blocked (e.g.
+            # one shard mid-restart while another's breaker sits open
+            # or half-open under concurrent traffic).  Shedding load is
+            # pointless when it fails the query outright, so force one
+            # last-resort attempt per blocked shard: successes close the
+            # breaker, failures land where they would have anyway.
+            _collect(_submit(skipped))
         return responses, missing
 
     def _ensure_records(self, deadline: float | None) -> set[int]:
@@ -583,19 +787,33 @@ class ShardedQueryService:
         approx_comparisons = 0
         reranked = 0
         ann_degraded = False
+
+        def _dispatch():
+            if request.kind == "shot":
+                return self._shot(request, leaves, deadline, explain)
+            if request.kind == "shot_flat":
+                return self._flat(request, deadline, explain)
+            if request.kind == "scene":
+                return self._scene(request, leaves, deadline, explain)
+            return self._event(request, deadline, explain)
+
+        try:
+            outcome = _dispatch()
+        except NoShardAnsweredError:
+            # A multi-phase query can straddle a rolling restart: its
+            # first scatter answered by the shard that drained before
+            # the second scatter ran, while the restarted shard is
+            # healthy again *now*.  One fresh execution observes the
+            # current cluster (endpoints re-pointed at respawned
+            # workers); a genuine full outage fails identically here.
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise
+            outcome = _dispatch()
         if request.kind == "shot":
-            hits, comparisons, missing, ann_stats = self._shot(
-                request, leaves, deadline, explain
-            )
+            hits, comparisons, missing, ann_stats = outcome
             approx_comparisons, reranked, ann_degraded = ann_stats
-        elif request.kind == "shot_flat":
-            hits, comparisons, missing = self._flat(request, deadline, explain)
-        elif request.kind == "scene":
-            hits, comparisons, missing = self._scene(
-                request, leaves, deadline, explain
-            )
-        else:  # event
-            hits, comparisons, missing = self._event(request, deadline, explain)
+        else:
+            hits, comparisons, missing = outcome
 
         degraded_videos = any(
             record.degraded_stages for record in self._records.values()
@@ -691,7 +909,7 @@ class ShardedQueryService:
             f"shard {sid}: {self._last_errors.get(sid, 'breaker open')}"
             for sid in sorted(missing)
         )
-        raise ServingError(f"no shard responded ({detail})")
+        raise NoShardAnsweredError(f"no shard responded ({detail})")
 
     # -- kind executors ------------------------------------------------
 
@@ -1042,13 +1260,17 @@ class ShardedQueryService:
         for shard_id in sorted(self._endpoints):
             endpoint = self._endpoints[shard_id]
             host, port = endpoint.address
+            breaker_state = self._breakers[shard_id].state.value
             if shard_id in responses:
                 generation = responses[shard_id].get("generation")
                 checks.append(
                     HealthCheck(
                         name=f"shard-{shard_id}",
                         ok=True,
-                        detail=f"{host}:{port} generation {generation}",
+                        detail=(
+                            f"{host}:{port} generation {generation}, "
+                            f"breaker {breaker_state}"
+                        ),
                     )
                 )
             else:
@@ -1056,8 +1278,9 @@ class ShardedQueryService:
                     HealthCheck(
                         name=f"shard-{shard_id}",
                         ok=False,
-                        detail=self._last_errors.get(
-                            shard_id, "breaker open"
+                        detail=(
+                            f"breaker {breaker_state}: "
+                            + self._last_errors.get(shard_id, "breaker open")
                         ),
                     )
                 )

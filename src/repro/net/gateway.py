@@ -22,6 +22,9 @@ Endpoints (all JSON):
                                ``shard`` label per family
 ``GET  /debug/slow``           the slow-query log, slowest first
 ``GET  /workload?n=N``         corpus feature vectors for loadgen
+``POST /admin/restart``        drain-based worker restart (``shard``
+                               or ``rolling``); needs an attached
+                               :class:`~repro.net.cluster.ShardCluster`
 =============================  =======================================
 
 Contract details the tests pin down:
@@ -317,8 +320,12 @@ class HttpGateway:
         backend,
         config: GatewayConfig | None = None,
         access_sink=None,
+        cluster=None,
     ) -> None:
         self._backend = _wrap_backend(backend)
+        # The owning ShardCluster, when the caller runs one: enables
+        # POST /admin/restart and per-shard respawn counts in /health.
+        self._cluster = cluster
         self.config = config if config is not None else GatewayConfig()
         # One JSON dict per request when config.access_log is on; the
         # default sink writes one line to stderr, tests inject a list
@@ -642,6 +649,9 @@ class HttpGateway:
             if path in ("/query", "/scene_search"):
                 self._require_method(method, "POST")
                 return await self._ep_query(path, headers, body, ctx)
+            if path == "/admin/restart":
+                self._require_method(method, "POST")
+                return await self._ep_admin_restart(headers, body, ctx)
             raise _HttpError(404, f"no such endpoint: {path}")
         except _HttpError as exc:
             extra = {}
@@ -830,8 +840,75 @@ class HttpGateway:
             {},
         )
 
+    async def _ep_admin_restart(
+        self, headers: dict[str, str], body: bytes, ctx: _RequestContext
+    ) -> tuple[int, dict, dict]:
+        if self._cluster is None:
+            raise _HttpError(404, "no shard cluster attached to this gateway")
+        self._resolve_user(headers)  # admin rides the same token auth
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        rolling = bool(payload.get("rolling", False))
+        shard = payload.get("shard")
+        graceful = bool(payload.get("graceful", True))
+        if not rolling and shard is None:
+            raise _HttpError(400, "pass \"rolling\": true or a \"shard\" id")
+        if rolling and shard is not None:
+            raise _HttpError(400, "rolling and shard are mutually exclusive")
+
+        def work():
+            if rolling:
+                return self._cluster.restart_rolling(graceful=graceful)
+            return [self._cluster.restart(int(shard), graceful=graceful)]
+
+        try:
+            reports = await self._offload(work, ctx=ctx)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid shard id: {exc}") from None
+        except ServingError as exc:
+            raise _HttpError(500, str(exc)) from None
+        return (
+            200,
+            {
+                "restarted": [report.to_json() for report in reports],
+                "rolling": rolling,
+            },
+            {},
+        )
+
+    def _augment_cluster_health(self, report: HealthReport) -> HealthReport:
+        """Append a worker-fleet check (alive count, per-shard respawns)."""
+        alive = set(self._cluster.alive())
+        total = self._cluster.spec.num_shards
+        counts = self._cluster.respawn_counts()
+        respawn_bits = [
+            f"shard {sid}: {counts.get(sid, 0)} respawns"
+            for sid in sorted(ep.shard_id for ep in self._cluster.endpoints)
+        ]
+        ok = len(alive) == total
+        report.checks.append(
+            HealthCheck(
+                name="cluster",
+                ok=ok,
+                detail=(
+                    f"{len(alive)}/{total} workers alive, "
+                    f"{self._cluster.restarts} restarts; "
+                    + ", ".join(respawn_bits)
+                ),
+            )
+        )
+        if not ok:
+            report.degraded = True
+        return report
+
     async def _ep_health(self, ctx: _RequestContext) -> tuple[int, dict, dict]:
         report = await self._offload(self._backend.health, ctx=ctx)
+        if self._cluster is not None:
+            report = self._augment_cluster_health(report)
         status_code = {"ok": 200, "degraded": 207, "down": 503}[report.status]
         return (
             status_code,
@@ -918,3 +995,50 @@ def probe_health(url: str, timeout: float = 5.0) -> HealthReport:
             degraded=True,
             checks=[HealthCheck("http", False, f"malformed health body: {exc}")],
         )
+
+
+def request_restart(
+    url: str,
+    *,
+    rolling: bool = False,
+    shard: int | None = None,
+    graceful: bool = True,
+    token: str | None = None,
+    timeout: float = 120.0,
+) -> dict:
+    """POST ``/admin/restart`` on a running gateway.
+
+    Backs ``classminer shard restart --url``.  A rolling restart waits
+    for each worker to answer pings before the next is cycled, so the
+    default timeout is generous.  Raises
+    :class:`~repro.errors.ServingError` on transport failure or a
+    non-2xx response (with the server's error detail when it sent one).
+    """
+    body: dict = {"graceful": graceful}
+    if rolling:
+        body["rolling"] = True
+    if shard is not None:
+        body["shard"] = int(shard)
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["X-Auth-Token"] = token
+    request = urllib.request.Request(
+        url.rstrip("/") + "/admin/restart",
+        data=json.dumps(body).encode("utf-8"),
+        headers=headers,
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        suffix = f": {detail}" if detail else ""
+        raise ServingError(
+            f"restart request failed with HTTP {exc.code}{suffix}"
+        ) from exc
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise ServingError(f"restart request failed: {exc}") from exc

@@ -1,11 +1,23 @@
-"""Wire protocol: length-prefixed JSON frames + bit-exact array codec.
+"""Wire protocol: checksummed length-prefixed JSON frames + array codec.
 
 Every message between the coordinator and a shard worker is one frame:
-a 4-byte big-endian unsigned length followed by that many bytes of
-UTF-8 JSON.  Feature vectors ride inside the JSON as base64 of their
-raw float64 bytes — JSON numbers would round-trip through ``repr`` and
-are slower to parse, and the merge-exactness guarantee needs the exact
-bits either way.
+an 8-byte header — 4-byte big-endian unsigned length, then the 4-byte
+CRC32 of the payload — followed by that many bytes of UTF-8 JSON.  The
+checksum means corruption on the wire is *detected* at the framing
+layer (:class:`~repro.errors.FrameCorruptError`), never silently
+JSON-decoded into a wrong answer.  Feature vectors ride inside the JSON
+as base64 of their raw float64 bytes — JSON numbers would round-trip
+through ``repr`` and are slower to parse, and the merge-exactness
+guarantee needs the exact bits either way.
+
+Transport failures raise typed errors: a reset/refused/truncated
+connection is :class:`~repro.errors.RpcTransportError` (transient —
+every shard op is idempotent, so the coordinator retries within the
+query deadline), an exhausted deadline is
+:class:`~repro.errors.DeadlineExpiredError` (terminal).  Four seeded
+fault points (``net.connect_refused``, ``net.frame_corrupt``,
+``net.frame_truncated``, ``net.conn_reset``) let chaos plans inject
+each failure on demand; all are free when no plan is armed.
 
 The :class:`RpcClient` keeps one persistent connection and serialises
 calls on it; :class:`ShardEndpoint` pools several clients per shard so
@@ -21,17 +33,26 @@ import socket
 import struct
 import threading
 import time
+import zlib
 
 import numpy as np
 
-from repro.errors import ServingError
-from repro.resilience.faults import fault_point
+from repro.errors import (
+    DeadlineExpiredError,
+    FaultInjectedError,
+    FrameCorruptError,
+    RpcTransportError,
+    ServingError,
+    WorkerDrainingError,
+)
+from repro.resilience.faults import corrupt_payload, fault_point
 
 #: Frames larger than this are refused on both ends (corrupt length
 #: prefixes must not trigger gigabyte allocations).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-_LENGTH = struct.Struct("!I")
+#: Frame header: payload length, then CRC32 of the payload bytes.
+FRAME_HEADER = struct.Struct("!II")
 
 
 def pack_array(array: np.ndarray) -> dict:
@@ -59,20 +80,42 @@ def unpack_array(payload: dict) -> np.ndarray:
 
 
 def send_frame(sock: socket.socket, message: dict) -> None:
-    """Serialise ``message`` and write one length-prefixed frame."""
+    """Serialise ``message`` and write one checksummed frame."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ServingError(f"frame of {len(payload)} bytes exceeds protocol limit")
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    checksum = zlib.crc32(payload)
+    # Corruption is injected *after* the checksum is computed — the
+    # receiver's CRC verification is what must catch it.
+    payload = corrupt_payload("net.frame_corrupt", payload)
+    frame = FRAME_HEADER.pack(len(payload), checksum) + payload
+    try:
+        fault_point("net.frame_truncated")
+    except FaultInjectedError as exc:
+        # A frame that claims the full length but carries half the
+        # payload, then a severed connection: the receiver observes
+        # EOF mid-frame, exactly like a peer that died mid-write.
+        sock.sendall(frame[: FRAME_HEADER.size + len(payload) // 2])
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        raise RpcTransportError(f"injected truncation: {exc}") from exc
+    sock.sendall(frame)
 
 
 def recv_frame(sock: socket.socket) -> dict:
-    """Read one frame; raises :class:`ServingError` on EOF or garbage."""
-    header = _recv_exact(sock, _LENGTH.size)
-    (length,) = _LENGTH.unpack(header)
+    """Read one frame; raises typed errors on EOF, corruption, garbage."""
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    length, checksum = FRAME_HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ServingError(f"frame of {length} bytes exceeds protocol limit")
     payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != checksum:
+        raise FrameCorruptError(
+            f"frame checksum mismatch over {length} bytes "
+            "(corruption detected; dropping connection)"
+        )
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -88,7 +131,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise ServingError("connection closed mid-frame")
+            raise RpcTransportError("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -114,9 +157,15 @@ class RpcClient:
         self._lock = threading.Lock()
 
     def _connect(self) -> socket.socket:
-        sock = socket.create_connection(
-            (self._host, self._port), timeout=self._default_timeout
-        )
+        try:
+            fault_point("net.connect_refused")
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._default_timeout
+            )
+        except (OSError, FaultInjectedError) as exc:
+            raise RpcTransportError(
+                f"connect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
 
@@ -144,8 +193,11 @@ class RpcClient:
         ``parent_span`` stamp distributed-trace context onto the frame:
         a worker that sees them records spans under that parent and
         ships them back as ``spans`` in the response.  Raises
-        :class:`ServingError` on expiry, transport failure, or a
-        worker-side error response (``ok: false``).
+        :class:`~repro.errors.DeadlineExpiredError` on expiry,
+        :class:`~repro.errors.RpcTransportError` on transient transport
+        failure (reset, refused, truncated/corrupt frame — retry-safe),
+        and plain :class:`ServingError` on a worker-side error response
+        (``ok: false``) or a timed-out in-flight call.
         """
         fault_point("net.rpc")
         if trace_id is not None:
@@ -157,7 +209,7 @@ class RpcClient:
         else:
             timeout = deadline - time.perf_counter()
             if timeout <= 0:
-                raise ServingError("deadline expired before shard call")
+                raise DeadlineExpiredError("deadline expired before shard call")
             request = dict(request, deadline_ms=timeout * 1000.0)
         with self._lock:
             try:
@@ -165,17 +217,29 @@ class RpcClient:
                     self._sock = self._connect()
                 self._sock.settimeout(timeout)
                 send_frame(self._sock, request)
+                try:
+                    fault_point("net.conn_reset")
+                except FaultInjectedError as exc:
+                    raise RpcTransportError(
+                        f"connection reset by peer: {exc}"
+                    ) from exc
                 response = recv_frame(self._sock)
             except ServingError:
                 self._drop_locked()
                 raise
+            except TimeoutError as exc:
+                # Not transient: the in-flight call already consumed its
+                # socket budget — hedging, not retrying, covers slowness.
+                self._drop_locked()
+                raise ServingError(f"shard rpc timed out: {exc}") from exc
             except OSError as exc:
                 self._drop_locked()
-                raise ServingError(f"shard rpc failed: {exc}") from exc
+                raise RpcTransportError(f"shard rpc failed: {exc}") from exc
         if not response.get("ok", False):
-            raise ServingError(
-                f"shard error: {response.get('error', 'unknown failure')}"
-            )
+            detail = response.get("error", "unknown failure")
+            if response.get("draining"):
+                raise WorkerDrainingError(f"shard draining: {detail}")
+            raise ServingError(f"shard error: {detail}")
         return response
 
     def _drop_locked(self) -> None:
@@ -242,7 +306,14 @@ class ShardEndpoint:
             else max(deadline - time.perf_counter(), 0.0)
         )
         if not self._available.acquire(timeout=timeout):
-            raise ServingError("no shard connection available before deadline")
+            if deadline is not None:
+                raise DeadlineExpiredError(
+                    "no shard connection available before deadline"
+                )
+            raise ServingError(
+                "shard connection pool exhausted "
+                f"({self._pool_size} connections busy)"
+            )
         with self._lock:
             if self._idle:
                 return self._idle.pop(), self._epoch
@@ -269,7 +340,14 @@ class ShardEndpoint:
         parent_span: int | None = None,
     ) -> dict:
         """Round-trip through a pooled connection (trace context rides
-        the frame — see :meth:`RpcClient.call`)."""
+        the frame — see :meth:`RpcClient.call`).
+
+        An already-expired deadline raises
+        :class:`~repro.errors.DeadlineExpiredError` up front instead of
+        passing a non-positive timeout into the pool/socket layers.
+        """
+        if deadline is not None and deadline - time.perf_counter() <= 0:
+            raise DeadlineExpiredError("deadline expired before shard call")
         client, epoch = self._acquire(deadline)
         try:
             return client.call(

@@ -17,9 +17,17 @@ op          semantics
 ``sample``  evenly spaced feature vectors (loadgen pools)
 ``metrics`` the worker registry's wire dump (cluster-metrics scrape)
 ``reload``  reopen the shard database (new generation on disk)
+``drain``   finish in-flight requests, refuse new ones, exit cleanly
 ``stop``    shut the worker down
 ``die``     ``os._exit`` hard-kill (fault injection only)
 ========== =========================================================
+
+``drain`` is the graceful half of a rolling restart: the worker stops
+accepting connections, keeps answering introspection ops (``ping``,
+``health``, ``metrics``) on existing connections, rejects query work
+with a typed ``draining`` error response (the coordinator retries it
+as transient), waits for in-flight requests to finish, then severs
+connections and — in subprocess mode — exits 0.
 
 A request frame carrying ``trace_id`` gets a private per-request
 :class:`~repro.obs.trace.Tracer` (epoch = request arrival): the worker
@@ -61,6 +69,7 @@ from repro.database.index import (
     leaf_signature,
 )
 from repro.errors import DatabaseError, ReproError
+from repro.resilience.faults import fault_point
 from repro.net.protocol import (
     pack_array,
     recv_frame,
@@ -140,6 +149,12 @@ class ShardWorker:
         self._state_lock = threading.Lock()
         self._connections: set = set()
         self._connections_lock = threading.Lock()
+        self._draining = False
+        self._drained = threading.Event()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._inflight_idle = threading.Condition(self._inflight_lock)
+        self._db_closed = False
         worker = self
 
         class _Handler(socketserver.BaseRequestHandler):
@@ -157,8 +172,10 @@ class ShardWorker:
                 while True:
                     try:
                         request = recv_frame(self.request)
-                    except ReproError:
+                    except (ReproError, OSError):
                         return  # connection closed or garbage: drop it
+                    with worker._inflight_lock:
+                        worker._inflight += 1
                     try:
                         response = worker._dispatch(request)
                     except ReproError as exc:
@@ -168,6 +185,10 @@ class ShardWorker:
                             "ok": False,
                             "error": f"{type(exc).__name__}: {exc}",
                         }
+                    finally:
+                        with worker._inflight_lock:
+                            worker._inflight -= 1
+                            worker._inflight_idle.notify_all()
                     try:
                         send_frame(self.request, response)
                     except (ReproError, OSError):
@@ -214,6 +235,13 @@ class ShardWorker:
         """Stop accepting connections and close the database."""
         self._server.shutdown()
         self._server.server_close()
+        self._sever_connections()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._close_database()
+
+    def _sever_connections(self) -> None:
         # Sever live coordinator connections too: a SIGKILLed subprocess
         # drops them implicitly, and the in-process mode must look the
         # same to pooled clients (handler threads would otherwise keep
@@ -225,18 +253,60 @@ class ShardWorker:
                 conn.shutdown(2)  # socket.SHUT_RDWR
             except OSError:
                 pass
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+
+    def _close_database(self) -> None:
+        with self._state_lock:
+            if self._db_closed:
+                return
+            self._db_closed = True
         self._state.database.close()
+
+    # -- graceful drain ------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once a ``drain`` op was accepted."""
+        return self._draining
+
+    def join_drained(self, timeout: float | None = None) -> bool:
+        """Wait for a started drain to complete (in-process mode)."""
+        return self._drained.wait(timeout)
+
+    def _finish_drain(self, grace: float) -> None:
+        """Background half of ``drain``: quiesce, then tear down."""
+        self._server.shutdown()  # no new connections
+        deadline = time.perf_counter() + grace
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break  # grace exhausted: sever what is left
+                self._inflight_idle.wait(timeout=min(remaining, 0.1))
+        self._server.server_close()
+        self._sever_connections()
+        self._close_database()
+        self._drained.set()
 
     # -- dispatch ------------------------------------------------------
 
+    #: Ops still answered on live connections while draining — pure
+    #: introspection plus the (idempotent) drain itself.
+    _DRAIN_SAFE_OPS = frozenset({"ping", "health", "metrics", "drain", "stop"})
+
     def _dispatch(self, request: dict) -> dict:
+        fault_point("net.slow_shard")  # latency faults: a slow worker
         op = request.get("op")
         deadline_ms = request.get("deadline_ms")
         if deadline_ms is not None and float(deadline_ms) <= 0:
             return {"ok": False, "error": "deadline expired on arrival"}
+        if self._draining and op not in self._DRAIN_SAFE_OPS:
+            # Typed refusal: the coordinator maps it to a transient
+            # WorkerDrainingError and retries toward the replacement.
+            return {
+                "ok": False,
+                "draining": True,
+                "error": f"worker draining; refusing op {op!r}",
+            }
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
@@ -517,6 +587,19 @@ class ShardWorker:
         del previous
         return {"ok": True, "generation": self._generation}
 
+    def _op_drain(self, request: dict, tracer=NULL_TRACER) -> dict:
+        grace = float(request.get("grace", 10.0))
+        already = self._draining
+        self._draining = True
+        if not already:
+            threading.Thread(
+                target=self._finish_drain,
+                args=(grace,),
+                name=f"shard-drain-{self.shard_id}",
+                daemon=True,
+            ).start()
+        return {"ok": True, "draining": True, "generation": self._generation}
+
     def _op_stop(self, request: dict, tracer=NULL_TRACER) -> dict:
         threading.Thread(target=self._server.shutdown, daemon=True).start()
         return {"ok": True}
@@ -587,6 +670,11 @@ def main(argv: list[str] | None = None) -> int:
         worker.serve_forever()
     except KeyboardInterrupt:
         pass
+    # serve_forever returns when a ``drain`` (or ``stop``) op shut the
+    # server down; let any drain finish quiescing, then exit cleanly.
+    if worker.draining:
+        worker.join_drained(timeout=15.0)
+    worker._close_database()
     return 0
 
 

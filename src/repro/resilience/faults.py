@@ -65,6 +65,11 @@ KNOWN_FAULT_POINTS = (
     "storage.mmap_truncated",
     "storage.ann_block_missing",
     "net.rpc",
+    "net.connect_refused",
+    "net.frame_corrupt",
+    "net.frame_truncated",
+    "net.slow_shard",
+    "net.conn_reset",
 )
 
 

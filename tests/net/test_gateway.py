@@ -246,3 +246,110 @@ class TestSaturation:
         finally:
             backend.release.set()
             gateway.stop()
+
+
+class _FakeEndpoint:
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+
+
+class _FakeSpec:
+    num_shards = 2
+
+
+class _FakeCluster:
+    """Duck-typed stand-in recording restart calls (no subprocesses)."""
+
+    def __init__(self):
+        from repro.net.cluster import RestartReport
+
+        self.spec = _FakeSpec()
+        self.endpoints = [_FakeEndpoint(0), _FakeEndpoint(1)]
+        self.restarts = 0
+        self.calls = []
+        self._report = RestartReport
+
+    def alive(self):
+        return [0, 1]
+
+    def respawn_counts(self):
+        return {0: 0, 1: 3}
+
+    def restart(self, shard_id, graceful=True, drain_timeout=10.0):
+        self.calls.append(("restart", shard_id, graceful))
+        self.restarts += 1
+        return self._report(shard_id=shard_id, graceful=graceful, seconds=0.1)
+
+    def restart_rolling(self, graceful=True, drain_timeout=10.0):
+        self.calls.append(("rolling", graceful))
+        self.restarts += self.spec.num_shards
+        return [
+            self._report(shard_id=sid, graceful=graceful, seconds=0.1)
+            for sid in (0, 1)
+        ]
+
+
+class TestAdminRestart:
+    def test_restart_is_404_without_a_cluster(self, gw):
+        status, body, _ = request(
+            f"{gw.url}/admin/restart", "POST", b"{}",
+            {"Content-Type": "application/json"},
+        )
+        assert status == 404
+        assert "no shard cluster" in body["error"]
+
+    @pytest.fixture()
+    def clustered(self, reference):
+        cluster = _FakeCluster()
+        gateway = HttpGateway(
+            reference, GatewayConfig(), cluster=cluster
+        ).start()
+        yield gateway, cluster
+        gateway.stop()
+
+    def test_single_shard_restart(self, clustered):
+        gateway, cluster = clustered
+        from repro.net.gateway import request_restart
+
+        result = request_restart(gateway.url, shard=1, graceful=True)
+        assert result["rolling"] is False
+        assert result["restarted"] == [
+            {"shard": 1, "graceful": True, "seconds": 0.1}
+        ]
+        assert cluster.calls == [("restart", 1, True)]
+
+    def test_rolling_restart(self, clustered):
+        gateway, cluster = clustered
+        from repro.net.gateway import request_restart
+
+        result = request_restart(gateway.url, rolling=True, graceful=False)
+        assert result["rolling"] is True
+        assert [r["shard"] for r in result["restarted"]] == [0, 1]
+        assert cluster.calls == [("rolling", False)]
+
+    def test_rolling_and_shard_are_mutually_exclusive(self, clustered):
+        gateway, _ = clustered
+        status, body, _ = request(
+            f"{gateway.url}/admin/restart", "POST",
+            json.dumps({"rolling": True, "shard": 0}).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "mutually exclusive" in body["error"]
+
+    def test_neither_rolling_nor_shard_is_400(self, clustered):
+        gateway, _ = clustered
+        from repro.errors import ServingError
+        from repro.net.gateway import request_restart
+
+        with pytest.raises(ServingError, match="HTTP 400"):
+            request_restart(gateway.url)
+
+    def test_health_reports_cluster_fleet(self, clustered):
+        gateway, _ = clustered
+        status, body, _ = request(f"{gateway.url}/health")
+        assert status == 200
+        checks = {c["name"]: c for c in body["checks"]}
+        assert checks["cluster"]["ok"] is True
+        assert "2/2 workers alive" in checks["cluster"]["detail"]
+        assert "shard 1: 3 respawns" in checks["cluster"]["detail"]

@@ -1,0 +1,153 @@
+"""Wire faults against live shard RPCs: retries, hedging, degradation.
+
+Each test arms a seeded :class:`~repro.resilience.faults.FaultPlan` at
+the ``net.*`` fault points and checks the coordinator's contract: a
+transient fault is absorbed by the retry loop (answers bit-identical to
+the single-process reference, retry counter charged), an exhausted
+budget degrades honestly (``shards_missing`` set, never cached), and a
+full outage raises the typed :class:`NoShardAnsweredError` — after one
+fresh query-level re-execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoShardAnsweredError, ServingError
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.serving.server import QueryRequest
+from tests.net.test_equivalence import keys
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> float:
+    for family in registry.families():
+        if family.name == name:
+            return sum(child.value for _, child in family.samples())
+    return 0.0
+
+
+def _retries(service) -> float:
+    return _counter_total(service._metrics.registry, "net_rpc_retries_total")
+
+
+def _hedges(service) -> float:
+    return _counter_total(service._metrics.registry, "net_rpc_hedges_total")
+
+
+class TestTransientFaultsAreAbsorbed:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(
+                "net.frame_corrupt", kind="corruption", every_nth=1, limit=2
+            ),
+            FaultSpec("net.frame_truncated", every_nth=1, limit=2),
+            FaultSpec("net.conn_reset", every_nth=1, limit=2),
+            FaultSpec("net.connect_refused", every_nth=1, limit=2),
+        ],
+        ids=["corrupt", "truncated", "reset", "refused"],
+    )
+    def test_each_fault_kind_retries_to_bit_identical(
+        self, make_harness, reference, probes, spec
+    ):
+        harness = make_harness(2, rpc_retries=3)
+        request = QueryRequest(kind="shot", features=probes[0], k=10)
+        expected = reference.query(request)
+        # Drop pooled connections so connect-time faults have a connect
+        # to fire at; the other kinds are indifferent to a fresh pool.
+        for endpoint in harness.endpoints:
+            endpoint.close()
+        before = _retries(harness.service)
+        with inject(FaultPlan([spec], seed=3)) as plan:
+            result = harness.service.query(request)
+        assert plan.fired() == 2, "both budgeted faults should have fired"
+        assert keys(result) == keys(expected)
+        assert result.comparisons == expected.comparisons
+        assert not result.shards_missing and not result.degraded
+        assert _retries(harness.service) > before
+
+    def test_corruption_is_detected_not_decoded(
+        self, make_harness, reference, probes
+    ):
+        # A flipped payload must surface as a checksum failure (then be
+        # retried), never as a successfully parsed wrong answer.
+        harness = make_harness(2, rpc_retries=3)
+        request = QueryRequest(kind="scene", features=probes[1], k=10)
+        expected = reference.query(request)
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "net.frame_corrupt",
+                    kind="corruption",
+                    probability=0.25,
+                )
+            ],
+            seed=5,
+        )
+        with inject(plan):
+            for _ in range(6):
+                result = harness.service.query(request)
+                assert keys(result) == keys(expected)
+                assert not result.shards_missing
+
+
+class TestRetryExhaustion:
+    def test_dead_shard_degrades_honestly_and_is_never_cached(
+        self, make_harness, probes
+    ):
+        harness = make_harness(2, rpc_retries=2, breaker_threshold=100)
+        harness.workers[0].stop()
+        request = QueryRequest(kind="shot", features=probes[2], k=10)
+        first = harness.service.query(request)
+        assert first.shards_missing == (0,)
+        assert first.degraded
+        # Degraded answers never enter the cache: the repeat is computed
+        # fresh so a recovered shard is reflected immediately.
+        second = harness.service.query(request)
+        assert second.shards_missing == (0,)
+        assert not second.cache_hit
+
+    def test_full_outage_raises_typed_error(self, make_harness, probes):
+        harness = make_harness(2, rpc_retries=1, breaker_threshold=100)
+        for worker in harness.workers:
+            worker.stop()
+        with pytest.raises(NoShardAnsweredError, match="no shard responded"):
+            harness.service.query(
+                QueryRequest(kind="shot_flat", features=probes[3], k=10)
+            )
+
+    def test_no_shard_answered_is_a_serving_error(self):
+        # Gateways map ServingError to HTTP; the new type must stay
+        # inside that contract.
+        assert issubclass(NoShardAnsweredError, ServingError)
+
+
+class TestHedging:
+    def test_slow_shard_is_hedged_and_bit_identical(
+        self, make_harness, reference, probes
+    ):
+        harness = make_harness(2, hedge_after_ms=30.0, rpc_retries=2)
+        request = QueryRequest(kind="shot", features=probes[4], k=10)
+        expected = reference.query(request)
+        before = _hedges(harness.service)
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "net.slow_shard", kind="latency", delay=0.25, limit=2
+                )
+            ],
+            seed=7,
+        )
+        with inject(plan):
+            result = harness.service.query(request)
+        assert plan.fired() >= 1
+        assert keys(result) == keys(expected)
+        assert result.comparisons == expected.comparisons
+        assert not result.shards_missing
+        assert _hedges(harness.service) > before
+
+    def test_hedging_disarmed_by_default(self, make_harness):
+        harness = make_harness(1)
+        assert harness.service.config.hedge_after_ms is None
+        assert harness.service._hedge_pool is None

@@ -1,16 +1,23 @@
-"""Wire protocol: framing, the array codec, pooled endpoints."""
+"""Wire protocol: framing, checksums, the array codec, pooled endpoints."""
 
 from __future__ import annotations
 
 import socket
-import struct
 import threading
+import time
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.errors import ServingError
+from repro.errors import (
+    DeadlineExpiredError,
+    FrameCorruptError,
+    RpcTransportError,
+    ServingError,
+)
 from repro.net.protocol import (
+    FRAME_HEADER,
     MAX_FRAME_BYTES,
     ShardEndpoint,
     pack_array,
@@ -18,6 +25,13 @@ from repro.net.protocol import (
     send_frame,
     unpack_array,
 )
+
+
+def _raw_frame(payload: bytes, checksum: int | None = None) -> bytes:
+    """A hand-built frame; ``checksum=None`` computes the correct CRC."""
+    if checksum is None:
+        checksum = zlib.crc32(payload)
+    return FRAME_HEADER.pack(len(payload), checksum) + payload
 
 
 class TestArrayCodec:
@@ -61,7 +75,7 @@ class TestFraming:
     def test_oversized_length_prefix_is_refused(self):
         a, b = socket.socketpair()
         try:
-            a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            a.sendall(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1, 0))
             with pytest.raises(ServingError, match="exceeds protocol limit"):
                 recv_frame(b)
         finally:
@@ -71,8 +85,7 @@ class TestFraming:
     def test_garbage_payload_is_typed(self):
         a, b = socket.socketpair()
         try:
-            payload = b"\xff\xfe not json"
-            a.sendall(struct.pack("!I", len(payload)) + payload)
+            a.sendall(_raw_frame(b"\xff\xfe not json"))
             with pytest.raises(ServingError, match="malformed frame"):
                 recv_frame(b)
         finally:
@@ -82,9 +95,9 @@ class TestFraming:
     def test_eof_mid_frame_is_typed(self):
         a, b = socket.socketpair()
         try:
-            a.sendall(struct.pack("!I", 100) + b"short")
+            a.sendall(FRAME_HEADER.pack(100, 0) + b"short")
             a.close()
-            with pytest.raises(ServingError, match="closed mid-frame"):
+            with pytest.raises(RpcTransportError, match="closed mid-frame"):
                 recv_frame(b)
         finally:
             b.close()
@@ -92,13 +105,33 @@ class TestFraming:
     def test_non_object_frame_is_refused(self):
         a, b = socket.socketpair()
         try:
-            payload = b"[1, 2, 3]"
-            a.sendall(struct.pack("!I", len(payload)) + payload)
+            a.sendall(_raw_frame(b"[1, 2, 3]"))
             with pytest.raises(ServingError, match="JSON object"):
                 recv_frame(b)
         finally:
             a.close()
             b.close()
+
+    def test_checksum_mismatch_is_detected_before_decode(self):
+        a, b = socket.socketpair()
+        try:
+            # A frame whose payload was flipped in flight: the CRC no
+            # longer matches, and the (invalid) JSON is never decoded.
+            payload = b'{"op": "ping"}'
+            bad = bytearray(payload)
+            bad[3] ^= 0xFF
+            a.sendall(_raw_frame(bytes(bad), checksum=zlib.crc32(payload)))
+            with pytest.raises(FrameCorruptError, match="checksum mismatch"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_corruption_error_is_transient_and_typed(self):
+        # The retry loop keys off RpcTransportError; a corrupt frame
+        # must be retry-safe, not a terminal ServingError.
+        assert issubclass(FrameCorruptError, RpcTransportError)
+        assert issubclass(RpcTransportError, ServingError)
 
 
 class _EchoServer:
@@ -172,3 +205,13 @@ class TestShardEndpoint:
     def test_pool_size_must_be_positive(self):
         with pytest.raises(ServingError):
             ShardEndpoint(0, "127.0.0.1", 1234, pool_size=0)
+
+    def test_expired_deadline_raises_typed_error_up_front(self, echo):
+        endpoint = ShardEndpoint(0, "127.0.0.1", echo.port)
+        try:
+            with pytest.raises(DeadlineExpiredError, match="before shard call"):
+                endpoint.call({"op": "ping"}, time.perf_counter() - 0.01)
+            # Terminal by contract: the retry loop must not spin on it.
+            assert not issubclass(DeadlineExpiredError, RpcTransportError)
+        finally:
+            endpoint.close()

@@ -157,3 +157,55 @@ class TestValidationAndIntrospection:
         assert registry.snapshot()[key] == 2.0
         breaker.record_success()
         assert registry.snapshot()[key] == 0.0
+
+
+class TestConcurrentHalfOpenProbes:
+    def test_exactly_one_probe_admitted_under_contention(self, clock):
+        # 16 shard-call threads hit a half-open breaker at once: one
+        # wins the probe slot, every loser is refused without mutating
+        # state, and the breaker stays half-open until the probe
+        # reports back.
+        import threading
+
+        breaker = CircuitBreaker(
+            name="race", failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def _contender():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=_contender) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(admitted) == 1, "half-open must admit exactly one probe"
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Losers short-circuited: no failure was recorded, so the
+        # winning probe's success closes the breaker for everyone.
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert all(breaker.allow() for _ in range(4))
+
+    def test_probe_slot_reopens_after_each_cooldown(self, clock):
+        breaker = CircuitBreaker(
+            name="slot", failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()        # probe admitted
+        assert not breaker.allow()    # slot held while in flight
+        breaker.record_failure()      # probe failed: reopen + new cooldown
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow(), "next cooldown must free the probe slot"
